@@ -1,0 +1,85 @@
+"""Ablation A1: DVFS-only enforcement (escalation ladder disabled).
+
+Question: can the low caps be met at all with pure P-state control?
+The paper's premise is that they cannot ("pure DVFS may not be
+sufficient", Section II-B), which is why the firmware reaches for
+memory-hierarchy techniques.  We disable the ladder's gating by making
+every rung a no-op with zero savings and compare against the full
+controller at 120 W.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    EscalationLadderConfig,
+    EscalationLevelSpec,
+    sandy_bridge_config,
+)
+from repro.core.runner import NodeRunner
+from repro.workloads.stereo import StereoMatchingWorkload
+
+from .conftest import scaled
+
+
+def dvfs_only_config():
+    """A node whose BMC has no sub-floor mechanisms worth the name."""
+    base = sandy_bridge_config()
+    noop_ladder = EscalationLadderConfig(
+        levels=(EscalationLevelSpec(name="noop", power_saving_w=0.0),),
+        duty_min=1.0,  # clock modulation disabled
+        duty_step=0.05,
+    )
+    return base.with_overrides(
+        bmc=dataclasses.replace(base.bmc, ladder=noop_ladder)
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    full = NodeRunner(slice_accesses=150_000).run(
+        scaled(StereoMatchingWorkload()), 120.0
+    )
+    dvfs = NodeRunner(config=dvfs_only_config(), slice_accesses=150_000).run(
+        scaled(StereoMatchingWorkload()), 120.0
+    )
+    return full, dvfs
+
+
+def test_bench_ablation_dvfs_only(benchmark, runs):
+    full, dvfs = runs
+
+    def summarize():
+        return {
+            "full_power_w": full.avg_power_w,
+            "dvfs_power_w": dvfs.avg_power_w,
+            "full_time_s": full.execution_s,
+            "dvfs_time_s": dvfs.execution_s,
+        }
+
+    summary = benchmark(summarize)
+
+    # DVFS-only: the node simply runs over the cap at the floor
+    # frequency, with no catastrophic slowdown...
+    assert dvfs.avg_power_w > 123.0
+    assert dvfs.avg_freq_mhz == pytest.approx(1200.0, abs=20.0)
+    assert dvfs.execution_s < 0.2 * full.execution_s
+    # ...and no counter artifacts (nothing was gated).
+    assert dvfs.max_escalation_level <= 1  # the no-op rung at most
+    assert dvfs.min_duty == 1.0
+    # The full mechanism trades a little power for a lot of time:
+    assert full.avg_power_w < dvfs.avg_power_w
+    assert full.avg_power_w - 120.0 < dvfs.avg_power_w - 120.0
+
+    benchmark.extra_info["dvfs_only_overrun_w"] = round(
+        summary["dvfs_power_w"] - 120.0, 2
+    )
+    benchmark.extra_info["full_overrun_w"] = round(
+        summary["full_power_w"] - 120.0, 2
+    )
+    benchmark.extra_info["time_cost_of_last_watts_x"] = round(
+        summary["full_time_s"] / summary["dvfs_time_s"], 1
+    )

@@ -1,0 +1,75 @@
+"""Ablation A5: the prefetcher explains the paper's L2 anomaly.
+
+Table II reports 6x10^11 L2 misses for SIRE/RSM — ~200x its L1 miss
+count, impossible for demand traffic.  With the L2 streamer modelled,
+the *counter-visible* L2 number (demand + prefetch) for the streaming
+workload inflates by a large factor over demand-only, while the
+cache-resident Stereo workload's counters barely move — matching the
+paper's asymmetry (SIRE's L2 column is astronomically larger than
+Stereo's despite similar demand-miss rates).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import sandy_bridge_config
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.prefetch import StreamPrefetcher
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    cfg = sandy_bridge_config()
+    out = {}
+    for workload in (SireRsmWorkload(), StereoMatchingWorkload()):
+        rng = np.random.default_rng(0)
+        sl = workload.build_slice(rng, 200_000)
+        h = MemoryHierarchy(cfg, prefetcher=StreamPrefetcher(degree=4, confirm=3))
+        if len(sl.preload_addresses):
+            h.simulate_data_trace(sl.preload_addresses)
+        d_warm, d_meas, _, _ = sl.split_warmup()
+        h.simulate_data_trace(d_warm)
+        out[workload.name] = h.simulate_data_trace(d_meas)
+    return out
+
+
+def test_bench_ablation_prefetcher(benchmark, traffic):
+    def collect():
+        return {
+            name: (
+                c.l2_misses,
+                c.counter_visible_l2_misses,
+                c.prefetch_l2_requests,
+            )
+            for name, c in traffic.items()
+        }
+
+    numbers = benchmark(collect)
+
+    sire = traffic["SIRE/RSM"]
+    stereo = traffic["StereoMatching"]
+
+    # The streamer rides SIRE's sequential passes hard...
+    sire_inflation = sire.counter_visible_l2_misses / max(1, sire.l2_misses)
+    assert sire_inflation > 1.5
+    # ...but finds nothing to ride in Stereo's scattered accesses.
+    stereo_inflation = stereo.counter_visible_l2_misses / max(
+        1, stereo.l2_misses
+    )
+    assert stereo_inflation < 1.2
+    # The asymmetry the paper's Table II shows between the columns.
+    assert sire_inflation > 1.5 * stereo_inflation
+
+    benchmark.extra_info["sire_counter_vs_demand_x"] = round(sire_inflation, 2)
+    benchmark.extra_info["stereo_counter_vs_demand_x"] = round(
+        stereo_inflation, 2
+    )
+    benchmark.extra_info["note"] = (
+        "hardware prefetch traffic inflates the streaming workload's "
+        "L2 counter, explaining the paper's 6e11 anomaly in kind"
+    )

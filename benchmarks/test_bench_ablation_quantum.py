@@ -1,0 +1,65 @@
+"""Ablation A3: controller quantum sensitivity.
+
+The BMC samples and acts once per control quantum.  Does the cap-sweep
+shape depend on that choice?  It should not (beyond transient length) —
+otherwise the reproduction's conclusions would hinge on an arbitrary
+simulator constant.  We compare 10 ms vs 100 ms quanta at a moderate
+cap and at the 120 W cap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import sandy_bridge_config
+from repro.core.runner import NodeRunner
+from repro.workloads.stereo import StereoMatchingWorkload
+
+from .conftest import scaled
+
+
+def config_with_quantum(quantum_s: float):
+    base = sandy_bridge_config()
+    return base.with_overrides(
+        bmc=dataclasses.replace(base.bmc, control_quantum_s=quantum_s)
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for quantum in (0.01, 0.1):
+        runner = NodeRunner(
+            config=config_with_quantum(quantum), slice_accesses=150_000
+        )
+        out[quantum] = {
+            cap: runner.run(scaled(StereoMatchingWorkload()), cap)
+            for cap in (140.0, 120.0)
+        }
+    return out
+
+
+def test_bench_ablation_quantum(benchmark, runs):
+    def collect():
+        return {
+            (q, cap): r.execution_s
+            for q, by_cap in runs.items()
+            for cap, r in by_cap.items()
+        }
+
+    times = benchmark(collect)
+
+    for cap in (140.0, 120.0):
+        fast = times[(0.01, cap)]
+        slow = times[(0.1, cap)]
+        # Same steady state: execution times agree within 15 %.
+        assert fast == pytest.approx(slow, rel=0.15)
+        benchmark.extra_info[f"cap{cap:.0f}_t_10ms"] = round(fast, 2)
+        benchmark.extra_info[f"cap{cap:.0f}_t_100ms"] = round(slow, 2)
+
+    # Power control quality also invariant.
+    for q in (0.01, 0.1):
+        assert runs[q][140.0].avg_power_w < 140.0
+        assert runs[q][120.0].avg_power_w > 120.0

@@ -1,0 +1,49 @@
+"""Extension bench: budgets under unpredictable demand
+(paper future work #3, Section IV-C).
+
+Same demand process, with and without a cap at the budget: the cap
+must eliminate budget violations while keeping most of the throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phased import PhasedRunner
+from repro.workloads.bursty import BurstyWorkload, PhaseSpec
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    demand = BurstyWorkload(
+        [
+            PhaseSpec("idle", None, mean_duration_s=4.0),
+            PhaseSpec("burst", StereoMatchingWorkload(), mean_duration_s=2.0),
+        ]
+    )
+    runner = PhasedRunner(slice_accesses=150_000)
+    return runner.compare(demand, horizon_s=90.0, budget_w=135.0)
+
+
+def test_bench_ext_bursty(benchmark, comparison):
+    def collect():
+        return (
+            comparison.uncapped.over_budget_s,
+            comparison.capped.over_budget_s,
+            comparison.throughput_retained,
+        )
+
+    over_u, over_c, retained = benchmark(collect)
+
+    # Uncapped demand violates the budget; the cap holds it.
+    assert over_u > 2.0
+    assert comparison.uncapped.peak_power_w > 145.0
+    assert comparison.capped.budget_held
+    assert comparison.capped.peak_power_w <= 136.0
+    # At a cost bounded by the DVFS ratio during bursts.
+    assert 0.45 < retained < 1.0
+
+    benchmark.extra_info["uncapped_violation_s"] = round(over_u, 1)
+    benchmark.extra_info["capped_violation_s"] = round(over_c, 1)
+    benchmark.extra_info["throughput_retained"] = round(retained, 2)

@@ -1,0 +1,90 @@
+"""Extension bench: the microbenchmark mechanism detector
+(paper future work #2).
+
+At each cap the BMC controller converges, and the probe suite must
+identify exactly the mechanisms the firmware is using — the experiment
+the paper proposed but never ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.controller import CapController
+from repro.bmc.sensors import PowerSensor
+from repro.core.detector import TechniqueDetector
+from repro.workloads.microbench import MachineUnderTest
+
+L2_GRID = (48 * 1024, 96 * 1024, 160 * 1024, 224 * 1024, 384 * 1024)
+L3_GRID = tuple(m * 1024 * 1024 for m in (3, 6, 10, 16))
+ITLB_GRID = (8, 16, 32, 96, 128, 192)
+
+
+def converge(cap_w: float):
+    node = Node()
+    node.thermal.reset(38.0)
+    controller = CapController(
+        node, PowerSensor(np.random.default_rng(0), noise_sigma_w=0.2)
+    )
+    controller.set_cap(cap_w)
+    power = node.power_w()
+    cmd = None
+    for _ in range(1500):
+        cmd = controller.update(power)
+        p = [
+            node.power_model.power_of_pstate(
+                st, duty=cmd.duty, gating_saving_w=cmd.gating_saving_w,
+                temperature_c=node.thermal.temperature_c,
+            )
+            for st in (cmd.pstate_fast, cmd.pstate_slow)
+        ]
+        power = cmd.alpha * p[0] + (1 - cmd.alpha) * p[1]
+        node.thermal.step(power, 0.05)
+    return cmd
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for cap in (150.0, 125.0, 120.0):
+        cmd = converge(cap)
+        machine = MachineUnderTest(
+            gating=cmd.gating, freq_hz=cmd.effective_freq_hz, duty=cmd.duty
+        )
+        out[cap] = TechniqueDetector(machine).detect(
+            l2_footprints=L2_GRID,
+            l3_footprints=L3_GRID,
+            itlb_page_counts=ITLB_GRID,
+        )
+    return out
+
+
+def test_bench_ext_detector(benchmark, reports):
+    def verdict_matrix():
+        return {
+            cap: (r.dvfs_active, r.clock_modulation_active,
+                  r.l2_way_gating_active, r.itlb_gating_active,
+                  r.dram_gating_active)
+            for cap, r in reports.items()
+        }
+
+    matrix = benchmark(verdict_matrix)
+
+    # 150 W: DVFS only.
+    assert matrix[150.0] == (True, False, False, False, False)
+    # 125 W: floor DVFS + way/iTLB gating, no modulation, no DRAM gating.
+    assert matrix[125.0][0] and matrix[125.0][2] and matrix[125.0][3]
+    assert not matrix[125.0][1]
+    # 120 W: everything at once.
+    assert all(matrix[120.0])
+
+    assert reports[120.0].duty == pytest.approx(0.15, abs=0.02)
+    assert reports[125.0].effective_freq_hz == pytest.approx(1.2e9, rel=0.01)
+
+    for cap, r in reports.items():
+        benchmark.extra_info[f"cap{cap:.0f}_freq_MHz"] = round(
+            r.effective_freq_hz / 1e6
+        )
+        benchmark.extra_info[f"cap{cap:.0f}_duty"] = round(r.duty, 2)

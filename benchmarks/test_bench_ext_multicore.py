@@ -1,0 +1,56 @@
+"""Extension bench: multi-core power capping (paper future work #1).
+
+Sweeps core count x cap and records the scaling table.  Headline
+assertions: uncapped scaling is near-linear; a cap that is generous for
+one core strangles four; below the n-core power floor, adding cores
+*reduces* aggregate throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multicore import MultiCoreRunner
+from repro.workloads.stereo import StereoMatchingWorkload
+
+from .conftest import scaled
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    runner = MultiCoreRunner(slice_accesses=150_000)
+    out = {}
+    for cap in (None, 160.0, 140.0):
+        out[cap] = {
+            n: runner.run(scaled(StereoMatchingWorkload()), n, cap)
+            for n in (1, 2, 4)
+        }
+    return out
+
+
+def test_bench_ext_multicore(benchmark, scaling):
+    def collect():
+        return {
+            (cap, n): r.throughput_ips
+            for cap, by_n in scaling.items()
+            for n, r in by_n.items()
+        }
+
+    throughput = benchmark(collect)
+
+    # Uncapped: near-linear scaling.
+    assert throughput[(None, 4)] > 3.3 * throughput[(None, 1)]
+    # 160 W: one core unaffected, four cores forced far down the table.
+    assert scaling[160.0][1].avg_freq_mhz == pytest.approx(2701, abs=5)
+    assert scaling[160.0][4].avg_freq_mhz < 1600
+    # 140 W: below the 4-core floor — throughput *collapses* below the
+    # single-core figure (escalation + duty).
+    assert throughput[(140.0, 4)] < throughput[(140.0, 1)]
+    assert scaling[140.0][4].min_duty < 1.0
+
+    for (cap, n), ips in sorted(throughput.items(), key=lambda kv: str(kv)):
+        benchmark.extra_info[f"cap={cap} cores={n} Gips"] = round(ips / 1e9, 2)
+    benchmark.extra_info["headline"] = (
+        "under a 140 W cap, 4 cores deliver less aggregate throughput "
+        "than 1 core"
+    )

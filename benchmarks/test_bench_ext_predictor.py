@@ -1,0 +1,58 @@
+"""Extension bench: the amenability predictor (paper future work #4).
+
+Validates the baseline-counters-only prediction against the simulated
+sweep across the DVFS region and records its error per cap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import CapImpactPredictor, CapRegime
+from repro.mem.reconfig import GatingState
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+@pytest.fixture(scope="module")
+def predictions(paper_experiment, paper_sweeps):
+    predictor = CapImpactPredictor(paper_experiment.runner.config)
+    out = {}
+    for workload in (StereoMatchingWorkload(), SireRsmWorkload()):
+        rates = paper_experiment.runner.rates_for(
+            workload, GatingState.ungated()
+        )
+        out[workload.name] = predictor.predict_curve(
+            rates, (150.0, 145.0, 140.0, 135.0, 130.0, 120.0)
+        )
+    return out
+
+
+def test_bench_ext_predictor(benchmark, predictions, paper_sweeps):
+    def collect():
+        return {
+            (name, cap): impact.predicted_slowdown
+            for name, curve in predictions.items()
+            for cap, impact in curve.items()
+        }
+
+    predicted = benchmark(collect)
+
+    max_err = 0.0
+    for name, sweep in paper_sweeps.items():
+        for cap in (150.0, 145.0, 140.0, 135.0, 130.0):
+            simulated = sweep.slowdown(cap)
+            p = predicted[(name, cap)]
+            err = abs(p - simulated) / simulated
+            max_err = max(max_err, err)
+            benchmark.extra_info[f"{name}@{cap:.0f} pred"] = round(p, 3)
+            benchmark.extra_info[f"{name}@{cap:.0f} sim"] = round(simulated, 3)
+            # DVFS-region predictions within 15 %.
+            assert err < 0.15
+        # The 120 W prediction is a declared lower bound and must hold.
+        impact = predictions[name][120.0]
+        assert impact.regime is CapRegime.INFEASIBLE
+        assert impact.is_lower_bound
+        assert sweep.slowdown(120.0) >= 0.9 * impact.predicted_slowdown
+
+    benchmark.extra_info["max_dvfs_region_error"] = round(max_err, 3)

@@ -1,0 +1,49 @@
+"""Figure 1: SIRE/RSM normalised series across the cap sweep.
+
+The paper plots, normalised to each series' maximum: instruction-TLB
+misses, frequency, time, power consumption, and energy consumption for
+baseline + nine caps.  Shape criteria: frequency is maximal at the
+baseline and falls toward the floor; time and energy are maximal at the
+120 W cap and hockey-stick below 135 W; iTLB misses step up only at the
+escalated caps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.report import figure1_series
+
+
+def test_bench_fig1_sire(benchmark, sire_sweep):
+    series = benchmark(figure1_series, sire_sweep)
+
+    n_rows = 10  # baseline + 9 caps, highest first
+    for key in ("frequency", "time", "power", "energy", "PAPI_TLB_IM"):
+        assert len(series[key]) == n_rows
+        assert np.nanmax(series[key]) == pytest.approx(1.0)
+
+    freq = series["frequency"]
+    time = series["time"]
+    energy = series["energy"]
+    power = series["power"]
+    itlb = series["PAPI_TLB_IM"]
+
+    # Frequency: maximal at baseline, minimal at the lowest caps.
+    assert freq[0] == pytest.approx(1.0)
+    assert freq[-1] == pytest.approx(1200.0 / 2701.0, abs=0.02)
+    # Time/energy: maximal at 120 W, tiny at the baseline end.
+    assert time[-1] == pytest.approx(1.0)
+    assert energy[-1] == pytest.approx(1.0)
+    assert time[0] < 0.1
+    # Power: gently decreasing toward the cap floor, never below ~75 %.
+    assert power[0] == pytest.approx(1.0, abs=0.02)
+    assert power[-1] > 0.75
+    # iTLB misses: negligible until escalation engages, then a step.
+    assert np.all(itlb[:5] < 0.05)
+    assert itlb[-1] == pytest.approx(1.0)
+
+    benchmark.extra_info["freq_floor_ratio_paper"] = round(1200 / 2701, 3)
+    benchmark.extra_info["freq_floor_ratio_measured"] = round(float(freq[-1]), 3)
+    benchmark.extra_info["time_peak_row"] = "120W"

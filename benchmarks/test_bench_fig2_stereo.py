@@ -1,0 +1,54 @@
+"""Figure 2: Stereo Matching normalised series across the cap sweep.
+
+Beyond Figure 1's series, Figure 2 adds the L2 and L3 miss rates —
+which for Stereo Matching step up dramatically at the two lowest caps
+(the dynamic-cache-reconfiguration signature), unlike SIRE's flat
+curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.report import figure2_series
+
+
+def test_bench_fig2_stereo(benchmark, stereo_sweep):
+    series = benchmark(figure2_series, stereo_sweep)
+
+    n_rows = 10
+    keys = (
+        "frequency", "time", "power", "energy",
+        "PAPI_L2_TCM", "PAPI_L3_TCM", "PAPI_TLB_IM",
+    )
+    for key in keys:
+        assert len(series[key]) == n_rows
+        assert np.nanmax(series[key]) == pytest.approx(1.0)
+
+    l2 = series["PAPI_L2_TCM"]
+    l3 = series["PAPI_L3_TCM"]
+    time = series["time"]
+    freq = series["frequency"]
+
+    # L2/L3 miss rates: flat plateau through the DVFS region (rows
+    # 0..6 = baseline..130 W), then the step at 125/120 W.
+    assert np.ptp(l2[:6]) < 0.12
+    assert l2[-1] == pytest.approx(1.0)
+    assert l2[-1] > 2.0 * l2[0]
+    assert l3[-1] > 1.8 * l3[0]
+    # Time hockey stick: the last row dwarfs everything before 130 W.
+    assert time[-1] == pytest.approx(1.0)
+    assert np.all(time[:6] < 0.1)
+    # Frequency pinned at the floor for the last rows.
+    assert freq[-1] == pytest.approx(1200.0 / 2701.0, abs=0.02)
+    assert freq[-2] == pytest.approx(freq[-1], abs=0.02)
+
+    benchmark.extra_info["L2_step_ratio_paper"] = 3.4   # +244 % at 120 W
+    benchmark.extra_info["L2_step_ratio_measured"] = round(
+        float(l2[-1] / l2[0]), 2
+    )
+    benchmark.extra_info["L3_step_ratio_paper"] = 4.5   # +350 % at 120 W
+    benchmark.extra_info["L3_step_ratio_measured"] = round(
+        float(l3[-1] / l3[0]), 2
+    )

@@ -1,0 +1,62 @@
+"""Figure 3: the stride microbenchmark with no power cap.
+
+The paper reads the entire memory-hierarchy geometry off this figure
+(Section IV-B items 1-8): L1 between 32 K and 64 K, L2 between 256 K
+and 512 K, L3 between 16 M and 32 M; 1.5 ns L1 access, 2.0 / 5.1 /
+37.1 ns miss penalties, ~60 ns main memory; 64 B lines.  The benchmark
+regenerates the sweep and repeats those inferences programmatically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import render_stride_figure
+from repro.workloads.stride import StrideBenchmark
+
+SIZES = tuple(4 * 1024 * 2**i for i in range(13))  # 4K .. 16M
+SIZES = SIZES + (48 * 1024 * 1024,)
+STRIDES = tuple(8 * 2**i for i in range(14))  # 8B .. 64K
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    bench = StrideBenchmark(sizes=SIZES, strides=STRIDES, accesses_per_cell=3000)
+    return bench.run()
+
+
+def test_bench_fig3_stride_nocap(benchmark, fig3):
+    rendered = benchmark(render_stride_figure, fig3, "Figure 3")
+    assert "Figure 3" in rendered
+
+    col64 = {s: fig3.series_for_size(s)[64] for s in SIZES}
+
+    # Inference 4: L1 access time 1.5 ns (arrays within 32 K).
+    for size in (4096, 8192, 16384, 32768):
+        assert col64[size] == pytest.approx(1.5, abs=0.2)
+    # Inference 1: the L1 edge between 32 K and 64 K.
+    assert col64[65536] > 1.5 * col64[32768]
+    # L2-resident plateau ~3.5 ns (L1 hit + 2.0 ns penalty).
+    assert col64[131072] == pytest.approx(3.5, abs=0.7)
+    # Inference 2: the L2 edge between 256 K and 512 K.
+    assert col64[524288] > 1.5 * col64[262144]
+    # L3-resident plateau ~8.6 ns.
+    assert col64[4 * 1024 * 1024] == pytest.approx(8.6, abs=2.0)
+    # Inference 3: the L3 edge between 16 M and 32 M.
+    assert col64[48 * 1024 * 1024] > 2.5 * col64[16 * 1024 * 1024]
+    # Main-memory plateau: tens of ns (paper reads ~60 ns).
+    assert 30.0 < col64[48 * 1024 * 1024] < 75.0
+
+    # Inference 7: 64 B lines — sub-line strides amortise.
+    big = fig3.series_for_size(48 * 1024 * 1024)
+    assert big[8] < 0.35 * big[64]
+    assert big[32] < 0.85 * big[64]
+
+    benchmark.extra_info["L1_plateau_ns (paper 1.5)"] = round(col64[16384], 2)
+    benchmark.extra_info["L2_plateau_ns (paper 3.5)"] = round(col64[131072], 2)
+    benchmark.extra_info["L3_plateau_ns (paper 8.6)"] = round(
+        col64[4 * 1024 * 1024], 2
+    )
+    benchmark.extra_info["DRAM_plateau_ns (paper ~60)"] = round(
+        col64[48 * 1024 * 1024], 1
+    )

@@ -1,0 +1,69 @@
+"""Figure 4: the stride microbenchmark under a 120 W cap.
+
+"A comparison of Figure 4 ... with Figure 3 ... reveals that the
+average access time associated with each level of the memory hierarchy
+increases in the 120 Watt power capped execution environment.  However,
+due to the dynamic nature of how the power cap is enforced, the average
+access time behaviors are not consistent with what we would expect."
+
+Shape criteria: every valid cell is slower than its Figure 3
+counterpart, and the *relative* inflation varies across cells (the
+erratic behaviour the paper calls out) rather than being one uniform
+factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.report import render_stride_figure
+from repro.workloads.stride import StrideBenchmark
+
+SIZES = (
+    16 * 1024,
+    128 * 1024,
+    1024 * 1024,
+    8 * 1024 * 1024,
+    48 * 1024 * 1024,
+)
+STRIDES = (8, 64, 512, 4096, 32768)
+
+
+@pytest.fixture(scope="module")
+def grids():
+    bench = StrideBenchmark(sizes=SIZES, strides=STRIDES, accesses_per_cell=2500)
+    uncapped = bench.run()
+    capped = bench.run_capped(
+        120.0, np.random.default_rng(42), cell_duration_s=1.0, settle_s=15.0
+    )
+    return bench, uncapped, capped
+
+
+def test_bench_fig4_stride_cap120(benchmark, grids):
+    bench, uncapped, capped = grids
+
+    rendered = benchmark(
+        render_stride_figure, capped, "Figure 4: 120 W cap"
+    )
+    assert "120 W cap" in rendered
+
+    valid = np.isfinite(uncapped.access_time_ns)
+    inflation = capped.access_time_ns[valid] / uncapped.access_time_ns[valid]
+
+    # Every level's access time increases (the Figure 3 vs 4 headline).
+    assert np.all(inflation > 2.0)
+    # And not uniformly: the dynamic enforcement makes some cells far
+    # worse than others ("not consistent with what we would expect").
+    assert inflation.max() / inflation.min() > 1.3
+
+    # The capped grid's absolute values reach the 10^2-10^3 ns decades
+    # Figure 4's y-axis shows (vs Figure 3's 10^0-10^2).
+    assert np.nanmax(capped.access_time_ns) > 200.0
+    assert np.nanmax(uncapped.access_time_ns) < 200.0
+
+    benchmark.extra_info["min_inflation_x"] = round(float(inflation.min()), 1)
+    benchmark.extra_info["max_inflation_x"] = round(float(inflation.max()), 1)
+    benchmark.extra_info["median_inflation_x"] = round(
+        float(np.median(inflation)), 1
+    )

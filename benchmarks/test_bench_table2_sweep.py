@@ -1,0 +1,78 @@
+"""Table II: the full cap sweep for both applications.
+
+For every (application, cap) row the paper reports average node power,
+computed energy, average frequency, execution time, and the five miss
+counters, each with its percent difference from the baseline.  This
+benchmark regenerates the whole table and checks the shape criteria
+(DESIGN.md §4, T2-a..T2-d) against the published percent differences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import render_table2
+from repro.perf.events import PapiEvent
+
+#: Paper Table II percent time increases (rounded) per cap.
+PAPER_TIME_DIFF = {
+    "StereoMatching": {160: 3, 155: 0, 150: 9, 145: 21, 140: 40, 135: 107,
+                       130: 444, 125: 1104, 120: 3467},
+    "SIRE/RSM": {160: 0, 155: 2, 150: 7, 145: 14, 140: 21, 135: 58,
+                 130: 93, 125: 193, 120: 2583},
+}
+
+
+def test_bench_table2_sweep(benchmark, paper_sweeps):
+    """Regenerate both Table II halves and verify the shape."""
+
+    def regenerate():
+        return {
+            name: render_table2(sweep) for name, sweep in paper_sweeps.items()
+        }
+
+    tables = benchmark(regenerate)
+    for name, text in tables.items():
+        assert "baseline" in text
+        assert "L1 Misses" in text
+
+    for name, sweep in paper_sweeps.items():
+        base = sweep.baseline
+        # T2-a: energy minimal at caps >= the uncapped draw.
+        high = min(sweep.row(160.0).energy_j, sweep.row(155.0).energy_j)
+        for cap in (145.0, 135.0, 125.0, 120.0):
+            assert sweep.row(cap).energy_j > 0.99 * high
+        # T2-b: <= ~40 % down to 140 W; super-linear below 135 W.
+        for cap in (160.0, 155.0, 150.0, 145.0, 140.0):
+            measured = sweep.slowdown(cap)
+            benchmark.extra_info[f"{name}@{cap:.0f} slowdown"] = round(
+                measured, 2
+            )
+            assert measured <= 1.45
+        assert sweep.slowdown(120.0) > 15.0
+        # T2-c: frequency pinned at the floor for the lowest caps.
+        for cap in (125.0, 120.0):
+            assert sweep.row(cap).avg_freq_mhz == pytest.approx(1200.0, abs=25)
+        # Record paper-vs-measured for the report.
+        for cap, paper_pct in PAPER_TIME_DIFF[name].items():
+            measured_pct = (sweep.slowdown(float(cap)) - 1.0) * 100.0
+            benchmark.extra_info[f"{name}@{cap} paper_time_pct"] = paper_pct
+            benchmark.extra_info[f"{name}@{cap} measured_time_pct"] = round(
+                measured_pct
+            )
+
+    # T2-d: counter signatures.
+    stereo, sire = paper_sweeps["StereoMatching"], paper_sweeps["SIRE/RSM"]
+    st_base, st_low = stereo.baseline, stereo.row(120.0)
+    assert st_low.counters[PapiEvent.PAPI_L2_TCM] > 2.0 * st_base.counters[
+        PapiEvent.PAPI_L2_TCM
+    ]
+    assert st_low.counters[PapiEvent.PAPI_L3_TCM] > 2.0 * st_base.counters[
+        PapiEvent.PAPI_L3_TCM
+    ]
+    si_base, si_low = sire.baseline, sire.row(120.0)
+    for e in (PapiEvent.PAPI_L2_TCM, PapiEvent.PAPI_L3_TCM):
+        assert si_low.counters[e] == pytest.approx(si_base.counters[e], rel=0.1)
+    for sweep in (stereo, sire):
+        itlb_base = max(1.0, sweep.baseline.counters[PapiEvent.PAPI_TLB_IM])
+        assert sweep.row(120.0).counters[PapiEvent.PAPI_TLB_IM] > 10 * itlb_base

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hold a power budget under unpredictable demand (Section IV-C).
+
+"Power capping is best used when the workload is unpredictable in
+terms of its power consumption."  A ground-station generator gives the
+payload node a 135 W allocation; data bursts arrive at random (stereo
+products to match between idle waits).  Uncapped, every burst spikes
+the node to ~152 W — a budget violation the generator integrator
+cannot accept.  Capped at the allocation, the node never exceeds it
+and the question becomes: how much throughput did the guarantee cost?
+
+Run:
+    python examples/bursty_budget.py
+"""
+
+from __future__ import annotations
+
+from repro import BurstyWorkload, PhaseSpec, PhasedRunner, StereoMatchingWorkload
+
+BUDGET_W = 135.0
+HORIZON_S = 90.0
+
+
+def main() -> None:
+    demand = BurstyWorkload(
+        [
+            PhaseSpec("idle-wait", None, mean_duration_s=4.0, weight=1.0),
+            PhaseSpec(
+                "match-burst",
+                StereoMatchingWorkload(),
+                mean_duration_s=2.0,
+                weight=1.0,
+            ),
+        ],
+        name="ground-station",
+    )
+    runner = PhasedRunner(slice_accesses=120_000)
+    comparison = runner.compare(demand, HORIZON_S, BUDGET_W)
+    u, c = comparison.uncapped, comparison.capped
+
+    print(f"Budget: {BUDGET_W:.0f} W over a {HORIZON_S:.0f} s horizon "
+          f"(busy fraction {u.busy_fraction:.0%})\n")
+    print(f"{'':<12} {'avg W':>7} {'peak W':>7} {'over-budget':>12} "
+          f"{'held?':>6} {'Ginstr':>8}")
+    for label, r in (("uncapped", u), ("capped", c)):
+        print(
+            f"{label:<12} {r.avg_power_w:>7.1f} {r.peak_power_w:>7.1f} "
+            f"{r.over_budget_s:>10.1f} s {'yes' if r.budget_held else 'NO':>6} "
+            f"{r.instructions / 1e9:>8.1f}"
+        )
+
+    print(
+        f"\nCapping eliminated {comparison.violation_reduction_s:.1f} s of "
+        f"budget violations while retaining "
+        f"{comparison.throughput_retained:.0%} of the throughput."
+    )
+    print(
+        "That is the paper's Section IV-C point: for a constant, "
+        "predictable load you would size the budget exactly and never "
+        "cap; for unpredictable demand the cap converts hard violations "
+        "into a bounded, graceful slowdown."
+    )
+
+
+if __name__ == "__main__":
+    main()

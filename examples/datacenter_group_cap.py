@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Data-centre scenario: DCM managing a rack over IPMI.
+
+"To realize economy of scale, Intel DCM with Intel Node Manager is
+meant to be used to manage a system comprised of a large number of
+servers with varying workloads" (Section I-A).  This example builds a
+six-node rack on a (lossy) out-of-band management LAN, gives the rack
+one power budget, and lets the Data Center Manager divide it across the
+nodes — first equally, then priority-weighted after two nodes are
+promoted — while polling readings and raising threshold alerts.
+
+Every interaction travels as real IPMI/DCMI frames with checksums over
+the simulated transport; nothing touches node internals directly.
+
+Run:
+    python examples/datacenter_group_cap.py
+"""
+
+from __future__ import annotations
+
+from repro import DataCenterManager, Node, NodeGroup
+from repro.bmc import Bmc
+from repro.dcm import DivisionStrategy, GroupBalancer
+from repro.ipmi import LanTransport
+from repro.rng import RngStreams
+
+N_NODES = 6
+RACK_BUDGET_W = 780.0  # tight: ~130 W per node against ~154 W demand
+
+
+def main() -> None:
+    streams = RngStreams(seed=7)
+    lan = LanTransport(
+        streams.stream("lan"),
+        drop_probability=0.01,  # a mildly lossy management network
+        corruption_probability=0.002,
+    )
+    dcm = DataCenterManager(lan)
+
+    bmcs = {}
+    for i in range(N_NODES):
+        node = Node()
+        address = f"10.1.0.{i + 1}"
+        bmc = Bmc(node, streams.stream(f"bmc{i}"), lan_address=address,
+                  transport=lan)
+        # Each node reports a busy power demand (varying workloads).
+        demand = 148.0 + 2.5 * i
+        bmc.record_power(demand, 0.05)
+        bmcs[f"node{i}"] = bmc
+        dcm.register_node(f"node{i}", address, warn_threshold_w=158.0)
+
+    dcm.tick(time_s=0.0)  # poll everyone once
+    print(f"Rack demand (sum of readings): {dcm.total_power_w():.0f} W")
+    print(f"Rack budget:                   {RACK_BUDGET_W:.0f} W\n")
+
+    rack = NodeGroup(dcm, "rack-A", budget_w=RACK_BUDGET_W)
+    for i, node_id in enumerate(dcm.node_ids()):
+        rack.add_member(node_id, priority=1, min_cap_w=115.0, max_cap_w=165.0)
+
+    print("== Equal division ==")
+    caps = rack.apply(DivisionStrategy.EQUAL)
+    for node_id in sorted(caps):
+        limit = dcm.read_limit(node_id)
+        print(f"  {node_id}: cap {caps[node_id]:6.1f} W "
+              f"(BMC confirms {limit.limit_w} W, active={limit.active})")
+
+    # Mission change: node0/node1 run the time-critical SAR pipeline.
+    print("\n== Priority division (node0, node1 promoted) ==")
+    rack2 = NodeGroup(dcm, "rack-A-prio", budget_w=RACK_BUDGET_W)
+    for i, node_id in enumerate(dcm.node_ids()):
+        rack2.add_member(
+            node_id,
+            priority=10 if node_id in ("node0", "node1") else 1,
+            min_cap_w=115.0,
+            max_cap_w=165.0,
+        )
+    caps = rack2.apply(DivisionStrategy.PRIORITY)
+    for node_id in sorted(caps):
+        print(f"  {node_id}: cap {caps[node_id]:6.1f} W")
+
+    print("\n== Closed-loop rebalancing (demand shifts at runtime) ==")
+    balancer = GroupBalancer(
+        rack2, DivisionStrategy.PROPORTIONAL, rebalance_threshold_w=5.0
+    )
+    balancer.tick(0.0)
+    # node5's batch job ends; node2 ramps up.
+    bmcs["node5"].record_power(118.0, 0.05)
+    bmcs["node2"].record_power(163.0, 0.05)
+    dcm.tick(time_s=60.0)
+    record = balancer.tick(60.0)
+    print(f"  rebalance applied: {record.applied} "
+          f"(max cap movement {record.max_delta_w:.1f} W)")
+    for node_id in sorted(record.caps_w):
+        print(f"    {node_id}: cap {record.caps_w[node_id]:6.1f} W")
+
+    print("\n== Management-plane health ==")
+    print(f"  frames sent {lan.stats.sent}, retries {lan.stats.retries}, "
+          f"dropped {lan.stats.dropped}, corrupted {lan.stats.corrupted}")
+    print(f"  alerts raised: {len(dcm.alerts)}")
+    for alert in dcm.alerts.all():
+        print(f"    [{alert.severity.value}] {alert.node_id}: {alert.message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Answer the paper's open question with microbenchmarks.
+
+Section V: "we would like to ... (2) determine, using microbenchmarks,
+what techniques other than DVFS are being used to manage power
+consumption."  This example does it: for each cap, it lets the BMC
+controller converge, freezes the operating point it chose, and turns
+the mechanism-isolating probe suite loose on the resulting machine —
+without letting the detector peek at the hidden state.
+
+Run:
+    python examples/mechanism_detective.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Node
+from repro.bmc import CapController, PowerSensor
+from repro.core.detector import TechniqueDetector
+from repro.workloads.microbench import MachineUnderTest
+
+CAPS = (150.0, 135.0, 125.0, 120.0)
+
+# Compact probe grids keep each detection to a couple of seconds.
+L2_GRID = (48 * 1024, 96 * 1024, 160 * 1024, 224 * 1024, 384 * 1024)
+L3_GRID = tuple(m * 1024 * 1024 for m in (3, 6, 10, 16))
+ITLB_GRID = (8, 16, 32, 96, 128, 192)
+
+
+def converge_controller(cap_w: float) -> tuple:
+    """Drive the closed loop to steady state; return (gating, f, duty)."""
+    node = Node()
+    node.thermal.reset(38.0)
+    sensor = PowerSensor(np.random.default_rng(0), noise_sigma_w=0.2)
+    controller = CapController(node, sensor)
+    controller.set_cap(cap_w)
+    power = node.power_w()
+    cmd = None
+    for _ in range(1500):
+        cmd = controller.update(power)
+        p_fast = node.power_model.power_of_pstate(
+            cmd.pstate_fast, duty=cmd.duty,
+            gating_saving_w=cmd.gating_saving_w,
+            temperature_c=node.thermal.temperature_c,
+        )
+        p_slow = node.power_model.power_of_pstate(
+            cmd.pstate_slow, duty=cmd.duty,
+            gating_saving_w=cmd.gating_saving_w,
+            temperature_c=node.thermal.temperature_c,
+        )
+        power = cmd.alpha * p_fast + (1 - cmd.alpha) * p_slow
+        node.thermal.step(power, 0.05)
+    return cmd.gating, cmd.effective_freq_hz, cmd.duty, power
+
+
+def main() -> None:
+    for cap in CAPS:
+        gating, freq, duty, power = converge_controller(cap)
+        machine = MachineUnderTest(gating=gating, freq_hz=freq, duty=duty)
+        report = TechniqueDetector(machine).detect(
+            l2_footprints=L2_GRID,
+            l3_footprints=L3_GRID,
+            itlb_page_counts=ITLB_GRID,
+        )
+        print(f"\n=== Cap {cap:.0f} W (node settled at {power:.1f} W) ===")
+        print(report.summary())
+
+    print(
+        "\nReading: at 150/135 W only DVFS is active (the paper's"
+        "\nTable II region of graceful slowdown).  At 125 W the ladder"
+        "\nhas engaged — way gating and iTLB gating light up at the"
+        "\npinned 1,200 MHz floor.  At 120 W everything is active at"
+        "\nonce, including clock modulation at the minimum duty: the"
+        "\nmechanisms the paper could only infer from counter artifacts,"
+        "\nidentified and quantified by user-space probes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: cap a node, run an Army workload, read the cost.
+
+This is the paper's core experiment in miniature: run Stereo Matching
+uncapped to establish the Table I baseline, then under a moderate and a
+harsh cap, and print the execution-time / energy / counter response.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import NodeRunner, PapiEvent, StereoMatchingWorkload
+from repro.units import format_duration
+
+
+def scaled_stereo(factor: float = 0.02) -> StereoMatchingWorkload:
+    """The paper-calibrated workload with a reduced instruction budget
+    so the example finishes in seconds (the shape is identical)."""
+    workload = StereoMatchingWorkload()
+    workload._spec = dataclasses.replace(
+        workload.spec,
+        total_instructions=workload.spec.total_instructions * factor,
+    )
+    return workload
+
+
+def main() -> None:
+    runner = NodeRunner(slice_accesses=150_000)
+
+    print("== Baseline (no cap) ==")
+    baseline = runner.run(scaled_stereo())
+    print(
+        f"  time {format_duration(baseline.execution_s)}  "
+        f"power {baseline.avg_power_w:.1f} W  "
+        f"energy {baseline.energy_j:,.0f} J  "
+        f"freq {baseline.avg_freq_mhz:.0f} MHz"
+    )
+
+    for cap in (140.0, 120.0):
+        print(f"\n== Cap {cap:.0f} W ==")
+        result = runner.run(scaled_stereo(), cap_w=cap)
+        slowdown = result.execution_s / baseline.execution_s
+        print(
+            f"  time {format_duration(result.execution_s)} "
+            f"(x{slowdown:.2f})  power {result.avg_power_w:.1f} W  "
+            f"energy {result.energy_j:,.0f} J  "
+            f"freq {result.avg_freq_mhz:.0f} MHz"
+        )
+        print(
+            f"  escalation level {result.max_escalation_level}, "
+            f"min duty {result.min_duty:.2f}"
+        )
+        for event in (
+            PapiEvent.PAPI_L2_TCM,
+            PapiEvent.PAPI_L3_TCM,
+            PapiEvent.PAPI_TLB_IM,
+        ):
+            ratio = result.counters[event] / max(1.0, baseline.counters[event])
+            print(f"  {event.value}: x{ratio:.2f} vs baseline")
+        if cap == 120.0:
+            print("  BMC System Event Log (first 8 records):")
+            for t, event_name, detail in result.sel_events[:8]:
+                print(f"    {t:7.2f}s  {event_name}: {detail}")
+
+    print(
+        "\nNote how the 140 W cap costs ~1.3x (pure DVFS) while 120 W"
+        "\nblows execution time up by an order of magnitude, pins the"
+        "\nfrequency at the 1,200 MHz floor, and inflates L2/L3/iTLB"
+        "\nmisses — the paper's Table II in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""repro — reproduction of McCartney, Teller & Arunagiri (ICPPW 2012),
+"Evaluation of Core Performance when the Node is Power Capped using
+Intel(R) Data Center Manager".
+
+The paper is a hardware measurement study; this library rebuilds the
+whole apparatus in simulation (see DESIGN.md for the substitution map):
+
+- a Sandy Bridge-like node with P/C-states, a set-associative cache and
+  TLB hierarchy, a CMOS power model, and a thermal loop (:mod:`.arch`,
+  :mod:`.mem`, :mod:`.power`);
+- the management plane: BMC cap enforcement with P-state dithering and
+  a beyond-DVFS escalation ladder, reached over a simulated IPMI/DCMI
+  out-of-band LAN by a Data Center Manager (:mod:`.bmc`, :mod:`.ipmi`,
+  :mod:`.dcm`);
+- the two Army workloads as real algorithms — SAR back-projection with
+  recursive sidelobe minimisation, and simulated-annealing stereo
+  matching — plus the Hennessy-Patterson stride microbenchmark
+  (:mod:`.workloads`);
+- PAPI-style counters and the full experiment methodology that
+  regenerates every table and figure (:mod:`.perf`, :mod:`.core`).
+
+Quickstart
+----------
+>>> from repro import NodeRunner, StereoMatchingWorkload
+>>> runner = NodeRunner(slice_accesses=60_000)
+>>> baseline = runner.run(StereoMatchingWorkload())
+>>> capped = runner.run(StereoMatchingWorkload(), cap_w=140.0)
+>>> capped.execution_s > baseline.execution_s
+True
+"""
+
+from .config import (
+    NodeConfig,
+    sandy_bridge_config,
+    PAPER_POWER_CAPS_W,
+    PAPER_IDLE_POWER_RANGE_W,
+)
+from .errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    CapInfeasibleError,
+    IpmiError,
+    PolicyError,
+    WorkloadError,
+)
+from .rng import RngStreams, DEFAULT_SEED
+from .arch import Node, PStateTable
+from .core import (
+    MultiCoreRunner,
+    TechniqueDetector,
+    PhasedRunner,
+    CapImpactPredictor,
+    CapRegime,
+    NodeRunner,
+    PowerCapExperiment,
+    ExperimentResult,
+    RunResult,
+    AveragedResult,
+    characterize_amenability,
+    AmenabilityReport,
+    render_table1,
+    render_table2,
+    figure1_series,
+    figure2_series,
+)
+from .dcm import DataCenterManager, NodeGroup, StaticCapPolicy
+from .perf import PapiEvent, PapiSession, CounterBank
+from .power import PowerBudget, BATTERY, GENERATOR
+from .workloads import (
+    SireRsmWorkload,
+    StereoMatchingWorkload,
+    StrideBenchmark,
+    BurstyWorkload,
+    PhaseSpec,
+    MachineUnderTest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NodeConfig",
+    "sandy_bridge_config",
+    "PAPER_POWER_CAPS_W",
+    "PAPER_IDLE_POWER_RANGE_W",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "CapInfeasibleError",
+    "IpmiError",
+    "PolicyError",
+    "WorkloadError",
+    "RngStreams",
+    "DEFAULT_SEED",
+    "Node",
+    "PStateTable",
+    "NodeRunner",
+    "PowerCapExperiment",
+    "ExperimentResult",
+    "RunResult",
+    "AveragedResult",
+    "characterize_amenability",
+    "AmenabilityReport",
+    "render_table1",
+    "render_table2",
+    "figure1_series",
+    "figure2_series",
+    "DataCenterManager",
+    "NodeGroup",
+    "StaticCapPolicy",
+    "PapiEvent",
+    "PapiSession",
+    "CounterBank",
+    "PowerBudget",
+    "BATTERY",
+    "GENERATOR",
+    "SireRsmWorkload",
+    "StereoMatchingWorkload",
+    "StrideBenchmark",
+    "BurstyWorkload",
+    "PhaseSpec",
+    "MachineUnderTest",
+    "MultiCoreRunner",
+    "TechniqueDetector",
+    "PhasedRunner",
+    "CapImpactPredictor",
+    "CapRegime",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Simulated node architecture: P/C-states, core timing, thermal, node.
+
+This package is the hardware substrate the paper's experiments ran on —
+a dual-socket Sandy Bridge node — rebuilt as a discrete-time simulator.
+"""
+
+from .pstate import PState, PStateTable
+from .cstate import CStateModel
+from .thermal import ThermalModel
+from .core import CoreTimingModel, CoreTimingBreakdown
+from .node import Node, NodePowerBreakdown
+
+__all__ = [
+    "PState",
+    "PStateTable",
+    "CStateModel",
+    "ThermalModel",
+    "CoreTimingModel",
+    "CoreTimingBreakdown",
+    "Node",
+    "NodePowerBreakdown",
+]

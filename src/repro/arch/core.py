@@ -1,0 +1,140 @@
+"""Core timing model.
+
+Converts an instruction stream with a given memory behaviour into wall
+time under the current operating point.  The model is the classic
+CPI-stack decomposition the paper relies on when it computes execution
+time from "cycle count x clock speed" (Section III):
+
+``time_per_instruction = (base_CPI / f + memory_stall_seconds) / duty``
+
+- ``base_CPI / f`` is the compute component, which scales with the DVFS
+  frequency — this is why moderate caps cost roughly the frequency
+  ratio;
+- ``memory_stall_seconds`` is the per-instruction stall from cache/TLB
+  misses priced by :mod:`repro.mem.latency` — it does *not* scale with
+  core frequency, and it inflates when the BMC gates the memory
+  hierarchy;
+- ``duty`` models clock modulation (T-state-like throttling), the
+  mechanism of last resort below the DVFS floor.
+
+A small speculative-execution wobble is applied to *executed* (not
+committed) instruction counts, reproducing the <= 0.36 % run-to-run
+variation Section IV reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..units import require_positive, require_non_negative
+
+__all__ = ["CoreTimingModel", "CoreTimingBreakdown", "SPECULATION_WOBBLE_MAX"]
+
+#: Upper bound on the speculative-execution wobble applied to executed
+#: instruction counts ("at most 0.36%", Section IV).
+SPECULATION_WOBBLE_MAX = 0.0036
+
+
+@dataclass(frozen=True)
+class CoreTimingBreakdown:
+    """Where the time of a slice of execution went."""
+
+    instructions: float
+    wall_s: float
+    compute_s: float
+    stall_s: float
+    throttle_s: float
+
+    @property
+    def cycles(self) -> float:
+        """Derived cycle count is computed by callers that know f."""
+        raise NotImplementedError(
+            "cycles depend on frequency; use CoreTimingModel.cycles_for"
+        )
+
+    def __post_init__(self) -> None:
+        for name in ("instructions", "wall_s", "compute_s", "stall_s", "throttle_s"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"negative timing component {name}")
+
+
+class CoreTimingModel:
+    """Timing of one in-order-equivalent core with a CPI stack."""
+
+    def __init__(self, base_cpi: float) -> None:
+        self._base_cpi = require_positive(base_cpi, "base_cpi")
+
+    @property
+    def base_cpi(self) -> float:
+        """Cycles per instruction on non-stall work."""
+        return self._base_cpi
+
+    def seconds_per_instruction(
+        self, freq_hz: float, stall_ns_per_instr: float, duty: float = 1.0
+    ) -> float:
+        """Average wall seconds consumed by one instruction."""
+        freq_hz = require_positive(freq_hz, "freq_hz")
+        stall_s = require_non_negative(stall_ns_per_instr, "stall_ns_per_instr") * 1e-9
+        duty = require_positive(duty, "duty")
+        if duty > 1.0:
+            raise SimulationError(f"duty {duty} exceeds 1.0")
+        return (self._base_cpi / freq_hz + stall_s) / duty
+
+    def instructions_in(
+        self,
+        dt_s: float,
+        freq_hz: float,
+        stall_ns_per_instr: float,
+        duty: float = 1.0,
+    ) -> float:
+        """Instructions retired in a wall-clock slice of ``dt_s``."""
+        dt_s = require_non_negative(dt_s, "dt_s")
+        spi = self.seconds_per_instruction(freq_hz, stall_ns_per_instr, duty)
+        return dt_s / spi
+
+    def time_for(
+        self,
+        instructions: float,
+        freq_hz: float,
+        stall_ns_per_instr: float,
+        duty: float = 1.0,
+    ) -> CoreTimingBreakdown:
+        """Wall time and its decomposition for an instruction budget."""
+        instructions = require_non_negative(instructions, "instructions")
+        spi = self.seconds_per_instruction(freq_hz, stall_ns_per_instr, duty)
+        wall = instructions * spi
+        compute = instructions * self._base_cpi / freq_hz
+        stall = instructions * stall_ns_per_instr * 1e-9
+        throttle = wall - compute - stall
+        # Guard against float cancellation producing tiny negatives.
+        throttle = max(0.0, throttle)
+        return CoreTimingBreakdown(
+            instructions=instructions,
+            wall_s=wall,
+            compute_s=compute,
+            stall_s=stall,
+            throttle_s=throttle,
+        )
+
+    def cycles_for(self, breakdown: CoreTimingBreakdown, freq_hz: float) -> float:
+        """Core clock cycles spanned by a breakdown at frequency ``f``.
+
+        Only un-throttled time accumulates cycles (the clock is gated
+        during the throttle component).
+        """
+        freq_hz = require_positive(freq_hz, "freq_hz")
+        return (breakdown.compute_s + breakdown.stall_s) * freq_hz
+
+    @staticmethod
+    def speculation_factor(rng: np.random.Generator) -> float:
+        """Multiplier for executed-instruction counts for one run.
+
+        Committed instructions are deterministic; executed instructions
+        (and thus loads/stores issued) wobble by at most
+        :data:`SPECULATION_WOBBLE_MAX` across runs due to speculative
+        execution, matching Section IV.
+        """
+        return float(1.0 + rng.uniform(0.0, SPECULATION_WOBBLE_MAX))

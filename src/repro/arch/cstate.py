@@ -1,0 +1,119 @@
+"""ACPI C-states: idle states of one core.
+
+Section II: "C-states allow an idle processor (in any other C-state
+besides C0) to turn off unused components to save power.  Higher C-state
+numbers represent deeper CPU sleep states (with slower wake-up times)".
+
+The C-state model serves two purposes in the reproduction:
+
+1. it sets the node's idle power (all cores parked in a deep state gives
+   the 100-103 W idle the paper reports), and
+2. it powers the race-to-idle ablation (Section II-B discusses when
+   "race to idle" beats running slowly), where a workload sprints at P0
+   and then parks in C6 for the remainder of its period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..config import CStateSpec
+from ..errors import ConfigError
+from ..units import require_fraction, require_non_negative
+
+__all__ = ["CStateModel"]
+
+
+class CStateModel:
+    """Idle-state bookkeeping for one core.
+
+    Parameters
+    ----------
+    specs:
+        Ordered C-state specs, shallowest (C0) first.  C0 must be
+        present with ``power_fraction == 1.0``.
+    """
+
+    def __init__(self, specs: Sequence[CStateSpec]) -> None:
+        if not specs:
+            raise ConfigError("need at least C0")
+        if specs[0].name != "C0" or specs[0].power_fraction != 1.0:
+            raise ConfigError("first C-state must be C0 with power fraction 1.0")
+        fractions = [s.power_fraction for s in specs]
+        if any(b > a for a, b in zip(fractions, fractions[1:])):
+            raise ConfigError("deeper C-states must not consume more power")
+        self._specs: Tuple[CStateSpec, ...] = tuple(specs)
+        self._by_name: Dict[str, CStateSpec] = {s.name: s for s in specs}
+        self._residency_s: Dict[str, float] = {s.name: 0.0 for s in specs}
+
+    @property
+    def specs(self) -> Tuple[CStateSpec, ...]:
+        """All C-state specs, shallowest first."""
+        return self._specs
+
+    def spec(self, name: str) -> CStateSpec:
+        """Look up a state by name (``"C6"``)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(f"unknown C-state {name!r}") from None
+
+    @property
+    def deepest(self) -> CStateSpec:
+        """The deepest (lowest-power) state."""
+        return self._specs[-1]
+
+    def record_residency(self, name: str, duration_s: float) -> None:
+        """Accumulate time spent in a state (for reports/ablations)."""
+        self.spec(name)
+        self._residency_s[name] += require_non_negative(duration_s, "duration_s")
+
+    def residency_s(self, name: str) -> float:
+        """Total time recorded in a state."""
+        self.spec(name)
+        return self._residency_s[name]
+
+    def reset_residency(self) -> None:
+        """Zero all residency counters."""
+        for k in self._residency_s:
+            self._residency_s[k] = 0.0
+
+    def idle_power_fraction(self, name: str) -> float:
+        """Core-power multiplier while parked in ``name``."""
+        return self.spec(name).power_fraction
+
+    def wake_overhead_s(self, name: str, wakes: int) -> float:
+        """Total wake latency for ``wakes`` transitions out of ``name``."""
+        if wakes < 0:
+            raise ConfigError("wake count must be non-negative")
+        return self.spec(name).wake_latency_us * 1e-6 * wakes
+
+    def race_to_idle_energy_j(
+        self,
+        busy_power_w: float,
+        idle_core_power_w: float,
+        busy_s: float,
+        period_s: float,
+        park_state: str = "C6",
+        wakes: int = 1,
+    ) -> float:
+        """Energy of sprint-then-park over one period.
+
+        The core runs flat out for ``busy_s`` at ``busy_power_w`` then
+        parks in ``park_state`` (whose residual power is
+        ``idle_core_power_w * power_fraction``) for the rest of the
+        period, paying the state's wake latency at full power for each
+        wake.  Used by the race-to-idle ablation bench.
+        """
+        busy_s = require_non_negative(busy_s, "busy_s")
+        period_s = require_non_negative(period_s, "period_s")
+        if busy_s > period_s:
+            raise ConfigError("busy time cannot exceed the period")
+        spec = self.spec(park_state)
+        wake_s = self.wake_overhead_s(park_state, wakes)
+        idle_s = max(0.0, period_s - busy_s - wake_s)
+        frac = require_fraction(spec.power_fraction, "power_fraction")
+        return (
+            busy_power_w * (busy_s + wake_s)
+            + idle_core_power_w * frac * idle_s
+        )

@@ -1,0 +1,115 @@
+"""The simulated compute node.
+
+One :class:`Node` bundles everything that physically exists in the
+paper's platform: the P-state table and C-state model of its cores, the
+memory hierarchy (per-core L1/L2, shared L3, TLBs, DRAM), the thermal
+mass, and the power model.  The BMC (:mod:`repro.bmc`) regulates it;
+the runner (:mod:`repro.core.runner`) executes workloads on it.
+
+The paper's applications run on a single core, so the node exposes one
+active core's timing model and hierarchy; the remaining 15 cores sit in
+a deep C-state and contribute only leakage (which the power model's
+idle calibration includes).
+"""
+
+from __future__ import annotations
+
+from ..config import NodeConfig, sandy_bridge_config
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.reconfig import ReconfigEngine
+from ..power.model import NodePowerModel, OperatingPoint
+from .core import CoreTimingModel
+from .cstate import CStateModel
+from .pstate import PState, PStateTable
+from .thermal import ThermalModel
+
+__all__ = ["Node", "NodePowerBreakdown"]
+
+# Re-exported for convenience in reports.
+from ..power.model import PowerBreakdown as NodePowerBreakdown  # noqa: E402
+
+
+class Node:
+    """A power-managed compute node."""
+
+    def __init__(self, config: NodeConfig | None = None) -> None:
+        self._config = config or sandy_bridge_config()
+        self.pstates = PStateTable(self._config.pstates)
+        self.cstates = CStateModel(self._config.cstates)
+        self.power_model = NodePowerModel(self._config)
+        self.thermal = ThermalModel(
+            self._config.thermal,
+            idle_power_w=self.power_model.idle_power_w(),
+        )
+        self.hierarchy = MemoryHierarchy(self._config)
+        self.reconfig = ReconfigEngine(self._config)
+        self.core = CoreTimingModel(self._config.base_cpi)
+        #: Current DVFS state (P0 at boot).
+        self.pstate: PState = self.pstates.fastest
+        #: Current clock-modulation duty factor (1.0 = unthrottled).
+        self.duty: float = 1.0
+
+    @property
+    def config(self) -> NodeConfig:
+        """The node's static configuration."""
+        return self._config
+
+    def set_pstate(self, state: PState) -> None:
+        """Apply a DVFS transition (instantaneous at our timescale)."""
+        self.pstate = state
+
+    def set_duty(self, duty: float) -> None:
+        """Apply a clock-modulation duty factor in (0, 1]."""
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must be in (0,1], got {duty}")
+        self.duty = float(duty)
+
+    def operating_point(
+        self,
+        *,
+        activity: float = 1.0,
+        gating_saving_w: float = 0.0,
+        dram_traffic_bps: float = 0.0,
+        busy_cores: int = 1,
+    ) -> OperatingPoint:
+        """Snapshot the current operating point for the power model."""
+        return OperatingPoint(
+            pstate=self.pstate,
+            duty=self.duty,
+            activity=activity,
+            gating_saving_w=gating_saving_w,
+            dram_traffic_bps=dram_traffic_bps,
+            temperature_c=self.thermal.temperature_c,
+            busy_cores=busy_cores,
+        )
+
+    def power_w(
+        self,
+        *,
+        activity: float = 1.0,
+        gating_saving_w: float = 0.0,
+        dram_traffic_bps: float = 0.0,
+        busy_cores: int = 1,
+    ) -> float:
+        """True node power right now."""
+        return self.power_model.node_power_w(
+            self.operating_point(
+                activity=activity,
+                gating_saving_w=gating_saving_w,
+                dram_traffic_bps=dram_traffic_bps,
+                busy_cores=busy_cores,
+            )
+        )
+
+    def idle_power_w(self) -> float:
+        """Power with all cores parked (the paper's 100-103 W)."""
+        return self.power_model.idle_power_w(self.thermal.temperature_c)
+
+    def reset(self) -> None:
+        """Return the node to its boot state (P0, unthrottled, cold)."""
+        self.pstate = self.pstates.fastest
+        self.duty = 1.0
+        self.thermal.reset()
+        self.hierarchy.flush_all()
+        self.hierarchy.reset_stats()
+        self.reconfig.apply(self.hierarchy, type(self.hierarchy.gating).ungated())

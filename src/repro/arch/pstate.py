@@ -1,0 +1,178 @@
+"""ACPI P-states: the DVFS operating points of one core.
+
+Section II of the paper: "P-states (the number being dependent on the
+processor) translate to a range of different frequencies and voltages
+that consume different amounts of power, with higher P-state numbers
+representing slower processor speeds".  The experimental platform
+exposes 16 P-states per core with a 1,200 MHz floor (Table II pins the
+average frequency at 1,200 MHz for caps <= 130 W) and a 2,701 MHz
+top reading.
+
+:class:`PStateTable` generates the table from a
+:class:`~repro.config.PStateTableConfig` and provides the lookups the
+BMC controller needs: neighbours of a state, the pair of states whose
+power brackets a cap, and frequency/voltage for each index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PStateTableConfig
+from ..errors import ConfigError
+from ..units import MHZ
+
+__all__ = ["PState", "PStateTable"]
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point.
+
+    ``index`` follows ACPI convention: P0 is the fastest state and
+    larger indices are slower/lower-power.
+    """
+
+    index: int
+    freq_hz: float
+    voltage_v: float
+
+    @property
+    def freq_mhz(self) -> float:
+        """Frequency in MHz, as the paper's Table II reports it."""
+        return self.freq_hz / MHZ
+
+    def dynamic_power_w(self, ceff_f: float, activity: float = 1.0) -> float:
+        """Dynamic power ``C * f * V^2 * activity`` at this point.
+
+        This is the CMOS switching-power equation Section II-B quotes
+        from Rabaey et al.
+        """
+        return ceff_f * self.freq_hz * self.voltage_v**2 * activity
+
+
+class PStateTable:
+    """The ordered table of P-states for one core.
+
+    States are generated with frequencies evenly spaced from the floor
+    to one step under the maximum, and the P0 frequency set exactly to
+    ``f_max`` (2,701 MHz by default, reproducing the turbo-read artifact
+    in the paper's tables).  Voltage scales affinely with frequency
+    between ``v_min`` and ``v_max``.
+    """
+
+    def __init__(self, config: PStateTableConfig | None = None) -> None:
+        self._config = config or PStateTableConfig()
+        cfg = self._config
+        freqs_mhz = np.linspace(cfg.f_min_mhz, cfg.f_max_mhz, cfg.n_states)
+        freqs_mhz = freqs_mhz[::-1]  # P0 first (fastest)
+        span = cfg.f_max_mhz - cfg.f_min_mhz
+        self._states: List[PState] = []
+        for idx, f_mhz in enumerate(freqs_mhz):
+            v = cfg.v_min + (cfg.v_max - cfg.v_min) * (f_mhz - cfg.f_min_mhz) / span
+            self._states.append(
+                PState(index=idx, freq_hz=float(f_mhz) * MHZ, voltage_v=float(v))
+            )
+
+    @property
+    def config(self) -> PStateTableConfig:
+        """The generating configuration."""
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self):
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> PState:
+        if not 0 <= index < len(self._states):
+            raise ConfigError(
+                f"P-state index {index} out of range 0..{len(self._states) - 1}"
+            )
+        return self._states[index]
+
+    @property
+    def fastest(self) -> PState:
+        """P0."""
+        return self._states[0]
+
+    @property
+    def slowest(self) -> PState:
+        """The DVFS floor (P15 on the paper's platform, 1,200 MHz)."""
+        return self._states[-1]
+
+    @property
+    def floor_freq_hz(self) -> float:
+        """Frequency of the slowest state."""
+        return self.slowest.freq_hz
+
+    def states(self) -> Sequence[PState]:
+        """All states, P0 first."""
+        return tuple(self._states)
+
+    def slower(self, state: PState) -> PState:
+        """The next-slower state (or ``state`` itself at the floor)."""
+        if state.index >= len(self._states) - 1:
+            return self._states[-1]
+        return self._states[state.index + 1]
+
+    def faster(self, state: PState) -> PState:
+        """The next-faster state (or ``state`` itself at P0)."""
+        if state.index <= 0:
+            return self._states[0]
+        return self._states[state.index - 1]
+
+    def nearest_below_frequency(self, freq_hz: float) -> PState:
+        """The fastest state whose frequency does not exceed ``freq_hz``."""
+        for st in self._states:
+            if st.freq_hz <= freq_hz + 0.5:  # tolerate float fuzz
+                return st
+        return self.slowest
+
+    def bracketing_pair(
+        self, power_of_state, budget_w: float
+    ) -> Tuple[PState, PState]:
+        """The two adjacent states whose power brackets ``budget_w``.
+
+        ``power_of_state`` maps a :class:`PState` to the node power that
+        state would produce.  Returns ``(faster, slower)`` such that
+        ``power(slower) <= budget_w <= power(faster)`` when the budget is
+        reachable; otherwise clamps to the table's ends (both elements
+        equal).  This is exactly the Section II-A mechanism: "if the
+        power cap falls between the power consumption associated with
+        two P-states, the BMC switches between the two states".
+        """
+        powers = [power_of_state(st) for st in self._states]
+        # powers decrease with index (slower => less power).
+        if budget_w >= powers[0]:
+            return self._states[0], self._states[0]
+        if budget_w <= powers[-1]:
+            return self._states[-1], self._states[-1]
+        for i in range(len(self._states) - 1):
+            if powers[i] >= budget_w >= powers[i + 1]:
+                return self._states[i], self._states[i + 1]
+        # Non-monotone power curves should not occur, but fall back safely.
+        return self._states[-1], self._states[-1]
+
+    def dither_fraction(
+        self, power_of_state, budget_w: float
+    ) -> Tuple[PState, PState, float]:
+        """Time fraction to spend in the faster of the bracketing states.
+
+        Returns ``(faster, slower, alpha)`` where running ``alpha`` of
+        the time in ``faster`` and ``1 - alpha`` in ``slower`` meets the
+        budget in expectation.
+        """
+        fast, slow = self.bracketing_pair(power_of_state, budget_w)
+        if fast.index == slow.index:
+            return fast, slow, 1.0
+        p_fast = power_of_state(fast)
+        p_slow = power_of_state(slow)
+        if p_fast <= p_slow:  # degenerate; avoid divide-by-zero
+            return fast, slow, 1.0
+        alpha = (budget_w - p_slow) / (p_fast - p_slow)
+        return fast, slow, float(min(1.0, max(0.0, alpha)))

@@ -1,0 +1,62 @@
+"""Lumped RC thermal model of the node.
+
+Static (leakage) power "is related to, among other things, the heat of
+the processor and, thus, is indirectly affected by frequency scaling"
+(Section II-B).  We model the node as one thermal mass: temperature
+relaxes exponentially toward ambient plus ``R_th * (P - P_idle)`` with
+time constant ``tau``.  The power model then scales leakage with
+temperature, closing the loop the paper describes.
+"""
+
+from __future__ import annotations
+
+from ..config import ThermalConfig
+from ..units import require_non_negative
+
+__all__ = ["ThermalModel"]
+
+
+class ThermalModel:
+    """One-pole thermal model: ``dT/dt = (T_target - T) / tau``."""
+
+    def __init__(
+        self, config: ThermalConfig | None = None, idle_power_w: float = 101.0
+    ) -> None:
+        self._config = config or ThermalConfig()
+        self._idle_power_w = require_non_negative(idle_power_w, "idle_power_w")
+        self._temp_c = self._config.ambient_c
+
+    @property
+    def config(self) -> ThermalConfig:
+        """The thermal constants."""
+        return self._config
+
+    @property
+    def temperature_c(self) -> float:
+        """Current node temperature (deg C)."""
+        return self._temp_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium temperature at constant power."""
+        excess = max(0.0, require_non_negative(power_w, "power_w") - self._idle_power_w)
+        return self._config.ambient_c + self._config.r_th_c_per_w * excess
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the model by ``dt_s`` at the given power; returns T.
+
+        Uses the exact discretisation of the one-pole ODE so the model
+        is stable for any step size (control quanta vary per run).
+        """
+        dt_s = require_non_negative(dt_s, "dt_s")
+        import math
+
+        target = self.steady_state_c(power_w)
+        decay = math.exp(-dt_s / self._config.tau_s)
+        self._temp_c = target + (self._temp_c - target) * decay
+        return self._temp_c
+
+    def reset(self, temperature_c: float | None = None) -> None:
+        """Reset to ambient (or a supplied temperature)."""
+        self._temp_c = (
+            self._config.ambient_c if temperature_c is None else float(temperature_c)
+        )

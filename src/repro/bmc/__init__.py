@@ -1,0 +1,36 @@
+"""The Baseboard Management Controller.
+
+Section II-A: "the DCM connects to the platform's Baseboard Management
+Controllers (BMC), each of which is capable of monitoring and
+dynamically regulating the power consumption of its node. ... If a
+power cap is currently being enforced on the platform, a BMC monitors
+its node's power consumption.  When it reaches a point above the level
+of the power cap, then the BMC attempts to reduce power consumption by
+changing the P-state of each of its CPUs.  Since a particular CPU has
+only a fixed number of P-states, if the power cap falls between the
+power consumption associated with two P-states, the BMC switches
+between the two states in an attempt to honor the power cap."
+
+Below the DVFS floor the controller climbs the escalation ladder the
+paper's Section IV infers: memory-hierarchy gating first, then clock
+modulation — mechanisms that save little power at great performance
+cost.
+"""
+
+from .sensors import PowerSensor, TemperatureSensor
+from .sel import SystemEventLog, SelEntry, SelEventType
+from .escalation import EscalationLadder
+from .controller import CapController, OperatingCommand
+from .bmc import Bmc
+
+__all__ = [
+    "PowerSensor",
+    "TemperatureSensor",
+    "EscalationLadder",
+    "CapController",
+    "OperatingCommand",
+    "Bmc",
+    "SystemEventLog",
+    "SelEntry",
+    "SelEventType",
+]

@@ -1,0 +1,208 @@
+"""The BMC device: an IPMI endpoint wired to the cap controller.
+
+A :class:`Bmc` owns a node's :class:`~repro.bmc.controller.CapController`
+and answers DCMI commands arriving over the out-of-band LAN:
+
+- *Set Power Limit* programs (but does not activate) a cap;
+- *Activate Power Limit* arms or disarms enforcement;
+- *Get Power Limit* reads the programmed state back;
+- *Get Power Reading* reports the sensor statistics DCM polls for.
+
+The BMC has "its own dedicated Ethernet controller" (Section III), so
+it registers itself on the simulated LAN transport independent of any
+host OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.node import Node
+from ..errors import IpmiError
+from ..ipmi.commands import (
+    ActivatePowerLimitRequest,
+    CorrectionAction,
+    DcmiCommand,
+    GetPowerReadingResponse,
+    PowerLimitResponse,
+    SetPowerLimitRequest,
+)
+from ..ipmi.messages import CompletionCode, IpmiMessage, IpmiResponse, NetFn
+from ..ipmi.transport import LanTransport
+from .controller import CapController
+from .sensors import PowerSensor
+
+__all__ = ["Bmc"]
+
+
+@dataclass
+class _PowerStats:
+    """Rolling statistics for Get Power Reading."""
+
+    current_w: float = 0.0
+    minimum_w: float = float("inf")
+    maximum_w: float = 0.0
+    total_wq: float = 0.0
+    quanta: int = 0
+
+    def record(self, power_w: float) -> None:
+        self.current_w = power_w
+        self.minimum_w = min(self.minimum_w, power_w)
+        self.maximum_w = max(self.maximum_w, power_w)
+        self.total_wq += power_w
+        self.quanta += 1
+
+    @property
+    def average_w(self) -> float:
+        return self.total_wq / self.quanta if self.quanta else 0.0
+
+
+class Bmc:
+    """Baseboard Management Controller for one node."""
+
+    #: IPMB address BMCs answer on.
+    ADDRESS = 0x20
+
+    def __init__(
+        self,
+        node: Node,
+        rng: np.random.Generator,
+        *,
+        lan_address: str | None = None,
+        transport: LanTransport | None = None,
+    ) -> None:
+        self._node = node
+        self.sensor = PowerSensor(rng)
+        self.controller = CapController(node, self.sensor)
+        self._stats = _PowerStats()
+        self._programmed_limit_w: int | None = None
+        self._limit_active = False
+        self._correction = CorrectionAction.THROTTLE
+        self._time_s = 0.0
+        self.lan_address = lan_address
+        if transport is not None:
+            if lan_address is None:
+                raise IpmiError("a LAN-attached BMC needs a lan_address")
+            transport.register(lan_address, self.handle_frame)
+
+    @property
+    def node(self) -> Node:
+        """The managed node."""
+        return self._node
+
+    @property
+    def programmed_limit_w(self) -> int | None:
+        """The cap programmed via IPMI (None if never set)."""
+        return self._programmed_limit_w
+
+    @property
+    def limit_active(self) -> bool:
+        """Whether enforcement is armed."""
+        return self._limit_active
+
+    def record_power(self, power_w: float, dt_s: float) -> None:
+        """Feed ground-truth power into the reading statistics."""
+        self._stats.record(power_w)
+        self._time_s += dt_s
+
+    # ------------------------------------------------------------------
+    # IPMI dispatch
+    # ------------------------------------------------------------------
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        """Entry point for the LAN transport: frame in, frame out."""
+        try:
+            message = IpmiMessage.decode(frame)
+        except IpmiError:
+            # Undecodable frames get a generic error response that the
+            # requester's checksum validation will still accept.
+            return IpmiResponse(
+                rq_addr=0,
+                net_fn=int(NetFn.GROUP_EXTENSION) + 1,
+                rs_addr=self.ADDRESS,
+                rq_seq=0,
+                cmd=0,
+                completion_code=int(CompletionCode.REQUEST_DATA_INVALID),
+            ).encode()
+        return self.handle_message(message).encode()
+
+    def handle_message(self, message: IpmiMessage) -> IpmiResponse:
+        """Dispatch one decoded IPMI request."""
+        if message.net_fn != int(NetFn.GROUP_EXTENSION):
+            return IpmiResponse.for_request(
+                message, completion_code=int(CompletionCode.INVALID_COMMAND)
+            )
+        try:
+            cmd = DcmiCommand(message.cmd)
+        except ValueError:
+            return IpmiResponse.for_request(
+                message, completion_code=int(CompletionCode.INVALID_COMMAND)
+            )
+        handler = {
+            DcmiCommand.GET_POWER_READING: self._on_get_power_reading,
+            DcmiCommand.SET_POWER_LIMIT: self._on_set_power_limit,
+            DcmiCommand.GET_POWER_LIMIT: self._on_get_power_limit,
+            DcmiCommand.ACTIVATE_POWER_LIMIT: self._on_activate,
+        }[cmd]
+        try:
+            return handler(message)
+        except IpmiError:
+            return IpmiResponse.for_request(
+                message, completion_code=int(CompletionCode.REQUEST_DATA_INVALID)
+            )
+
+    def _on_get_power_reading(self, message: IpmiMessage) -> IpmiResponse:
+        s = self._stats
+        reading = GetPowerReadingResponse(
+            current_w=int(round(s.current_w)),
+            minimum_w=int(round(s.minimum_w)) if s.quanta else 0,
+            maximum_w=int(round(s.maximum_w)),
+            average_w=int(round(s.average_w)),
+            timestamp_s=int(self._time_s),
+        )
+        return IpmiResponse.for_request(message, data=reading.to_payload())
+
+    def _on_set_power_limit(self, message: IpmiMessage) -> IpmiResponse:
+        request = SetPowerLimitRequest.from_payload(message.data)
+        idle_w = self._node.power_model.idle_power_w()
+        if request.limit_w < idle_w * 0.5:
+            # Firmware sanity limit: caps far below idle are rejected.
+            return IpmiResponse.for_request(
+                message,
+                completion_code=int(CompletionCode.POWER_LIMIT_OUT_OF_RANGE),
+            )
+        self._programmed_limit_w = request.limit_w
+        self._correction = request.correction_action
+        if self._limit_active:
+            self.controller.set_cap(float(request.limit_w))
+        return IpmiResponse.for_request(message)
+
+    def _on_get_power_limit(self, message: IpmiMessage) -> IpmiResponse:
+        if self._programmed_limit_w is None:
+            return IpmiResponse.for_request(
+                message,
+                completion_code=int(CompletionCode.POWER_LIMIT_NOT_ACTIVE),
+            )
+        response = PowerLimitResponse(
+            limit_w=self._programmed_limit_w,
+            active=self._limit_active,
+            correction_action=self._correction,
+        )
+        return IpmiResponse.for_request(message, data=response.to_payload())
+
+    def _on_activate(self, message: IpmiMessage) -> IpmiResponse:
+        request = ActivatePowerLimitRequest.from_payload(message.data)
+        if request.activate:
+            if self._programmed_limit_w is None:
+                return IpmiResponse.for_request(
+                    message,
+                    completion_code=int(CompletionCode.POWER_LIMIT_NOT_ACTIVE),
+                )
+            self._limit_active = True
+            self.controller.set_cap(float(self._programmed_limit_w))
+        else:
+            self._limit_active = False
+            self.controller.set_cap(None)
+        return IpmiResponse.for_request(message)

@@ -1,0 +1,294 @@
+"""The cap-enforcement control loop.
+
+Once per control quantum the controller:
+
+1. reads its (noisy, smoothed) power sensor;
+2. model-brackets the two P-states whose node power surrounds the
+   guard-banded target (``cap - target_margin``) and computes the dither
+   fraction — exactly the Section II-A mechanism ("the BMC switches
+   between the two states in an attempt to honor the power cap");
+3. runs the escalation state machine: sustained over-cap readings while
+   pinned at the DVFS floor climb the ladder (memory-hierarchy gating),
+   and once the ladder is exhausted the clock-modulation duty factor
+   steps down toward its minimum; sustained comfortably-under-cap
+   readings unwind in the reverse order.
+
+When the achievable floor (floor P-state + deepest gating + minimum
+duty) still exceeds the cap, the duty simply pins at its minimum and
+the node *runs over the cap* — which is precisely what the paper
+measures at 120 W (124.0/124.9 W average at a 120 W cap) together with
+the catastrophic execution-time inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.node import Node
+from ..arch.pstate import PState
+from ..config import BmcConfig
+from ..errors import CapInfeasibleError
+from ..mem.reconfig import GatingState
+from .escalation import EscalationLadder
+from .sel import SelEventType, SystemEventLog
+from .sensors import PowerSensor
+
+__all__ = ["CapController", "OperatingCommand"]
+
+
+@dataclass(frozen=True)
+class OperatingCommand:
+    """What the BMC tells the node to do for the next quantum."""
+
+    pstate_fast: PState
+    pstate_slow: PState
+    #: Fraction of the quantum spent in ``pstate_fast``.
+    alpha: float
+    duty: float
+    escalation_level: int
+    gating: GatingState
+    gating_saving_w: float
+
+    @property
+    def effective_freq_hz(self) -> float:
+        """Dither-averaged core frequency for the quantum."""
+        return (
+            self.alpha * self.pstate_fast.freq_hz
+            + (1.0 - self.alpha) * self.pstate_slow.freq_hz
+        )
+
+
+class CapController:
+    """Per-node power-cap enforcement."""
+
+    def __init__(
+        self,
+        node: Node,
+        sensor: PowerSensor,
+        config: BmcConfig | None = None,
+        busy_cores: int = 1,
+        sel: SystemEventLog | None = None,
+    ) -> None:
+        self._node = node
+        self._cfg = config or node.config.bmc
+        self._sensor = sensor
+        self._busy_cores = max(1, int(busy_cores))
+        self.sel = sel if sel is not None else SystemEventLog()
+        self._time_s = 0.0
+        self._at_floor_logged = False
+        self._over_cap_logged = False
+        self._ladder = EscalationLadder(self._cfg.ladder)
+        self._cap_w: float | None = None
+        self._duty = 1.0
+        self._over_count = 0
+        self._under_count = 0
+        # Patience is configured in seconds; convert to quanta so the
+        # controller's time constants do not depend on the quantum.
+        q = self._cfg.control_quantum_s
+        self._esc_patience = max(1, round(self._cfg.escalation_patience_s / q))
+        self._deesc_patience = max(
+            1, round(self._cfg.deescalation_patience_s / q)
+        )
+
+    @property
+    def cap_w(self) -> float | None:
+        """The enforced cap (None = uncapped)."""
+        return self._cap_w
+
+    @property
+    def ladder(self) -> EscalationLadder:
+        """The escalation ladder runtime."""
+        return self._ladder
+
+    @property
+    def duty(self) -> float:
+        """The current clock-modulation duty factor."""
+        return self._duty
+
+    def set_cap(self, cap_w: float | None, *, strict: bool = False) -> None:
+        """Program (or clear) the cap.
+
+        With ``strict=True`` a cap below the node's achievable floor
+        raises :class:`~repro.errors.CapInfeasibleError` immediately;
+        the default mimics the real firmware, which accepts the cap and
+        simply fails to honor it (Section IV's over-cap rows).
+        """
+        if cap_w is None:
+            if self._cap_w is not None:
+                self.sel.log(self._time_s, SelEventType.CAP_CLEARED)
+            self._cap_w = None
+            self._reset_actuators()
+            return
+        cap_w = float(cap_w)
+        if strict:
+            floor = self._node.power_model.floor_power_w(
+                self._node.pstates.slowest,
+                max(l.power_saving_w for l in self._cfg.ladder.levels),
+                self._node.thermal.temperature_c,
+            )
+            if cap_w < floor:
+                raise CapInfeasibleError(cap_w, floor)
+        self._cap_w = cap_w
+        self._over_count = 0
+        self._under_count = 0
+        self._at_floor_logged = False
+        self._over_cap_logged = False
+        self.sel.log(self._time_s, SelEventType.CAP_SET, f"{cap_w:.0f} W")
+
+    def _reset_actuators(self) -> None:
+        self._duty = 1.0
+        self._ladder.reset()
+        self._over_count = 0
+        self._under_count = 0
+
+    def _bracket(
+        self, target_w: float, activity: float, traffic_bps: float
+    ) -> tuple[PState, PState, float]:
+        model = self._node.power_model
+
+        def power_of(state: PState) -> float:
+            return model.power_of_pstate(
+                state,
+                duty=self._duty,
+                activity=activity,
+                gating_saving_w=self._ladder.power_saving_w(),
+                dram_traffic_bps=traffic_bps,
+                temperature_c=self._node.thermal.temperature_c,
+                busy_cores=self._busy_cores,
+            )
+
+        return self._node.pstates.dither_fraction(power_of, target_w)
+
+    def update(
+        self,
+        true_power_w: float,
+        *,
+        activity: float = 1.0,
+        traffic_bps: float = 0.0,
+    ) -> OperatingCommand:
+        """Run one control quantum; returns the command for the next.
+
+        ``true_power_w`` is the node's ground-truth power over the last
+        quantum; the controller only ever sees it through its noisy
+        sensor.
+        """
+        cfg = self._cfg
+        measured = self._sensor.sample(true_power_w)
+        self._time_s += cfg.control_quantum_s
+
+        if self._cap_w is None:
+            fastest = self._node.pstates.fastest
+            return OperatingCommand(
+                pstate_fast=fastest,
+                pstate_slow=fastest,
+                alpha=1.0,
+                duty=1.0,
+                escalation_level=0,
+                gating=GatingState.ungated(),
+                gating_saving_w=0.0,
+            )
+
+        cap = self._cap_w
+        target = cap - cfg.target_margin_w
+        fast, slow, alpha = self._bracket(target, activity, traffic_bps)
+        at_floor = slow.index == len(self._node.pstates) - 1 and (
+            fast.index == slow.index or alpha <= 0.0
+        )
+        if at_floor and not self._at_floor_logged:
+            self._at_floor_logged = True
+            self.sel.log(
+                self._time_s,
+                SelEventType.PSTATE_FLOOR_REACHED,
+                "DVFS exhausted at 1200 MHz",
+            )
+
+        if measured > cap + cfg.hysteresis_w:
+            self._over_count += 1
+            self._under_count = 0
+            if not self._over_cap_logged and self._over_count >= self._esc_patience:
+                self._over_cap_logged = True
+                self.sel.log(
+                    self._time_s,
+                    SelEventType.OVER_CAP,
+                    f"measured {measured:.1f} W > cap {cap:.0f} W",
+                )
+            if at_floor and self._over_count >= self._esc_patience:
+                self._over_count = 0
+                if not self._ladder.at_top:
+                    self._ladder.escalate()
+                    spec = self._ladder.current_spec
+                    self.sel.log(
+                        self._time_s,
+                        SelEventType.ESCALATED,
+                        f"level {self._ladder.level} ({spec.name})",
+                    )
+                else:
+                    before = self._duty
+                    self._duty = max(
+                        cfg.ladder.duty_min, self._duty - cfg.ladder.duty_step
+                    )
+                    if self._duty < before:
+                        self.sel.log(
+                            self._time_s,
+                            SelEventType.DUTY_THROTTLED,
+                            f"duty {self._duty:.2f}",
+                        )
+                        if self._duty == cfg.ladder.duty_min:
+                            self.sel.log(
+                                self._time_s,
+                                SelEventType.DUTY_PINNED_AT_MINIMUM,
+                                f"duty {self._duty:.2f}",
+                            )
+        else:
+            # Within the band or under the cap: consider relaxing.  Duty
+            # steps back up when there is clear air below the cap; the
+            # ladder unwinds either with the same margin or whenever the
+            # P-state bracket has left the floor — DVFS headroom means
+            # gating is no longer the binding mechanism.
+            can_raise_duty = (
+                self._duty < 1.0 and measured < cap - cfg.hysteresis_w
+            )
+            can_deescalate = self._ladder.level > 0 and (
+                not at_floor or measured < cap - cfg.deescalation_margin_w
+            )
+            if can_raise_duty or can_deescalate:
+                self._under_count += 1
+                self._over_count = 0
+                if self._under_count >= self._deesc_patience:
+                    self._under_count = 0
+                    if can_raise_duty:
+                        self._duty = min(1.0, self._duty + cfg.ladder.duty_step)
+                        self.sel.log(
+                            self._time_s,
+                            SelEventType.DUTY_RESTORED,
+                            f"duty {self._duty:.2f}",
+                        )
+                        self._over_cap_logged = False
+                    else:
+                        self._ladder.deescalate()
+                        self.sel.log(
+                            self._time_s,
+                            SelEventType.DEESCALATED,
+                            f"level {self._ladder.level}",
+                        )
+            else:
+                self._over_count = 0
+                self._under_count = 0
+
+        # Re-bracket after any actuator change so the command reflects it.
+        fast, slow, alpha = self._bracket(target, activity, traffic_bps)
+        return OperatingCommand(
+            pstate_fast=fast,
+            pstate_slow=slow,
+            alpha=alpha,
+            duty=self._duty,
+            escalation_level=self._ladder.level,
+            gating=self._ladder.gating_state(),
+            gating_saving_w=self._ladder.power_saving_w(),
+        )
+
+    def reset(self) -> None:
+        """Clear the cap and all actuator state."""
+        self._cap_w = None
+        self._reset_actuators()
+        self._sensor.reset()

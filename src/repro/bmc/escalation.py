@@ -1,0 +1,96 @@
+"""The beyond-DVFS escalation ladder.
+
+"In the case of very low power caps that are close to a system's idle
+power consumption, pure DVFS may not be sufficient to reduce power
+consumption to the desired level.  In this case, DCR and other
+techniques that shut off specific architectural components might be
+adopted" (Section II-B).  The paper's data shows exactly this: at caps
+<= 130 W the frequency is pinned at the floor while L2/L3 and iTLB
+misses blow up.
+
+:class:`EscalationLadder` is the runtime over the configured rungs: it
+tracks the current level, maps it to a
+:class:`~repro.mem.reconfig.GatingState`, and reports the firmware's
+calibrated power saving for the level.
+"""
+
+from __future__ import annotations
+
+from ..config import EscalationLadderConfig, EscalationLevelSpec
+from ..errors import SimulationError
+from ..mem.reconfig import GatingState
+
+__all__ = ["EscalationLadder"]
+
+
+class EscalationLadder:
+    """Mutable position on the configured escalation ladder."""
+
+    def __init__(self, config: EscalationLadderConfig) -> None:
+        self._config = config
+        self._level = 0  # 0 = no escalation; 1..n = rung index + 1
+
+    @property
+    def config(self) -> EscalationLadderConfig:
+        """The rung definitions."""
+        return self._config
+
+    @property
+    def level(self) -> int:
+        """Current level (0 = none, ``max_level`` = deepest)."""
+        return self._level
+
+    @property
+    def max_level(self) -> int:
+        """Number of rungs available."""
+        return len(self._config.levels)
+
+    @property
+    def at_top(self) -> bool:
+        """True when every rung is engaged."""
+        return self._level >= self.max_level
+
+    @property
+    def current_spec(self) -> EscalationLevelSpec | None:
+        """The active rung's spec (None when un-escalated)."""
+        if self._level == 0:
+            return None
+        return self._config.levels[self._level - 1]
+
+    def gating_state(self) -> GatingState:
+        """The memory-hierarchy gating the current level prescribes."""
+        spec = self.current_spec
+        if spec is None:
+            return GatingState.ungated()
+        return GatingState.from_level(spec)
+
+    def power_saving_w(self) -> float:
+        """Firmware-calibrated saving of the current level (Watts)."""
+        spec = self.current_spec
+        return 0.0 if spec is None else spec.power_saving_w
+
+    def escalate(self) -> bool:
+        """Engage the next rung; returns False when already at the top."""
+        if self.at_top:
+            return False
+        self._level += 1
+        return True
+
+    def deescalate(self) -> bool:
+        """Release the current rung; returns False when at level 0."""
+        if self._level == 0:
+            return False
+        self._level -= 1
+        return True
+
+    def set_level(self, level: int) -> None:
+        """Jump to a level directly (used by tests and resets)."""
+        if not 0 <= level <= self.max_level:
+            raise SimulationError(
+                f"escalation level {level} out of range 0..{self.max_level}"
+            )
+        self._level = level
+
+    def reset(self) -> None:
+        """Back to un-escalated."""
+        self._level = 0

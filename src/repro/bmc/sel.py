@@ -1,0 +1,108 @@
+"""System Event Log (SEL).
+
+Real BMCs keep a SEL: a bounded, timestamped record of management
+events that operators pull when diagnosing exactly the kind of
+behaviour the paper observed ("why was the node at 1,200 MHz with its
+caches half off?").  The reproduction's SEL records every actuator
+transition the cap controller makes, so a run's low-cap pathology can
+be reconstructed event by event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, List, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["SelEventType", "SelEntry", "SystemEventLog"]
+
+
+class SelEventType(Enum):
+    """What happened."""
+
+    CAP_SET = "cap-set"
+    CAP_CLEARED = "cap-cleared"
+    PSTATE_FLOOR_REACHED = "pstate-floor-reached"
+    ESCALATED = "escalated"
+    DEESCALATED = "deescalated"
+    DUTY_THROTTLED = "duty-throttled"
+    DUTY_RESTORED = "duty-restored"
+    DUTY_PINNED_AT_MINIMUM = "duty-pinned-at-minimum"
+    OVER_CAP = "over-cap"
+
+
+@dataclass(frozen=True)
+class SelEntry:
+    """One SEL record."""
+
+    record_id: int
+    time_s: float
+    event: SelEventType
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.record_id:04d} t={self.time_s:9.2f}s {self.event.value}: {self.detail}"
+
+
+class SystemEventLog:
+    """Bounded FIFO of :class:`SelEntry` records.
+
+    Like a hardware SEL, the log has finite capacity; when full, the
+    oldest records are dropped and an overflow count is kept so the
+    operator knows history was lost.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise SimulationError("SEL capacity must be positive")
+        self._capacity = capacity
+        self._entries: Deque[SelEntry] = deque(maxlen=capacity)
+        self._next_id = 1
+        self._overflowed = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum records retained."""
+        return self._capacity
+
+    @property
+    def overflowed(self) -> int:
+        """Records dropped because the log was full."""
+        return self._overflowed
+
+    def log(self, time_s: float, event: SelEventType, detail: str = "") -> SelEntry:
+        """Append a record."""
+        entry = SelEntry(
+            record_id=self._next_id,
+            time_s=float(time_s),
+            event=event,
+            detail=detail,
+        )
+        if len(self._entries) == self._capacity:
+            self._overflowed += 1
+        self._entries.append(entry)
+        self._next_id += 1
+        return entry
+
+    def entries(self) -> List[SelEntry]:
+        """All retained records, oldest first."""
+        return list(self._entries)
+
+    def by_type(self, event: SelEventType) -> List[SelEntry]:
+        """Records of one event type."""
+        return [e for e in self._entries if e.event is event]
+
+    def last(self) -> Optional[SelEntry]:
+        """The most recent record (None when empty)."""
+        return self._entries[-1] if self._entries else None
+
+    def clear(self) -> None:
+        """Erase the log (record ids keep counting, as real SELs do)."""
+        self._entries.clear()
+        self._overflowed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

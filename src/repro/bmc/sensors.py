@@ -1,0 +1,67 @@
+"""BMC-attached sensors.
+
+The BMC has its own power and thermal sensors, independent of the wall
+meter the experimenters used (the Watts Up! in Section III).  Both
+apply Gaussian noise from a named RNG stream so runs are reproducible;
+the power sensor additionally applies a single-pole smoothing filter,
+which is what real node managers expose as their "statistics sampling
+period".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..units import require_non_negative
+
+__all__ = ["PowerSensor", "TemperatureSensor"]
+
+
+class PowerSensor:
+    """Noisy, smoothed node-power sensor."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        noise_sigma_w: float = 0.3,
+        smoothing: float = 0.5,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise SimulationError("smoothing must be in (0, 1]")
+        self._rng = rng
+        self._sigma = require_non_negative(noise_sigma_w, "noise_sigma_w")
+        self._alpha = smoothing
+        self._filtered: float | None = None
+
+    @property
+    def reading_w(self) -> float:
+        """Last filtered reading (raises before the first sample)."""
+        if self._filtered is None:
+            raise SimulationError("power sensor has no samples yet")
+        return self._filtered
+
+    def sample(self, true_power_w: float) -> float:
+        """Take a sample of the true power; returns the filtered value."""
+        noisy = true_power_w + float(self._rng.normal(0.0, self._sigma))
+        if self._filtered is None:
+            self._filtered = noisy
+        else:
+            self._filtered += self._alpha * (noisy - self._filtered)
+        return self._filtered
+
+    def reset(self) -> None:
+        """Forget the filter state."""
+        self._filtered = None
+
+
+class TemperatureSensor:
+    """Noisy node-temperature sensor."""
+
+    def __init__(self, rng: np.random.Generator, noise_sigma_c: float = 0.5) -> None:
+        self._rng = rng
+        self._sigma = require_non_negative(noise_sigma_c, "noise_sigma_c")
+
+    def sample(self, true_temperature_c: float) -> float:
+        """One noisy temperature reading."""
+        return true_temperature_c + float(self._rng.normal(0.0, self._sigma))

@@ -1,0 +1,370 @@
+"""Command-line interface: ``repro-powercap`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the paper's experiments:
+
+- ``baseline``    — Table I (uncapped power and time for both apps);
+- ``sweep``       — Table II rows for one workload across caps;
+- ``stride``      — the Figure 3/4 stride microbenchmark grid;
+- ``amenability`` — the future-work characterisation (knee, cap range);
+- ``predict``     — predict cap impact from baseline counters alone;
+- ``multicore``   — core-count x cap scaling (future work #1);
+- ``detect``      — identify the active mechanisms at a cap (#2).
+
+All subcommands accept ``--scale`` to shrink the instruction budgets
+(the shape is scale-invariant; see DESIGN.md §5) and ``--seed`` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .config import PAPER_POWER_CAPS_W
+from .core.amenability import characterize_amenability
+from .core.detector import TechniqueDetector
+from .core.experiment import PowerCapExperiment
+from .core.multicore import MultiCoreRunner
+from .core.predictor import CapImpactPredictor
+from .core.report import (
+    render_stride_figure,
+    render_table1,
+    render_table2,
+)
+from .core.runner import NodeRunner
+from .mem.reconfig import GatingState
+from .rng import DEFAULT_SEED
+from .workloads.sar import SireRsmWorkload
+from .workloads.stereo import StereoMatchingWorkload
+from .workloads.stride import StrideBenchmark
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {
+    "stereo": StereoMatchingWorkload,
+    "sire": SireRsmWorkload,
+}
+
+
+def _make_workload(name: str, scale: float):
+    workload = _WORKLOADS[name]()
+    if scale != 1.0:
+        workload._spec = dataclasses.replace(
+            workload.spec,
+            total_instructions=workload.spec.total_instructions * scale,
+        )
+    return workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-powercap",
+        description=(
+            "Reproduction of 'Evaluation of Core Performance when the "
+            "Node is Power Capped using Intel Data Center Manager' "
+            "(ICPPW 2012)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="experiment seed"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="instruction-budget scale (1.0 = paper-calibrated budgets)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("baseline", help="Table I: uncapped baselines")
+
+    sweep = sub.add_parser("sweep", help="Table II: the cap sweep")
+    sweep.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="stereo"
+    )
+    sweep.add_argument(
+        "--caps",
+        type=float,
+        nargs="*",
+        default=list(PAPER_POWER_CAPS_W),
+        help="caps in Watts (default: the paper's nine)",
+    )
+    sweep.add_argument("--reps", type=int, default=1)
+
+    stride = sub.add_parser("stride", help="Figures 3/4: stride sweep")
+    stride.add_argument(
+        "--cap",
+        type=float,
+        default=None,
+        help="enforce a cap during the sweep (Figure 4); default uncapped",
+    )
+
+    amen = sub.add_parser(
+        "amenability", help="characterise amenability to capping"
+    )
+    amen.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="stereo"
+    )
+    amen.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        help="tolerable slowdown (1.25 = the paper's 25%% bound)",
+    )
+    amen.add_argument("--reps", type=int, default=1)
+
+    predict = sub.add_parser(
+        "predict", help="predict cap impact from baseline counters"
+    )
+    predict.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="stereo"
+    )
+    predict.add_argument(
+        "--caps",
+        type=float,
+        nargs="*",
+        default=list(PAPER_POWER_CAPS_W),
+    )
+
+    multicore = sub.add_parser(
+        "multicore", help="core-count x cap scaling table"
+    )
+    multicore.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="stereo"
+    )
+    multicore.add_argument(
+        "--cores", type=int, nargs="*", default=[1, 2, 4]
+    )
+    multicore.add_argument("--cap", type=float, default=None)
+
+    detect = sub.add_parser(
+        "detect", help="identify active power-management mechanisms"
+    )
+    detect.add_argument("--cap", type=float, required=True)
+
+    figures = sub.add_parser(
+        "figures", help="render Figures 1/2 as terminal charts"
+    )
+    figures.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="sire"
+    )
+    figures.add_argument("--reps", type=int, default=1)
+    return parser
+
+
+def _cmd_baseline(args) -> str:
+    experiment = PowerCapExperiment(
+        [_make_workload(n, args.scale) for n in sorted(_WORKLOADS)],
+        caps_w=(),
+        repetitions=1,
+        seed=args.seed,
+    )
+    results = []
+    for name in sorted(_WORKLOADS):
+        workload = _make_workload(name, args.scale)
+        results.append(experiment.run_workload(workload))
+    return render_table1(results)
+
+
+def _cmd_sweep(args) -> str:
+    workload = _make_workload(args.workload, args.scale)
+    experiment = PowerCapExperiment(
+        [workload],
+        caps_w=args.caps,
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    return render_table2(experiment.run_workload(workload))
+
+
+def _cmd_stride(args) -> str:
+    sizes = tuple(4 * 1024 * 4**i for i in range(7))
+    strides = tuple(8 * 4**i for i in range(8))
+    bench = StrideBenchmark(sizes=sizes, strides=strides, accesses_per_cell=3000)
+    if args.cap is None:
+        result = bench.run()
+        title = "Stride microbenchmark, no power cap (ns) [Figure 3]"
+    else:
+        result = bench.run_capped(
+            args.cap,
+            np.random.default_rng(args.seed),
+            cell_duration_s=0.5,
+            settle_s=10.0,
+        )
+        title = f"Stride microbenchmark, {args.cap:.0f} W cap (ns) [Figure 4]"
+    return render_stride_figure(result, title)
+
+
+def _cmd_amenability(args) -> str:
+    workload = _make_workload(args.workload, args.scale)
+    experiment = PowerCapExperiment(
+        [workload],
+        caps_w=PAPER_POWER_CAPS_W,
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    result = experiment.run_workload(workload)
+    report = characterize_amenability(result, tolerance_slowdown=args.tolerance)
+    lines = [
+        f"Amenability of {report.workload} "
+        f"(tolerance x{report.tolerance_slowdown:.2f}):",
+        "",
+        f"{'cap (W)':>8} {'slowdown':>9} {'ok?':>4}",
+    ]
+    for cap, slowdown in report.slowdown_curve:
+        ok = "yes" if cap in report.usable_caps_w else "no"
+        lines.append(f"{cap:>8.0f} {slowdown:>9.2f} {ok:>4}")
+    lines.append("")
+    if report.knee_cap_w is not None:
+        lines.append(
+            f"Knee: {report.knee_cap_w:.0f} W "
+            f"(headroom {report.headroom_w:.1f} W below uncapped draw)"
+        )
+    else:
+        lines.append("No studied cap stays within the tolerance.")
+    lines.append(f"Amenability score: {report.amenability_score:.2f}")
+    return "\n".join(lines)
+
+
+def _cmd_predict(args) -> str:
+    workload = _make_workload(args.workload, args.scale)
+    runner = NodeRunner(seed=args.seed, slice_accesses=200_000)
+    rates = runner.rates_for(workload, GatingState.ungated())
+    predictor = CapImpactPredictor(runner.config)
+    curve = predictor.predict_curve(rates, args.caps)
+    lines = [
+        f"Predicted cap impact for {workload.name} "
+        "(from baseline counters only):",
+        "",
+        f"{'cap (W)':>8} {'regime':>13} {'freq (MHz)':>11} {'slowdown':>10}",
+    ]
+    for cap in sorted(curve, reverse=True):
+        impact = curve[cap]
+        bound = ">=" if impact.is_lower_bound else "  "
+        lines.append(
+            f"{cap:>8.0f} {impact.regime.value:>13} "
+            f"{impact.predicted_freq_mhz:>11.0f} "
+            f"{bound}{impact.predicted_slowdown:>8.2f}"
+        )
+    knee = predictor.knee_cap_w(rates, 1.25, args.caps)
+    lines.append("")
+    lines.append(
+        f"Predicted knee (25% tolerance): "
+        + (f"{knee:.0f} W" if knee else "none of the studied caps")
+    )
+    return "\n".join(lines)
+
+
+def _cmd_multicore(args) -> str:
+    workload_name = args.workload
+    runner = MultiCoreRunner(seed=args.seed, slice_accesses=150_000)
+    lines = [
+        f"Multi-core scaling for {workload_name} "
+        f"(cap: {'none' if args.cap is None else f'{args.cap:.0f} W'}):",
+        "",
+        f"{'cores':>6} {'time (s)':>9} {'power (W)':>10} {'freq (MHz)':>11} "
+        f"{'Ginstr/s':>9} {'esc':>4} {'duty':>5}",
+    ]
+    for n in args.cores:
+        workload = _make_workload(workload_name, args.scale)
+        r = runner.run(workload, n, args.cap)
+        lines.append(
+            f"{n:>6} {r.execution_s:>9.2f} {r.avg_power_w:>10.1f} "
+            f"{r.avg_freq_mhz:>11.0f} {r.throughput_ips / 1e9:>9.2f} "
+            f"{r.max_escalation_level:>4} {r.min_duty:>5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_detect(args) -> str:
+    import numpy as np
+
+    from .arch.node import Node
+    from .bmc.controller import CapController
+    from .bmc.sensors import PowerSensor
+    from .workloads.microbench import MachineUnderTest
+
+    node = Node()
+    node.thermal.reset(38.0)
+    controller = CapController(
+        node, PowerSensor(np.random.default_rng(args.seed), noise_sigma_w=0.2)
+    )
+    controller.set_cap(args.cap)
+    power = node.power_w()
+    cmd = None
+    for _ in range(1500):
+        cmd = controller.update(power)
+        p = [
+            node.power_model.power_of_pstate(
+                st, duty=cmd.duty, gating_saving_w=cmd.gating_saving_w,
+                temperature_c=node.thermal.temperature_c,
+            )
+            for st in (cmd.pstate_fast, cmd.pstate_slow)
+        ]
+        power = cmd.alpha * p[0] + (1 - cmd.alpha) * p[1]
+        node.thermal.step(power, 0.05)
+    machine = MachineUnderTest(
+        gating=cmd.gating, freq_hz=cmd.effective_freq_hz, duty=cmd.duty
+    )
+    report = TechniqueDetector(machine, seed=args.seed).detect(
+        l2_footprints=(48 * 1024, 96 * 1024, 160 * 1024, 224 * 1024,
+                       384 * 1024),
+        l3_footprints=tuple(m * 1024 * 1024 for m in (3, 6, 10, 16)),
+        itlb_page_counts=(8, 16, 32, 96, 128, 192),
+    )
+    return (
+        f"Mechanisms at a {args.cap:.0f} W cap "
+        f"(node settled at {power:.1f} W):\n" + report.summary()
+    )
+
+
+def _cmd_figures(args) -> str:
+    from .core.ascii_plot import line_chart
+    from .core.report import figure1_series, figure2_series
+
+    workload = _make_workload(args.workload, args.scale)
+    experiment = PowerCapExperiment(
+        [workload],
+        caps_w=PAPER_POWER_CAPS_W,
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    result = experiment.run_workload(workload)
+    if args.workload == "sire":
+        series = figure1_series(result)
+        title = "Figure 1: SIRE/RSM, normalised (baseline + caps 160..120 W)"
+        keys = ("PAPI_TLB_IM", "frequency", "time", "power", "energy")
+    else:
+        series = figure2_series(result)
+        title = "Figure 2: Stereo Matching, normalised"
+        keys = ("PAPI_L2_TCM", "PAPI_L3_TCM", "PAPI_TLB_IM",
+                "frequency", "time", "energy")
+    labels = [str(l) for l in series["labels"]]
+    chart_series = {k: list(series[k]) for k in keys}
+    return line_chart(chart_series, labels, title=title)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "baseline": _cmd_baseline,
+        "sweep": _cmd_sweep,
+        "stride": _cmd_stride,
+        "amenability": _cmd_amenability,
+        "predict": _cmd_predict,
+        "multicore": _cmd_multicore,
+        "detect": _cmd_detect,
+        "figures": _cmd_figures,
+    }[args.command]
+    print(handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

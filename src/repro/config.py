@@ -1,0 +1,563 @@
+"""Platform and experiment configuration.
+
+Everything the simulator needs to know about the modelled machine lives
+in frozen dataclasses defined here.  The default factory,
+:func:`sandy_bridge_config`, mirrors the experimental platform of
+Section III of the paper:
+
+- two Intel 2.7 GHz eight-core (130 W TDP) Sandy Bridge E5-2680 sockets,
+- 16 P-states per core (DVFS floor 1,200 MHz; the paper's Table II shows
+  the average frequency pinned at 1,200 MHz for caps <= 130 W),
+- 32 KB L1 data / 32 KB L1 instruction caches, 256 KB unified L2,
+  20 MB shared L3, 64 GB RAM,
+- memory-hierarchy latencies inferred by the paper from its own stride
+  microbenchmark (Figure 3): L1 hit 1.5 ns, L1 miss penalty 2.0 ns,
+  L2 miss penalty 5.1 ns, L3 miss penalty 37.1 ns, DRAM 60 ns,
+- idle node power 100-103 W, uncapped busy power 153-157 W.
+
+The power-model constants are calibration targets, not first-principles
+values; ``docs`` in DESIGN.md §5 explains how they were fitted so the
+node reproduces Table I/II *shapes* (idle floor, busy draw, the DVFS
+floor near 125 W, and the sub-floor escalation behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from .errors import ConfigError
+from .units import GIB, KIB, MIB
+
+__all__ = [
+    "CacheGeometry",
+    "TlbGeometry",
+    "DramConfig",
+    "PStateTableConfig",
+    "CStateSpec",
+    "PowerModelConfig",
+    "ThermalConfig",
+    "EscalationLevelSpec",
+    "EscalationLadderConfig",
+    "BmcConfig",
+    "MeterConfig",
+    "NodeConfig",
+    "sandy_bridge_config",
+    "PAPER_POWER_CAPS_W",
+    "PAPER_IDLE_POWER_RANGE_W",
+]
+
+#: The nine caps studied in the paper (Watts), highest first.
+PAPER_POWER_CAPS_W: Tuple[float, ...] = (
+    160.0,
+    155.0,
+    150.0,
+    145.0,
+    140.0,
+    135.0,
+    130.0,
+    125.0,
+    120.0,
+)
+
+#: "Note that the idle power was between 100 and 103 Watts."
+PAPER_IDLE_POWER_RANGE_W: Tuple[float, float] = (100.0, 103.0)
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry and timing of one cache level.
+
+    ``hit_latency_ns`` is the time for a hit in this level;
+    ``miss_penalty_ns`` is the *additional* time the paper's Figure 3
+    attributes to missing this level (before the next level's own time).
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int
+    ways: int
+    hit_latency_ns: float
+    miss_penalty_ns: float
+    #: Leakage attributable to the arrays of this cache, used by way
+    #: gating to compute the (small) power saved per gated way.
+    leakage_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ConfigError(f"cache {self.name}: sizes and ways must be positive")
+        if self.capacity_bytes % (self.line_bytes * self.ways) != 0:
+            raise ConfigError(
+                f"cache {self.name}: capacity {self.capacity_bytes} not divisible "
+                f"by line*ways ({self.line_bytes}*{self.ways})"
+            )
+        n_sets = self.capacity_bytes // (self.line_bytes * self.ways)
+        if n_sets & (n_sets - 1):
+            raise ConfigError(
+                f"cache {self.name}: set count {n_sets} must be a power of two"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError(
+                f"cache {self.name}: line size {self.line_bytes} must be a power of two"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (capacity / (line size x associativity))."""
+        return self.capacity_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class TlbGeometry:
+    """Geometry and timing of a translation lookaside buffer."""
+
+    name: str
+    entries: int
+    ways: int
+    page_bytes: int
+    #: Page-walk cost added on a TLB miss.
+    miss_penalty_ns: float
+    leakage_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.ways <= 0 or self.page_bytes <= 0:
+            raise ConfigError(f"tlb {self.name}: all sizes must be positive")
+        if self.entries % self.ways != 0:
+            raise ConfigError(
+                f"tlb {self.name}: entries {self.entries} not divisible by ways"
+            )
+        n_sets = self.entries // self.ways
+        if n_sets & (n_sets - 1):
+            raise ConfigError(f"tlb {self.name}: set count {n_sets} must be 2^k")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ConfigError(f"tlb {self.name}: page size must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (entries / associativity)."""
+        return self.entries // self.ways
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Main-memory configuration."""
+
+    capacity_bytes: int
+    access_latency_ns: float
+    #: Sustained bandwidth used to convert traffic into DRAM active power.
+    bandwidth_gbs: float
+    #: Background (refresh + standby) power of the installed DIMMs.
+    background_w: float
+    #: Active power per GB/s of traffic.
+    active_w_per_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("DRAM capacity must be positive")
+        if self.access_latency_ns <= 0 or self.bandwidth_gbs <= 0:
+            raise ConfigError("DRAM latency and bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class PStateTableConfig:
+    """Parameters from which the 16-entry P-state table is generated.
+
+    The paper's platform exposes 16 P-states per core.  Table II reports
+    average frequencies between 2,701 MHz (P0, with the +1 MHz turbo
+    reading artifact) and the 1,200 MHz floor.
+    """
+
+    n_states: int = 16
+    f_max_mhz: float = 2701.0
+    f_min_mhz: float = 1200.0
+    v_max: float = 1.20
+    v_min: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_states < 2:
+            raise ConfigError("need at least two P-states")
+        if self.f_min_mhz >= self.f_max_mhz:
+            raise ConfigError("f_min must be below f_max")
+        if self.v_min >= self.v_max:
+            raise ConfigError("v_min must be below v_max")
+
+
+@dataclass(frozen=True)
+class CStateSpec:
+    """One ACPI C-state: residual power fraction and wake latency.
+
+    ``power_fraction`` scales the *core-attributable* power while the
+    core sits in this state (C0 = 1.0).  Deeper states shut more of the
+    core down but wake more slowly — exactly the trade-off Section II
+    describes.
+    """
+
+    name: str
+    power_fraction: float
+    wake_latency_us: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_fraction <= 1.0:
+            raise ConfigError(f"C-state {self.name}: power fraction out of [0,1]")
+        if self.wake_latency_us < 0:
+            raise ConfigError(f"C-state {self.name}: negative wake latency")
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Constants of the node power model (see DESIGN.md §5).
+
+    ``P_node = platform_floor_w + sockets * leakage(T) + active terms``
+
+    The active terms for a single busy core are calibrated so that an
+    uncapped busy node draws ~153-157 W (Table I) and a node pinned at
+    the 1,200 MHz DVFS floor draws ~125 W — just above the paper's two
+    lowest caps, which is what forces the BMC beyond DVFS.
+    """
+
+    #: Power of everything that never turns off: fans, PSU loss, board.
+    #: Together with DRAM background power and idle leakage this gives
+    #: the 100-103 W idle draw the paper reports.
+    platform_floor_w: float = 82.0
+    #: Per-socket leakage at the reference temperature.
+    socket_leakage_ref_w: float = 7.0
+    #: Reference temperature for leakage calibration (deg C).
+    leakage_ref_temp_c: float = 35.0
+    #: Fractional leakage increase per deg C above reference.
+    leakage_temp_coeff: float = 0.012
+    #: Effective switched capacitance of one core (farads): dynamic
+    #: power = c_eff * f * V^2 * activity.  Calibrated so P0 core
+    #: dynamic power is ~35 W, giving a ~154 W busy node.
+    core_ceff_f: float = 9.0e-9
+    #: Frequency-independent power of running one socket's uncore
+    #: (ring, L3 clocks, memory controller) when any core is in C0.
+    uncore_active_w: float = 16.0
+    #: Fraction of the core's dynamic power still burned while the
+    #: clock-modulation (T-state-like) throttle halts issue.  The high
+    #: residual is what makes sub-floor throttling save almost no power
+    #: while destroying performance — the paper's central low-cap
+    #: observation.
+    halt_residual_fraction: float = 0.85
+    #: Activity factor of a fully busy core (scales c_eff term).
+    busy_activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.platform_floor_w <= 0 or self.core_ceff_f <= 0:
+            raise ConfigError("power model constants must be positive")
+        if not 0.0 <= self.halt_residual_fraction <= 1.0:
+            raise ConfigError("halt_residual_fraction must lie in [0,1]")
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Lumped RC thermal model: one node-level thermal mass."""
+
+    ambient_c: float = 25.0
+    #: Thermal resistance junction-to-ambient (deg C per Watt above idle).
+    r_th_c_per_w: float = 0.35
+    #: Thermal time constant (seconds).
+    tau_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0 or self.tau_s <= 0:
+            raise ConfigError("thermal constants must be positive")
+
+
+@dataclass(frozen=True)
+class EscalationLevelSpec:
+    """One rung of the BMC's beyond-DVFS escalation ladder.
+
+    Each rung trades a *small* power saving for a memory-hierarchy
+    configuration change, reproducing the paper's inference that at the
+    lowest caps "techniques that involve the configuration of the memory
+    hierarchy are being employed" while providing only "small decreases
+    in power consumption at the cost of high losses in execution time".
+    """
+
+    name: str
+    #: Fraction of L3 ways left enabled (1.0 = all 20 ways).
+    l3_way_fraction: float = 1.0
+    #: Fraction of L2 ways left enabled.
+    l2_way_fraction: float = 1.0
+    #: Fraction of L1 ways left enabled (the paper sees essentially no
+    #: L1 miss growth, so the default ladder never gates L1).
+    l1_way_fraction: float = 1.0
+    #: Fraction of instruction-TLB entries left enabled.
+    itlb_fraction: float = 1.0
+    #: Fraction of data-TLB entries left enabled.
+    dtlb_fraction: float = 1.0
+    #: Multiplier applied to DRAM access latency (memory gating).
+    dram_latency_multiplier: float = 1.0
+    #: Multiplier applied to every cache level's hit latency and miss
+    #: penalty (clock-gated arrays wake on demand).
+    cache_latency_multiplier: float = 1.0
+    #: Power saved by this rung relative to the un-escalated floor (W).
+    power_saving_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "l3_way_fraction",
+            "l2_way_fraction",
+            "l1_way_fraction",
+            "itlb_fraction",
+            "dtlb_fraction",
+        ):
+            v = getattr(self, attr)
+            if not 0.0 < v <= 1.0:
+                raise ConfigError(f"escalation {self.name}: {attr} must be in (0,1]")
+        if self.dram_latency_multiplier < 1.0 or self.cache_latency_multiplier < 1.0:
+            raise ConfigError(
+                f"escalation {self.name}: latency multipliers must be >= 1"
+            )
+        if self.power_saving_w < 0:
+            raise ConfigError(f"escalation {self.name}: negative power saving")
+
+
+@dataclass(frozen=True)
+class EscalationLadderConfig:
+    """The ordered ladder of sub-floor power-reduction mechanisms."""
+
+    levels: Tuple[EscalationLevelSpec, ...]
+    #: Minimum duty factor the clock-modulation (T-state-like) stage may
+    #: reach once the ladder is exhausted.
+    duty_min: float = 0.15
+    #: Duty adjustment step per control quantum.
+    duty_step: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigError("escalation ladder must have at least one level")
+        if not 0.0 < self.duty_min <= 1.0:
+            raise ConfigError("duty_min must lie in (0,1]")
+        if not 0.0 < self.duty_step <= 1.0:
+            raise ConfigError("duty_step must lie in (0,1]")
+
+
+@dataclass(frozen=True)
+class BmcConfig:
+    """Baseboard Management Controller behaviour.
+
+    The BMC samples node power once per control quantum and, per
+    Section II-A, "switches between the two states" bracketing the cap
+    when the cap falls between two P-state power levels.
+    """
+
+    control_quantum_s: float = 0.05
+    #: Guard band: the P-state dither targets ``cap - target_margin_w``
+    #: so meter noise rarely pushes the reading over the cap.
+    target_margin_w: float = 3.0
+    #: Hysteresis band (W) around the cap before the controller acts.
+    hysteresis_w: float = 0.75
+    #: Sustained over-cap time before escalating a rung (seconds) —
+    #: time-based so controller dynamics are quantum-invariant.
+    escalation_patience_s: float = 0.2
+    #: Sustained comfortably-under-cap time before de-escalating (s).
+    deescalation_patience_s: float = 2.0
+    #: Margin (W) below the cap required before de-escalating.
+    deescalation_margin_w: float = 5.0
+    ladder: EscalationLadderConfig = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.control_quantum_s <= 0:
+            raise ConfigError("control quantum must be positive")
+        if self.escalation_patience_s <= 0 or self.deescalation_patience_s <= 0:
+            raise ConfigError("patience durations must be positive")
+        if self.ladder is None:
+            object.__setattr__(self, "ladder", default_escalation_ladder())
+
+
+@dataclass(frozen=True)
+class MeterConfig:
+    """Watts Up!-style wall power meter."""
+
+    sample_period_s: float = 1.0
+    #: Meter resolution (the Watts Up! Pro reports 0.1 W).
+    resolution_w: float = 0.1
+    #: Gaussian sampling noise (1 sigma, W).
+    noise_sigma_w: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s <= 0 or self.resolution_w <= 0:
+            raise ConfigError("meter constants must be positive")
+        if self.noise_sigma_w < 0:
+            raise ConfigError("meter noise must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything about the simulated node."""
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    l1d: CacheGeometry
+    l1i: CacheGeometry
+    l2: CacheGeometry
+    l3: CacheGeometry
+    itlb: TlbGeometry
+    dtlb: TlbGeometry
+    dram: DramConfig
+    pstates: PStateTableConfig
+    cstates: Tuple[CStateSpec, ...]
+    power: PowerModelConfig
+    thermal: ThermalConfig
+    bmc: BmcConfig
+    meter: MeterConfig
+    #: Base cycles-per-instruction of the core on compute (non-stall) work.
+    base_cpi: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_sockets <= 0 or self.cores_per_socket <= 0:
+            raise ConfigError("socket/core counts must be positive")
+        if self.base_cpi <= 0:
+            raise ConfigError("base CPI must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores in the node."""
+        return self.n_sockets * self.cores_per_socket
+
+    def with_overrides(self, **kwargs) -> "NodeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def cache_levels(self) -> Dict[str, CacheGeometry]:
+        """Mapping of level name to geometry, inner to outer."""
+        return {"L1D": self.l1d, "L1I": self.l1i, "L2": self.l2, "L3": self.l3}
+
+
+def default_escalation_ladder() -> EscalationLadderConfig:
+    """The ladder used for the paper reproduction.
+
+    Rung ordering follows the evidence in Section IV-B: L2/L3 misses and
+    instruction-TLB misses blow up only at the two lowest caps, so way
+    gating and iTLB gating sit *below* the first DRAM-gating rung, and
+    each rung saves only a watt or two.
+    """
+    return EscalationLadderConfig(
+        levels=(
+            EscalationLevelSpec(
+                name="way-gate+itlb",
+                l3_way_fraction=0.5,
+                l2_way_fraction=0.5,
+                itlb_fraction=0.125,
+                power_saving_w=1.0,
+            ),
+            EscalationLevelSpec(
+                name="dram-lowpower",
+                l3_way_fraction=0.5,
+                l2_way_fraction=0.5,
+                itlb_fraction=0.125,
+                dram_latency_multiplier=2.0,
+                power_saving_w=1.8,
+            ),
+            EscalationLevelSpec(
+                name="tlb-deep",
+                l3_way_fraction=0.5,
+                l2_way_fraction=0.5,
+                itlb_fraction=0.0625,
+                dram_latency_multiplier=2.0,
+                power_saving_w=2.0,
+            ),
+            EscalationLevelSpec(
+                name="deep-gating",
+                l3_way_fraction=0.25,
+                l2_way_fraction=0.25,
+                itlb_fraction=0.0625,
+                dram_latency_multiplier=3.0,
+                cache_latency_multiplier=1.5,
+                power_saving_w=2.6,
+            ),
+        ),
+        duty_min=0.15,
+        duty_step=0.05,
+    )
+
+
+def sandy_bridge_config(**overrides) -> NodeConfig:
+    """The paper's experimental platform (Section III).
+
+    Two 2.7 GHz eight-core Sandy Bridge E5-2680 sockets; per core
+    32 KB L1D + 32 KB L1I (8-way), 256 KB unified L2 (8-way); 20 MB
+    shared L3 (20-way); 64 GB RAM; 16 P-states; latencies from Fig. 3.
+
+    Keyword overrides replace top-level :class:`NodeConfig` fields.
+    """
+    cfg = NodeConfig(
+        name="SDP-S2R2-SandyBridge-E5-2680",
+        n_sockets=2,
+        cores_per_socket=8,
+        l1d=CacheGeometry(
+            name="L1D",
+            capacity_bytes=32 * KIB,
+            line_bytes=64,
+            ways=8,
+            hit_latency_ns=1.5,
+            miss_penalty_ns=2.0,
+            leakage_w=0.2,
+        ),
+        l1i=CacheGeometry(
+            name="L1I",
+            capacity_bytes=32 * KIB,
+            line_bytes=64,
+            ways=8,
+            hit_latency_ns=1.5,
+            miss_penalty_ns=2.0,
+            leakage_w=0.2,
+        ),
+        l2=CacheGeometry(
+            name="L2",
+            capacity_bytes=256 * KIB,
+            line_bytes=64,
+            ways=8,
+            hit_latency_ns=3.5,
+            miss_penalty_ns=5.1,
+            leakage_w=0.4,
+        ),
+        l3=CacheGeometry(
+            name="L3",
+            capacity_bytes=20 * MIB,
+            line_bytes=64,
+            ways=20,
+            hit_latency_ns=8.6,
+            miss_penalty_ns=37.1,
+            leakage_w=1.2,
+        ),
+        itlb=TlbGeometry(
+            name="ITLB",
+            entries=128,
+            ways=8,
+            page_bytes=4096,
+            miss_penalty_ns=45.0,
+            leakage_w=0.05,
+        ),
+        dtlb=TlbGeometry(
+            name="DTLB",
+            entries=64,
+            ways=4,
+            page_bytes=4096,
+            miss_penalty_ns=45.0,
+            leakage_w=0.05,
+        ),
+        dram=DramConfig(
+            capacity_bytes=64 * GIB,
+            access_latency_ns=60.0,
+            bandwidth_gbs=51.2,
+            background_w=6.0,
+            active_w_per_gbs=3.0,
+        ),
+        pstates=PStateTableConfig(),
+        cstates=(
+            CStateSpec(name="C0", power_fraction=1.0, wake_latency_us=0.0),
+            CStateSpec(name="C1", power_fraction=0.30, wake_latency_us=2.0),
+            CStateSpec(name="C3", power_fraction=0.12, wake_latency_us=50.0),
+            CStateSpec(name="C6", power_fraction=0.03, wake_latency_us=120.0),
+        ),
+        power=PowerModelConfig(),
+        thermal=ThermalConfig(),
+        bmc=BmcConfig(),
+        meter=MeterConfig(),
+    )
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    return cfg

@@ -1,0 +1,69 @@
+"""The paper's experiment methodology — the library's primary surface.
+
+- :mod:`.metrics` — per-run results and paper-style percent diffs;
+- :mod:`.runner` — executes a workload on the simulated node under a
+  cap, coupling core timing, hierarchy misses, power, thermal, and the
+  BMC control loop;
+- :mod:`.experiment` — the cap sweep with repetitions and averaging
+  (Section III: nine caps, five runs each, averaged);
+- :mod:`.normalize` — the per-metric normalisation of Figures 1-2;
+- :mod:`.report` — renders Table I, Table II and the figure series;
+- :mod:`.amenability` — the characterisation methodology the paper
+  proposes as future work (knee detection, tolerable-delay cap ranges).
+
+Plus the four future-work extensions of Section V, implemented:
+
+- :mod:`.multicore` — multi-core applications under a node cap;
+- :mod:`.detector` — microbenchmark identification of the active
+  power-management mechanisms;
+- :mod:`.phased` — unpredictable (bursty) workloads against a budget;
+- :mod:`.predictor` — predict cap impact from baseline counters alone.
+"""
+
+from .metrics import RunResult, AveragedResult, percent_diff
+from .runner import NodeRunner
+from .experiment import PowerCapExperiment, ExperimentResult
+from .normalize import normalize_series
+from .report import (
+    render_table1,
+    render_table2,
+    figure1_series,
+    figure2_series,
+)
+from .amenability import AmenabilityReport, characterize_amenability
+from .multicore import MultiCoreRunner, MultiCoreResult
+from .detector import TechniqueDetector, DetectionReport
+from .phased import PhasedRunner, BurstyRunResult, BudgetComparison
+from .predictor import CapImpactPredictor, CapRegime, PredictedImpact
+from .optimizer import CapOptimizer, CapRecommendation
+from .serialize import save_experiment, load_experiment
+
+__all__ = [
+    "RunResult",
+    "AveragedResult",
+    "percent_diff",
+    "NodeRunner",
+    "PowerCapExperiment",
+    "ExperimentResult",
+    "normalize_series",
+    "render_table1",
+    "render_table2",
+    "figure1_series",
+    "figure2_series",
+    "AmenabilityReport",
+    "characterize_amenability",
+    "MultiCoreRunner",
+    "MultiCoreResult",
+    "TechniqueDetector",
+    "DetectionReport",
+    "PhasedRunner",
+    "BurstyRunResult",
+    "BudgetComparison",
+    "CapImpactPredictor",
+    "CapRegime",
+    "PredictedImpact",
+    "CapOptimizer",
+    "CapRecommendation",
+    "save_experiment",
+    "load_experiment",
+]

@@ -1,0 +1,89 @@
+"""Amenability-to-power-capping characterisation.
+
+The paper's closing future-work item: "we would like to develop a
+methodology for characterizing applications with regard to their
+amenability to power capped execution."  This module implements that
+methodology over sweep results:
+
+- find the **knee**: the highest cap at which slowdown first exceeds a
+  tolerance (the paper uses 25 % as its working bound: "the increase in
+  execution time for SIRE/RSM is bounded by 25% all the way down to a
+  power cap of 140 Watts ... for Stereo Matching ... down to ... 145");
+- report the **usable cap range** for a given tolerable delay;
+- compute an **amenability score**: how much of the cap range between
+  idle and uncapped draw stays within tolerance (1.0 = fully cappable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import SimulationError
+from .experiment import ExperimentResult
+
+__all__ = ["AmenabilityReport", "characterize_amenability"]
+
+
+@dataclass(frozen=True)
+class AmenabilityReport:
+    """Outcome of the characterisation for one workload."""
+
+    workload: str
+    tolerance_slowdown: float
+    #: Lowest studied cap still within tolerance (None if none are).
+    knee_cap_w: Optional[float]
+    #: Caps within tolerance, highest to lowest.
+    usable_caps_w: Tuple[float, ...]
+    #: (cap, slowdown) pairs, highest cap first.
+    slowdown_curve: Tuple[Tuple[float, float], ...]
+    #: Fraction of the studied cap range that stays within tolerance.
+    amenability_score: float
+    #: Watts of headroom the knee gives below the uncapped draw.
+    headroom_w: float
+
+    def tolerates(self, cap_w: float) -> bool:
+        """Whether a cap is within the tolerated slowdown."""
+        return cap_w in self.usable_caps_w
+
+
+def characterize_amenability(
+    result: ExperimentResult,
+    tolerance_slowdown: float = 1.25,
+) -> AmenabilityReport:
+    """Characterise one workload's amenability from its sweep result.
+
+    ``tolerance_slowdown`` is the acceptable execution-time ratio vs
+    baseline (1.25 = the paper's 25 % bound).
+    """
+    if tolerance_slowdown <= 1.0:
+        raise SimulationError("tolerance must exceed 1.0 (no slowdown at all)")
+    caps = sorted(result.by_cap, reverse=True)
+    if not caps:
+        raise SimulationError("sweep has no capped rows")
+    curve: List[Tuple[float, float]] = [
+        (cap, result.slowdown(cap)) for cap in caps
+    ]
+    usable: List[float] = []
+    for cap, slowdown in curve:
+        if slowdown <= tolerance_slowdown:
+            usable.append(cap)
+        else:
+            # Slowdown curves are monotone in the cap for a sane
+            # controller; stop at the first violation so an isolated
+            # noisy dip below tolerance cannot extend the range.
+            break
+    knee = usable[-1] if usable else None
+    score = len(usable) / len(caps)
+    headroom = (
+        result.baseline.avg_power_w - knee if knee is not None else 0.0
+    )
+    return AmenabilityReport(
+        workload=result.workload,
+        tolerance_slowdown=tolerance_slowdown,
+        knee_cap_w=knee,
+        usable_caps_w=tuple(usable),
+        slowdown_curve=tuple(curve),
+        amenability_score=score,
+        headroom_w=max(0.0, headroom),
+    )

@@ -1,0 +1,130 @@
+"""Dependency-free ASCII charts for the paper's figures.
+
+The environment this reproduction targets has no plotting stack, so the
+figure benches and the ``figures`` CLI subcommand render the series as
+terminal charts: multi-series line charts for the normalised Figures
+1/2 data, and log-y scatter charts for the stride Figures 3/4 grids.
+Nothing fancy — columns of characters — but enough to *see* the
+hockey-stick, the frequency staircase, and the capped stride cloud.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+from ..errors import SimulationError
+
+__all__ = ["line_chart", "log_scatter_chart"]
+
+#: Marker characters assigned to series in order.
+MARKERS = "o+x*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    labels: Sequence[str],
+    title: str = "",
+    height: int = 16,
+    col_width: int = 7,
+) -> str:
+    """Render normalised series (values in [0, 1]) over labelled x ticks.
+
+    ``series`` maps a name to one value per x position; ``labels`` are
+    the x-axis tick labels (the cap column headers in Figures 1/2).
+    """
+    if not series:
+        raise SimulationError("need at least one series")
+    n = len(labels)
+    for name, values in series.items():
+        if len(values) != n:
+            raise SimulationError(
+                f"series {name!r} has {len(values)} points for {n} labels"
+            )
+    if height < 4:
+        raise SimulationError("chart height must be at least 4 rows")
+
+    grid = [[" "] * (n * col_width) for _ in range(height)]
+    for s_idx, (name, values) in enumerate(series.items()):
+        marker = MARKERS[s_idx % len(MARKERS)]
+        for i, v in enumerate(values):
+            v = min(1.0, max(0.0, float(v)))
+            row = height - 1 - int(round(v * (height - 1)))
+            col = i * col_width + col_width // 2
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        axis_value = 1.0 - r / (height - 1)
+        prefix = f"{axis_value:4.2f} |" if r % 4 == 0 or r == height - 1 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * (n * col_width))
+    tick_row = "      "
+    for label in labels:
+        tick_row += f"{label:^{col_width}}"
+    lines.append(tick_row.rstrip())
+    legend = "      " + "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def log_scatter_chart(
+    points: Dict[str, Sequence[tuple]],
+    title: str = "",
+    height: int = 18,
+    width: int = 72,
+    x_label: str = "stride (B)",
+    y_label: str = "ns",
+) -> str:
+    """Render (x, y) series on log-log axes (the stride figures).
+
+    ``points`` maps a series name to a sequence of ``(x, y)`` pairs with
+    strictly positive coordinates.
+    """
+    all_xy = [
+        (x, y) for pts in points.values() for x, y in pts if x > 0 and y > 0
+    ]
+    if not all_xy:
+        raise SimulationError("no plottable points")
+    lx = [math.log10(x) for x, _ in all_xy]
+    ly = [math.log10(y) for _, y in all_xy]
+    x_lo, x_hi = min(lx), max(lx)
+    y_lo, y_hi = min(ly), max(ly)
+    x_span = max(1e-9, x_hi - x_lo)
+    y_span = max(1e-9, y_hi - y_lo)
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, pts) in enumerate(points.items()):
+        marker = MARKERS[s_idx % len(MARKERS)]
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                continue
+            col = int((math.log10(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int(
+                (math.log10(y) - y_lo) / y_span * (height - 1)
+            )
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        decade = y_hi - (r / (height - 1)) * y_span
+        prefix = (
+            f"1e{decade:+4.1f} |" if r % 4 == 0 or r == height - 1 else "       |"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(
+        f"        1e{x_lo:.1f} {x_label} ... 1e{x_hi:.1f}   (y: {y_label}, log)"
+    )
+    legend = "        " + "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(points)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Infer the active power-management mechanisms from microbenchmarks.
+
+The paper could only *suggest* that "techniques that involve the
+configuration of the memory hierarchy are being employed" at low caps
+(Section IV-B) — its stride experiment was confounded by the dynamic
+enforcement.  :class:`TechniqueDetector` completes the methodology the
+authors proposed as future work: run mechanism-isolating probes
+(:mod:`repro.workloads.microbench`) and report, with magnitudes, which
+mechanisms are active:
+
+- **DVFS** — running-clock frequency below nominal (from the cycle
+  counter, immune to clock modulation);
+- **clock modulation** — instruction rate below what the running clock
+  explains (duty < 1);
+- **L2/L3 way gating** — capacity edges earlier than the datasheet;
+- **iTLB gating** — TLB reach edge earlier than the datasheet;
+- **DRAM gating** — DRAM-resident latency inflated beyond what the
+  cache path explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..workloads.microbench import (
+    MachineUnderTest,
+    cache_capacity_probe,
+    compute_probe,
+    dram_latency_probe,
+    itlb_reach_probe,
+)
+
+__all__ = ["TechniqueDetector", "DetectionReport"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """What the probes revealed about the machine's hidden state."""
+
+    #: Running clock frequency while unthrottled quanta execute (Hz).
+    effective_freq_hz: float
+    #: Estimated clock-modulation duty factor in (0, 1].
+    duty: float
+    #: Estimated effective L2 capacity (bytes).
+    effective_l2_bytes: int
+    #: Estimated effective L3 capacity (bytes).
+    effective_l3_bytes: int
+    #: Estimated effective iTLB reach (pages).
+    effective_itlb_pages: int
+    #: Measured DRAM-resident access latency (ns).
+    dram_latency_ns: float
+    #: Nominal values for comparison.
+    nominal_freq_hz: float
+    nominal_l2_bytes: int
+    nominal_l3_bytes: int
+    nominal_itlb_pages: int
+    nominal_dram_latency_ns: float
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    @property
+    def dvfs_active(self) -> bool:
+        """Clock running below 95 % of nominal."""
+        return self.effective_freq_hz < 0.95 * self.nominal_freq_hz
+
+    @property
+    def clock_modulation_active(self) -> bool:
+        """Instruction rate below what the running clock explains."""
+        return self.duty < 0.95
+
+    @property
+    def l2_way_gating_active(self) -> bool:
+        """Effective L2 capacity below 75 % of the datasheet value."""
+        return self.effective_l2_bytes < 0.75 * self.nominal_l2_bytes
+
+    @property
+    def l3_way_gating_active(self) -> bool:
+        """Effective L3 capacity below 75 % of the datasheet value."""
+        return self.effective_l3_bytes < 0.75 * self.nominal_l3_bytes
+
+    @property
+    def itlb_gating_active(self) -> bool:
+        """Effective iTLB reach below 75 % of the datasheet entries."""
+        return self.effective_itlb_pages < 0.75 * self.nominal_itlb_pages
+
+    @property
+    def dram_gating_active(self) -> bool:
+        """DRAM latency more than 1.5x the nominal service time."""
+        return self.dram_latency_ns > 1.5 * self.nominal_dram_latency_ns
+
+    def summary(self) -> str:
+        """Human-readable verdict list."""
+        rows = [
+            ("DVFS", self.dvfs_active,
+             f"clock {self.effective_freq_hz / 1e6:.0f} MHz "
+             f"(nominal {self.nominal_freq_hz / 1e6:.0f})"),
+            ("clock modulation", self.clock_modulation_active,
+             f"duty ~{self.duty:.2f}"),
+            ("L2 way gating", self.l2_way_gating_active,
+             f"effective ~{self.effective_l2_bytes // 1024} KB "
+             f"(nominal {self.nominal_l2_bytes // 1024} KB)"),
+            ("L3 way gating", self.l3_way_gating_active,
+             f"effective ~{self.effective_l3_bytes // (1 << 20)} MB "
+             f"(nominal {self.nominal_l3_bytes // (1 << 20)} MB)"),
+            ("iTLB gating", self.itlb_gating_active,
+             f"reach ~{self.effective_itlb_pages} pages "
+             f"(nominal {self.nominal_itlb_pages})"),
+            ("DRAM gating", self.dram_gating_active,
+             f"latency {self.dram_latency_ns:.0f} ns "
+             f"(nominal ~{self.nominal_dram_latency_ns:.0f})"),
+        ]
+        lines = []
+        for name, active, detail in rows:
+            flag = "ACTIVE  " if active else "inactive"
+            lines.append(f"  {flag}  {name:<16} {detail}")
+        return "\n".join(lines)
+
+
+def _edge_before(curve: Dict[int, float], jump: float) -> int:
+    """Largest x whose timing is still on the low plateau.
+
+    ``curve`` maps size -> ns; the edge is the first consecutive pair
+    whose ratio exceeds ``jump``; returns the x before it (or the last
+    x if no jump is found)."""
+    xs = sorted(curve)
+    for a, b in zip(xs, xs[1:]):
+        lo = max(curve[a], 1e-3)
+        if curve[b] / lo > jump:
+            return a
+    return xs[-1]
+
+
+class TechniqueDetector:
+    """Runs the probe suite against a machine and interprets it."""
+
+    def __init__(self, machine: MachineUnderTest, seed: int = 0) -> None:
+        self._machine = machine
+        self._rng = np.random.default_rng(seed)
+
+    def detect(
+        self,
+        l2_footprints: Sequence[int] = (
+            48 * 1024, 96 * 1024, 160 * 1024, 224 * 1024, 384 * 1024,
+        ),
+        l3_footprints: Sequence[int] = tuple(
+            m * 1024 * 1024 for m in (2, 4, 6, 10, 14, 18, 24)
+        ),
+        itlb_page_counts: Sequence[int] = (8, 16, 24, 48, 96, 128, 192),
+    ) -> DetectionReport:
+        """Run every probe and assemble the report."""
+        machine = self._machine
+        cfg = machine.config
+
+        compute = compute_probe(machine)
+        freq = compute.effective_freq_hz
+        duty = compute.duty
+
+        l2_curve = cache_capacity_probe(machine, l2_footprints, self._rng)
+        l3_curve = cache_capacity_probe(machine, l3_footprints, self._rng)
+        itlb_curve = itlb_reach_probe(machine, itlb_page_counts, self._rng)
+        dram_ns = dram_latency_probe(machine, self._rng)
+
+        nominal_costs_dram = (
+            cfg.l1d.hit_latency_ns
+            + cfg.l1d.miss_penalty_ns
+            + cfg.l2.miss_penalty_ns
+            + cfg.l3.miss_penalty_ns
+        )
+        return DetectionReport(
+            effective_freq_hz=freq,
+            duty=duty,
+            effective_l2_bytes=_edge_before(l2_curve, jump=1.6),
+            effective_l3_bytes=_edge_before(l3_curve, jump=1.6),
+            effective_itlb_pages=_edge_before(itlb_curve, jump=1.6),
+            dram_latency_ns=dram_ns,
+            nominal_freq_hz=2.701e9,
+            nominal_l2_bytes=cfg.l2.capacity_bytes,
+            nominal_l3_bytes=cfg.l3.capacity_bytes,
+            nominal_itlb_pages=cfg.itlb.entries,
+            nominal_dram_latency_ns=nominal_costs_dram,
+        )
+

@@ -1,0 +1,105 @@
+"""The paper's experiment: a cap sweep with repetitions.
+
+Section III: "we studied their performance at nine different power
+caps: 160 ..., 155, 150, 145, 140, 135, 130, 125, and 120 Watts.  Each
+application, given the same input, was executed five times under each
+power cap and the results ... were averaged."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..config import PAPER_POWER_CAPS_W, NodeConfig
+from ..errors import SimulationError
+from ..rng import DEFAULT_SEED
+from ..workloads.base import Workload
+from .metrics import AveragedResult, RunResult
+from .runner import NodeRunner
+
+__all__ = ["PowerCapExperiment", "ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """All averaged rows for one workload: baseline + each cap."""
+
+    workload: str
+    baseline: AveragedResult
+    by_cap: Dict[float, AveragedResult] = field(default_factory=dict)
+
+    def rows(self) -> List[AveragedResult]:
+        """Baseline first, then caps from highest to lowest."""
+        return [self.baseline] + [
+            self.by_cap[c] for c in sorted(self.by_cap, reverse=True)
+        ]
+
+    def row(self, cap_w: float | None) -> AveragedResult:
+        """One row by cap (None = baseline)."""
+        if cap_w is None:
+            return self.baseline
+        try:
+            return self.by_cap[float(cap_w)]
+        except KeyError:
+            raise SimulationError(f"no result for cap {cap_w}") from None
+
+    def slowdown(self, cap_w: float) -> float:
+        """Execution-time ratio vs the baseline at one cap."""
+        return self.row(cap_w).execution_s / self.baseline.execution_s
+
+
+class PowerCapExperiment:
+    """Run the full methodology for a set of workloads."""
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        caps_w: Sequence[float] = PAPER_POWER_CAPS_W,
+        repetitions: int = 5,
+        seed: int = DEFAULT_SEED,
+        config: NodeConfig | None = None,
+        slice_accesses: int = 320_000,
+    ) -> None:
+        if not workloads:
+            raise SimulationError("need at least one workload")
+        if repetitions < 1:
+            raise SimulationError("need at least one repetition")
+        self._workloads = list(workloads)
+        self._caps = [float(c) for c in caps_w]
+        self._reps = int(repetitions)
+        self._runner = NodeRunner(
+            config=config, seed=seed, slice_accesses=slice_accesses
+        )
+
+    @property
+    def runner(self) -> NodeRunner:
+        """The shared runner (exposes rate caches for inspection)."""
+        return self._runner
+
+    @property
+    def caps_w(self) -> List[float]:
+        """The caps this experiment sweeps."""
+        return list(self._caps)
+
+    def _average(
+        self, workload: Workload, cap_w: float | None
+    ) -> AveragedResult:
+        runs: List[RunResult] = [
+            self._runner.run(workload, cap_w, rep=r) for r in range(self._reps)
+        ]
+        return AveragedResult.from_runs(runs)
+
+    def run_workload(self, workload: Workload) -> ExperimentResult:
+        """Baseline plus the full cap sweep for one workload."""
+        result = ExperimentResult(
+            workload=workload.name,
+            baseline=self._average(workload, None),
+        )
+        for cap in self._caps:
+            result.by_cap[cap] = self._average(workload, cap)
+        return result
+
+    def run_all(self) -> Dict[str, ExperimentResult]:
+        """Every workload's sweep, keyed by workload name."""
+        return {w.name: self.run_workload(w) for w in self._workloads}

@@ -1,0 +1,140 @@
+"""Run metrics and paper-style comparisons.
+
+Table II reports, per (application, cap): average node power, computed
+energy, average frequency, execution time, and the five miss counters —
+each with its percent difference from the uncapped baseline, rounded to
+the nearest integer.  These types carry exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..perf.events import PapiEvent
+
+__all__ = ["RunResult", "AveragedResult", "percent_diff"]
+
+
+def percent_diff(value: float, baseline: float) -> float:
+    """Percent difference vs a baseline, as Table II computes it."""
+    if baseline == 0:
+        raise SimulationError("baseline value is zero; percent diff undefined")
+    return (value - baseline) / baseline * 100.0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One run of one workload under one cap."""
+
+    workload: str
+    cap_w: float | None
+    execution_s: float
+    avg_power_w: float
+    energy_j: float
+    avg_freq_mhz: float
+    counters: Dict[PapiEvent, float]
+    committed_instructions: float
+    executed_instructions: float
+    max_escalation_level: int
+    min_duty: float
+    #: Optional time series: (time_s, power_w, freq_mhz, duty) tuples.
+    series: tuple = ()
+    #: The BMC's System Event Log trail for this run:
+    #: (time_s, event_name, detail) tuples, oldest first.
+    sel_events: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.execution_s <= 0:
+            raise SimulationError("execution time must be positive")
+        if self.avg_power_w <= 0 or self.energy_j <= 0:
+            raise SimulationError("power/energy must be positive")
+
+    @property
+    def cap_label(self) -> str:
+        """Row label: the cap in watts, or 'baseline'."""
+        return "baseline" if self.cap_w is None else f"{self.cap_w:.0f}"
+
+    def counter(self, event: PapiEvent) -> float:
+        """One counter value."""
+        return self.counters[event]
+
+
+@dataclass(frozen=True)
+class AveragedResult:
+    """Mean of several repetitions (the paper averages five runs)."""
+
+    workload: str
+    cap_w: float | None
+    n_runs: int
+    execution_s: float
+    avg_power_w: float
+    energy_j: float
+    avg_freq_mhz: float
+    counters: Dict[PapiEvent, float]
+    committed_instructions: float
+    executed_instructions: float
+    max_escalation_level: int
+    min_duty: float
+    execution_s_std: float = 0.0
+
+    @classmethod
+    def from_runs(cls, runs: Sequence[RunResult]) -> "AveragedResult":
+        """Average a repetition set (all runs must match workload/cap)."""
+        if not runs:
+            raise SimulationError("cannot average zero runs")
+        first = runs[0]
+        if any(r.workload != first.workload or r.cap_w != first.cap_w for r in runs):
+            raise SimulationError("runs mix workloads or caps")
+        events = first.counters.keys()
+        counters = {
+            e: float(np.mean([r.counters[e] for r in runs])) for e in events
+        }
+        return cls(
+            workload=first.workload,
+            cap_w=first.cap_w,
+            n_runs=len(runs),
+            execution_s=float(np.mean([r.execution_s for r in runs])),
+            avg_power_w=float(np.mean([r.avg_power_w for r in runs])),
+            energy_j=float(np.mean([r.energy_j for r in runs])),
+            avg_freq_mhz=float(np.mean([r.avg_freq_mhz for r in runs])),
+            counters=counters,
+            committed_instructions=float(
+                np.mean([r.committed_instructions for r in runs])
+            ),
+            executed_instructions=float(
+                np.mean([r.executed_instructions for r in runs])
+            ),
+            max_escalation_level=max(r.max_escalation_level for r in runs),
+            min_duty=min(r.min_duty for r in runs),
+            execution_s_std=float(np.std([r.execution_s for r in runs])),
+        )
+
+    @property
+    def cap_label(self) -> str:
+        """Row label: the cap in watts, or 'baseline'."""
+        return "baseline" if self.cap_w is None else f"{self.cap_w:.0f}"
+
+    def diff_vs(self, baseline: "AveragedResult") -> Dict[str, float]:
+        """Table II's percent-difference columns vs the baseline row."""
+        diffs: Dict[str, float] = {
+            "power": percent_diff(self.avg_power_w, baseline.avg_power_w),
+            "energy": percent_diff(self.energy_j, baseline.energy_j),
+            "frequency": percent_diff(self.avg_freq_mhz, baseline.avg_freq_mhz),
+            "time": percent_diff(self.execution_s, baseline.execution_s),
+        }
+        for event in (
+            PapiEvent.PAPI_L1_TCM,
+            PapiEvent.PAPI_L2_TCM,
+            PapiEvent.PAPI_L3_TCM,
+            PapiEvent.PAPI_TLB_DM,
+            PapiEvent.PAPI_TLB_IM,
+        ):
+            base = baseline.counters[event]
+            diffs[event.value] = (
+                percent_diff(self.counters[event], base) if base else 0.0
+            )
+        return diffs

@@ -1,0 +1,232 @@
+"""Multi-core power capping — the paper's first future-work item.
+
+"We would like to extend this study to (1) explore how multi-core
+applications are affected by power capping" (Section V).  This module
+does exactly that on the simulated node: run ``n_cores`` identical
+instances of a workload concurrently under one node-level cap.
+
+Model (documented approximations)
+---------------------------------
+- **Power**: the node power model's ``busy_cores`` term scales the core
+  dynamic power; the uncore/platform/leakage terms are shared.  With
+  more busy cores the same cap leaves less power per core, so the BMC
+  settles at a lower common P-state — the first-order multi-core
+  capping effect.
+- **Shared L3**: cores compete for L3 capacity.  We approximate the
+  steady state as an equal way-partition: each core's rates are
+  measured with the L3 gated to ``1/n`` of its ways (on top of any
+  escalation gating).  This is the standard partition approximation for
+  symmetric co-runners.
+- **DRAM bandwidth**: aggregate traffic approaches the sustained
+  bandwidth; an M/M/1-style factor ``1 / (1 - U)`` inflates DRAM
+  latency with utilisation ``U`` (capped), modelling queueing at the
+  memory controller.
+- **Private L1/L2 and TLBs** are per-core and unaffected by co-runners.
+
+The headline result the extension produces: the *knee moves up*.  A cap
+that costs one core a few percent can push a fully loaded node past its
+DVFS range entirely, and per-core slowdown under a fixed cap grows with
+core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..arch.core import CoreTimingModel
+from ..arch.node import Node
+from ..bmc.controller import CapController
+from ..bmc.sensors import PowerSensor
+from ..config import NodeConfig, sandy_bridge_config
+from ..errors import SimulationError
+from ..mem.latency import AccessCosts, stall_ns_per_instruction
+from ..mem.reconfig import GatingState
+from ..power.energy import EnergyAccumulator
+from ..power.meter import WattsUpMeter
+from ..rng import DEFAULT_SEED, RngStreams
+from ..workloads.base import Workload
+from .runner import NodeRunner
+
+__all__ = ["MultiCoreRunner", "MultiCoreResult"]
+
+
+@dataclass(frozen=True)
+class MultiCoreResult:
+    """One multi-core run under one cap."""
+
+    workload: str
+    n_cores: int
+    cap_w: float | None
+    #: Wall time for every core to finish its instance.
+    execution_s: float
+    avg_power_w: float
+    energy_j: float
+    avg_freq_mhz: float
+    #: Aggregate instruction throughput (instr/s across all cores).
+    throughput_ips: float
+    max_escalation_level: int
+    min_duty: float
+
+    @property
+    def per_core_ips(self) -> float:
+        """Throughput of one core."""
+        return self.throughput_ips / self.n_cores
+
+
+class MultiCoreRunner:
+    """Run ``n_cores`` symmetric instances of a workload under a cap."""
+
+    def __init__(
+        self,
+        config: NodeConfig | None = None,
+        seed: int = DEFAULT_SEED,
+        slice_accesses: int = 200_000,
+    ) -> None:
+        self._config = config or sandy_bridge_config()
+        self._streams = RngStreams(seed)
+        # Reuse the single-core runner's trace/rate machinery.
+        self._rates_runner = NodeRunner(
+            config=self._config, seed=seed, slice_accesses=slice_accesses
+        )
+
+    @property
+    def config(self) -> NodeConfig:
+        """The node configuration."""
+        return self._config
+
+    def _shared_gating(self, base: GatingState, n_cores: int) -> GatingState:
+        """Compose escalation gating with the L3 partition for n cores."""
+        if n_cores == 1:
+            return base
+        share = max(1.0 / self._config.l3.ways, base.l3_way_fraction / n_cores)
+        return GatingState(
+            l1_way_fraction=base.l1_way_fraction,
+            l2_way_fraction=base.l2_way_fraction,
+            l3_way_fraction=share,
+            itlb_fraction=base.itlb_fraction,
+            dtlb_fraction=base.dtlb_fraction,
+            dram_latency_multiplier=base.dram_latency_multiplier,
+            cache_latency_multiplier=base.cache_latency_multiplier,
+        )
+
+    def run(
+        self,
+        workload: Workload,
+        n_cores: int,
+        cap_w: float | None = None,
+        rep: int = 0,
+    ) -> MultiCoreResult:
+        """Execute ``n_cores`` instances; returns the joint result."""
+        if not 1 <= n_cores <= self._config.n_cores:
+            raise SimulationError(
+                f"n_cores must be in 1..{self._config.n_cores}"
+            )
+        cfg = self._config
+        tag = f"mc:{workload.name}:cores={n_cores}:cap={cap_w}:rep={rep}"
+        node = Node(cfg)
+        sensor = PowerSensor(self._streams.fresh(f"sensor:{tag}"))
+        controller = CapController(node, sensor, busy_cores=n_cores)
+        controller.set_cap(cap_w)
+        meter = WattsUpMeter(cfg.meter, self._streams.fresh(f"meter:{tag}"))
+        energy = EnergyAccumulator()
+        core = CoreTimingModel(cfg.base_cpi)
+        quantum = cfg.bmc.control_quantum_s
+
+        total_per_core = workload.spec.total_instructions
+        done = 0.0  # per-core (symmetric cores advance together)
+        t = 0.0
+        freq_time = 0.0
+        max_escalation = 0
+        min_duty = 1.0
+        power = node.power_w(busy_cores=n_cores)
+        stable = 0
+        prev_key = None
+
+        while done < total_per_core:
+            cmd = controller.update(power, traffic_bps=0.0)
+            key = (cmd.pstate_fast.index, cmd.pstate_slow.index,
+                   round(cmd.alpha, 2), cmd.duty, cmd.escalation_level)
+            stable = stable + 1 if key == prev_key else 0
+            prev_key = key
+            step_s = quantum * (10.0 if stable > 40 else 1.0)
+
+            gating = self._shared_gating(cmd.gating, n_cores)
+            rates = self._rates_runner.rates_for(workload, gating)
+            # Aggregate DRAM pressure -> queueing-inflated latency.
+            freq = cmd.effective_freq_hz
+            costs0 = AccessCosts.from_config(cfg, gating)
+            stall0 = stall_ns_per_instruction(rates, costs0)
+            spi0 = core.seconds_per_instruction(freq, stall0, cmd.duty)
+            traffic_one = rates.l3_misses / spi0 * cfg.l3.line_bytes
+            utilisation = min(
+                0.90, n_cores * traffic_one / (cfg.dram.bandwidth_gbs * 1e9)
+            )
+            queue_factor = 1.0 / (1.0 - utilisation)
+            inflated = GatingState(
+                l1_way_fraction=gating.l1_way_fraction,
+                l2_way_fraction=gating.l2_way_fraction,
+                l3_way_fraction=gating.l3_way_fraction,
+                itlb_fraction=gating.itlb_fraction,
+                dtlb_fraction=gating.dtlb_fraction,
+                dram_latency_multiplier=gating.dram_latency_multiplier
+                * queue_factor,
+                cache_latency_multiplier=gating.cache_latency_multiplier,
+            )
+            costs = AccessCosts.from_config(cfg, inflated)
+            stall = stall_ns_per_instruction(rates, costs)
+            spi = core.seconds_per_instruction(freq, stall, cmd.duty)
+            traffic_total = n_cores * rates.l3_misses / spi * cfg.l3.line_bytes
+
+            model = node.power_model
+            temp = node.thermal.temperature_c
+
+            def p_of(state) -> float:
+                return model.power_of_pstate(
+                    state,
+                    duty=cmd.duty,
+                    gating_saving_w=cmd.gating_saving_w,
+                    dram_traffic_bps=traffic_total,
+                    temperature_c=temp,
+                    busy_cores=n_cores,
+                )
+
+            power = cmd.alpha * p_of(cmd.pstate_fast) + (
+                1.0 - cmd.alpha
+            ) * p_of(cmd.pstate_slow)
+
+            remaining_s = (total_per_core - done) * spi
+            dt = min(step_s, remaining_s)
+            done += dt / spi
+            freq_time += freq * dt
+            max_escalation = max(max_escalation, cmd.escalation_level)
+            min_duty = min(min_duty, cmd.duty)
+            node.thermal.step(power, dt)
+            meter.advance(t, dt, lambda _t, p=power: p)
+            energy.add(power, dt)
+            t += dt
+
+        avg_power = (
+            meter.average_power_w() if meter.readings else energy.average_power_w()
+        )
+        return MultiCoreResult(
+            workload=workload.name,
+            n_cores=n_cores,
+            cap_w=cap_w,
+            execution_s=t,
+            avg_power_w=avg_power,
+            energy_j=energy.energy_j,
+            avg_freq_mhz=freq_time / t / 1e6,
+            throughput_ips=n_cores * total_per_core / t,
+            max_escalation_level=max_escalation,
+            min_duty=min_duty,
+        )
+
+    def scaling_table(
+        self,
+        workload: Workload,
+        core_counts=(1, 2, 4, 8),
+        cap_w: float | None = None,
+    ) -> Dict[int, MultiCoreResult]:
+        """Throughput scaling across core counts at one cap."""
+        return {n: self.run(workload, n, cap_w) for n in core_counts}

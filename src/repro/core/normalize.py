@@ -1,0 +1,32 @@
+"""Figure 1/2 normalisation.
+
+The paper's figures plot each metric "normalized" across the cap sweep:
+every series is divided by its own maximum so all series share the
+[0, 1] axis and their *shapes* can be compared (frequency falling,
+time/energy rising, miss counts stepping at the escalation caps).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["normalize_series"]
+
+
+def normalize_series(values: Sequence[float]) -> np.ndarray:
+    """Scale a series by its maximum absolute value.
+
+    All-zero series normalise to all zeros rather than dividing by
+    zero; negative values are allowed (scaled by max |v|).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("cannot normalise an empty series")
+    peak = np.max(np.abs(arr))
+    if peak == 0:
+        return np.zeros_like(arr)
+    return arr / peak

@@ -1,0 +1,141 @@
+"""Choose the best cap for a mission: deadline-constrained energy.
+
+The paper's Discussion (Section IV-C) frames the integrator's real
+question: given a job with a soft real-time deadline and a platform
+with a power allocation, *which cap should be programmed?*  Too high
+and the allocation is violated; too low and the deadline (or the
+battery) is.
+
+:class:`CapOptimizer` answers it in two stages:
+
+1. **screen** with the baseline-counters predictor
+   (:class:`~repro.core.predictor.CapImpactPredictor`) — instant, no
+   capped runs — discarding caps whose predicted slowdown already
+   breaks the deadline;
+2. **verify** the surviving candidates with full simulated runs,
+   picking the feasible cap that minimises the chosen objective.
+
+Objectives: ``"energy"`` (battery missions), ``"headroom"`` (maximise
+the watts released to other payloads — generator missions), or
+``"time"`` (finish as fast as the allocation allows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..mem.reconfig import GatingState
+from ..workloads.base import Workload
+from .metrics import RunResult
+from .predictor import CapImpactPredictor
+from .runner import NodeRunner
+
+__all__ = ["CapOptimizer", "CapRecommendation"]
+
+_OBJECTIVES = ("energy", "headroom", "time")
+
+
+@dataclass(frozen=True)
+class CapRecommendation:
+    """The optimiser's answer."""
+
+    #: The recommended cap (None = run uncapped).
+    cap_w: Optional[float]
+    objective: str
+    deadline_s: float
+    #: The verified run at the recommended cap.
+    run: RunResult
+    #: Caps screened out by prediction alone (no simulation spent).
+    screened_out_w: tuple
+    #: Caps simulated and rejected (deadline missed).
+    verified_out_w: tuple
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Whether the verified run fits the deadline."""
+        return self.run.execution_s <= self.deadline_s
+
+
+class CapOptimizer:
+    """Two-stage cap selection for one workload and mission."""
+
+    def __init__(self, runner: NodeRunner) -> None:
+        self._runner = runner
+        self._predictor = CapImpactPredictor(runner.config)
+
+    def recommend(
+        self,
+        workload: Workload,
+        deadline_s: float,
+        candidate_caps_w: Sequence[float],
+        objective: str = "energy",
+        allocation_w: Optional[float] = None,
+    ) -> CapRecommendation:
+        """Pick the best cap.
+
+        ``deadline_s`` applies to the *scaled* workload the runner will
+        execute; ``allocation_w`` (if given) excludes caps above the
+        platform's power allocation up front.
+        """
+        if objective not in _OBJECTIVES:
+            raise SimulationError(
+                f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+            )
+        if deadline_s <= 0:
+            raise SimulationError("deadline must be positive")
+        if not candidate_caps_w:
+            raise SimulationError("need at least one candidate cap")
+
+        baseline = self._runner.run(workload)
+        if baseline.execution_s > deadline_s:
+            raise SimulationError(
+                "even the uncapped run misses the deadline "
+                f"({baseline.execution_s:.1f} s > {deadline_s:.1f} s)"
+            )
+        tolerance = deadline_s / baseline.execution_s
+
+        rates = self._runner.rates_for(workload, GatingState.ungated())
+        screened_out: List[float] = []
+        survivors: List[float] = []
+        for cap in sorted(set(float(c) for c in candidate_caps_w), reverse=True):
+            if allocation_w is not None and cap > allocation_w:
+                screened_out.append(cap)
+                continue
+            impact = self._predictor.predict(rates, cap)
+            # Keep undecidable (lower-bound-within-tolerance) caps for
+            # verification; discard only confident violations.
+            if impact.tolerable(tolerance) is False:
+                screened_out.append(cap)
+            else:
+                survivors.append(cap)
+
+        verified: Dict[Optional[float], RunResult] = {None: baseline}
+        verified_out: List[float] = []
+        for cap in survivors:
+            run = self._runner.run(workload, cap)
+            if run.execution_s <= deadline_s:
+                verified[cap] = run
+            else:
+                verified_out.append(cap)
+
+        def score(item) -> float:
+            cap, run = item
+            if objective == "energy":
+                return run.energy_j
+            if objective == "time":
+                return run.execution_s
+            # headroom: maximise watts released below the uncapped draw
+            # -> minimise the cap itself (uncapped counts as no release).
+            return cap if cap is not None else float("inf")
+
+        best_cap, best_run = min(verified.items(), key=score)
+        return CapRecommendation(
+            cap_w=best_cap,
+            objective=objective,
+            deadline_s=deadline_s,
+            run=best_run,
+            screened_out_w=tuple(screened_out),
+            verified_out_w=tuple(verified_out),
+        )

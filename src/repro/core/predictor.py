@@ -1,0 +1,223 @@
+"""Predict cap impact from baseline measurements only.
+
+The paper's final future-work item: "we would like to develop a
+methodology for characterizing applications with regard to their
+amenability to power capped execution" (Section V).  The empirical side
+of that methodology is :mod:`repro.core.amenability` (run the sweep,
+find the knee).  This module is the *predictive* side: given only what
+one uncapped, instrumented run provides — per-instruction event rates
+from the PAPI counters and the average draw — predict the slowdown at
+any cap without running capped at all.
+
+The prediction inverts the same CPI-stack reasoning the simulator runs
+forward:
+
+1. classify the cap's **regime** against the power model: ``DVFS``
+   (reachable by frequency scaling), ``BEYOND_DVFS`` (below the floor
+   P-state's draw: gating and clock modulation will engage), or
+   ``INFEASIBLE`` (below the deepest-mechanism floor: the cap will be
+   missed *and* performance will be destroyed);
+2. in the DVFS regime, solve for the dither frequency the BMC will
+   settle at and scale only the compute component of the CPI stack —
+   memory stalls do not speed up with the clock, which is exactly why
+   memory-bound codes (SIRE) tolerate capping better than compute-bound
+   ones (Stereo);
+3. beyond DVFS, return a *lower bound* built from the floor frequency
+   and the duty implied by the remaining power gap (gating-induced miss
+   inflation comes on top, and a baseline-only predictor cannot see
+   it — the honest limit of counter-based characterisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Sequence
+
+from ..arch.core import CoreTimingModel
+from ..arch.pstate import PStateTable
+from ..config import NodeConfig, sandy_bridge_config
+from ..errors import SimulationError
+from ..mem.hierarchy import AccessRates
+from ..mem.latency import AccessCosts, stall_ns_per_instruction
+from ..power.model import NodePowerModel
+
+__all__ = ["CapRegime", "PredictedImpact", "CapImpactPredictor"]
+
+
+class CapRegime(Enum):
+    """Where a cap lands relative to the node's mechanisms."""
+
+    #: No capping needed: the cap exceeds the uncapped draw.
+    UNCONSTRAINED = "unconstrained"
+    #: Reachable by P-state dithering alone.
+    DVFS = "dvfs"
+    #: Below the floor P-state: gating/modulation will engage.
+    BEYOND_DVFS = "beyond-dvfs"
+    #: Below the deepest achievable floor: will run over the cap.
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class PredictedImpact:
+    """Prediction for one cap."""
+
+    cap_w: float
+    regime: CapRegime
+    predicted_freq_mhz: float
+    #: Execution-time ratio vs baseline.  Exact in the DVFS regime; a
+    #: lower bound beyond it (``is_lower_bound``).
+    predicted_slowdown: float
+    is_lower_bound: bool
+
+    def tolerable(self, tolerance_slowdown: float) -> Optional[bool]:
+        """Whether the cap stays within a slowdown tolerance.
+
+        Returns None when the prediction is only a lower bound that
+        does not already exceed the tolerance (undecidable from
+        baseline data alone).
+        """
+        if self.predicted_slowdown > tolerance_slowdown:
+            return False
+        if self.is_lower_bound:
+            return None
+        return True
+
+
+class CapImpactPredictor:
+    """Baseline-counters-in, slowdown-curve-out."""
+
+    def __init__(self, config: NodeConfig | None = None) -> None:
+        self._config = config or sandy_bridge_config()
+        self._pstates = PStateTable(self._config.pstates)
+        self._model = NodePowerModel(self._config)
+        self._core = CoreTimingModel(self._config.base_cpi)
+        self._costs = AccessCosts.from_config(self._config)
+
+    @property
+    def config(self) -> NodeConfig:
+        """The node the prediction targets."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _spi_at(self, rates: AccessRates, freq_hz: float, duty: float = 1.0) -> float:
+        stall = stall_ns_per_instruction(rates, self._costs)
+        return self._core.seconds_per_instruction(freq_hz, stall, duty)
+
+    def _power_of(self, state, rates: AccessRates, freq_hint_hz: float) -> float:
+        # DRAM traffic scales with the instruction rate at the state.
+        spi = self._spi_at(rates, state.freq_hz)
+        traffic = rates.l3_misses / spi * self._config.l3.line_bytes
+        return self._model.power_of_pstate(
+            state,
+            dram_traffic_bps=traffic,
+            temperature_c=self._config.power.leakage_ref_temp_c,
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def baseline_power_w(self, rates: AccessRates) -> float:
+        """The uncapped draw the model predicts for these rates."""
+        return self._power_of(self._pstates.fastest, rates, 2.701e9)
+
+    def predict(self, rates: AccessRates, cap_w: float) -> PredictedImpact:
+        """Predict the impact of one cap from baseline rates."""
+        if cap_w <= 0:
+            raise SimulationError("cap must be positive")
+        cfg = self._config
+        base_spi = self._spi_at(rates, self._pstates.fastest.freq_hz)
+        uncapped = self.baseline_power_w(rates)
+        target = cap_w - cfg.bmc.target_margin_w
+
+        if cap_w >= uncapped:
+            return PredictedImpact(
+                cap_w=cap_w,
+                regime=CapRegime.UNCONSTRAINED,
+                predicted_freq_mhz=self._pstates.fastest.freq_mhz,
+                predicted_slowdown=1.0,
+                is_lower_bound=False,
+            )
+
+        floor_state = self._pstates.slowest
+        floor_power = self._power_of(floor_state, rates, floor_state.freq_hz)
+        if target >= floor_power:
+            # DVFS regime: the dither frequency solves the power model.
+            fast, slow, alpha = self._pstates.dither_fraction(
+                lambda st: self._power_of(st, rates, st.freq_hz), target
+            )
+            freq = alpha * fast.freq_hz + (1 - alpha) * slow.freq_hz
+            slowdown = self._spi_at(rates, freq) / base_spi
+            return PredictedImpact(
+                cap_w=cap_w,
+                regime=CapRegime.DVFS,
+                predicted_freq_mhz=freq / 1e6,
+                predicted_slowdown=slowdown,
+                is_lower_bound=False,
+            )
+
+        # Beyond DVFS: estimate the duty the power gap forces.
+        ladder = cfg.bmc.ladder
+        deepest_saving = max(l.power_saving_w for l in ladder.levels)
+        escalated_floor = floor_power - deepest_saving
+        duty_floor_power = self._model.power_of_pstate(
+            floor_state,
+            duty=ladder.duty_min,
+            gating_saving_w=deepest_saving,
+            temperature_c=cfg.power.leakage_ref_temp_c,
+        )
+        regime = (
+            CapRegime.INFEASIBLE if cap_w < duty_floor_power
+            else CapRegime.BEYOND_DVFS
+        )
+        if regime is CapRegime.INFEASIBLE:
+            duty = ladder.duty_min
+        else:
+            # Linear interpolation of the duty response between the
+            # escalated floor (duty 1) and the duty floor (duty_min).
+            span = max(1e-9, escalated_floor - duty_floor_power)
+            frac = (cap_w - duty_floor_power) / span
+            duty = ladder.duty_min + (1.0 - ladder.duty_min) * min(
+                1.0, max(0.0, frac)
+            )
+        slowdown = self._spi_at(rates, floor_state.freq_hz, duty) / base_spi
+        return PredictedImpact(
+            cap_w=cap_w,
+            regime=regime,
+            predicted_freq_mhz=floor_state.freq_mhz,
+            predicted_slowdown=slowdown,
+            is_lower_bound=True,
+        )
+
+    def predict_curve(
+        self, rates: AccessRates, caps_w: Sequence[float]
+    ) -> Dict[float, PredictedImpact]:
+        """Predictions for a whole cap sweep."""
+        return {float(c): self.predict(rates, float(c)) for c in caps_w}
+
+    def knee_cap_w(
+        self,
+        rates: AccessRates,
+        tolerance_slowdown: float = 1.25,
+        caps_w: Sequence[float] | None = None,
+    ) -> Optional[float]:
+        """Lowest cap predicted to stay within a slowdown tolerance."""
+        if tolerance_slowdown <= 1.0:
+            raise SimulationError("tolerance must exceed 1.0")
+        caps = sorted(
+            caps_w
+            or [160.0, 155.0, 150.0, 145.0, 140.0, 135.0, 130.0, 125.0, 120.0],
+            reverse=True,
+        )
+        knee = None
+        for cap in caps:
+            impact = self.predict(rates, cap)
+            if impact.tolerable(tolerance_slowdown):
+                knee = cap
+            else:
+                break
+        return knee

@@ -1,0 +1,145 @@
+"""Render the paper's tables and figure series.
+
+- :func:`render_table1` — Table I: baseline power and execution time;
+- :func:`render_table2` — Table II: the full sweep with percent diffs;
+- :func:`figure1_series` / :func:`figure2_series` — the normalised
+  series behind Figures 1 and 2 (SIRE/RSM and Stereo Matching);
+- :func:`render_stride_figure` — text rendering of a stride sweep
+  (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..perf.events import PapiEvent
+from ..units import format_duration
+from ..workloads.stride import StrideResult
+from .experiment import ExperimentResult
+from .normalize import normalize_series
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "figure1_series",
+    "figure2_series",
+    "render_stride_figure",
+]
+
+
+def render_table1(results: Sequence[ExperimentResult]) -> str:
+    """Table I: baseline power consumption and execution time."""
+    lines = [
+        "Table I: baseline power consumption and execution time",
+        f"{'Code':<16} {'Avg node power (W)':>20} {'Execution time':>16}",
+    ]
+    for result in results:
+        b = result.baseline
+        lines.append(
+            f"{result.workload:<16} {b.avg_power_w:>20.1f} "
+            f"{format_duration(b.execution_s):>16}"
+        )
+    return "\n".join(lines)
+
+
+_TABLE2_COUNTERS = (
+    ("L1 Misses", PapiEvent.PAPI_L1_TCM),
+    ("L2 Misses", PapiEvent.PAPI_L2_TCM),
+    ("L3 Misses", PapiEvent.PAPI_L3_TCM),
+    ("TLB Data", PapiEvent.PAPI_TLB_DM),
+    ("TLB Instr", PapiEvent.PAPI_TLB_IM),
+)
+
+
+def render_table2(result: ExperimentResult) -> str:
+    """Table II for one workload: all rows with percent diffs."""
+    base = result.baseline
+    header = (
+        f"{'Cap':>9} {'Power(W)':>9} {'%':>6} {'Energy(J)':>13} {'%':>7} "
+        f"{'Freq(MHz)':>10} {'%':>5} {'Time':>9} {'%':>7}"
+    )
+    lines = [f"Table II rows for {result.workload}", header]
+    counter_header = "".join(
+        f"{name:>16} {'%':>7}" for name, _ in _TABLE2_COUNTERS
+    )
+    lines_counters = [f"{'Cap':>9}" + counter_header]
+    for row in result.rows():
+        d = row.diff_vs(base)
+        lines.append(
+            f"{row.cap_label:>9} {row.avg_power_w:>9.1f} {d['power']:>6.0f} "
+            f"{row.energy_j:>13,.1f} {d['energy']:>7.0f} "
+            f"{row.avg_freq_mhz:>10.0f} {d['frequency']:>5.0f} "
+            f"{format_duration(row.execution_s):>9} {d['time']:>7.0f}"
+        )
+        counter_cells = []
+        for _, event in _TABLE2_COUNTERS:
+            counter_cells.append(
+                f"{row.counters[event]:>16,.0f} {d[event.value]:>7.0f}"
+            )
+        lines_counters.append(f"{row.cap_label:>9}" + "".join(counter_cells))
+    return "\n".join(lines + [""] + lines_counters)
+
+
+def _figure_series(
+    result: ExperimentResult, events: Sequence[PapiEvent]
+) -> Dict[str, np.ndarray]:
+    """Normalised series over [baseline, caps high->low]."""
+    rows = result.rows()
+    series: Dict[str, List[float]] = {
+        "labels": [r.cap_label for r in rows],  # type: ignore[dict-item]
+    }
+    out: Dict[str, np.ndarray] = {}
+    out["labels"] = np.array([r.cap_label for r in rows])
+    out["frequency"] = normalize_series([r.avg_freq_mhz for r in rows])
+    out["time"] = normalize_series([r.execution_s for r in rows])
+    out["power"] = normalize_series([r.avg_power_w for r in rows])
+    out["energy"] = normalize_series([r.energy_j for r in rows])
+    for event in events:
+        out[event.value] = normalize_series([r.counters[event] for r in rows])
+    return out
+
+
+def figure1_series(sire_result: ExperimentResult) -> Dict[str, np.ndarray]:
+    """Figure 1: SIRE/RSM normalised series.
+
+    Series: iTLB misses, frequency, time, power, energy.
+    """
+    return _figure_series(sire_result, [PapiEvent.PAPI_TLB_IM])
+
+
+def figure2_series(stereo_result: ExperimentResult) -> Dict[str, np.ndarray]:
+    """Figure 2: Stereo Matching normalised series.
+
+    Series: L2 and L3 miss rates, iTLB misses, frequency, time, power,
+    energy.
+    """
+    return _figure_series(
+        stereo_result,
+        [PapiEvent.PAPI_L2_TCM, PapiEvent.PAPI_L3_TCM, PapiEvent.PAPI_TLB_IM],
+    )
+
+
+def render_stride_figure(result: StrideResult, title: str) -> str:
+    """Text rendering of a stride sweep: one row per array size."""
+    lines = [title]
+    header = f"{'size':>8} " + " ".join(
+        f"{_fmt_bytes(s):>8}" for s in result.strides
+    )
+    lines.append(header)
+    for i, size in enumerate(result.sizes):
+        cells = []
+        for j in range(len(result.strides)):
+            v = result.access_time_ns[i, j]
+            cells.append(f"{v:>8.1f}" if np.isfinite(v) else f"{'-':>8}")
+        lines.append(f"{_fmt_bytes(size):>8} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20 and n % (1 << 20) == 0:
+        return f"{n >> 20}M"
+    if n >= 1 << 10 and n % (1 << 10) == 0:
+        return f"{n >> 10}K"
+    return f"{n}B"

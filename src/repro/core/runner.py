@@ -1,0 +1,248 @@
+"""Execute a workload on the simulated node under a power cap.
+
+The runner is a discrete-time coupling of every substrate:
+
+- per control quantum, the BMC controller reads its (noisy) power
+  sensor and issues an :class:`~repro.bmc.controller.OperatingCommand`
+  (P-state dither pair, duty factor, escalation gating);
+- the workload's steady-state per-instruction event rates under the
+  commanded gating come from the trace-driven cache/TLB simulators
+  (measured once per distinct gating and cached — miss behaviour does
+  not depend on frequency or duty);
+- the CPI-stack timing model converts rates + level costs + frequency +
+  duty into instructions retired this quantum;
+- the power model produces the quantum's true node power (dither-
+  blended across the two P-states), which feeds the thermal model, the
+  wall meter, the energy integral, and the next control decision.
+
+The run ends when the workload's committed-instruction budget retires.
+Counters accumulate per gating segment, so Table II's miss columns
+reflect exactly the mix of configurations the run actually visited.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..arch.node import Node
+from ..arch.core import CoreTimingModel
+from ..config import NodeConfig, sandy_bridge_config
+from ..bmc.controller import CapController
+from ..bmc.sensors import PowerSensor
+from ..errors import SimulationError
+from ..mem.hierarchy import AccessRates, MemoryHierarchy
+from ..mem.latency import AccessCosts, stall_ns_per_instruction
+from ..mem.reconfig import GatingState, ReconfigEngine
+from ..perf.counters import CounterBank
+from ..perf.events import PapiEvent
+from ..power.energy import EnergyAccumulator
+from ..power.meter import WattsUpMeter
+from ..rng import DEFAULT_SEED, RngStreams
+from ..trace.events import TraceSlice
+from ..workloads.base import Workload
+from .metrics import RunResult
+
+__all__ = ["NodeRunner"]
+
+
+class NodeRunner:
+    """Runs workloads under caps; reusable across runs (rate caching)."""
+
+    def __init__(
+        self,
+        config: NodeConfig | None = None,
+        seed: int = DEFAULT_SEED,
+        slice_accesses: int = 320_000,
+        record_series: bool = False,
+        max_sim_seconds: float = 250_000.0,
+    ) -> None:
+        self._config = config or sandy_bridge_config()
+        self._streams = RngStreams(seed)
+        self._slice_accesses = int(slice_accesses)
+        self._record_series = record_series
+        self._max_sim_seconds = float(max_sim_seconds)
+        self._slices: Dict[str, TraceSlice] = {}
+        self._rates: Dict[Tuple[str, tuple], AccessRates] = {}
+
+    @property
+    def config(self) -> NodeConfig:
+        """The node configuration all runs use."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Rate measurement (trace-driven cache simulation)
+    # ------------------------------------------------------------------
+
+    def _slice_for(self, workload: Workload) -> TraceSlice:
+        if workload.name not in self._slices:
+            rng = self._streams.fresh(f"slice:{workload.name}")
+            self._slices[workload.name] = workload.build_slice(
+                rng, self._slice_accesses
+            )
+        return self._slices[workload.name]
+
+    def rates_for(self, workload: Workload, gating: GatingState) -> AccessRates:
+        """Steady-state per-instruction event rates under a gating.
+
+        Measured by pushing the workload's representative slice through
+        a fresh hierarchy configured to ``gating`` and discarding the
+        warmup region.  Cached per (workload, miss-relevant config).
+        """
+        key = (workload.name, gating.config_key())
+        if key not in self._rates:
+            sl = self._slice_for(workload)
+            hierarchy = MemoryHierarchy(self._config)
+            ReconfigEngine(self._config).apply(hierarchy, gating)
+            d_warm, d_meas, i_warm, i_meas = sl.split_warmup()
+            if len(sl.preload_addresses):
+                hierarchy.simulate_data_trace(sl.preload_addresses)
+            hierarchy.simulate_slice(d_warm, i_warm)
+            counts = hierarchy.simulate_slice(d_meas, i_meas)
+            self._rates[key] = AccessRates.from_counts(
+                counts, sl.measured_instructions
+            )
+        return self._rates[key]
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        cap_w: float | None = None,
+        rep: int = 0,
+    ) -> RunResult:
+        """Execute one full run; repetitions differ in their noise draws."""
+        cfg = self._config
+        tag = f"{workload.name}:cap={cap_w}:rep={rep}"
+        node = Node(cfg)
+        sensor = PowerSensor(self._streams.fresh(f"bmc-sensor:{tag}"))
+        controller = CapController(node, sensor)
+        controller.set_cap(cap_w)
+        meter = WattsUpMeter(cfg.meter, self._streams.fresh(f"meter:{tag}"))
+        energy = EnergyAccumulator()
+        core = CoreTimingModel(cfg.base_cpi)
+        quantum = cfg.bmc.control_quantum_s
+
+        total_instr = workload.spec.total_instructions
+        done = 0.0
+        t = 0.0
+        freq_time = 0.0
+        cycles = 0.0
+        max_escalation = 0
+        min_duty = 1.0
+        # Instructions executed per gating config, for counter scaling.
+        instr_by_gating: Dict[tuple, float] = {}
+        gating_by_key: Dict[tuple, GatingState] = {}
+        series = []
+
+        # Initial condition: one quantum at P0, unthrottled, ungated.
+        gating = GatingState.ungated()
+        rates = self.rates_for(workload, gating)
+        power = node.power_w(dram_traffic_bps=0.0)
+        # Adaptive stepping: once the controller's command has been
+        # stable for a while (e.g. duty pinned at its minimum during a
+        # 120 W run), quanta are lengthened 10x — the dynamics are in
+        # steady state and per-quantum resolution buys nothing.
+        stable_quanta = 0
+        prev_cmd_key = None
+
+        while done < total_instr:
+            cmd = controller.update(power, activity=1.0, traffic_bps=0.0)
+            cmd_key = (
+                cmd.pstate_fast.index,
+                cmd.pstate_slow.index,
+                round(cmd.alpha, 2),
+                cmd.duty,
+                cmd.escalation_level,
+            )
+            stable_quanta = stable_quanta + 1 if cmd_key == prev_cmd_key else 0
+            prev_cmd_key = cmd_key
+            step_s = quantum * (10.0 if stable_quanta > 40 else 1.0)
+            if cmd.gating != gating:
+                gating = cmd.gating
+            rates = self.rates_for(workload, gating)
+            costs = AccessCosts.from_config(cfg, gating)
+            stall_ns = stall_ns_per_instruction(rates, costs)
+            freq = cmd.effective_freq_hz
+            spi = core.seconds_per_instruction(freq, stall_ns, cmd.duty)
+            instr_rate = 1.0 / spi
+            traffic = rates.l3_misses * instr_rate * cfg.l3.line_bytes
+
+            # True node power this quantum: dither-blended P-states.
+            model = node.power_model
+            temp = node.thermal.temperature_c
+
+            def p_of(state) -> float:
+                return model.power_of_pstate(
+                    state,
+                    duty=cmd.duty,
+                    activity=1.0,
+                    gating_saving_w=cmd.gating_saving_w,
+                    dram_traffic_bps=traffic,
+                    temperature_c=temp,
+                )
+
+            power = cmd.alpha * p_of(cmd.pstate_fast) + (1.0 - cmd.alpha) * p_of(
+                cmd.pstate_slow
+            )
+
+            remaining_s = (total_instr - done) * spi
+            dt = min(step_s, remaining_s)
+            instr_now = dt / spi
+            done += instr_now
+            key = gating.config_key()
+            instr_by_gating[key] = instr_by_gating.get(key, 0.0) + instr_now
+            gating_by_key[key] = gating
+            freq_time += freq * dt
+            cycles += freq * dt * cmd.duty
+            max_escalation = max(max_escalation, cmd.escalation_level)
+            min_duty = min(min_duty, cmd.duty)
+
+            node.thermal.step(power, dt)
+            meter.advance(t, dt, lambda _t, p=power: p)
+            energy.add(power, dt)
+            t += dt
+            if self._record_series:
+                series.append((t, power, freq / 1e6, cmd.duty))
+            if t > self._max_sim_seconds:
+                raise SimulationError(
+                    f"run exceeded {self._max_sim_seconds:.0f} simulated "
+                    f"seconds ({done:.3g}/{total_instr:.3g} instructions) — "
+                    "check the cap against the node's achievable floor"
+                )
+
+        # ------------------------------------------------------------------
+        # Assemble counters scaled to the full run.
+        # ------------------------------------------------------------------
+        bank = CounterBank()
+        for key, n_instr in instr_by_gating.items():
+            seg_rates = self.rates_for(workload, gating_by_key[key])
+            bank.add_access_counts(seg_rates.counts_for(n_instr))
+        spec_rng = self._streams.fresh(f"speculation:{tag}")
+        speculation = CoreTimingModel.speculation_factor(spec_rng)
+        bank.add(PapiEvent.PAPI_TOT_INS, total_instr)
+        bank.add(PapiEvent.PAPI_TOT_IIS, total_instr * speculation)
+        bank.add(PapiEvent.PAPI_TOT_CYC, cycles)
+
+        avg_power = meter.average_power_w() if meter.readings else energy.average_power_w()
+        sel_events = tuple(
+            (e.time_s, e.event.value, e.detail)
+            for e in controller.sel.entries()
+        )
+        return RunResult(
+            workload=workload.name,
+            cap_w=cap_w,
+            execution_s=t,
+            avg_power_w=avg_power,
+            energy_j=energy.energy_j,
+            avg_freq_mhz=freq_time / t / 1e6,
+            counters=dict(bank.snapshot()),
+            committed_instructions=total_instr,
+            executed_instructions=total_instr * speculation,
+            max_escalation_level=max_escalation,
+            min_duty=min_duty,
+            series=tuple(series),
+            sel_events=sel_events,
+        )

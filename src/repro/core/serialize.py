@@ -1,0 +1,116 @@
+"""Serialise experiment results to JSON (and back).
+
+Sweeps are expensive; downstream analysis (plotting, regression
+tracking, EXPERIMENTS.md generation) should not have to re-run them.
+The format is a stable, versioned JSON document with every field of
+:class:`~repro.core.metrics.AveragedResult` spelled out — no pickles,
+so results are diffable and safe to load from anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import SimulationError
+from ..perf.events import PapiEvent
+from .experiment import ExperimentResult
+from .metrics import AveragedResult
+
+__all__ = [
+    "experiment_to_dict",
+    "experiment_from_dict",
+    "save_experiment",
+    "load_experiment",
+]
+
+FORMAT_VERSION = 1
+
+
+def _averaged_to_dict(row: AveragedResult) -> dict:
+    return {
+        "workload": row.workload,
+        "cap_w": row.cap_w,
+        "n_runs": row.n_runs,
+        "execution_s": row.execution_s,
+        "avg_power_w": row.avg_power_w,
+        "energy_j": row.energy_j,
+        "avg_freq_mhz": row.avg_freq_mhz,
+        "counters": {e.value: v for e, v in row.counters.items()},
+        "committed_instructions": row.committed_instructions,
+        "executed_instructions": row.executed_instructions,
+        "max_escalation_level": row.max_escalation_level,
+        "min_duty": row.min_duty,
+        "execution_s_std": row.execution_s_std,
+    }
+
+
+def _averaged_from_dict(data: dict) -> AveragedResult:
+    try:
+        counters = {
+            PapiEvent(name): float(v) for name, v in data["counters"].items()
+        }
+        return AveragedResult(
+            workload=data["workload"],
+            cap_w=data["cap_w"],
+            n_runs=int(data["n_runs"]),
+            execution_s=float(data["execution_s"]),
+            avg_power_w=float(data["avg_power_w"]),
+            energy_j=float(data["energy_j"]),
+            avg_freq_mhz=float(data["avg_freq_mhz"]),
+            counters=counters,
+            committed_instructions=float(data["committed_instructions"]),
+            executed_instructions=float(data["executed_instructions"]),
+            max_escalation_level=int(data["max_escalation_level"]),
+            min_duty=float(data["min_duty"]),
+            execution_s_std=float(data.get("execution_s_std", 0.0)),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SimulationError(f"malformed result row: {exc}") from exc
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-ready representation of one workload's sweep."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "workload": result.workload,
+        "baseline": _averaged_to_dict(result.baseline),
+        "by_cap": {
+            f"{cap:g}": _averaged_to_dict(row)
+            for cap, row in result.by_cap.items()
+        },
+    }
+
+
+def experiment_from_dict(data: dict) -> ExperimentResult:
+    """Reconstruct a sweep from its JSON representation."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SimulationError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    result = ExperimentResult(
+        workload=data["workload"],
+        baseline=_averaged_from_dict(data["baseline"]),
+    )
+    for cap_str, row in data.get("by_cap", {}).items():
+        result.by_cap[float(cap_str)] = _averaged_from_dict(row)
+    return result
+
+
+def save_experiment(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Write a sweep to a JSON file."""
+    Path(path).write_text(
+        json.dumps(experiment_to_dict(result), indent=2, sort_keys=True)
+    )
+
+
+def load_experiment(path: Union[str, Path]) -> ExperimentResult:
+    """Read a sweep back from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"not a result file: {exc}") from exc
+    return experiment_from_dict(data)

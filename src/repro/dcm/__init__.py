@@ -1,0 +1,37 @@
+"""Intel Data Center Manager (DCM), simulated.
+
+"Intel Data Center Manager (DCM), which runs on a management server,
+manages the power consumption of the nodes of a data center.  DCM power
+capping services focus on controlling resource usage to safeguard
+against over utilization of constrained capacity" (Section II-A).
+"To realize economy of scale, Intel DCM with Intel Node Manager is
+meant to be used to manage a system comprised of a large number of
+servers with varying workloads" (Section I-A).
+
+This package provides that management plane over the simulated IPMI
+transport: per-node capping policies (:mod:`.policy`), the manager
+itself (:mod:`.manager`), group-level budget division (:mod:`.group`),
+and threshold alerts (:mod:`.events`).
+"""
+
+from .policy import CapPolicy, StaticCapPolicy, ScheduledCapPolicy, NoCapPolicy
+from .events import Alert, AlertLog, AlertSeverity
+from .manager import DataCenterManager, ManagedNode
+from .group import NodeGroup, DivisionStrategy
+from .balancer import GroupBalancer, RebalanceRecord
+
+__all__ = [
+    "CapPolicy",
+    "StaticCapPolicy",
+    "ScheduledCapPolicy",
+    "NoCapPolicy",
+    "Alert",
+    "AlertLog",
+    "AlertSeverity",
+    "DataCenterManager",
+    "ManagedNode",
+    "NodeGroup",
+    "DivisionStrategy",
+    "GroupBalancer",
+    "RebalanceRecord",
+]

@@ -1,0 +1,97 @@
+"""Closed-loop group rebalancing.
+
+A static division of a rack budget goes stale the moment workloads
+shift — the situation DCM was sold for ("a large number of servers with
+varying workloads", Section I-A).  :class:`GroupBalancer` wraps a
+:class:`~repro.dcm.group.NodeGroup` in a periodic control loop: on each
+tick it recomputes the division from the latest power readings and
+reprograms the BMCs — but only when some node's cap would move by more
+than a hysteresis threshold, so small demand wobbles don't thrash the
+firmware with IPMI traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import PolicyError
+from .group import DivisionStrategy, NodeGroup
+
+__all__ = ["GroupBalancer", "RebalanceRecord"]
+
+
+@dataclass(frozen=True)
+class RebalanceRecord:
+    """One applied (or skipped) rebalance decision."""
+
+    time_s: float
+    applied: bool
+    caps_w: Dict[str, float]
+    #: Largest per-node cap movement that triggered (or failed to
+    #: trigger) the rebalance.
+    max_delta_w: float
+
+
+class GroupBalancer:
+    """Hysteretic, periodic re-division of a group budget."""
+
+    def __init__(
+        self,
+        group: NodeGroup,
+        strategy: DivisionStrategy = DivisionStrategy.PROPORTIONAL,
+        rebalance_threshold_w: float = 5.0,
+    ) -> None:
+        if rebalance_threshold_w < 0:
+            raise PolicyError("rebalance threshold must be non-negative")
+        self._group = group
+        self._strategy = strategy
+        self._threshold = rebalance_threshold_w
+        self._applied_caps: Optional[Dict[str, float]] = None
+        self._history: List[RebalanceRecord] = []
+
+    @property
+    def group(self) -> NodeGroup:
+        """The balanced group."""
+        return self._group
+
+    @property
+    def applied_caps_w(self) -> Optional[Dict[str, float]]:
+        """The caps currently programmed (None before the first tick)."""
+        return dict(self._applied_caps) if self._applied_caps else None
+
+    @property
+    def history(self) -> List[RebalanceRecord]:
+        """Every decision, oldest first."""
+        return list(self._history)
+
+    def tick(self, time_s: float) -> RebalanceRecord:
+        """Recompute the division and apply it if it moved enough.
+
+        The first tick always applies.  Later ticks apply only when at
+        least one node's cap would move by more than the threshold.
+        """
+        wanted = self._group.divide(self._strategy)
+        if self._applied_caps is None:
+            max_delta = float("inf")
+        else:
+            max_delta = max(
+                abs(wanted[n] - self._applied_caps.get(n, 0.0)) for n in wanted
+            )
+        applied = max_delta > self._threshold
+        if applied:
+            self._group.apply(self._strategy)
+            self._applied_caps = dict(wanted)
+        record = RebalanceRecord(
+            time_s=float(time_s),
+            applied=applied,
+            caps_w=dict(wanted),
+            max_delta_w=max_delta,
+        )
+        self._history.append(record)
+        return record
+
+    @property
+    def rebalance_count(self) -> int:
+        """How many ticks actually reprogrammed the BMCs."""
+        return sum(1 for r in self._history if r.applied)

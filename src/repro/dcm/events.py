@@ -1,0 +1,71 @@
+"""DCM alerting.
+
+DCM's value proposition per Section I-A is "cost avoidance in the form
+of down time and data corruption resulting from power outages" — i.e.
+noticing, before the breaker does, that a node or group is running hot
+against its budget.  :class:`AlertLog` collects threshold crossings
+raised by the manager's polling loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List
+
+__all__ = ["AlertSeverity", "Alert", "AlertLog"]
+
+
+class AlertSeverity(Enum):
+    """How loudly the operator should be paged."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One threshold crossing."""
+
+    time_s: float
+    node_id: str
+    severity: AlertSeverity
+    message: str
+
+
+class AlertLog:
+    """Append-only alert sink with optional subscribers."""
+
+    def __init__(self) -> None:
+        self._alerts: List[Alert] = []
+        self._subscribers: List[Callable[[Alert], None]] = []
+
+    def subscribe(self, callback: Callable[[Alert], None]) -> None:
+        """Register a callback invoked for every new alert."""
+        self._subscribers.append(callback)
+
+    def raise_alert(
+        self, time_s: float, node_id: str, severity: AlertSeverity, message: str
+    ) -> Alert:
+        """Record an alert and notify subscribers."""
+        alert = Alert(time_s=time_s, node_id=node_id, severity=severity, message=message)
+        self._alerts.append(alert)
+        for cb in self._subscribers:
+            cb(alert)
+        return alert
+
+    def all(self) -> List[Alert]:
+        """Every alert so far, oldest first."""
+        return list(self._alerts)
+
+    def by_severity(self, severity: AlertSeverity) -> List[Alert]:
+        """Alerts filtered to one severity."""
+        return [a for a in self._alerts if a.severity is severity]
+
+    def for_node(self, node_id: str) -> List[Alert]:
+        """Alerts filtered to one node."""
+        return [a for a in self._alerts if a.node_id == node_id]
+
+    def __len__(self) -> int:
+        return len(self._alerts)

@@ -1,0 +1,144 @@
+"""Group-level power capping.
+
+The use case DCM was actually sold for (Section I-A): a rack or room
+has one budget and many servers with varying workloads.  The group
+divides its budget into per-node caps, clamped to each node's useful
+range (capping below achievable idle only wastes performance, per the
+paper's low-cap findings), and re-divides as demand shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from ..errors import PolicyError
+from .manager import DataCenterManager
+
+__all__ = ["DivisionStrategy", "NodeGroup"]
+
+
+class DivisionStrategy(Enum):
+    """How a group budget becomes per-node caps."""
+
+    #: Every node gets budget / n.
+    EQUAL = "equal"
+    #: Nodes get caps proportional to their recent demand.
+    PROPORTIONAL = "proportional"
+    #: Higher-priority nodes are filled to their demand first.
+    PRIORITY = "priority"
+
+
+@dataclass
+class _Member:
+    node_id: str
+    priority: int = 1
+    #: Per-node clamp range for sensible caps.
+    min_cap_w: float = 110.0
+    max_cap_w: float = 200.0
+
+
+class NodeGroup:
+    """A set of managed nodes sharing one power budget."""
+
+    def __init__(
+        self,
+        manager: DataCenterManager,
+        name: str,
+        budget_w: float,
+    ) -> None:
+        if budget_w <= 0:
+            raise PolicyError("group budget must be positive")
+        self._manager = manager
+        self.name = name
+        self.budget_w = float(budget_w)
+        self._members: Dict[str, _Member] = {}
+
+    def add_member(
+        self,
+        node_id: str,
+        *,
+        priority: int = 1,
+        min_cap_w: float = 110.0,
+        max_cap_w: float = 200.0,
+    ) -> None:
+        """Add a managed node to the group."""
+        self._manager.node(node_id)  # validates registration
+        if node_id in self._members:
+            raise PolicyError(f"node {node_id!r} already in group {self.name!r}")
+        if priority < 1:
+            raise PolicyError("priority must be >= 1")
+        if not 0 < min_cap_w <= max_cap_w:
+            raise PolicyError("need 0 < min_cap_w <= max_cap_w")
+        self._members[node_id] = _Member(
+            node_id=node_id,
+            priority=priority,
+            min_cap_w=min_cap_w,
+            max_cap_w=max_cap_w,
+        )
+
+    def member_ids(self) -> List[str]:
+        """Node ids in the group."""
+        return sorted(self._members)
+
+    def _demands(self) -> Dict[str, float]:
+        """Most recent power reading per member (fallback: min cap)."""
+        demands = {}
+        for node_id, member in self._members.items():
+            entry = self._manager.node(node_id)
+            demands[node_id] = (
+                entry.history[-1][1] if entry.history else member.min_cap_w
+            )
+        return demands
+
+    def divide(self, strategy: DivisionStrategy) -> Dict[str, float]:
+        """Compute per-node caps under the group budget.
+
+        The sum of returned caps never exceeds the budget; each cap is
+        clamped to the member's ``[min_cap_w, max_cap_w]``.  With an
+        infeasible budget (sum of minima above the budget) the minima
+        are returned and the caller can check :meth:`feasible`.
+        """
+        if not self._members:
+            raise PolicyError(f"group {self.name!r} has no members")
+        members = [self._members[nid] for nid in sorted(self._members)]
+        if strategy is DivisionStrategy.EQUAL:
+            share = self.budget_w / len(members)
+            return {
+                m.node_id: min(max(share, m.min_cap_w), m.max_cap_w) for m in members
+            }
+        if strategy is DivisionStrategy.PROPORTIONAL:
+            demands = self._demands()
+            total = sum(demands.values())
+            caps = {}
+            for m in members:
+                share = self.budget_w * demands[m.node_id] / total
+                caps[m.node_id] = min(max(share, m.min_cap_w), m.max_cap_w)
+            return caps
+        if strategy is DivisionStrategy.PRIORITY:
+            demands = self._demands()
+            caps = {m.node_id: m.min_cap_w for m in members}
+            remaining = self.budget_w - sum(caps.values())
+            for m in sorted(members, key=lambda m: -m.priority):
+                if remaining <= 0:
+                    break
+                want = min(demands[m.node_id], m.max_cap_w) - caps[m.node_id]
+                grant = min(max(want, 0.0), remaining)
+                caps[m.node_id] += grant
+                remaining -= grant
+            return caps
+        raise PolicyError(f"unknown strategy {strategy!r}")
+
+    def feasible(self) -> bool:
+        """Whether the budget covers every member's minimum cap."""
+        return (
+            sum(m.min_cap_w for m in self._members.values()) <= self.budget_w
+        )
+
+    def apply(self, strategy: DivisionStrategy) -> Dict[str, float]:
+        """Divide the budget and program every member's BMC."""
+        caps = self.divide(strategy)
+        for node_id, cap in caps.items():
+            self._manager.apply_cap(node_id, cap)
+        return caps

@@ -1,0 +1,206 @@
+"""The Data Center Manager.
+
+:class:`DataCenterManager` is the management-server process: it keeps a
+registry of nodes (each reachable at a LAN address where a
+:class:`~repro.bmc.bmc.Bmc` answers), applies capping policies by
+sending DCMI commands over the simulated out-of-band transport, polls
+power readings, and raises alerts against per-node thresholds.
+
+Everything goes through the IPMI wire format — the manager holds no
+reference to node internals, exactly like the real product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import IpmiCommandError, IpmiTransportError, PolicyError
+from ..ipmi.commands import (
+    ActivatePowerLimitRequest,
+    GetPowerLimitRequest,
+    GetPowerReadingRequest,
+    GetPowerReadingResponse,
+    PowerLimitResponse,
+    SetPowerLimitRequest,
+)
+from ..ipmi.messages import IpmiResponse
+from ..ipmi.transport import LanTransport
+from .events import AlertLog, AlertSeverity
+from .policy import CapPolicy, NoCapPolicy
+
+__all__ = ["DataCenterManager", "ManagedNode"]
+
+#: IPMB address of the management server as requester.
+DCM_ADDR = 0x81
+#: IPMB address BMCs answer on.
+BMC_ADDR = 0x20
+
+
+@dataclass
+class ManagedNode:
+    """Registry entry for one managed node."""
+
+    node_id: str
+    lan_address: str
+    policy: CapPolicy = field(default_factory=NoCapPolicy)
+    #: Cap currently programmed at the BMC (None = none/disarmed).
+    applied_cap_w: Optional[float] = None
+    #: Alert threshold: reading above this raises a WARNING.
+    warn_threshold_w: Optional[float] = None
+    #: Power reading history: (time_s, average_w).
+    history: List[tuple] = field(default_factory=list)
+    reachable: bool = True
+    _seq: int = 0
+
+    def next_seq(self) -> int:
+        """Next IPMI sequence number for this node (6-bit, skips 0)."""
+        self._seq = (self._seq + 1) & 0x3F or 1
+        return self._seq
+
+
+class DataCenterManager:
+    """Management-server logic over the simulated LAN."""
+
+    def __init__(self, transport: LanTransport) -> None:
+        self._transport = transport
+        self._nodes: Dict[str, ManagedNode] = {}
+        self.alerts = AlertLog()
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    def register_node(
+        self,
+        node_id: str,
+        lan_address: str,
+        *,
+        policy: CapPolicy | None = None,
+        warn_threshold_w: float | None = None,
+    ) -> ManagedNode:
+        """Add a node to the registry."""
+        if node_id in self._nodes:
+            raise PolicyError(f"node {node_id!r} already registered")
+        entry = ManagedNode(
+            node_id=node_id,
+            lan_address=lan_address,
+            policy=policy or NoCapPolicy(),
+            warn_threshold_w=warn_threshold_w,
+        )
+        self._nodes[node_id] = entry
+        return entry
+
+    def node(self, node_id: str) -> ManagedNode:
+        """Look a node up by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise PolicyError(f"unknown node {node_id!r}") from None
+
+    def node_ids(self) -> List[str]:
+        """All registered node ids."""
+        return sorted(self._nodes)
+
+    def set_policy(self, node_id: str, policy: CapPolicy) -> None:
+        """Replace a node's policy (applied on the next tick)."""
+        self.node(node_id).policy = policy
+
+    # ------------------------------------------------------------------
+    # IPMI plumbing
+    # ------------------------------------------------------------------
+
+    def _roundtrip(self, entry: ManagedNode, message) -> IpmiResponse:
+        response = IpmiResponse.decode(
+            self._transport.request(entry.lan_address, message.encode())
+        )
+        if not response.ok:
+            raise IpmiCommandError(response.completion_code)
+        return response
+
+    def apply_cap(self, node_id: str, cap_w: float | None) -> None:
+        """Program and arm (or disarm) a cap at a node's BMC."""
+        entry = self.node(node_id)
+        if cap_w is None:
+            message = ActivatePowerLimitRequest(activate=False).to_message(
+                BMC_ADDR, DCM_ADDR, entry.next_seq()
+            )
+            self._roundtrip(entry, message)
+            entry.applied_cap_w = None
+            return
+        set_msg = SetPowerLimitRequest(limit_w=int(round(cap_w))).to_message(
+            BMC_ADDR, DCM_ADDR, entry.next_seq()
+        )
+        self._roundtrip(entry, set_msg)
+        act_msg = ActivatePowerLimitRequest(activate=True).to_message(
+            BMC_ADDR, DCM_ADDR, entry.next_seq()
+        )
+        self._roundtrip(entry, act_msg)
+        entry.applied_cap_w = float(int(round(cap_w)))
+
+    def read_power(self, node_id: str) -> GetPowerReadingResponse:
+        """Poll a node's power statistics."""
+        entry = self.node(node_id)
+        message = GetPowerReadingRequest().to_message(
+            BMC_ADDR, DCM_ADDR, entry.next_seq()
+        )
+        response = self._roundtrip(entry, message)
+        return GetPowerReadingResponse.from_payload(response.data)
+
+    def read_limit(self, node_id: str) -> PowerLimitResponse:
+        """Read a node's programmed limit back."""
+        entry = self.node(node_id)
+        message = GetPowerLimitRequest().to_message(BMC_ADDR, DCM_ADDR, entry.next_seq())
+        response = self._roundtrip(entry, message)
+        return PowerLimitResponse.from_payload(response.data)
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+
+    def tick(self, time_s: float) -> None:
+        """One management cycle: apply policies, poll, raise alerts."""
+        for entry in self._nodes.values():
+            wanted = entry.policy.cap_at(time_s)
+            try:
+                if wanted != entry.applied_cap_w:
+                    self.apply_cap(entry.node_id, wanted)
+                reading = self.read_power(entry.node_id)
+                if not entry.reachable:
+                    entry.reachable = True
+                    self.alerts.raise_alert(
+                        time_s,
+                        entry.node_id,
+                        AlertSeverity.INFO,
+                        "node reachable again",
+                    )
+            except IpmiTransportError:
+                if entry.reachable:
+                    entry.reachable = False
+                    self.alerts.raise_alert(
+                        time_s,
+                        entry.node_id,
+                        AlertSeverity.CRITICAL,
+                        "node unreachable over the management LAN",
+                    )
+                continue
+            entry.history.append((time_s, reading.average_w))
+            if (
+                entry.warn_threshold_w is not None
+                and reading.current_w > entry.warn_threshold_w
+            ):
+                self.alerts.raise_alert(
+                    time_s,
+                    entry.node_id,
+                    AlertSeverity.WARNING,
+                    f"power {reading.current_w} W above threshold "
+                    f"{entry.warn_threshold_w:.0f} W",
+                )
+
+    def total_power_w(self) -> float:
+        """Sum of the most recent reading of every reachable node."""
+        total = 0.0
+        for entry in self._nodes.values():
+            if entry.history:
+                total += entry.history[-1][1]
+        return total

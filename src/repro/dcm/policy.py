@@ -1,0 +1,94 @@
+"""DCM power-capping policies.
+
+A policy answers one question: *what cap (if any) should this node have
+at time t?*  The paper's experiments use a static cap per run; scheduled
+policies model the data-center use DCM was built for (e.g. capping
+harder during generator changeovers or demand-response windows).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import PolicyError
+
+__all__ = ["CapPolicy", "NoCapPolicy", "StaticCapPolicy", "ScheduledCapPolicy"]
+
+
+class CapPolicy(ABC):
+    """Base class: maps simulation time to a cap."""
+
+    @abstractmethod
+    def cap_at(self, time_s: float) -> float | None:
+        """The cap (Watts) in force at ``time_s``; None = uncapped."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return type(self).__name__
+
+
+class NoCapPolicy(CapPolicy):
+    """Never cap — the paper's baseline rows."""
+
+    def cap_at(self, time_s: float) -> float | None:
+        return None
+
+    def describe(self) -> str:
+        return "uncapped baseline"
+
+
+@dataclass(frozen=True)
+class StaticCapPolicy(CapPolicy):
+    """One fixed cap — the paper's nine experimental settings."""
+
+    cap_w: float
+
+    def __post_init__(self) -> None:
+        if self.cap_w <= 0:
+            raise PolicyError("static cap must be positive")
+
+    def cap_at(self, time_s: float) -> float | None:
+        return self.cap_w
+
+    def describe(self) -> str:
+        return f"static cap {self.cap_w:.0f} W"
+
+
+class ScheduledCapPolicy(CapPolicy):
+    """Piecewise-constant caps over time windows.
+
+    Windows are ``(start_s, end_s, cap_w_or_None)`` and must be
+    non-overlapping; time outside every window is uncapped.
+    """
+
+    def __init__(
+        self, windows: Sequence[Tuple[float, float, float | None]]
+    ) -> None:
+        if not windows:
+            raise PolicyError("scheduled policy needs at least one window")
+        ordered = sorted(windows, key=lambda w: w[0])
+        for (s1, e1, _), (s2, _, _) in zip(ordered, ordered[1:]):
+            if e1 > s2:
+                raise PolicyError("schedule windows overlap")
+        for s, e, cap in ordered:
+            if e <= s:
+                raise PolicyError(f"window ({s}, {e}) is empty or inverted")
+            if cap is not None and cap <= 0:
+                raise PolicyError("window caps must be positive or None")
+        self._windows = tuple(ordered)
+
+    @property
+    def windows(self) -> Tuple[Tuple[float, float, float | None], ...]:
+        """The schedule, ordered by start time."""
+        return self._windows
+
+    def cap_at(self, time_s: float) -> float | None:
+        for start, end, cap in self._windows:
+            if start <= time_s < end:
+                return cap
+        return None
+
+    def describe(self) -> str:
+        return f"scheduled policy with {len(self._windows)} windows"

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything with one handler while still distinguishing the
+subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnitsError",
+    "SimulationError",
+    "CapInfeasibleError",
+    "IpmiError",
+    "IpmiSessionError",
+    "IpmiTransportError",
+    "IpmiCommandError",
+    "PolicyError",
+    "WorkloadError",
+    "CounterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigError(ReproError):
+    """A platform or experiment configuration is inconsistent."""
+
+
+class UnitsError(ReproError):
+    """A physical quantity was given in the wrong unit or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-time simulation reached an invalid state."""
+
+
+class CapInfeasibleError(SimulationError):
+    """A requested power cap lies below what any mechanism can reach.
+
+    The BMC raises this when even the deepest escalation level cannot
+    bring node power under the cap (e.g. a cap below platform idle).
+    """
+
+    def __init__(self, cap_watts: float, floor_watts: float) -> None:
+        self.cap_watts = float(cap_watts)
+        self.floor_watts = float(floor_watts)
+        super().__init__(
+            f"power cap {cap_watts:.1f} W is below the achievable floor "
+            f"{floor_watts:.1f} W"
+        )
+
+
+class IpmiError(ReproError):
+    """Base class for IPMI management-plane failures."""
+
+
+class IpmiSessionError(IpmiError):
+    """Session establishment or sequencing failed."""
+
+
+class IpmiTransportError(IpmiError):
+    """The simulated out-of-band LAN transport dropped or timed out."""
+
+
+class IpmiCommandError(IpmiError):
+    """A command completed with a non-zero IPMI completion code."""
+
+    def __init__(self, completion_code: int, message: str = "") -> None:
+        self.completion_code = int(completion_code)
+        detail = f" ({message})" if message else ""
+        super().__init__(
+            f"IPMI command failed with completion code "
+            f"0x{completion_code:02X}{detail}"
+        )
+
+
+class PolicyError(ReproError):
+    """A DCM power-management policy is invalid or cannot be applied."""
+
+
+class WorkloadError(ReproError):
+    """A workload was misconfigured or produced inconsistent output."""
+
+
+class CounterError(ReproError):
+    """Misuse of the PAPI-like performance counter API."""

@@ -1,0 +1,54 @@
+"""Simulated IPMI/DCMI management plane.
+
+Section II-A: "the Platform Controller Hub (PCH) has management engine
+firmware that, using the industry standard Intelligent Platform
+Management Interface (IPMI), controls the platform's power and thermal
+capabilities via the DCM.  In turn, the DCM connects to the platform's
+Baseboard Management Controllers (BMC) ... Because a BMC is connected
+to its own Network Interface Controller (NIC), this is accomplished
+out-of-band, i.e., without going through the operating system."
+
+This package rebuilds that plumbing: wire-format messages with IPMI
+checksums (:mod:`.messages`), DCMI power-management commands
+(:mod:`.commands`), a session layer (:mod:`.session`), and a lossy
+out-of-band LAN transport (:mod:`.transport`).
+"""
+
+from .messages import (
+    IpmiMessage,
+    IpmiResponse,
+    NetFn,
+    CompletionCode,
+    checksum8,
+)
+from .commands import (
+    DcmiCommand,
+    GetPowerReadingRequest,
+    GetPowerReadingResponse,
+    SetPowerLimitRequest,
+    GetPowerLimitRequest,
+    PowerLimitResponse,
+    ActivatePowerLimitRequest,
+    CorrectionAction,
+)
+from .session import IpmiSession
+from .transport import LanTransport, TransportEndpoint
+
+__all__ = [
+    "IpmiMessage",
+    "IpmiResponse",
+    "NetFn",
+    "CompletionCode",
+    "checksum8",
+    "DcmiCommand",
+    "GetPowerReadingRequest",
+    "GetPowerReadingResponse",
+    "SetPowerLimitRequest",
+    "GetPowerLimitRequest",
+    "PowerLimitResponse",
+    "ActivatePowerLimitRequest",
+    "CorrectionAction",
+    "IpmiSession",
+    "LanTransport",
+    "TransportEndpoint",
+]

@@ -1,0 +1,181 @@
+"""IPMI wire-format messages.
+
+Implements the IPMB-style framing used for the simulated out-of-band
+channel: responder address, network function/LUN, a header checksum,
+requester address, sequence number, command byte, payload, and a
+trailing checksum.  Checksums are the IPMI two's-complement eight-bit
+kind, so corrupted frames are detected exactly the way a real BMC
+rejects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import IpmiError
+
+__all__ = [
+    "NetFn",
+    "CompletionCode",
+    "checksum8",
+    "IpmiMessage",
+    "IpmiResponse",
+]
+
+
+class NetFn(IntEnum):
+    """IPMI network function codes (request values; response = +1)."""
+
+    CHASSIS = 0x00
+    SENSOR_EVENT = 0x04
+    APP = 0x06
+    STORAGE = 0x0A
+    TRANSPORT = 0x0C
+    #: The DCMI group extension rides on NetFn 0x2C.
+    GROUP_EXTENSION = 0x2C
+
+
+class CompletionCode(IntEnum):
+    """IPMI completion codes used by the simulated BMC."""
+
+    OK = 0x00
+    NODE_BUSY = 0xC0
+    INVALID_COMMAND = 0xC1
+    TIMEOUT = 0xC3
+    REQUEST_DATA_INVALID = 0xCC
+    POWER_LIMIT_OUT_OF_RANGE = 0x84
+    POWER_LIMIT_NOT_ACTIVE = 0x80
+    UNSPECIFIED = 0xFF
+
+
+def checksum8(data: bytes) -> int:
+    """IPMI two's-complement checksum: sum(data + chk) % 256 == 0."""
+    return (-sum(data)) & 0xFF
+
+
+#: DCMI messages carry this group-extension identifier as byte 0.
+DCMI_GROUP_EXT_ID = 0xDC
+
+
+@dataclass(frozen=True)
+class IpmiMessage:
+    """One IPMB request frame."""
+
+    rs_addr: int
+    net_fn: int
+    rq_addr: int
+    rq_seq: int
+    cmd: int
+    data: bytes = b""
+    lun: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rs_addr", "rq_addr", "rq_seq", "cmd"):
+            v = getattr(self, name)
+            if not 0 <= v <= 0xFF:
+                raise IpmiError(f"{name} must fit in one byte, got {v}")
+        if not 0 <= self.net_fn <= 0x3F:
+            raise IpmiError(f"net_fn must fit in six bits, got {self.net_fn}")
+        if not 0 <= self.lun <= 3:
+            raise IpmiError(f"lun must be 0..3, got {self.lun}")
+
+    def encode(self) -> bytes:
+        """Serialise with both IPMI checksums."""
+        header = bytes([self.rs_addr, (self.net_fn << 2) | self.lun])
+        body = bytes([self.rq_addr, (self.rq_seq << 2) | 0, self.cmd]) + self.data
+        return header + bytes([checksum8(header)]) + body + bytes([checksum8(body)])
+
+    @classmethod
+    def decode(cls, frame: bytes) -> "IpmiMessage":
+        """Parse and validate a frame; raises :class:`IpmiError` on corruption."""
+        if len(frame) < 7:
+            raise IpmiError(f"frame too short ({len(frame)} bytes)")
+        header, hchk = frame[:2], frame[2]
+        if checksum8(header) != hchk:
+            raise IpmiError("header checksum mismatch")
+        body, bchk = frame[3:-1], frame[-1]
+        if checksum8(body) != bchk:
+            raise IpmiError("body checksum mismatch")
+        return cls(
+            rs_addr=header[0],
+            net_fn=header[1] >> 2,
+            lun=header[1] & 0x3,
+            rq_addr=body[0],
+            rq_seq=body[1] >> 2,
+            cmd=body[2],
+            data=bytes(body[3:]),
+        )
+
+
+@dataclass(frozen=True)
+class IpmiResponse:
+    """One IPMB response frame (request fields echoed + completion code)."""
+
+    rq_addr: int
+    net_fn: int
+    rs_addr: int
+    rq_seq: int
+    cmd: int
+    completion_code: int = int(CompletionCode.OK)
+    data: bytes = b""
+    lun: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.completion_code <= 0xFF:
+            raise IpmiError("completion code must fit in one byte")
+
+    @property
+    def ok(self) -> bool:
+        """True when the command completed successfully."""
+        return self.completion_code == int(CompletionCode.OK)
+
+    def encode(self) -> bytes:
+        """Serialise with both IPMI checksums."""
+        header = bytes([self.rq_addr, (self.net_fn << 2) | self.lun])
+        body = (
+            bytes([self.rs_addr, (self.rq_seq << 2) | 0, self.cmd])
+            + bytes([self.completion_code])
+            + self.data
+        )
+        return header + bytes([checksum8(header)]) + body + bytes([checksum8(body)])
+
+    @classmethod
+    def decode(cls, frame: bytes) -> "IpmiResponse":
+        """Parse and validate a response frame."""
+        if len(frame) < 8:
+            raise IpmiError(f"response frame too short ({len(frame)} bytes)")
+        header, hchk = frame[:2], frame[2]
+        if checksum8(header) != hchk:
+            raise IpmiError("header checksum mismatch")
+        body, bchk = frame[3:-1], frame[-1]
+        if checksum8(body) != bchk:
+            raise IpmiError("body checksum mismatch")
+        return cls(
+            rq_addr=header[0],
+            net_fn=header[1] >> 2,
+            lun=header[1] & 0x3,
+            rs_addr=body[0],
+            rq_seq=body[1] >> 2,
+            cmd=body[2],
+            completion_code=body[3],
+            data=bytes(body[4:]),
+        )
+
+    @classmethod
+    def for_request(
+        cls,
+        request: IpmiMessage,
+        completion_code: int = int(CompletionCode.OK),
+        data: bytes = b"",
+    ) -> "IpmiResponse":
+        """Build the response matching a request's addressing."""
+        return cls(
+            rq_addr=request.rq_addr,
+            net_fn=request.net_fn + 1,
+            rs_addr=request.rs_addr,
+            rq_seq=request.rq_seq,
+            cmd=request.cmd,
+            completion_code=completion_code,
+            data=data,
+        )

@@ -1,0 +1,150 @@
+"""Simulated out-of-band LAN transport.
+
+"Because a BMC is connected to its own Network Interface Controller
+(NIC), this is accomplished out-of-band, i.e., without going through
+the operating system" (Section II-A).  The management network is
+modelled as a lossy datagram channel: per-frame latency jitter, a drop
+probability, and a corruption probability (which the IPMI checksums
+then catch).  :class:`LanTransport` carries frames between registered
+endpoints; delivery is synchronous request/response with retries, which
+is how DCM actually polls BMCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import IpmiTransportError
+from .messages import IpmiMessage, IpmiResponse
+
+__all__ = ["LanTransport", "TransportEndpoint", "TransportStats"]
+
+#: An endpoint handler: raw request frame in, raw response frame out.
+FrameHandler = Callable[[bytes], bytes]
+
+
+@dataclass
+class TransportStats:
+    """Counters for the channel."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    retries: int = 0
+
+
+@dataclass
+class TransportEndpoint:
+    """A device on the management LAN (a BMC or the DCM server)."""
+
+    address: str
+    handler: Optional[FrameHandler] = None
+
+
+class LanTransport:
+    """Datagram channel with loss, corruption, and latency."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        drop_probability: float = 0.002,
+        corruption_probability: float = 0.001,
+        latency_ms_range: Tuple[float, float] = (0.2, 1.5),
+        max_retries: int = 3,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise IpmiTransportError("drop probability must be in [0,1)")
+        if not 0.0 <= corruption_probability < 1.0:
+            raise IpmiTransportError("corruption probability must be in [0,1)")
+        if latency_ms_range[0] < 0 or latency_ms_range[1] < latency_ms_range[0]:
+            raise IpmiTransportError("invalid latency range")
+        self._rng = rng
+        self._drop_p = drop_probability
+        self._corrupt_p = corruption_probability
+        self._latency_range = latency_ms_range
+        self._max_retries = max_retries
+        self._endpoints: Dict[str, TransportEndpoint] = {}
+        self.stats = TransportStats()
+        self._elapsed_ms = 0.0
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Total simulated channel time consumed so far."""
+        return self._elapsed_ms
+
+    def register(self, address: str, handler: FrameHandler) -> TransportEndpoint:
+        """Attach a device at an address (e.g. ``"10.0.0.17"``)."""
+        if address in self._endpoints:
+            raise IpmiTransportError(f"address {address} already registered")
+        ep = TransportEndpoint(address=address, handler=handler)
+        self._endpoints[address] = ep
+        return ep
+
+    def unregister(self, address: str) -> None:
+        """Detach a device."""
+        self._endpoints.pop(address, None)
+
+    def addresses(self) -> List[str]:
+        """All registered addresses."""
+        return sorted(self._endpoints)
+
+    def _one_way(self, frame: bytes) -> Optional[bytes]:
+        """Deliver one frame, applying loss/corruption/latency."""
+        self._elapsed_ms += float(self._rng.uniform(*self._latency_range))
+        if self._rng.random() < self._drop_p:
+            self.stats.dropped += 1
+            return None
+        if self._corrupt_p and self._rng.random() < self._corrupt_p:
+            self.stats.corrupted += 1
+            i = int(self._rng.integers(0, len(frame)))
+            flipped = frame[:i] + bytes([frame[i] ^ 0xFF]) + frame[i + 1 :]
+            return flipped
+        return frame
+
+    def request(self, address: str, frame: bytes) -> bytes:
+        """Send a request frame and return the response frame.
+
+        Retries on drops and on corruption detected by the peer or by
+        the caller's decode; raises :class:`IpmiTransportError` after
+        ``max_retries`` failures (the DCM marks the node unreachable).
+        """
+        try:
+            endpoint = self._endpoints[address]
+        except KeyError:
+            raise IpmiTransportError(f"no endpoint at {address}") from None
+        if endpoint.handler is None:
+            raise IpmiTransportError(f"endpoint {address} has no handler")
+        last_error = "no attempt made"
+        for attempt in range(self._max_retries + 1):
+            if attempt:
+                self.stats.retries += 1
+            self.stats.sent += 1
+            delivered = self._one_way(frame)
+            if delivered is None:
+                last_error = "request dropped"
+                continue
+            try:
+                IpmiMessage.decode(delivered)
+            except Exception as exc:  # checksum failure at the BMC
+                last_error = f"request corrupted in flight: {exc}"
+                continue
+            response = endpoint.handler(delivered)
+            returned = self._one_way(response)
+            if returned is None:
+                last_error = "response dropped"
+                continue
+            try:
+                IpmiResponse.decode(returned)
+            except Exception as exc:
+                last_error = f"response corrupted in flight: {exc}"
+                continue
+            self.stats.delivered += 1
+            return returned
+        raise IpmiTransportError(
+            f"request to {address} failed after {self._max_retries + 1} attempts: "
+            f"{last_error}"
+        )

@@ -1,0 +1,34 @@
+"""Simulated memory hierarchy: caches, TLBs, DRAM, reconfiguration.
+
+The paper's platform has per-core 32 KB L1D/L1I and 256 KB L2 caches, a
+20 MB shared L3, and 64 GB of RAM; its Figure 3 stride microbenchmark
+infers the level latencies we use.  This package simulates that
+hierarchy at cache-line granularity, including the *dynamic cache
+reconfiguration* (way gating, TLB entry gating, DRAM gating) that the
+paper concludes is applied below the DVFS floor.
+"""
+
+from .cache import SetAssociativeCache, CacheStats
+from .tlb import Tlb, TlbStats
+from .dram import Dram
+from .hierarchy import MemoryHierarchy, AccessCounts, AccessRates
+from .latency import AccessCosts, stall_ns_per_instruction
+from .prefetch import StreamPrefetcher, PrefetchStats
+from .reconfig import GatingState, ReconfigEngine
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "Tlb",
+    "TlbStats",
+    "Dram",
+    "MemoryHierarchy",
+    "AccessCounts",
+    "AccessRates",
+    "AccessCosts",
+    "stall_ns_per_instruction",
+    "GatingState",
+    "ReconfigEngine",
+    "StreamPrefetcher",
+    "PrefetchStats",
+]

@@ -1,0 +1,72 @@
+"""Main-memory (DRAM) model.
+
+DRAM matters to the reproduction in two ways:
+
+1. **Latency** — the paper's Figure 3 infers a 60 ns main-memory access
+   time, which prices every L3 miss; *memory gating* (putting ranks in
+   low-power states and waking them on demand) multiplies that latency
+   while saving little power, which is one of the sub-floor mechanisms
+   Section IV-B points at.
+2. **Power** — traffic-proportional active power explains why the
+   streaming SIRE/RSM workload draws a few watts more than the
+   cache-resident Stereo Matching at the same operating point
+   (157 W vs 153 W in Table I).
+"""
+
+from __future__ import annotations
+
+from ..config import DramConfig
+from ..errors import ConfigError
+from ..units import require_non_negative
+
+__all__ = ["Dram"]
+
+
+class Dram:
+    """DRAM latency/power model with a gating multiplier."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self._config = config
+        self._latency_multiplier = 1.0
+
+    @property
+    def config(self) -> DramConfig:
+        """The configured DRAM parameters."""
+        return self._config
+
+    @property
+    def latency_multiplier(self) -> float:
+        """Current gating multiplier (1.0 = ungated)."""
+        return self._latency_multiplier
+
+    def set_latency_multiplier(self, multiplier: float) -> None:
+        """Apply a memory-gating latency multiplier (>= 1)."""
+        if multiplier < 1.0:
+            raise ConfigError("DRAM latency multiplier must be >= 1")
+        self._latency_multiplier = float(multiplier)
+
+    @property
+    def access_latency_ns(self) -> float:
+        """Effective access latency under the current gating."""
+        return self._config.access_latency_ns * self._latency_multiplier
+
+    def traffic_power_w(self, bytes_per_second: float) -> float:
+        """Active power from a sustained traffic level.
+
+        Traffic is clamped at the configured sustained bandwidth; the
+        background (refresh/standby) power is accounted separately in
+        the node's platform floor.
+        """
+        bps = require_non_negative(bytes_per_second, "bytes_per_second")
+        gbs = min(bps / 1e9, self._config.bandwidth_gbs)
+        return gbs * self._config.active_w_per_gbs
+
+    def traffic_bytes_per_second(
+        self, l3_misses_per_instr: float, instr_per_second: float, line_bytes: int = 64
+    ) -> float:
+        """Convert an L3 miss rate into DRAM traffic."""
+        return (
+            require_non_negative(l3_misses_per_instr, "l3_misses_per_instr")
+            * require_non_negative(instr_per_second, "instr_per_second")
+            * line_bytes
+        )

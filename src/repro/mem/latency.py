@@ -1,0 +1,157 @@
+"""Access-time model of the memory hierarchy.
+
+The per-level costs come straight from what the paper's own stride
+microbenchmark infers (Section IV-B / Figure 3):
+
+- L1 data cache access time 1.5 ns, L1 miss penalty 2.0 ns,
+- L2 and L3 miss penalties 5.1 ns and 37.1 ns,
+- main memory access time 60 ns.
+
+:class:`AccessCosts` resolves those constants against a
+:class:`~repro.mem.reconfig.GatingState` — gated (drowsy) cache arrays
+multiply their access time, gated DRAM multiplies its latency — and
+:func:`stall_ns_per_instruction` turns per-instruction event rates into
+the memory-stall term of the core's CPI stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NodeConfig
+from ..errors import SimulationError
+from .reconfig import GatingState
+
+__all__ = ["AccessCosts", "stall_ns_per_instruction"]
+
+
+@dataclass(frozen=True)
+class AccessCosts:
+    """Nanosecond cost of an access *served at* each level.
+
+    ``lX_serve_ns`` is the total time of an access satisfied by level X
+    (inner-level traversal included).  ``tlb_walk_ns`` is the page-walk
+    cost added on a TLB miss.
+    """
+
+    l1_serve_ns: float
+    l2_serve_ns: float
+    l3_serve_ns: float
+    dram_serve_ns: float
+    itlb_walk_ns: float
+    dtlb_walk_ns: float
+
+    def __post_init__(self) -> None:
+        if not (
+            0
+            < self.l1_serve_ns
+            <= self.l2_serve_ns
+            <= self.l3_serve_ns
+            <= self.dram_serve_ns
+        ):
+            raise SimulationError(
+                "service costs must increase monotonically outward: "
+                f"{self.l1_serve_ns}, {self.l2_serve_ns}, "
+                f"{self.l3_serve_ns}, {self.dram_serve_ns}"
+            )
+
+    @classmethod
+    def from_config(
+        cls, cfg: NodeConfig, gating: GatingState | None = None
+    ) -> "AccessCosts":
+        """Resolve costs for a node under a gating state."""
+        g = gating or GatingState.ungated()
+        cm = g.cache_latency_multiplier
+        l1 = cfg.l1d.hit_latency_ns * cm
+        l2 = (cfg.l1d.hit_latency_ns + cfg.l1d.miss_penalty_ns) * cm
+        l3 = (
+            cfg.l1d.hit_latency_ns
+            + cfg.l1d.miss_penalty_ns
+            + cfg.l2.miss_penalty_ns
+        ) * cm
+        dram = l3 + cfg.l3.miss_penalty_ns * cm + (
+            cfg.dram.access_latency_ns * g.dram_latency_multiplier
+            - cfg.dram.access_latency_ns
+        )
+        # Ungated, dram = l3 + 37.1 ns ~= the paper's ~46-60 ns plateau;
+        # gating adds the full extra DRAM wake latency on top.
+        walk = cm * cfg.itlb.miss_penalty_ns + 0.5 * (
+            cfg.dram.access_latency_ns * (g.dram_latency_multiplier - 1.0)
+        )
+        dwalk = cm * cfg.dtlb.miss_penalty_ns + 0.5 * (
+            cfg.dram.access_latency_ns * (g.dram_latency_multiplier - 1.0)
+        )
+        return cls(
+            l1_serve_ns=l1,
+            l2_serve_ns=l2,
+            l3_serve_ns=l3,
+            dram_serve_ns=dram,
+            itlb_walk_ns=walk,
+            dtlb_walk_ns=dwalk,
+        )
+
+    def serve_ns_for_level(self, level: str) -> float:
+        """Cost of an access served at ``level`` ('L1'|'L2'|'L3'|'DRAM')."""
+        try:
+            return {
+                "L1": self.l1_serve_ns,
+                "L2": self.l2_serve_ns,
+                "L3": self.l3_serve_ns,
+                "DRAM": self.dram_serve_ns,
+            }[level]
+        except KeyError:
+            raise SimulationError(f"unknown level {level!r}") from None
+
+    def average_access_ns(
+        self,
+        accesses: float,
+        l1_misses: float,
+        l2_misses: float,
+        l3_misses: float,
+        tlb_misses: float = 0.0,
+    ) -> float:
+        """Average time per access from hierarchical miss counts.
+
+        ``lX_misses`` are accesses that missed level X (and so were
+        served further out); the count served at each level follows by
+        subtraction.
+        """
+        if not accesses >= l1_misses >= l2_misses >= l3_misses >= 0:
+            raise SimulationError(
+                "miss counts must nest: accesses >= L1 >= L2 >= L3 >= 0"
+            )
+        served_l1 = accesses - l1_misses
+        served_l2 = l1_misses - l2_misses
+        served_l3 = l2_misses - l3_misses
+        served_dram = l3_misses
+        total_ns = (
+            served_l1 * self.l1_serve_ns
+            + served_l2 * self.l2_serve_ns
+            + served_l3 * self.l3_serve_ns
+            + served_dram * self.dram_serve_ns
+            + tlb_misses * self.dtlb_walk_ns
+        )
+        return total_ns / accesses if accesses else 0.0
+
+
+def stall_ns_per_instruction(rates, costs: AccessCosts) -> float:
+    """Memory-stall nanoseconds per instruction for the CPI stack.
+
+    ``rates`` is any object exposing per-instruction event rates
+    (:class:`~repro.mem.hierarchy.AccessRates`): ``l1d_misses``,
+    ``l2_misses``, ``l3_misses``, ``l1i_misses``, ``itlb_misses``,
+    ``dtlb_misses``.  L1 *hits* are considered covered by the base CPI
+    (they pipeline); every miss pays the incremental cost of the level
+    that serves it.
+    """
+    beyond_l1 = costs.l2_serve_ns - costs.l1_serve_ns
+    beyond_l2 = costs.l3_serve_ns - costs.l2_serve_ns
+    beyond_l3 = costs.dram_serve_ns - costs.l3_serve_ns
+    # Hierarchical: an access that misses L1 pays beyond_l1; if it also
+    # misses L2 it additionally pays beyond_l2, and so on.
+    stall = (rates.l1d_misses + rates.l1i_misses) * beyond_l1
+    stall += rates.l2_misses * beyond_l2
+    stall += rates.l3_misses * beyond_l3
+    stall += rates.itlb_misses * costs.itlb_walk_ns
+    stall += rates.dtlb_misses * costs.dtlb_walk_ns
+    return float(stall)

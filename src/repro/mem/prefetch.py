@@ -1,0 +1,111 @@
+"""Hardware stream prefetcher (optional hierarchy add-on).
+
+Table II's most puzzling numbers are SIRE/RSM's L2 misses: 6x10^11 —
+two hundred times its L1 miss count, which is impossible for *demand*
+misses.  On Sandy Bridge the L2 counters include **hardware prefetcher
+traffic**: the L2 streamer detects ascending line sequences and issues
+prefetches far ahead, each of which counts as an L2 access/miss.  For a
+streaming workload the prefetcher fires on every line, multiplying the
+apparent L2 "miss" count without any demand-side change.
+
+:class:`StreamPrefetcher` models that: it watches the demand miss
+stream for ascending line runs and, once a stream is confirmed, issues
+``degree`` prefetches ahead of it.  The hierarchy accounts prefetch
+traffic separately from demand misses, so the reproduction can report
+both the *demand* numbers (our Table II) and the *counter-visible*
+numbers (the paper's inflated ones).
+
+The prefetcher is off by default — the paper-calibrated rates are
+demand-only — and enabled explicitly by the prefetcher ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+
+__all__ = ["StreamPrefetcher", "PrefetchStats"]
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetcher activity counters."""
+
+    #: Streams detected (an ascending run confirmed).
+    streams_detected: int = 0
+    #: Prefetch requests issued toward L2/L3.
+    issued: int = 0
+    #: Demand accesses that hit a prefetched line (usefulness proxy).
+    useful_hits: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.streams_detected = self.issued = self.useful_hits = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful hits per issued prefetch (0 when idle)."""
+        return self.useful_hits / self.issued if self.issued else 0.0
+
+
+class StreamPrefetcher:
+    """An L2-streamer-style ascending-run prefetcher.
+
+    Parameters
+    ----------
+    degree:
+        Lines fetched ahead of a confirmed stream per trigger.
+    table_size:
+        How many concurrent streams the detector tracks (LRU).
+    confirm:
+        Consecutive ascending misses needed to confirm a stream.
+    """
+
+    def __init__(self, degree: int = 4, table_size: int = 16, confirm: int = 2) -> None:
+        if degree < 1 or table_size < 1 or confirm < 1:
+            raise ConfigError("prefetcher parameters must be positive")
+        self.degree = degree
+        self.table_size = table_size
+        self.confirm = confirm
+        #: line -> consecutive-hit count; insertion-ordered for LRU.
+        self._streams: Dict[int, int] = {}
+        #: Lines brought in by prefetch and not yet demanded.
+        self._inflight: set[int] = set()
+        self.stats = PrefetchStats()
+
+    def observe_demand_miss(self, line: int) -> List[int]:
+        """Feed one demand L1-miss line; returns lines to prefetch."""
+        to_fetch: List[int] = []
+        predecessor = line - 1
+        if predecessor in self._streams:
+            count = self._streams.pop(predecessor) + 1
+            self._streams[line] = count
+            if count == self.confirm:
+                self.stats.streams_detected += 1
+            if count >= self.confirm:
+                for ahead in range(1, self.degree + 1):
+                    candidate = line + ahead
+                    if candidate not in self._inflight:
+                        to_fetch.append(candidate)
+                        self._inflight.add(candidate)
+                self.stats.issued += len(to_fetch)
+        else:
+            self._streams[line] = 1
+            if len(self._streams) > self.table_size:
+                # Evict the oldest tracked stream.
+                oldest = next(iter(self._streams))
+                del self._streams[oldest]
+        return to_fetch
+
+    def observe_demand_access(self, line: int) -> None:
+        """Feed every demand access so usefulness can be credited."""
+        if line in self._inflight:
+            self._inflight.discard(line)
+            self.stats.useful_hits += 1
+
+    def reset(self) -> None:
+        """Forget all streams and inflight lines (counters preserved)."""
+        self._streams.clear()
+        self._inflight.clear()

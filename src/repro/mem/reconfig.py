@@ -1,0 +1,157 @@
+"""Dynamic cache reconfiguration (DCR) engine.
+
+Section II-B surveys DCR — shutting off parts of the cache or changing
+associativity — as a power-reduction technique beyond DVFS, and
+Section IV-B concludes from the counter data that "techniques that
+involve the configuration of the memory hierarchy are being employed"
+at the lowest caps.  This module gives that mechanism a concrete form:
+
+- :class:`GatingState` is an immutable description of how much of the
+  hierarchy is powered: way fractions per cache, TLB entry fractions,
+  and latency multipliers for gated DRAM / drowsy cache arrays.
+- :class:`ReconfigEngine` applies a gating state to a live
+  :class:`~repro.mem.hierarchy.MemoryHierarchy` and computes the (small)
+  power saved, which the BMC trades against the (large) performance
+  loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import EscalationLevelSpec, NodeConfig
+from ..errors import ConfigError
+
+__all__ = ["GatingState", "ReconfigEngine"]
+
+
+@dataclass(frozen=True)
+class GatingState:
+    """Immutable snapshot of memory-hierarchy gating.
+
+    A gating state is hashable so simulation layers can cache
+    miss-ratio measurements per (workload, gating) pair.
+    """
+
+    l1_way_fraction: float = 1.0
+    l2_way_fraction: float = 1.0
+    l3_way_fraction: float = 1.0
+    itlb_fraction: float = 1.0
+    dtlb_fraction: float = 1.0
+    dram_latency_multiplier: float = 1.0
+    cache_latency_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "l1_way_fraction",
+            "l2_way_fraction",
+            "l3_way_fraction",
+            "itlb_fraction",
+            "dtlb_fraction",
+        ):
+            v = getattr(self, attr)
+            if not 0.0 < v <= 1.0:
+                raise ConfigError(f"gating {attr} must be in (0, 1], got {v}")
+        if self.dram_latency_multiplier < 1.0 or self.cache_latency_multiplier < 1.0:
+            raise ConfigError("gating latency multipliers must be >= 1")
+
+    @classmethod
+    def ungated(cls) -> "GatingState":
+        """Everything powered, no latency inflation."""
+        return cls()
+
+    @classmethod
+    def from_level(cls, level: EscalationLevelSpec) -> "GatingState":
+        """Build the gating state one escalation rung prescribes."""
+        return cls(
+            l1_way_fraction=level.l1_way_fraction,
+            l2_way_fraction=level.l2_way_fraction,
+            l3_way_fraction=level.l3_way_fraction,
+            itlb_fraction=level.itlb_fraction,
+            dtlb_fraction=level.dtlb_fraction,
+            dram_latency_multiplier=level.dram_latency_multiplier,
+            cache_latency_multiplier=level.cache_latency_multiplier,
+        )
+
+    @property
+    def is_ungated(self) -> bool:
+        """True when this state changes nothing."""
+        return self == GatingState.ungated()
+
+    def config_key(self) -> tuple:
+        """Key identifying the *miss-count-relevant* part of the state.
+
+        Latency multipliers change access *times*, not miss behaviour,
+        so they are excluded; two states with the same key produce
+        identical miss counts for the same trace.
+        """
+        return (
+            self.l1_way_fraction,
+            self.l2_way_fraction,
+            self.l3_way_fraction,
+            self.itlb_fraction,
+            self.dtlb_fraction,
+        )
+
+
+def _ways_for(total_ways: int, fraction: float) -> int:
+    """Enabled way count for a fraction (at least one way)."""
+    return max(1, int(round(total_ways * fraction)))
+
+
+class ReconfigEngine:
+    """Applies gating states to a hierarchy and prices their savings."""
+
+    def __init__(self, node_config: NodeConfig) -> None:
+        self._cfg = node_config
+
+    @property
+    def node_config(self) -> NodeConfig:
+        """The node this engine reconfigures."""
+        return self._cfg
+
+    def apply(self, hierarchy, state: GatingState) -> None:
+        """Reconfigure a live hierarchy to match ``state``.
+
+        ``hierarchy`` is a :class:`~repro.mem.hierarchy.MemoryHierarchy`
+        (duck-typed here to avoid a circular import).
+        """
+        hierarchy.l1d.set_enabled_ways(
+            _ways_for(self._cfg.l1d.ways, state.l1_way_fraction)
+        )
+        hierarchy.l1i.set_enabled_ways(
+            _ways_for(self._cfg.l1i.ways, state.l1_way_fraction)
+        )
+        hierarchy.l2.set_enabled_ways(
+            _ways_for(self._cfg.l2.ways, state.l2_way_fraction)
+        )
+        hierarchy.l3.set_enabled_ways(
+            _ways_for(self._cfg.l3.ways, state.l3_way_fraction)
+        )
+        hierarchy.itlb.set_enabled_fraction(state.itlb_fraction)
+        hierarchy.dtlb.set_enabled_fraction(state.dtlb_fraction)
+        hierarchy.dram.set_latency_multiplier(state.dram_latency_multiplier)
+        hierarchy.set_gating(state)
+
+    def leakage_saving_w(self, state: GatingState) -> float:
+        """Leakage saved by gating, from the per-cache leakage budgets.
+
+        This is deliberately small — the paper observes that sub-floor
+        techniques provide "small decreases in power consumption at the
+        cost of high losses in execution time performance".
+        """
+        cfg = self._cfg
+        saving = 0.0
+        saving += cfg.l1d.leakage_w * (1.0 - state.l1_way_fraction)
+        saving += cfg.l1i.leakage_w * (1.0 - state.l1_way_fraction)
+        saving += cfg.l2.leakage_w * (1.0 - state.l2_way_fraction)
+        saving += cfg.l3.leakage_w * (1.0 - state.l3_way_fraction)
+        saving += cfg.itlb.leakage_w * (1.0 - state.itlb_fraction)
+        saving += cfg.dtlb.leakage_w * (1.0 - state.dtlb_fraction)
+        if state.dram_latency_multiplier > 1.0:
+            # Ranks parked in a low-power state save a slice of DRAM
+            # background power, asymptoting with gating depth.
+            saving += self._cfg.dram.background_w * 0.25 * (
+                1.0 - 1.0 / state.dram_latency_multiplier
+            )
+        return saving

@@ -1,0 +1,148 @@
+"""Translation lookaside buffer simulator with entry gating.
+
+The paper's Table II shows instruction-TLB misses exploding (up to
++8,481 %) at the two lowest power caps while data-TLB misses stay nearly
+flat — strong evidence that the management firmware shrinks the iTLB
+reach when it runs out of DVFS headroom.  :class:`Tlb` models a
+set-associative TLB whose *effective entry count* can be gated down,
+mirroring :class:`~repro.mem.cache.SetAssociativeCache` way gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import TlbGeometry
+from ..errors import ConfigError, SimulationError
+
+__all__ = ["Tlb", "TlbStats"]
+
+
+@dataclass
+class TlbStats:
+    """Access counters for one TLB."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses (0.0 when never touched)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = self.hits = self.misses = 0
+
+
+class Tlb:
+    """Set-associative TLB over virtual page numbers.
+
+    Entry gating reduces the enabled ways uniformly across sets; the
+    effective entry count is ``n_sets * enabled_ways``.
+    """
+
+    def __init__(self, geometry: TlbGeometry) -> None:
+        self._geom = geometry
+        self._n_sets = geometry.n_sets
+        self._set_mask = self._n_sets - 1
+        self._page_shift = geometry.page_bytes.bit_length() - 1
+        self._enabled_ways = geometry.ways
+        self._sets: list[list[int]] = [[] for _ in range(self._n_sets)]
+        self.stats = TlbStats()
+
+    @property
+    def geometry(self) -> TlbGeometry:
+        """The configured geometry."""
+        return self._geom
+
+    @property
+    def page_shift(self) -> int:
+        """log2 of the page size (address >> page_shift = VPN)."""
+        return self._page_shift
+
+    @property
+    def enabled_entries(self) -> int:
+        """Entries reachable with the current gating."""
+        return self._enabled_ways * self._n_sets
+
+    def set_enabled_fraction(self, fraction: float) -> None:
+        """Gate the TLB to roughly ``fraction`` of its entries.
+
+        The fraction maps to enabled ways (at least one way per set).
+        Gating down drops translations cached in the gated ways.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError("TLB enabled fraction must be in (0, 1]")
+        ways = max(1, int(round(self._geom.ways * fraction)))
+        if ways < self._enabled_ways:
+            for s in self._sets:
+                if len(s) > ways:
+                    del s[ways:]
+        self._enabled_ways = ways
+
+    def access_page(self, vpn: int) -> bool:
+        """Look up one virtual page number; returns True on hit."""
+        idx = vpn & self._set_mask
+        tag = vpn >> (self._n_sets.bit_length() - 1)
+        s = self._sets[idx]
+        self.stats.accesses += 1
+        try:
+            pos = s.index(tag)
+        except ValueError:
+            self.stats.misses += 1
+            s.insert(0, tag)
+            if len(s) > self._enabled_ways:
+                s.pop()
+            return False
+        self.stats.hits += 1
+        if pos:
+            s.pop(pos)
+            s.insert(0, tag)
+        return True
+
+    def access_bytes(self, byte_addresses: np.ndarray) -> int:
+        """Translate a vector of byte addresses; returns miss count."""
+        if byte_addresses.ndim != 1:
+            raise SimulationError("address trace must be one-dimensional")
+        shift = self._page_shift
+        mask = self._set_mask
+        tag_shift = self._n_sets.bit_length() - 1
+        sets = self._sets
+        enabled = self._enabled_ways
+        misses = 0
+        n = byte_addresses.shape[0]
+        for a in byte_addresses.tolist():
+            vpn = a >> shift
+            s = sets[vpn & mask]
+            tag = vpn >> tag_shift
+            try:
+                pos = s.index(tag)
+            except ValueError:
+                misses += 1
+                s.insert(0, tag)
+                if len(s) > enabled:
+                    s.pop()
+                continue
+            if pos:
+                s.pop(pos)
+                s.insert(0, tag)
+        self.stats.accesses += n
+        self.stats.misses += misses
+        self.stats.hits += n - misses
+        return misses
+
+    def flush(self) -> None:
+        """Drop every cached translation (counters preserved)."""
+        for s in self._sets:
+            s.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self._geom
+        return (
+            f"Tlb({g.name}, {self.enabled_entries}/{g.entries} entries, "
+            f"{self._n_sets} sets)"
+        )

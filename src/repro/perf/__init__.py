@@ -1,0 +1,18 @@
+"""PAPI-like performance-counter instrumentation.
+
+"Using PAPI and the Romley's performance counters, we measured the
+effect of power capping on application execution time (cycle count x
+clock speed) and collected different performance data, i.e., the number
+of L1, L2, and L3 cache misses as well as the number of instruction and
+data TLB misses" (Section III).
+
+:mod:`.events` defines the event set, :mod:`.counters` the bank the
+simulator feeds, and :mod:`.papi` the start/read/stop API that mirrors
+how the paper instruments its runs.
+"""
+
+from .events import PapiEvent
+from .counters import CounterBank
+from .papi import PapiSession
+
+__all__ = ["PapiEvent", "CounterBank", "PapiSession"]

@@ -1,0 +1,61 @@
+"""The counter bank the simulator feeds.
+
+:class:`CounterBank` accumulates event counts; the runner adds
+per-segment contributions (scaled :class:`~repro.mem.hierarchy.AccessCounts`
+plus instruction/cycle totals) as the run progresses, so a PAPI session
+reading the bank mid-run sees monotonically increasing values, exactly
+like hardware counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import CounterError
+from ..mem.hierarchy import AccessCounts
+from .events import PapiEvent
+
+__all__ = ["CounterBank"]
+
+
+class CounterBank:
+    """Monotonic event counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[PapiEvent, float] = {e: 0.0 for e in PapiEvent}
+
+    def add(self, event: PapiEvent, amount: float) -> None:
+        """Accumulate ``amount`` events."""
+        if amount < 0:
+            raise CounterError(f"cannot add a negative count to {event}")
+        self._counts[event] += amount
+
+    def add_access_counts(self, counts: AccessCounts) -> None:
+        """Fold a slice's memory-event counts into the bank."""
+        self.add(PapiEvent.PAPI_L1_DCM, counts.l1d_misses)
+        self.add(PapiEvent.PAPI_L1_ICM, counts.l1i_misses)
+        self.add(PapiEvent.PAPI_L1_TCM, counts.l1d_misses + counts.l1i_misses)
+        self.add(PapiEvent.PAPI_L2_TCM, counts.l2_misses)
+        self.add(PapiEvent.PAPI_L3_TCM, counts.l3_misses)
+        self.add(PapiEvent.PAPI_TLB_DM, counts.dtlb_misses)
+        self.add(PapiEvent.PAPI_TLB_IM, counts.itlb_misses)
+        # Loads vs stores: the simulator's data stream does not label
+        # them; use the canonical 2:1 load:store split of integer codes.
+        self.add(PapiEvent.PAPI_LD_INS, counts.data_accesses * 2.0 / 3.0)
+        self.add(PapiEvent.PAPI_SR_INS, counts.data_accesses / 3.0)
+
+    def read(self, event: PapiEvent) -> float:
+        """Current value of one event."""
+        try:
+            return self._counts[event]
+        except KeyError:
+            raise CounterError(f"unknown event {event!r}") from None
+
+    def snapshot(self) -> Mapping[PapiEvent, float]:
+        """An immutable copy of every counter."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for e in self._counts:
+            self._counts[e] = 0.0

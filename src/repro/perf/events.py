@@ -1,0 +1,42 @@
+"""Performance-counter event definitions.
+
+Names follow the PAPI preset events the paper's measurements map to.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["PapiEvent"]
+
+
+class PapiEvent(Enum):
+    """The events the reproduction exposes."""
+
+    #: Total committed instructions.
+    PAPI_TOT_INS = "PAPI_TOT_INS"
+    #: Total executed (speculated) instructions.
+    PAPI_TOT_IIS = "PAPI_TOT_IIS"
+    #: Total cycles (unthrottled clock cycles).
+    PAPI_TOT_CYC = "PAPI_TOT_CYC"
+    #: L1 data-cache misses.
+    PAPI_L1_DCM = "PAPI_L1_DCM"
+    #: L1 instruction-cache misses.
+    PAPI_L1_ICM = "PAPI_L1_ICM"
+    #: L1 total misses (data + instruction) — the paper's "L1 Misses".
+    PAPI_L1_TCM = "PAPI_L1_TCM"
+    #: L2 total misses.
+    PAPI_L2_TCM = "PAPI_L2_TCM"
+    #: L3 total misses.
+    PAPI_L3_TCM = "PAPI_L3_TCM"
+    #: Data TLB misses.
+    PAPI_TLB_DM = "PAPI_TLB_DM"
+    #: Instruction TLB misses.
+    PAPI_TLB_IM = "PAPI_TLB_IM"
+    #: Loads issued.
+    PAPI_LD_INS = "PAPI_LD_INS"
+    #: Stores issued.
+    PAPI_SR_INS = "PAPI_SR_INS"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,66 @@
+"""High-level PAPI-style API.
+
+Mirrors how the paper instruments a run: create an event set, start it,
+run the application, read/stop.  Reads are deltas since ``start`` —
+what ``PAPI_read`` returns — so overlapping sessions over one bank each
+see their own window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import CounterError
+from .counters import CounterBank
+from .events import PapiEvent
+
+__all__ = ["PapiSession"]
+
+
+class PapiSession:
+    """An event set over a counter bank."""
+
+    def __init__(self, bank: CounterBank, events: Iterable[PapiEvent]) -> None:
+        self._bank = bank
+        self._events: List[PapiEvent] = list(events)
+        if not self._events:
+            raise CounterError("an event set needs at least one event")
+        if len(set(self._events)) != len(self._events):
+            raise CounterError("duplicate events in the event set")
+        self._start_values: Dict[PapiEvent, float] | None = None
+
+    @property
+    def events(self) -> List[PapiEvent]:
+        """The events in this set."""
+        return list(self._events)
+
+    @property
+    def running(self) -> bool:
+        """Whether the session is started."""
+        return self._start_values is not None
+
+    def start(self) -> None:
+        """Begin counting (snapshots the bank)."""
+        if self.running:
+            raise CounterError("session already started")
+        self._start_values = {e: self._bank.read(e) for e in self._events}
+
+    def read(self) -> Dict[PapiEvent, float]:
+        """Counts accumulated since ``start`` (session keeps running)."""
+        if self._start_values is None:
+            raise CounterError("session not started")
+        return {
+            e: self._bank.read(e) - self._start_values[e] for e in self._events
+        }
+
+    def stop(self) -> Dict[PapiEvent, float]:
+        """Final counts since ``start``; the session ends."""
+        values = self.read()
+        self._start_values = None
+        return values
+
+    def reset(self) -> None:
+        """Re-zero the session's window without stopping it."""
+        if self._start_values is None:
+            raise CounterError("session not started")
+        self._start_values = {e: self._bank.read(e) for e in self._events}

@@ -1,0 +1,24 @@
+"""Node power modelling: CMOS power equation, metering, energy, budgets.
+
+The dynamic-power equation is the one Section II-B quotes from Rabaey,
+Chandrakasan & Nikolic: ``P_dyn = C x f x V^2``; static power is
+leakage, "related to, among other things, the heat of the processor".
+"""
+
+from .model import NodePowerModel, PowerBreakdown, OperatingPoint
+from .meter import WattsUpMeter, MeterReading
+from .energy import EnergyAccumulator
+from .budget import PowerBudget, BudgetScenario, GENERATOR, BATTERY
+
+__all__ = [
+    "NodePowerModel",
+    "PowerBreakdown",
+    "OperatingPoint",
+    "WattsUpMeter",
+    "MeterReading",
+    "EnergyAccumulator",
+    "PowerBudget",
+    "BudgetScenario",
+    "GENERATOR",
+    "BATTERY",
+]

@@ -1,0 +1,95 @@
+"""Fielded-platform power budgets.
+
+Section I motivates the study with fielded platforms — UAVs, Humvees,
+manned aircraft, ground stations — "where power is produced from a
+heavy fuel generator" and "each device is given a power budget".
+Section IV-C adds the battery discussion: capping drains reserves more
+slowly per unit time but for longer, and "power capping has no value
+when the workload power consumption is constant ... and lower than the
+capacity of the power supply".
+
+:class:`PowerBudget` captures a device's allocation and answers the
+questions the paper says an integrator must ask: does a cap fit the
+allocation, what delay does it imply, and — for batteries — how much
+battery life a capped run consumes versus an uncapped one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigError
+from ..units import require_non_negative, require_positive, watt_hours_to_joules
+
+__all__ = ["BudgetScenario", "PowerBudget", "GENERATOR", "BATTERY"]
+
+
+class BudgetScenario(Enum):
+    """How the platform is powered."""
+
+    GENERATOR = "generator"
+    BATTERY = "battery"
+
+
+GENERATOR = BudgetScenario.GENERATOR
+BATTERY = BudgetScenario.BATTERY
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """A device's power allocation on a fielded platform.
+
+    Parameters
+    ----------
+    allocation_w:
+        The payload-processing power allocation (Watts).
+    scenario:
+        Generator-powered (power is the constraint) or battery-powered
+        (energy is the constraint).
+    battery_wh:
+        Battery capacity; required for :data:`BATTERY` scenarios.
+    """
+
+    allocation_w: float
+    scenario: BudgetScenario = GENERATOR
+    battery_wh: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.allocation_w, "allocation_w")
+        if self.scenario is BATTERY and self.battery_wh <= 0:
+            raise ConfigError("battery scenario requires a positive battery_wh")
+
+    def admits_cap(self, cap_w: float) -> bool:
+        """Whether a node cap fits inside the allocation."""
+        return require_positive(cap_w, "cap_w") <= self.allocation_w
+
+    def headroom_w(self, draw_w: float) -> float:
+        """Allocation left above a measured draw (may be negative)."""
+        return self.allocation_w - require_non_negative(draw_w, "draw_w")
+
+    def battery_life_s(self, draw_w: float) -> float:
+        """Runtime until the battery is exhausted at a constant draw."""
+        if self.scenario is not BATTERY:
+            raise ConfigError("battery_life_s only applies to battery scenarios")
+        draw_w = require_positive(draw_w, "draw_w")
+        return watt_hours_to_joules(self.battery_wh) / draw_w
+
+    def battery_fraction_used(self, energy_j: float) -> float:
+        """Fraction of the battery a job's energy consumes."""
+        if self.scenario is not BATTERY:
+            raise ConfigError("battery accounting only applies to battery scenarios")
+        return require_non_negative(energy_j, "energy_j") / watt_hours_to_joules(
+            self.battery_wh
+        )
+
+    def deadline_met(self, execution_s: float, deadline_s: float) -> bool:
+        """The soft real-time check from the paper's motivation.
+
+        "In battlefield situations where there are soft real-time
+        deadlines for data processing ... a specific range of delay in
+        time-to-solution ... are tolerable."
+        """
+        return require_non_negative(execution_s, "execution_s") <= require_positive(
+            deadline_s, "deadline_s"
+        )

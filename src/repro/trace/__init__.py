@@ -1,0 +1,34 @@
+"""Memory-access traces.
+
+Workloads talk to the simulated memory hierarchy through address
+traces.  :mod:`.events` defines the trace currency, :mod:`.synthetic`
+generates parametric access patterns (streaming, strided, windowed
+random), :mod:`.capture` records the addresses a real reduced-scale
+algorithm touches, and :mod:`.sampler` bounds and scales traces so a
+sampled slice can stand in for a full-length run.
+"""
+
+from .events import AccessKind, TraceSlice
+from .synthetic import (
+    streaming_trace,
+    strided_trace,
+    random_trace,
+    windowed_random_trace,
+    loop_ifetch_trace,
+)
+from .capture import TraceRecorder, TracedArray
+from .sampler import sample_slice, interleave
+
+__all__ = [
+    "AccessKind",
+    "TraceSlice",
+    "streaming_trace",
+    "strided_trace",
+    "random_trace",
+    "windowed_random_trace",
+    "loop_ifetch_trace",
+    "TraceRecorder",
+    "TracedArray",
+    "sample_slice",
+    "interleave",
+]

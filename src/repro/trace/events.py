@@ -1,0 +1,89 @@
+"""Trace data types.
+
+A :class:`TraceSlice` is the unit of work the runner pushes through the
+memory hierarchy: a data-access address stream, an instruction-fetch
+address stream, and the number of *instructions* the slice represents
+(so per-instruction event rates can be derived from simulated counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["AccessKind", "TraceSlice"]
+
+
+def _empty_addresses() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+class AccessKind(Enum):
+    """What an access is, for recorders that keep full event streams."""
+
+    LOAD = "load"
+    STORE = "store"
+    IFETCH = "ifetch"
+
+
+@dataclass(frozen=True)
+class TraceSlice:
+    """A bounded, representative slice of a workload's memory behaviour.
+
+    Parameters
+    ----------
+    data_addresses:
+        Byte addresses of loads/stores, in program order.
+    ifetch_addresses:
+        Byte addresses of instruction fetches (typically sampled at a
+        lower rate than one per instruction, since sequential fetch
+        within a cache line is free).
+    instructions:
+        How many dynamic instructions the slice represents.
+    warmup_fraction:
+        Leading fraction of *both* streams used only to warm the
+        caches; counts from the warmup region are discarded when
+        deriving steady-state rates.
+    preload_addresses:
+        Addresses touched once before everything else to seed the
+        outer caches with the workload's resident footprint.  A short
+        sampled slice cannot organically warm a multi-megabyte working
+        set, so steady-state occupancy is established explicitly; the
+        preload's counts are always discarded.
+    """
+
+    data_addresses: np.ndarray
+    ifetch_addresses: np.ndarray
+    instructions: float
+    warmup_fraction: float = 0.25
+    preload_addresses: np.ndarray = field(default_factory=_empty_addresses)
+
+    def __post_init__(self) -> None:
+        if self.data_addresses.ndim != 1 or self.ifetch_addresses.ndim != 1:
+            raise WorkloadError("trace streams must be one-dimensional")
+        if self.instructions <= 0:
+            raise WorkloadError("a slice must represent a positive instruction count")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise WorkloadError("warmup fraction must be in [0, 1)")
+
+    @property
+    def measured_instructions(self) -> float:
+        """Instructions attributed to the post-warmup region."""
+        return self.instructions * (1.0 - self.warmup_fraction)
+
+    def split_warmup(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (data_warm, data_meas, ifetch_warm, ifetch_meas)."""
+        d_cut = int(len(self.data_addresses) * self.warmup_fraction)
+        i_cut = int(len(self.ifetch_addresses) * self.warmup_fraction)
+        return (
+            self.data_addresses[:d_cut],
+            self.data_addresses[d_cut:],
+            self.ifetch_addresses[:i_cut],
+            self.ifetch_addresses[i_cut:],
+        )

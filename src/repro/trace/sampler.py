@@ -1,0 +1,69 @@
+"""Trace sampling and stream interleaving.
+
+Full runs of the paper's applications execute 10^11-10^12 instructions;
+simulating every access is out of the question in any simulator.  The
+standard technique (and ours) is representative sampling: simulate a
+bounded slice, measure steady-state per-instruction event rates, and
+scale to the full instruction budget.  :func:`sample_slice` extracts
+contiguous windows (preserving locality, unlike random subsampling) and
+:func:`interleave` merges independently generated streams in a
+deterministic round-robin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["sample_slice", "interleave"]
+
+
+def sample_slice(
+    addresses: np.ndarray, target_length: int, n_windows: int = 8
+) -> np.ndarray:
+    """Pick ``n_windows`` evenly spaced contiguous windows.
+
+    Contiguity preserves the spatial/temporal locality that cache
+    behaviour depends on; evenly spaced windows cover phase changes.
+    Returns the input unchanged when it is already short enough.
+    """
+    if target_length <= 0:
+        raise WorkloadError("target_length must be positive")
+    if n_windows <= 0:
+        raise WorkloadError("n_windows must be positive")
+    n = len(addresses)
+    if n <= target_length:
+        return addresses
+    window = target_length // n_windows
+    if window == 0:
+        raise WorkloadError("target_length too small for the window count")
+    starts = np.linspace(0, n - window, n_windows).astype(np.int64)
+    return np.concatenate([addresses[s : s + window] for s in starts])
+
+
+def interleave(*streams: np.ndarray, weights: tuple | None = None) -> np.ndarray:
+    """Deterministically merge streams in proportion to ``weights``.
+
+    With weights ``(2, 1)`` the output takes two elements of stream 0
+    for every element of stream 1, preserving each stream's internal
+    order; the merge stops when any stream is exhausted pro rata.
+    """
+    if not streams:
+        raise WorkloadError("need at least one stream")
+    if weights is None:
+        weights = tuple(1 for _ in streams)
+    if len(weights) != len(streams):
+        raise WorkloadError("one weight per stream required")
+    if any(w <= 0 for w in weights):
+        raise WorkloadError("weights must be positive")
+    # Rounds of the merge: each round emits w_i items of stream i.
+    rounds = min(len(s) // w for s, w in zip(streams, weights))
+    if rounds == 0:
+        # Degenerate: some stream shorter than its weight — concatenate.
+        return np.concatenate([np.asarray(s, dtype=np.int64) for s in streams])
+    pieces = []
+    for s, w in zip(streams, weights):
+        pieces.append(np.asarray(s[: rounds * w], dtype=np.int64).reshape(rounds, w))
+    merged = np.concatenate(pieces, axis=1)
+    return merged.ravel()

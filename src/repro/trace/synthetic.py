@@ -1,0 +1,190 @@
+"""Parametric access-pattern generators.
+
+Each generator returns a one-dimensional ``int64`` array of byte
+addresses.  They model the loop structures of the paper's workloads:
+
+- :func:`streaming_trace` — SIRE/RSM's "stream-like fashion" pass over
+  an array "too large to fit in any one of the caches", generating
+  "a sequence of compulsory misses, followed by sequences of conflict
+  misses" (Section IV-B);
+- :func:`windowed_random_trace` — Stereo Matching's simulated-annealing
+  visits: a random pixel, then a burst of spatially local window reads;
+- :func:`strided_trace` — the Hennessy-Patterson stride microbenchmark
+  kernel behind Figures 3 and 4;
+- :func:`loop_ifetch_trace` — instruction fetch: a hot loop of a few
+  code pages with occasional excursions into a larger code footprint
+  (what makes gated iTLBs blow up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "streaming_trace",
+    "strided_trace",
+    "random_trace",
+    "windowed_random_trace",
+    "loop_ifetch_trace",
+]
+
+
+def _require_positive(value: int, name: str) -> int:
+    if value <= 0:
+        raise WorkloadError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def streaming_trace(
+    footprint_bytes: int,
+    n_accesses: int,
+    element_bytes: int = 4,
+    base: int = 0,
+    start_offset: int = 0,
+) -> np.ndarray:
+    """Sequential sweep(s) over a large array, element by element.
+
+    Wraps around the footprint, so a slice longer than one pass models
+    the iterative re-reads of SIRE's noise-removal loops.
+    """
+    footprint_bytes = _require_positive(footprint_bytes, "footprint_bytes")
+    n_accesses = _require_positive(n_accesses, "n_accesses")
+    element_bytes = _require_positive(element_bytes, "element_bytes")
+    n_elements = footprint_bytes // element_bytes
+    if n_elements == 0:
+        raise WorkloadError("footprint smaller than one element")
+    idx = (np.arange(n_accesses, dtype=np.int64) + start_offset) % n_elements
+    return base + idx * element_bytes
+
+
+def strided_trace(
+    array_bytes: int,
+    stride_bytes: int,
+    n_accesses: int,
+    base: int = 0,
+) -> np.ndarray:
+    """The H&P kernel: walk an array at a fixed stride, wrapping.
+
+    One iteration touches ``array_bytes / stride_bytes`` distinct
+    locations; repeated wrapping is exactly the nested loop of the
+    microbenchmark in the paper's Section III.
+    """
+    array_bytes = _require_positive(array_bytes, "array_bytes")
+    stride_bytes = _require_positive(stride_bytes, "stride_bytes")
+    n_accesses = _require_positive(n_accesses, "n_accesses")
+    if stride_bytes > array_bytes:
+        raise WorkloadError("stride larger than the array")
+    n_slots = array_bytes // stride_bytes
+    idx = np.arange(n_accesses, dtype=np.int64) % n_slots
+    return base + idx * stride_bytes
+
+
+def random_trace(
+    footprint_bytes: int,
+    n_accesses: int,
+    rng: np.random.Generator,
+    element_bytes: int = 4,
+    base: int = 0,
+) -> np.ndarray:
+    """Uniform random element accesses within a footprint."""
+    footprint_bytes = _require_positive(footprint_bytes, "footprint_bytes")
+    n_accesses = _require_positive(n_accesses, "n_accesses")
+    n_elements = footprint_bytes // _require_positive(element_bytes, "element_bytes")
+    idx = rng.integers(0, n_elements, size=n_accesses, dtype=np.int64)
+    return base + idx * element_bytes
+
+
+def windowed_random_trace(
+    footprint_bytes: int,
+    n_accesses: int,
+    rng: np.random.Generator,
+    window_bytes: int = 4096,
+    burst: int = 48,
+    row_bytes: int = 4096,
+    window_rows: int = 8,
+    element_bytes: int = 4,
+    base: int = 0,
+) -> np.ndarray:
+    """Random anchor, then a 2-D window of local accesses around it.
+
+    Models the Monte-Carlo stereo matcher: each annealing proposal
+    reads an image window (``window_rows`` rows of ``window_bytes``
+    within a ``row_bytes``-pitch image), so consecutive accesses are
+    local while successive proposals jump anywhere in the footprint.
+    """
+    footprint_bytes = _require_positive(footprint_bytes, "footprint_bytes")
+    n_accesses = _require_positive(n_accesses, "n_accesses")
+    burst = _require_positive(burst, "burst")
+    n_bursts = (n_accesses + burst - 1) // burst
+    anchors = rng.integers(0, footprint_bytes, size=n_bursts, dtype=np.int64)
+    per_row = max(1, burst // window_rows)
+    offsets = []
+    for r in range(window_rows):
+        cols = (np.arange(per_row, dtype=np.int64) * element_bytes) % max(
+            window_bytes, element_bytes
+        )
+        offsets.append(r * row_bytes + cols)
+    offset_block = np.concatenate(offsets)[:burst]
+    addresses = (anchors[:, None] + offset_block[None, :]).ravel()[:n_accesses]
+    return base + addresses % footprint_bytes
+
+
+def loop_ifetch_trace(
+    n_fetches: int,
+    rng: np.random.Generator,
+    hot_pages: int = 24,
+    cold_pages: int = 400,
+    excursion_probability: float = 0.002,
+    excursion_length: int = 64,
+    page_bytes: int = 4096,
+    fetch_bytes: int = 16,
+    chunk_bytes: int = 512,
+    base: int = 1 << 40,
+) -> np.ndarray:
+    """Instruction-fetch addresses: hot loop + rare cold excursions.
+
+    The hot path executes a small ``chunk_bytes`` region of code inside
+    each of ``hot_pages`` pages (real call graphs use a sliver of many
+    pages, not whole pages).  The chunk's offset varies per page so the
+    code lines do not alias into a handful of L1I sets.  The total hot
+    footprint (``hot_pages * chunk_bytes``) stays L1I-resident and fits
+    a 128-entry iTLB easily — the paper's tiny baseline iTLB counts —
+    but gate the iTLB to 16 entries and the hot loop itself no longer
+    fits: iTLB misses explode, as Table II shows.
+
+    With small probability the stream takes an ``excursion_length``
+    trip through the ``cold_pages`` library footprint.
+    """
+    n_fetches = _require_positive(n_fetches, "n_fetches")
+    hot_pages = _require_positive(hot_pages, "hot_pages")
+    cold_pages = _require_positive(cold_pages, "cold_pages")
+    chunk_bytes = _require_positive(chunk_bytes, "chunk_bytes")
+    if chunk_bytes > page_bytes:
+        raise WorkloadError("chunk_bytes cannot exceed page_bytes")
+    fetches_per_chunk = max(1, chunk_bytes // fetch_bytes)
+
+    def chunk_offset(page: np.ndarray) -> np.ndarray:
+        # Deterministic per-page offset, 64-byte aligned, chosen so
+        # consecutive pages land in different L1I sets.
+        return ((page * 1664) % (page_bytes - chunk_bytes)) // 64 * 64
+
+    pos = np.arange(n_fetches, dtype=np.int64)
+    page = (pos // fetches_per_chunk) % hot_pages
+    offset = chunk_offset(page) + (pos % fetches_per_chunk) * fetch_bytes
+    addresses = base + page * page_bytes + offset
+    # Overwrite excursion windows with trips through the cold footprint.
+    n_excursions = rng.binomial(n_fetches, excursion_probability)
+    for _ in range(int(n_excursions)):
+        start = int(rng.integers(0, max(1, n_fetches - excursion_length)))
+        cold_page = int(rng.integers(hot_pages, hot_pages + cold_pages))
+        span = np.arange(excursion_length, dtype=np.int64)
+        epage = cold_page + span // fetches_per_chunk
+        addresses[start : start + excursion_length] = (
+            base
+            + epage * page_bytes
+            + chunk_offset(epage)
+            + (span % fetches_per_chunk) * fetch_bytes
+        )
+    return addresses

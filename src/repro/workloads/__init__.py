@@ -1,0 +1,65 @@
+"""The paper's workloads, implemented for real.
+
+Two applications "of interest to the U.S. Army ... executed on fielded
+computing platforms" (Section III):
+
+- **SIRE/RSM** — ultra-wideband impulse-radar SAR image formation by
+  back-projection with iterative noise-removal (:mod:`.sar`, over
+  synthetic returns from :mod:`.radar`);
+- **Stereo Matching** — disparity estimation by simulated annealing
+  over a synthetic three-layer wedding-cake scene (:mod:`.stereo`,
+  scene in :mod:`.wedding_cake`).
+
+Plus the Hennessy-Patterson **stride microbenchmark** the paper uses to
+probe the memory hierarchy (:mod:`.stride`).
+
+Each application exposes (a) its real numerical algorithm, runnable at
+any scale, and (b) a :class:`~repro.workloads.base.Workload` binding
+that feeds the node simulator a representative access trace scaled to
+the paper's full instruction budgets.
+"""
+
+from .base import Workload, WorkloadSpec
+from .radar import SireScene, generate_returns
+from .sar import backproject, rsm_denoise, SarImageFormation, SireRsmWorkload
+from .wedding_cake import wedding_cake_disparity, render_stereo_pair
+from .stereo import (
+    StereoMatcher,
+    AnnealingSchedule,
+    StereoMatchingWorkload,
+)
+from .stride import StrideBenchmark, StrideResult
+from .bursty import BurstyWorkload, PhaseSpec, PhaseInterval
+from .microbench import (
+    MachineUnderTest,
+    compute_probe,
+    cache_capacity_probe,
+    itlb_reach_probe,
+    dram_latency_probe,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "SireScene",
+    "generate_returns",
+    "backproject",
+    "rsm_denoise",
+    "SarImageFormation",
+    "SireRsmWorkload",
+    "wedding_cake_disparity",
+    "render_stereo_pair",
+    "StereoMatcher",
+    "AnnealingSchedule",
+    "StereoMatchingWorkload",
+    "StrideBenchmark",
+    "StrideResult",
+    "BurstyWorkload",
+    "PhaseSpec",
+    "PhaseInterval",
+    "MachineUnderTest",
+    "compute_probe",
+    "cache_capacity_probe",
+    "itlb_reach_probe",
+    "dram_latency_probe",
+]

@@ -1,0 +1,92 @@
+"""The Workload abstraction binding applications to the simulator.
+
+A :class:`Workload` answers three questions for the runner:
+
+1. *How big is the job?* — ``spec.total_instructions`` (calibrated so
+   the uncapped run matches the paper's Table I baselines).
+2. *What does its memory behaviour look like?* — :meth:`build_slice`
+   returns a bounded, representative :class:`~repro.trace.TraceSlice`
+   whose steady-state miss rates stand in for the whole run.
+3. *What does it do?* — :meth:`run_reference` executes the real
+   algorithm (at a caller-chosen scale) so examples and tests can
+   check numerical behaviour, not just simulated timing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import TraceSlice
+
+__all__ = ["WorkloadSpec", "Workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static facts about a workload's full-scale run."""
+
+    name: str
+    #: Dynamic committed instructions of the full run.
+    total_instructions: float
+    #: Loads + stores per instruction (drives the data stream density).
+    loads_stores_per_instruction: float
+    #: Instruction-fetch events per instruction fed to the L1I/iTLB
+    #: model (sequential fetch within a line is free, so < 1).
+    ifetch_per_instruction: float
+    #: Short description for reports.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.total_instructions <= 0:
+            raise WorkloadError("total_instructions must be positive")
+        if not 0 < self.loads_stores_per_instruction < 4:
+            raise WorkloadError("loads_stores_per_instruction out of range")
+        if not 0 < self.ifetch_per_instruction <= 1:
+            raise WorkloadError("ifetch_per_instruction must be in (0, 1]")
+
+
+class Workload(ABC):
+    """An application bound to the node simulator."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload's static facts."""
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        """Short name used in tables and reports."""
+        return self._spec.name
+
+    @abstractmethod
+    def build_slice(self, rng: np.random.Generator, n_data_accesses: int) -> TraceSlice:
+        """A representative trace slice with ``n_data_accesses`` accesses.
+
+        The slice's ``instructions`` must be consistent with
+        ``spec.loads_stores_per_instruction`` so rate scaling is exact.
+        """
+
+    @abstractmethod
+    def run_reference(self, scale: float = 1.0, seed: int = 0):
+        """Run the real algorithm at ``scale`` (1.0 ~ paper-like input).
+
+        Returns an application-specific result object.
+        """
+
+    def slice_instructions(self, n_data_accesses: int) -> float:
+        """Instructions represented by a slice of given access count."""
+        return n_data_accesses / self._spec.loads_stores_per_instruction
+
+    def ifetches_for(self, instructions: float) -> int:
+        """Instruction-fetch events to generate for a slice."""
+        return max(1, int(instructions * self._spec.ifetch_per_instruction))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self._spec.name!r})"

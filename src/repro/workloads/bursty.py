@@ -1,0 +1,128 @@
+"""Unpredictable (bursty) workloads — the paper's future work #3.
+
+Section V: "(3) experiment using unpredictable workloads."  Section
+IV-C frames why: "Power capping is best used when the workload is
+unpredictable in terms of its power consumption" — a fielded platform's
+power *budget* must hold even when the payload's demand spikes.
+
+A :class:`BurstyWorkload` is a stochastic phase machine: it alternates
+idle phases with bursts of an underlying application (any
+:class:`~repro.workloads.base.Workload`), with exponentially
+distributed phase durations.  :class:`repro.core.phased.PhasedRunner`
+executes it against the simulated node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import Workload
+
+__all__ = ["PhaseSpec", "BurstyWorkload", "PhaseInterval"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase type of a bursty workload.
+
+    ``workload=None`` means the core idles (parked in a deep C-state);
+    otherwise the named application runs flat out for the phase.
+    """
+
+    name: str
+    workload: Optional[Workload]
+    mean_duration_s: float
+    #: Relative likelihood of entering this phase next.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_duration_s <= 0:
+            raise WorkloadError(f"phase {self.name}: duration must be positive")
+        if self.weight <= 0:
+            raise WorkloadError(f"phase {self.name}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """One realised interval of the phase schedule."""
+
+    name: str
+    workload: Optional[Workload]
+    start_s: float
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def is_idle(self) -> bool:
+        return self.workload is None
+
+
+class BurstyWorkload:
+    """A stochastic alternation of phases.
+
+    The schedule is drawn up-front for a given horizon so capped and
+    uncapped runs see *exactly the same* demand process — the right
+    comparison for a budget-holding study.
+    """
+
+    def __init__(self, phases: Sequence[PhaseSpec], name: str = "bursty") -> None:
+        if not phases:
+            raise WorkloadError("need at least one phase")
+        if not any(p.workload is not None for p in phases):
+            raise WorkloadError("need at least one non-idle phase")
+        self.name = name
+        self._phases = list(phases)
+
+    @property
+    def phases(self) -> List[PhaseSpec]:
+        """The phase types."""
+        return list(self._phases)
+
+    def schedule(
+        self, horizon_s: float, rng: np.random.Generator
+    ) -> List[PhaseInterval]:
+        """Draw a phase schedule covering ``[0, horizon_s)``.
+
+        Consecutive phases are sampled by weight (never repeating the
+        same phase twice in a row when alternatives exist) with
+        exponential durations; the last interval is truncated at the
+        horizon.
+        """
+        if horizon_s <= 0:
+            raise WorkloadError("horizon must be positive")
+        weights = np.array([p.weight for p in self._phases], dtype=float)
+        intervals: List[PhaseInterval] = []
+        t = 0.0
+        previous_idx: int | None = None
+        while t < horizon_s:
+            w = weights.copy()
+            if previous_idx is not None and len(self._phases) > 1:
+                w[previous_idx] = 0.0
+            idx = int(rng.choice(len(self._phases), p=w / w.sum()))
+            spec = self._phases[idx]
+            duration = float(rng.exponential(spec.mean_duration_s))
+            duration = min(max(duration, 1e-3), horizon_s - t)
+            intervals.append(
+                PhaseInterval(
+                    name=spec.name,
+                    workload=spec.workload,
+                    start_s=t,
+                    duration_s=duration,
+                )
+            )
+            t += duration
+            previous_idx = idx
+        return intervals
+
+    def busy_fraction(self, intervals: Sequence[PhaseInterval]) -> float:
+        """Fraction of a realised schedule spent in non-idle phases."""
+        total = sum(i.duration_s for i in intervals)
+        busy = sum(i.duration_s for i in intervals if not i.is_idle)
+        return busy / total if total else 0.0

@@ -1,0 +1,280 @@
+"""Mechanism-isolating microbenchmark probes.
+
+The paper's second future-work item: "determine, using microbenchmarks,
+what techniques other than DVFS are being used to manage power
+consumption" (Section V).  This module provides the probe kernels; the
+inference logic that interprets them lives in
+:mod:`repro.core.detector`.
+
+Probes observe the machine only through
+:class:`MachineUnderTest` — wall-clock timings of access traces,
+compute loops, and the cycle counter — exactly the interfaces a real
+user-space microbenchmark has.  They never read the gating state
+directly, so the detector genuinely *infers* the active mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..arch.core import CoreTimingModel
+from ..config import NodeConfig, sandy_bridge_config
+from ..errors import WorkloadError
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.latency import AccessCosts
+from ..mem.reconfig import GatingState, ReconfigEngine
+from ..trace.synthetic import loop_ifetch_trace, strided_trace
+
+__all__ = [
+    "MachineUnderTest",
+    "MsrSnapshot",
+    "compute_probe",
+    "cache_capacity_probe",
+    "itlb_reach_probe",
+    "dram_latency_probe",
+]
+
+#: The invariant-TSC rate (the P0 base clock).
+TSC_HZ = 2.701e9
+
+
+@dataclass(frozen=True)
+class MsrSnapshot:
+    """TSC/APERF/MPERF-style counters, as user space can read them.
+
+    - ``tsc``   ticks at the invariant rate whenever wall time passes;
+    - ``mperf`` ticks at the invariant rate only while the core is
+      unhalted (clock modulation halts it);
+    - ``aperf`` ticks at the *actual* core frequency while unhalted.
+
+    Hence ``aperf/mperf`` exposes DVFS and ``mperf/tsc`` exposes the
+    clock-modulation duty — exactly how real frequency tools work.
+    """
+
+    tsc: float
+    aperf: float
+    mperf: float
+
+    def delta(self, earlier: "MsrSnapshot") -> "MsrSnapshot":
+        """Counter deltas since an earlier snapshot."""
+        return MsrSnapshot(
+            tsc=self.tsc - earlier.tsc,
+            aperf=self.aperf - earlier.aperf,
+            mperf=self.mperf - earlier.mperf,
+        )
+
+
+class MachineUnderTest:
+    """The observable surface of a (possibly power-managed) machine.
+
+    Wraps a node configuration plus the *hidden* operating state (gating,
+    frequency, duty).  Probes may call the timing methods and read the
+    cycle counter; they may not inspect the hidden state.
+    """
+
+    def __init__(
+        self,
+        config: NodeConfig | None = None,
+        gating: GatingState | None = None,
+        freq_hz: float = 2.701e9,
+        duty: float = 1.0,
+    ) -> None:
+        if not 0.0 < duty <= 1.0:
+            raise WorkloadError("duty must be in (0, 1]")
+        self._config = config or sandy_bridge_config()
+        self._gating = gating or GatingState.ungated()
+        self._freq_hz = float(freq_hz)
+        self._duty = float(duty)
+        self._core = CoreTimingModel(self._config.base_cpi)
+        self._costs = AccessCosts.from_config(self._config, self._gating)
+        self._cycles = 0.0
+        self._tsc = 0.0
+        self._aperf = 0.0
+        self._mperf = 0.0
+
+    @property
+    def config(self) -> NodeConfig:
+        """The *nominal* configuration (public, like a datasheet)."""
+        return self._config
+
+    @property
+    def cycle_counter(self) -> float:
+        """Actual core cycles (APERF-like): advances only unhalted."""
+        return self._cycles
+
+    def read_msr(self) -> MsrSnapshot:
+        """Read the TSC/APERF/MPERF counter trio."""
+        return MsrSnapshot(tsc=self._tsc, aperf=self._aperf, mperf=self._mperf)
+
+    def _account(self, busy_s: float) -> float:
+        """Advance the counters for a busy phase; returns wall time."""
+        wall = busy_s / self._duty
+        self._cycles += busy_s * self._freq_hz
+        self._tsc += wall * TSC_HZ
+        self._aperf += busy_s * self._freq_hz
+        self._mperf += busy_s * TSC_HZ
+        return wall
+
+    def _fresh_hierarchy(self) -> MemoryHierarchy:
+        hierarchy = MemoryHierarchy(self._config)
+        ReconfigEngine(self._config).apply(hierarchy, self._gating)
+        return hierarchy
+
+    def time_data_trace(
+        self, addresses: np.ndarray, warm_fraction: float = 0.5
+    ) -> float:
+        """Wall seconds to execute a data-access trace (measured part).
+
+        The leading ``warm_fraction`` warms the caches and is excluded.
+        Each access carries one instruction of loop overhead, as the
+        real pointer-chase kernels do.
+        """
+        hierarchy = self._fresh_hierarchy()
+        cut = int(len(addresses) * warm_fraction)
+        hierarchy.simulate_data_trace(addresses[:cut])
+        counts = hierarchy.simulate_data_trace(addresses[cut:])
+        access_ns = self._costs.average_access_ns(
+            counts.data_accesses,
+            counts.l1d_misses,
+            counts.l2_misses,
+            counts.l3_misses,
+            tlb_misses=counts.dtlb_misses,
+        )
+        n = counts.data_accesses
+        busy_s = n * (
+            self._config.base_cpi / self._freq_hz + access_ns * 1e-9
+        )
+        return self._account(busy_s)
+
+    def time_ifetch_trace(self, addresses: np.ndarray) -> float:
+        """Wall seconds for an instruction-fetch trace (iTLB probe)."""
+        hierarchy = self._fresh_hierarchy()
+        cut = len(addresses) // 2
+        hierarchy.simulate_ifetch_trace(addresses[:cut])
+        counts = hierarchy.simulate_ifetch_trace(addresses[cut:])
+        access_ns = self._costs.average_access_ns(
+            counts.ifetches,
+            counts.l1i_misses,
+            counts.l2_misses,
+            counts.l3_misses,
+            tlb_misses=counts.itlb_misses,
+        )
+        n = counts.ifetches
+        busy_s = n * (
+            self._config.base_cpi / self._freq_hz + access_ns * 1e-9
+        )
+        return self._account(busy_s)
+
+    def time_compute(self, n_instructions: int) -> float:
+        """Wall seconds for a pure-compute dependent chain."""
+        if n_instructions <= 0:
+            raise WorkloadError("need a positive instruction count")
+        busy_s = n_instructions * self._config.base_cpi / self._freq_hz
+        return self._account(busy_s)
+
+
+# ---------------------------------------------------------------------------
+# Probe kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ComputeProbeResult:
+    seconds_per_instruction: float
+    effective_freq_hz: float
+    duty: float
+
+    @property
+    def effective_rate_hz(self) -> float:
+        """Instruction rate including throttling (f x duty / CPI)."""
+        return 1.0 / self.seconds_per_instruction
+
+
+def compute_probe(machine: MachineUnderTest, n: int = 2_000_000) -> _ComputeProbeResult:
+    """Measure the compute path via the TSC/APERF/MPERF trio.
+
+    ``aperf/mperf`` scales the invariant clock to the *actual* DVFS
+    frequency (immune to clock modulation); ``mperf/tsc`` is the
+    unhalted fraction, i.e. the clock-modulation duty.
+    """
+    before = machine.read_msr()
+    wall = machine.time_compute(n)
+    d = machine.read_msr().delta(before)
+    freq = d.aperf / d.mperf * TSC_HZ if d.mperf else TSC_HZ
+    duty = min(1.0, d.mperf / d.tsc) if d.tsc else 1.0
+    return _ComputeProbeResult(
+        seconds_per_instruction=wall / n,
+        effective_freq_hz=freq,
+        duty=duty,
+    )
+
+
+def cache_capacity_probe(
+    machine: MachineUnderTest,
+    footprints_bytes: Sequence[int],
+    rng: np.random.Generator,
+    max_accesses: int = 1_500_000,
+) -> Dict[int, float]:
+    """Average wall nanoseconds per access for a cyclic line-granular
+    sweep of each footprint.
+
+    Under LRU a cyclic sweep is all-hits while the footprint fits the
+    (effective) capacity and all-misses once it exceeds it, so the
+    capacity edge is crisp; its position against the datasheet value
+    exposes way gating.  (``rng`` is accepted for interface symmetry.)
+    """
+    out: Dict[int, float] = {}
+    for fp in footprints_bytes:
+        lines = max(1, fp // 64)
+        accesses = min(max_accesses, max(4000, 3 * lines))
+        trace = strided_trace(fp, 64, accesses, base=1 << 33)
+        wall = machine.time_data_trace(trace)
+        measured = accesses - accesses // 2
+        overhead = machine.time_compute(measured) / measured
+        out[fp] = (wall / measured - overhead) * 1e9
+    return out
+
+
+def itlb_reach_probe(
+    machine: MachineUnderTest,
+    page_counts: Sequence[int],
+    rng: np.random.Generator,
+    fetches: int = 30_000,
+) -> Dict[int, float]:
+    """Wall nanoseconds per fetch for a code loop spanning N pages.
+
+    The iTLB reach edge appears as a jump between consecutive page
+    counts; against the 128-entry datasheet value this exposes iTLB
+    entry gating."""
+    out: Dict[int, float] = {}
+    for pages in page_counts:
+        trace = loop_ifetch_trace(
+            fetches, rng, hot_pages=pages, excursion_probability=0.0
+        )
+        wall = machine.time_ifetch_trace(trace)
+        overhead = machine.time_compute(fetches // 2) / (fetches // 2)
+        out[pages] = (wall / (fetches // 2) - overhead) * 1e9
+    return out
+
+
+def dram_latency_probe(
+    machine: MachineUnderTest,
+    rng: np.random.Generator,
+    footprint_bytes: int = 64 * 1024 * 1024,
+    accesses: int = 120_000,
+) -> float:
+    """Average wall nanoseconds of a DRAM-resident line-stride access.
+
+    A cyclic 64 B-stride sweep far beyond the L3: every access misses
+    every cache level while dTLB walks amortise across the 64 lines of
+    each page — the classic ``lat_mem_rd`` setup.  (``rng`` accepted
+    for interface symmetry.)
+    """
+    trace = strided_trace(footprint_bytes, 64, accesses, base=1 << 34)
+    wall = machine.time_data_trace(trace)
+    measured = accesses - accesses // 2
+    overhead = machine.time_compute(measured) / measured
+    return (wall / measured - overhead) * 1e9

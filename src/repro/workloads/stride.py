@@ -1,0 +1,272 @@
+"""The Hennessy-Patterson stride microbenchmark (Figures 3 and 4).
+
+"a program that strides through memory invoking different levels of the
+hierarchy ... includes a nested loop that reads and writes memory at
+different strides and cache sizes.  The results ... can be used to
+identify the configuration of the memory hierarchy ... as well as the
+access times of the various levels" (Sections I and III).
+
+:class:`StrideBenchmark` sweeps (array size, stride) cells:
+
+- :meth:`run` executes against a fixed gating state (Figure 3's
+  uncapped run uses the ungated default) and reports the average access
+  time per cell, computed from simulated miss counts and the level
+  service costs;
+- :meth:`run_capped` executes the same sweep while a live
+  :class:`~repro.bmc.controller.CapController` regulates the node at a
+  cap.  Cells then see whatever gating/duty the controller happens to
+  be applying, reproducing Figure 4's inflated and erratic access times
+  ("due to the dynamic nature of how the power cap is enforced, the
+  average access time behaviors are not consistent with what we would
+  expect").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.node import Node
+from ..bmc.controller import CapController
+from ..bmc.sensors import PowerSensor
+from ..config import NodeConfig, sandy_bridge_config
+from ..errors import WorkloadError
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.latency import AccessCosts
+from ..mem.reconfig import GatingState, ReconfigEngine
+from ..trace.synthetic import strided_trace
+from ..units import KIB
+
+__all__ = ["StrideBenchmark", "StrideResult"]
+
+#: Default array sizes: 4K .. 64M, as in the paper's figures.
+DEFAULT_SIZES = tuple(4 * KIB * 2**i for i in range(15))  # 4K .. 64M
+#: Default strides: 8B .. 32M.
+DEFAULT_STRIDES = tuple(8 * 2**i for i in range(23))  # 8B .. 32M
+
+
+@dataclass(frozen=True)
+class StrideResult:
+    """Average access time per (size, stride) cell.
+
+    ``access_time_ns[i, j]`` is NaN where ``strides[j] > sizes[i] / 2``
+    (the cell would touch too few locations to mean anything, matching
+    the published plots).
+    """
+
+    sizes: Tuple[int, ...]
+    strides: Tuple[int, ...]
+    access_time_ns: np.ndarray
+
+    def series_for_size(self, size: int) -> Dict[int, float]:
+        """One plotted line: stride -> access time for a given size."""
+        i = self.sizes.index(size)
+        return {
+            s: float(self.access_time_ns[i, j])
+            for j, s in enumerate(self.strides)
+            if np.isfinite(self.access_time_ns[i, j])
+        }
+
+    def plateau_ns(self, size: int) -> float:
+        """The max access time across strides for a size (its plateau)."""
+        series = self.series_for_size(size)
+        if not series:
+            raise WorkloadError(f"no valid cells for size {size}")
+        return max(series.values())
+
+
+class StrideBenchmark:
+    """The nested size x stride sweep."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        strides: Sequence[int] = DEFAULT_STRIDES,
+        accesses_per_cell: int = 6000,
+        node_config: NodeConfig | None = None,
+    ) -> None:
+        if not sizes or not strides:
+            raise WorkloadError("need at least one size and one stride")
+        self.sizes = tuple(int(s) for s in sizes)
+        self.strides = tuple(int(s) for s in strides)
+        if accesses_per_cell < 100:
+            raise WorkloadError("accesses_per_cell too small to measure anything")
+        self.accesses_per_cell = int(accesses_per_cell)
+        self.config = node_config or sandy_bridge_config()
+
+    # ------------------------------------------------------------------
+    # Cell measurement
+    # ------------------------------------------------------------------
+
+    def _measure_counts(self, size: int, stride: int, gating: GatingState):
+        """Simulated miss counts for one cell under a gating.
+
+        A fresh hierarchy per cell (the real benchmark's arrays are
+        fresh allocations); the first pass over the array warms it and
+        is excluded from the counts.  Counts depend only on the
+        miss-relevant part of the gating (``config_key``), never on its
+        latency multipliers.
+        """
+        hierarchy = MemoryHierarchy(self.config)
+        ReconfigEngine(self.config).apply(hierarchy, gating)
+        slots = max(1, size // stride)
+        warm = strided_trace(size, stride, slots, base=1 << 32)
+        measured = strided_trace(size, stride, self.accesses_per_cell, base=1 << 32)
+        hierarchy.simulate_data_trace(warm)
+        return hierarchy.simulate_data_trace(measured)
+
+    def _measure_cell(
+        self, size: int, stride: int, gating: GatingState
+    ) -> Tuple[float, float]:
+        """(avg access ns, L3 miss rate) for one cell under a gating."""
+        counts = self._measure_counts(size, stride, gating)
+        costs = AccessCosts.from_config(self.config, gating)
+        avg_ns = costs.average_access_ns(
+            counts.data_accesses,
+            counts.l1d_misses,
+            counts.l2_misses,
+            counts.l3_misses,
+            tlb_misses=counts.dtlb_misses,
+        )
+        l3_rate = counts.l3_misses / counts.data_accesses
+        return avg_ns, l3_rate
+
+    def _valid(self, size: int, stride: int) -> bool:
+        return stride <= size // 2
+
+    # ------------------------------------------------------------------
+    # Figure 3: fixed gating
+    # ------------------------------------------------------------------
+
+    def run(self, gating: GatingState | None = None) -> StrideResult:
+        """Sweep all cells under a fixed gating state (Figure 3)."""
+        gating = gating or GatingState.ungated()
+        grid = np.full((len(self.sizes), len(self.strides)), np.nan)
+        for i, size in enumerate(self.sizes):
+            for j, stride in enumerate(self.strides):
+                if self._valid(size, stride):
+                    grid[i, j], _ = self._measure_cell(size, stride, gating)
+        return StrideResult(
+            sizes=self.sizes, strides=self.strides, access_time_ns=grid
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 4: live cap enforcement
+    # ------------------------------------------------------------------
+
+    def run_capped(
+        self,
+        cap_w: float,
+        rng: np.random.Generator,
+        cell_duration_s: float = 1.5,
+        settle_s: float = 20.0,
+    ) -> StrideResult:
+        """Sweep all cells while a BMC enforces ``cap_w`` (Figure 4).
+
+        The controller runs in simulated time across the whole sweep;
+        each cell's accesses are priced with whatever gating and duty
+        were in force while it ran, so neighbouring cells can land in
+        different machine configurations — the paper's "unexpected
+        behavior".
+        """
+        node = Node(self.config)
+        sensor = PowerSensor(rng)
+        controller = CapController(node, sensor)
+        controller.set_cap(cap_w)
+        quantum = self.config.bmc.control_quantum_s
+        model = node.power_model
+
+        # Cache per-cell miss counts by miss-relevant gating key; price
+        # them with the *exact* gating's costs on every use, since two
+        # gatings can share miss behaviour but differ in latency.
+        cell_cache: Dict[Tuple[int, int, tuple], object] = {}
+
+        def measure(size: int, stride: int, gating: GatingState) -> Tuple[float, float]:
+            key = (size, stride, gating.config_key())
+            if key not in cell_cache:
+                cell_cache[key] = self._measure_counts(size, stride, gating)
+            counts = cell_cache[key]
+            costs = AccessCosts.from_config(self.config, gating)
+            avg_ns = costs.average_access_ns(
+                counts.data_accesses,
+                counts.l1d_misses,
+                counts.l2_misses,
+                counts.l3_misses,
+                tlb_misses=counts.dtlb_misses,
+            )
+            return avg_ns, counts.l3_misses / counts.data_accesses
+
+        # Let the controller settle against a representative cell first.
+        gating = GatingState.ungated()
+        duty = 1.0
+        cmd = None
+        power = node.power_w()
+        for _ in range(int(settle_s / quantum)):
+            cmd = controller.update(power, activity=1.0, traffic_bps=2e8)
+            gating, duty = cmd.gating, cmd.duty
+            alpha = cmd.alpha
+            p_fast = model.power_of_pstate(
+                cmd.pstate_fast,
+                duty=duty,
+                gating_saving_w=cmd.gating_saving_w,
+                dram_traffic_bps=2e8,
+                temperature_c=node.thermal.temperature_c,
+            )
+            p_slow = model.power_of_pstate(
+                cmd.pstate_slow,
+                duty=duty,
+                gating_saving_w=cmd.gating_saving_w,
+                dram_traffic_bps=2e8,
+                temperature_c=node.thermal.temperature_c,
+            )
+            power = alpha * p_fast + (1.0 - alpha) * p_slow
+            node.thermal.step(power, quantum)
+
+        grid = np.full((len(self.sizes), len(self.strides)), np.nan)
+        base_cpi_ns = 0.0  # pure memory kernel: time is the access time
+        for i, size in enumerate(self.sizes):
+            for j, stride in enumerate(self.strides):
+                if not self._valid(size, stride):
+                    continue
+                elapsed = 0.0
+                weighted_ns = 0.0
+                while elapsed < cell_duration_s:
+                    cell_ns, l3_rate = measure(size, stride, gating)
+                    wall_ns_per_access = (base_cpi_ns + cell_ns) / max(
+                        duty, 1e-6
+                    )
+                    rate = 1e9 / wall_ns_per_access
+                    traffic = l3_rate * rate * self.config.l3.line_bytes
+                    activity = min(
+                        1.0, 2.0 / max(cell_ns, 2.0)
+                    )  # stall-bound cells switch less logic
+                    cmd = controller.update(
+                        power, activity=activity, traffic_bps=traffic
+                    )
+                    gating, duty = cmd.gating, cmd.duty
+                    p_fast = model.power_of_pstate(
+                        cmd.pstate_fast,
+                        duty=duty,
+                        activity=activity,
+                        gating_saving_w=cmd.gating_saving_w,
+                        dram_traffic_bps=traffic,
+                        temperature_c=node.thermal.temperature_c,
+                    )
+                    p_slow = model.power_of_pstate(
+                        cmd.pstate_slow,
+                        duty=duty,
+                        activity=activity,
+                        gating_saving_w=cmd.gating_saving_w,
+                        dram_traffic_bps=traffic,
+                        temperature_c=node.thermal.temperature_c,
+                    )
+                    power = cmd.alpha * p_fast + (1.0 - cmd.alpha) * p_slow
+                    node.thermal.step(power, quantum)
+                    weighted_ns += wall_ns_per_access * quantum
+                    elapsed += quantum
+                grid[i, j] = weighted_ns / elapsed
+        return StrideResult(
+            sizes=self.sizes, strides=self.strides, access_time_ns=grid
+        )

@@ -1,0 +1,98 @@
+"""The "three-layer wedding cake" stereo scene.
+
+The paper's Stereo Matching input is a synthetic "three-layer wedding
+cake" (Table I) — the classic stereo test object: concentric stacked
+discs at three heights, so the true disparity field is piecewise
+constant with circular discontinuities.  We generate the disparity
+ground truth and render a textured stereo pair from it by horizontal
+warping, which is all a disparity-estimation algorithm can see anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["wedding_cake_disparity", "render_stereo_pair"]
+
+
+def wedding_cake_disparity(
+    height: int,
+    width: int,
+    layer_disparities: tuple[float, float, float, float] = (2.0, 6.0, 10.0, 14.0),
+    radii_fractions: tuple[float, float, float] = (0.45, 0.30, 0.15),
+) -> np.ndarray:
+    """Ground-truth disparity of a three-layer wedding cake.
+
+    ``layer_disparities`` are (ground, tier1, tier2, tier3); each tier
+    is a disc of the corresponding radius fraction centred in the
+    image.  Returns a float32 (height, width) disparity map.
+    """
+    if height < 8 or width < 8:
+        raise WorkloadError("scene too small")
+    if not all(r1 > r2 for r1, r2 in zip(radii_fractions, radii_fractions[1:])):
+        raise WorkloadError("tier radii must strictly decrease")
+    yy, xx = np.mgrid[0:height, 0:width]
+    cy, cx = (height - 1) / 2.0, (width - 1) / 2.0
+    r = np.hypot((yy - cy) / height, (xx - cx) / width)
+    disparity = np.full((height, width), layer_disparities[0], dtype=np.float32)
+    for tier, frac in enumerate(radii_fractions, start=1):
+        disparity[r <= frac] = layer_disparities[tier]
+    return disparity
+
+
+def render_stereo_pair(
+    disparity: np.ndarray,
+    rng: np.random.Generator,
+    texture_octaves: int = 3,
+    noise_sigma: float = 0.01,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Render (left, right) images consistent with a disparity map.
+
+    ``disparity`` is indexed by *left-image* coordinates: a scene point
+    seen at ``x`` in the left view appears at ``x - d(x)`` in the right
+    view (the rectified-stereo convention the matcher assumes).  The
+    right image is the base multi-octave value-noise texture (so
+    windows are discriminative) and the left image is synthesised as
+    ``left(x) = right(x - d(x))`` with linear interpolation — which
+    makes the SSD data term minimal at exactly the ground-truth
+    disparity.  Both are float32 in [0, 1] plus sensor noise.
+    """
+    if disparity.ndim != 2:
+        raise WorkloadError("disparity must be 2-D")
+    h, w = disparity.shape
+    right = np.zeros((h, w), dtype=np.float64)
+    for octave in range(texture_octaves):
+        step = 2 ** (texture_octaves - octave)
+        gh, gw = h // step + 2, w // step + 2
+        grid = rng.random((gh, gw))
+        # Bilinear upsample of the coarse grid.
+        yy = np.arange(h) / step
+        xx = np.arange(w) / step
+        y0 = yy.astype(np.int64)
+        x0 = xx.astype(np.int64)
+        fy = (yy - y0)[:, None]
+        fx = (xx - x0)[None, :]
+        g00 = grid[y0][:, x0]
+        g01 = grid[y0][:, x0 + 1]
+        g10 = grid[y0 + 1][:, x0]
+        g11 = grid[y0 + 1][:, x0 + 1]
+        layer = (
+            g00 * (1 - fy) * (1 - fx)
+            + g01 * (1 - fy) * fx
+            + g10 * fy * (1 - fx)
+            + g11 * fy * fx
+        )
+        right += layer / (2**octave)
+    right /= right.max()
+    # Left view: sample right at x - d(x).
+    xs = np.arange(w)[None, :] - disparity
+    x0 = np.clip(np.floor(xs).astype(np.int64), 0, w - 2)
+    fx = np.clip(xs - x0, 0.0, 1.0)
+    rows = np.arange(h)[:, None]
+    left = right[rows, x0] * (1 - fx) + right[rows, x0 + 1] * fx
+    if noise_sigma > 0:
+        left = left + rng.normal(0.0, noise_sigma, left.shape)
+        right = right + rng.normal(0.0, noise_sigma, right.shape)
+    return left.astype(np.float32), right.astype(np.float32)

@@ -1,0 +1,112 @@
+"""Core timing model: the CPI stack and throttling arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.core import SPECULATION_WOBBLE_MAX, CoreTimingModel
+from repro.errors import SimulationError
+from repro.units import UnitsError
+
+
+@pytest.fixture
+def core():
+    return CoreTimingModel(base_cpi=0.85)
+
+
+class TestSecondsPerInstruction:
+    def test_pure_compute(self, core):
+        # No stalls, full duty: spi = CPI / f.
+        assert core.seconds_per_instruction(2.7e9, 0.0) == pytest.approx(
+            0.85 / 2.7e9
+        )
+
+    def test_stall_adds_linearly(self, core):
+        base = core.seconds_per_instruction(2.7e9, 0.0)
+        assert core.seconds_per_instruction(2.7e9, 1.0) == pytest.approx(
+            base + 1e-9
+        )
+
+    def test_frequency_only_scales_compute(self, core):
+        # Memory stalls do not speed up with the clock — the crux of
+        # why capped performance is workload-dependent.
+        slow = core.seconds_per_instruction(1.2e9, 10.0)
+        fast = core.seconds_per_instruction(2.4e9, 10.0)
+        assert slow - fast == pytest.approx(0.85 / 1.2e9 - 0.85 / 2.4e9)
+
+    def test_duty_divides_wall_time(self, core):
+        full = core.seconds_per_instruction(2.7e9, 1.0, duty=1.0)
+        throttled = core.seconds_per_instruction(2.7e9, 1.0, duty=0.25)
+        assert throttled == pytest.approx(4.0 * full)
+
+    def test_duty_above_one_rejected(self, core):
+        with pytest.raises(SimulationError):
+            core.seconds_per_instruction(2.7e9, 0.0, duty=1.5)
+
+    def test_zero_frequency_rejected(self, core):
+        with pytest.raises(UnitsError):
+            core.seconds_per_instruction(0.0, 0.0)
+
+
+class TestTimeFor:
+    def test_breakdown_sums_to_wall(self, core):
+        b = core.time_for(1e9, 2.7e9, 0.5, duty=0.5)
+        assert b.compute_s + b.stall_s + b.throttle_s == pytest.approx(b.wall_s)
+
+    def test_no_throttle_at_full_duty(self, core):
+        b = core.time_for(1e9, 2.7e9, 0.5, duty=1.0)
+        assert b.throttle_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_instructions_roundtrip(self, core):
+        b = core.time_for(1e9, 2.7e9, 0.5, duty=0.8)
+        back = core.instructions_in(b.wall_s, 2.7e9, 0.5, duty=0.8)
+        assert back == pytest.approx(1e9)
+
+    def test_cycles_exclude_throttled_time(self, core):
+        b = core.time_for(1e9, 2.0e9, 1.0, duty=0.5)
+        cycles = core.cycles_for(b, 2.0e9)
+        # Only compute + stall time accumulates cycles.
+        assert cycles == pytest.approx((b.compute_s + b.stall_s) * 2.0e9)
+        assert cycles < b.wall_s * 2.0e9
+
+    def test_zero_instructions(self, core):
+        b = core.time_for(0.0, 2.7e9, 1.0)
+        assert b.wall_s == 0.0
+
+
+class TestSpeculation:
+    def test_wobble_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            f = CoreTimingModel.speculation_factor(rng)
+            assert 1.0 <= f <= 1.0 + SPECULATION_WOBBLE_MAX
+
+    def test_wobble_matches_paper_bound(self):
+        # "these differences ... are small, i.e., at most 0.36%".
+        assert SPECULATION_WOBBLE_MAX == pytest.approx(0.0036)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=1e9, max_value=4e9),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_spi_positive_and_monotone_in_duty(self, f, stall, duty):
+        core = CoreTimingModel(0.85)
+        spi = core.seconds_per_instruction(f, stall, duty)
+        assert spi > 0
+        assert spi >= core.seconds_per_instruction(f, stall, 1.0)
+
+    @given(
+        st.floats(min_value=1e6, max_value=1e12),
+        st.floats(min_value=1e9, max_value=4e9),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_wall_time_linear_in_instructions(self, n, f, stall):
+        core = CoreTimingModel(0.85)
+        one = core.time_for(n, f, stall).wall_s
+        two = core.time_for(2 * n, f, stall).wall_s
+        assert two == pytest.approx(2 * one, rel=1e-9)

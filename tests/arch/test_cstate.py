@@ -1,0 +1,103 @@
+"""C-state model: ordering, residency, race-to-idle accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.cstate import CStateModel
+from repro.config import CStateSpec
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def model(config):
+    return CStateModel(config.cstates)
+
+
+class TestConstruction:
+    def test_requires_c0_first(self):
+        with pytest.raises(ConfigError):
+            CStateModel(
+                (CStateSpec(name="C1", power_fraction=0.5, wake_latency_us=1.0),)
+            )
+
+    def test_rejects_non_monotone_power(self):
+        with pytest.raises(ConfigError):
+            CStateModel(
+                (
+                    CStateSpec(name="C0", power_fraction=1.0, wake_latency_us=0.0),
+                    CStateSpec(name="C1", power_fraction=0.2, wake_latency_us=1.0),
+                    CStateSpec(name="C3", power_fraction=0.5, wake_latency_us=5.0),
+                )
+            )
+
+    def test_deeper_states_wake_slower(self, model):
+        lats = [s.wake_latency_us for s in model.specs]
+        assert lats == sorted(lats)
+
+    def test_deepest(self, model):
+        assert model.deepest.name == "C6"
+
+
+class TestLookupAndResidency:
+    def test_unknown_state_raises(self, model):
+        with pytest.raises(ConfigError):
+            model.spec("C9")
+
+    def test_idle_power_fraction(self, model):
+        assert model.idle_power_fraction("C0") == 1.0
+        assert model.idle_power_fraction("C6") < 0.1
+
+    def test_residency_accumulates(self, model):
+        model.record_residency("C6", 1.5)
+        model.record_residency("C6", 0.5)
+        assert model.residency_s("C6") == pytest.approx(2.0)
+        assert model.residency_s("C0") == 0.0
+
+    def test_reset_residency(self, model):
+        model.record_residency("C1", 1.0)
+        model.reset_residency()
+        assert model.residency_s("C1") == 0.0
+
+    def test_wake_overhead(self, model):
+        one = model.wake_overhead_s("C6", 1)
+        assert one == pytest.approx(model.spec("C6").wake_latency_us * 1e-6)
+        assert model.wake_overhead_s("C6", 10) == pytest.approx(10 * one)
+
+    def test_wake_overhead_rejects_negative(self, model):
+        with pytest.raises(ConfigError):
+            model.wake_overhead_s("C6", -1)
+
+
+class TestRaceToIdle:
+    """Section II-B: 'it is more efficient to run briefly at peak speed
+    and stay in a deep idle state for a longer time'."""
+
+    def test_energy_accounting(self, model):
+        # 10 s busy at 155 W then park in C6 for the rest of 100 s.
+        e = model.race_to_idle_energy_j(
+            busy_power_w=155.0,
+            idle_core_power_w=50.0,
+            busy_s=10.0,
+            period_s=100.0,
+            park_state="C6",
+        )
+        wake = model.spec("C6").wake_latency_us * 1e-6
+        expected = 155.0 * (10.0 + wake) + 50.0 * 0.03 * (90.0 - wake)
+        assert e == pytest.approx(expected)
+
+    def test_deeper_park_state_saves_energy(self, model):
+        kwargs = dict(
+            busy_power_w=155.0, idle_core_power_w=50.0, busy_s=10.0, period_s=100.0
+        )
+        e_c1 = model.race_to_idle_energy_j(park_state="C1", **kwargs)
+        e_c6 = model.race_to_idle_energy_j(park_state="C6", **kwargs)
+        assert e_c6 < e_c1
+
+    def test_busy_exceeding_period_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.race_to_idle_energy_j(155.0, 50.0, 101.0, 100.0)
+
+    def test_fully_busy_period(self, model):
+        e = model.race_to_idle_energy_j(155.0, 50.0, 100.0, 100.0, park_state="C0")
+        assert e == pytest.approx(155.0 * 100.0)

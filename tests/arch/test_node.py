@@ -1,0 +1,90 @@
+"""Node assembly: power calibration against the paper's figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.node import Node
+from repro.config import PAPER_IDLE_POWER_RANGE_W
+
+
+@pytest.fixture
+def node(config):
+    return Node(config)
+
+
+class TestPowerCalibration:
+    def test_idle_power_in_paper_range(self, node):
+        # "the idle power was between 100 and 103 Watts."
+        lo, hi = PAPER_IDLE_POWER_RANGE_W
+        assert lo <= node.idle_power_w() <= hi
+
+    def test_busy_power_in_paper_range(self, node):
+        # Table I: 153-157 W with one core busy, uncapped.
+        node.thermal.reset(node.thermal.steady_state_c(155.0))
+        p = node.power_w(dram_traffic_bps=1e8)
+        assert 150.0 <= p <= 158.0
+
+    def test_floor_power_above_lowest_caps(self, node):
+        # The crux of the reproduction: the DVFS floor draws more than
+        # the 120/125 W caps, forcing the BMC beyond DVFS.
+        node.set_pstate(node.pstates.slowest)
+        node.thermal.reset(node.thermal.steady_state_c(126.0))
+        floor = node.power_w()
+        assert floor > 125.0
+
+    def test_deepest_mechanism_floor_above_120(self, node):
+        # Even everything engaged cannot reach 120 W — which is why the
+        # paper measures 124.0/124.9 W averages at the 120 W cap.
+        node.set_pstate(node.pstates.slowest)
+        node.set_duty(node.config.bmc.ladder.duty_min)
+        node.thermal.reset(node.thermal.steady_state_c(122.0))
+        deepest = node.power_w(gating_saving_w=2.6)
+        assert deepest > 120.0
+
+    def test_dvfs_saves_power_monotonically(self, node):
+        node.thermal.reset(45.0)
+        powers = []
+        for st in node.pstates:
+            node.set_pstate(st)
+            powers.append(node.power_w())
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+    def test_traffic_power_orders_the_workloads(self, node):
+        # SIRE (streaming, ~GB/s) draws more than Stereo (cache
+        # resident): Table I's 157 vs 153 W.
+        sire_like = node.power_w(dram_traffic_bps=5e8)
+        stereo_like = node.power_w(dram_traffic_bps=2e7)
+        assert sire_like > stereo_like
+
+
+class TestNodeState:
+    def test_boot_state(self, node):
+        assert node.pstate is node.pstates.fastest
+        assert node.duty == 1.0
+
+    def test_set_duty_validates(self, node):
+        with pytest.raises(ValueError):
+            node.set_duty(0.0)
+        with pytest.raises(ValueError):
+            node.set_duty(1.5)
+        node.set_duty(0.5)
+        assert node.duty == 0.5
+
+    def test_reset_restores_boot_state(self, node):
+        node.set_pstate(node.pstates.slowest)
+        node.set_duty(0.2)
+        node.thermal.step(155.0, 100.0)
+        node.reset()
+        assert node.pstate is node.pstates.fastest
+        assert node.duty == 1.0
+        assert node.thermal.temperature_c == pytest.approx(
+            node.config.thermal.ambient_c
+        )
+
+    def test_operating_point_snapshot(self, node):
+        node.set_duty(0.5)
+        op = node.operating_point(dram_traffic_bps=1e9)
+        assert op.duty == 0.5
+        assert op.pstate is node.pstate
+        assert op.dram_traffic_bps == 1e9

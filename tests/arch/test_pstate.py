@@ -1,0 +1,142 @@
+"""P-state table: generation, ordering, bracketing, dithering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.pstate import PState, PStateTable
+from repro.config import PStateTableConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def table():
+    return PStateTable()
+
+
+class TestTableGeneration:
+    def test_sixteen_states(self, table):
+        assert len(table) == 16
+
+    def test_p0_is_turbo_reading(self, table):
+        # Table II reports 2,701 MHz at P0 (turbo-read artifact).
+        assert table.fastest.freq_mhz == pytest.approx(2701.0)
+
+    def test_floor_is_1200(self, table):
+        # The frequency Table II pins at for caps <= 130 W.
+        assert table.slowest.freq_mhz == pytest.approx(1200.0)
+        assert table.floor_freq_hz == pytest.approx(1.2e9)
+
+    def test_frequencies_strictly_decrease(self, table):
+        freqs = [s.freq_hz for s in table]
+        assert all(a > b for a, b in zip(freqs, freqs[1:]))
+
+    def test_voltage_scales_with_frequency(self, table):
+        volts = [s.voltage_v for s in table]
+        assert all(a > b for a, b in zip(volts, volts[1:]))
+        assert table.fastest.voltage_v == pytest.approx(1.20)
+        assert table.slowest.voltage_v == pytest.approx(0.85)
+
+    def test_indices_are_acpi_convention(self, table):
+        assert [s.index for s in table] == list(range(16))
+
+    def test_getitem_bounds(self, table):
+        assert table[0] is table.fastest
+        assert table[15] is table.slowest
+        with pytest.raises(ConfigError):
+            table[16]
+        with pytest.raises(ConfigError):
+            table[-1]
+
+    def test_custom_state_count(self):
+        t = PStateTable(PStateTableConfig(n_states=4))
+        assert len(t) == 4
+        assert t.fastest.freq_mhz == pytest.approx(2701.0)
+        assert t.slowest.freq_mhz == pytest.approx(1200.0)
+
+
+class TestNeighbours:
+    def test_slower_faster_roundtrip(self, table):
+        mid = table[7]
+        assert table.faster(table.slower(mid)).index == mid.index
+
+    def test_slower_clamps_at_floor(self, table):
+        assert table.slower(table.slowest) is table.slowest
+
+    def test_faster_clamps_at_p0(self, table):
+        assert table.faster(table.fastest) is table.fastest
+
+    def test_nearest_below_frequency(self, table):
+        st_ = table.nearest_below_frequency(2.0e9)
+        assert st_.freq_hz <= 2.0e9
+        assert table.faster(st_).freq_hz > 2.0e9
+
+    def test_nearest_below_frequency_clamps(self, table):
+        assert table.nearest_below_frequency(1.0e9) is table.slowest
+
+
+class TestDynamicPower:
+    def test_cmos_equation(self, table):
+        # P = C f V^2 (Section II-B, quoting Rabaey et al.).
+        p0 = table.fastest
+        assert p0.dynamic_power_w(1e-9) == pytest.approx(
+            1e-9 * p0.freq_hz * p0.voltage_v**2
+        )
+
+    def test_activity_scales_linearly(self, table):
+        p0 = table.fastest
+        assert p0.dynamic_power_w(1e-9, activity=0.5) == pytest.approx(
+            0.5 * p0.dynamic_power_w(1e-9)
+        )
+
+    def test_power_decreases_with_index(self, table):
+        powers = [s.dynamic_power_w(9e-9) for s in table]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+
+class TestBracketing:
+    """Section II-A: 'if the power cap falls between the power
+    consumption associated with two P-states, the BMC switches between
+    the two states'."""
+
+    @staticmethod
+    def _power_of(state: PState) -> float:
+        return 100.0 + state.dynamic_power_w(9e-9)
+
+    def test_bracket_straddles_budget(self, table):
+        budget = 120.0
+        fast, slow = table.bracketing_pair(self._power_of, budget)
+        assert slow.index == fast.index + 1
+        assert self._power_of(slow) <= budget <= self._power_of(fast)
+
+    def test_bracket_clamps_high(self, table):
+        fast, slow = table.bracketing_pair(self._power_of, 1e6)
+        assert fast is table.fastest and slow is table.fastest
+
+    def test_bracket_clamps_low(self, table):
+        fast, slow = table.bracketing_pair(self._power_of, 0.0)
+        assert fast is table.slowest and slow is table.slowest
+
+    def test_dither_fraction_meets_budget_in_expectation(self, table):
+        budget = 121.3
+        fast, slow, alpha = table.dither_fraction(self._power_of, budget)
+        blended = alpha * self._power_of(fast) + (1 - alpha) * self._power_of(slow)
+        assert blended == pytest.approx(budget)
+
+    def test_dither_alpha_bounds(self, table):
+        for budget in (0.0, 110.0, 125.0, 1e9):
+            _, _, alpha = table.dither_fraction(self._power_of, budget)
+            assert 0.0 <= alpha <= 1.0
+
+    @given(st.floats(min_value=90.0, max_value=200.0))
+    def test_dither_never_exceeds_budget_when_reachable(self, budget):
+        table = PStateTable()
+        powers = [self._power_of(s) for s in table]
+        fast, slow, alpha = table.dither_fraction(self._power_of, budget)
+        blended = alpha * self._power_of(fast) + (1 - alpha) * self._power_of(slow)
+        if powers[-1] <= budget <= powers[0]:
+            assert blended == pytest.approx(budget, abs=1e-6)
+        elif budget < powers[-1]:
+            # Unreachable: clamped to the floor.
+            assert fast is table.slowest

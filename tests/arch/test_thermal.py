@@ -1,0 +1,73 @@
+"""Thermal model: equilibrium, relaxation, stability."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.thermal import ThermalModel
+from repro.config import ThermalConfig
+
+
+@pytest.fixture
+def model():
+    return ThermalModel(ThermalConfig(), idle_power_w=101.0)
+
+
+class TestSteadyState:
+    def test_idle_power_sits_at_ambient(self, model):
+        assert model.steady_state_c(101.0) == pytest.approx(25.0)
+
+    def test_excess_power_heats_linearly(self, model):
+        t1 = model.steady_state_c(121.0)
+        t2 = model.steady_state_c(141.0)
+        assert t2 - t1 == pytest.approx(20.0 * 0.35)
+
+    def test_below_idle_clamps_to_ambient(self, model):
+        assert model.steady_state_c(50.0) == pytest.approx(25.0)
+
+
+class TestDynamics:
+    def test_relaxes_toward_target(self, model):
+        target = model.steady_state_c(155.0)
+        model.step(155.0, dt_s=1.0)
+        assert 25.0 < model.temperature_c < target
+
+    def test_converges_after_many_tau(self, model):
+        target = model.steady_state_c(155.0)
+        for _ in range(20):
+            model.step(155.0, dt_s=30.0)  # 20 tau
+        assert model.temperature_c == pytest.approx(target, abs=0.01)
+
+    def test_exact_discretisation_is_stepsize_invariant(self):
+        # One 10 s step must equal ten 1 s steps exactly (we use the
+        # closed-form solution, not Euler).
+        a = ThermalModel(ThermalConfig(), idle_power_w=101.0)
+        b = ThermalModel(ThermalConfig(), idle_power_w=101.0)
+        a.step(155.0, 10.0)
+        for _ in range(10):
+            b.step(155.0, 1.0)
+        assert a.temperature_c == pytest.approx(b.temperature_c, rel=1e-12)
+
+    def test_zero_dt_is_noop(self, model):
+        before = model.temperature_c
+        model.step(155.0, 0.0)
+        assert model.temperature_c == before
+
+    def test_reset(self, model):
+        model.step(155.0, 100.0)
+        model.reset()
+        assert model.temperature_c == pytest.approx(25.0)
+        model.reset(40.0)
+        assert model.temperature_c == pytest.approx(40.0)
+
+    @given(
+        st.floats(min_value=90.0, max_value=300.0),
+        st.floats(min_value=0.01, max_value=1000.0),
+    )
+    def test_never_overshoots_target(self, power, dt):
+        model = ThermalModel(ThermalConfig(), idle_power_w=101.0)
+        target = model.steady_state_c(power)
+        lo, hi = sorted((25.0, target))
+        model.step(power, dt)
+        assert lo - 1e-9 <= model.temperature_c <= hi + 1e-9

@@ -1,0 +1,87 @@
+"""Property-based tests on the cap controller's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.node import Node
+from repro.bmc.controller import CapController
+from repro.bmc.sensors import PowerSensor
+from repro.config import sandy_bridge_config
+
+
+def converge(cap_w: float, seed: int = 0, quanta: int = 700):
+    config = sandy_bridge_config()
+    node = Node(config)
+    node.thermal.reset(38.0)
+    sensor = PowerSensor(np.random.default_rng(seed), noise_sigma_w=0.2)
+    controller = CapController(node, sensor)
+    controller.set_cap(cap_w)
+    power = node.power_w()
+    cmd = None
+    for _ in range(quanta):
+        cmd = controller.update(power)
+        p_fast = node.power_model.power_of_pstate(
+            cmd.pstate_fast, duty=cmd.duty,
+            gating_saving_w=cmd.gating_saving_w,
+            temperature_c=node.thermal.temperature_c,
+        )
+        p_slow = node.power_model.power_of_pstate(
+            cmd.pstate_slow, duty=cmd.duty,
+            gating_saving_w=cmd.gating_saving_w,
+            temperature_c=node.thermal.temperature_c,
+        )
+        power = cmd.alpha * p_fast + (1 - cmd.alpha) * p_slow
+        node.thermal.step(power, config.bmc.control_quantum_s)
+    return node, controller, cmd, power
+
+
+class TestConvergenceProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(st.floats(min_value=126.0, max_value=200.0))
+    def test_feasible_caps_are_met(self, cap):
+        """Any cap above the DVFS floor converges to at most cap+1 W."""
+        _, _, cmd, power = converge(cap)
+        assert power <= cap + 1.0
+        assert cmd.duty == 1.0
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.floats(min_value=126.0, max_value=200.0))
+    def test_command_is_always_well_formed(self, cap):
+        node, _, cmd, _ = converge(cap, quanta=150)
+        assert 0.0 <= cmd.alpha <= 1.0
+        assert 0 < cmd.duty <= 1.0
+        assert 0 <= cmd.pstate_fast.index <= cmd.pstate_slow.index
+        assert cmd.pstate_slow.index - cmd.pstate_fast.index <= 1
+        assert 1.2e9 <= cmd.effective_freq_hz <= 2.701e9 + 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(min_value=118.0, max_value=124.0))
+    def test_sub_floor_caps_never_destabilise(self, cap):
+        """Below the floor the controller exhausts its actuators but
+        the closed loop stays bounded — power within a few watts of
+        the achievable floor, actuators at (not past) their limits."""
+        config = sandy_bridge_config()
+        _, controller, cmd, power = converge(cap, quanta=1200)
+        assert 115.0 < power < 127.0
+        assert cmd.duty >= config.bmc.ladder.duty_min - 1e-12
+        assert cmd.escalation_level <= controller.ladder.max_level
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.floats(min_value=128.0, max_value=170.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_noise_seed_does_not_change_the_operating_regime(self, cap, seed):
+        _, _, a_cmd, a_power = converge(cap, seed=seed)
+        _, _, b_cmd, b_power = converge(cap, seed=seed + 1)
+        assert a_cmd.escalation_level == b_cmd.escalation_level
+        assert abs(a_power - b_power) < 3.0
+
+    def test_monotone_cap_monotone_frequency(self):
+        freqs = []
+        for cap in (160.0, 150.0, 140.0, 132.0, 128.0):
+            _, _, cmd, _ = converge(cap)
+            freqs.append(cmd.effective_freq_hz)
+        assert all(a >= b - 1e6 for a, b in zip(freqs, freqs[1:]))

@@ -1,0 +1,112 @@
+"""System Event Log: bounded storage + controller event trail."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.controller import CapController
+from repro.bmc.sel import SelEventType, SystemEventLog
+from repro.bmc.sensors import PowerSensor
+from repro.errors import SimulationError
+
+
+class TestLogStorage:
+    def test_append_and_ids(self):
+        sel = SystemEventLog()
+        a = sel.log(0.0, SelEventType.CAP_SET, "130 W")
+        b = sel.log(1.0, SelEventType.OVER_CAP)
+        assert a.record_id == 1 and b.record_id == 2
+        assert len(sel) == 2
+        assert sel.last() is b
+
+    def test_bounded_with_overflow_count(self):
+        sel = SystemEventLog(capacity=3)
+        for i in range(5):
+            sel.log(float(i), SelEventType.ESCALATED, str(i))
+        assert len(sel) == 3
+        assert sel.overflowed == 2
+        # Oldest dropped: first retained detail is "2".
+        assert sel.entries()[0].detail == "2"
+
+    def test_by_type(self):
+        sel = SystemEventLog()
+        sel.log(0.0, SelEventType.CAP_SET)
+        sel.log(1.0, SelEventType.ESCALATED)
+        sel.log(2.0, SelEventType.ESCALATED)
+        assert len(sel.by_type(SelEventType.ESCALATED)) == 2
+
+    def test_clear_keeps_counting_ids(self):
+        sel = SystemEventLog()
+        sel.log(0.0, SelEventType.CAP_SET)
+        sel.clear()
+        entry = sel.log(1.0, SelEventType.CAP_CLEARED)
+        assert entry.record_id == 2
+        assert len(sel) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            SystemEventLog(capacity=0)
+
+
+def run_capped(config, cap_w, quanta=1500):
+    node = Node(config)
+    node.thermal.reset(38.0)
+    sensor = PowerSensor(np.random.default_rng(0), noise_sigma_w=0.2)
+    controller = CapController(node, sensor)
+    controller.set_cap(cap_w)
+    power = node.power_w()
+    for _ in range(quanta):
+        cmd = controller.update(power)
+        power = node.power_model.power_of_pstate(
+            cmd.pstate_slow,
+            duty=cmd.duty,
+            gating_saving_w=cmd.gating_saving_w,
+            temperature_c=node.thermal.temperature_c,
+        )
+        node.thermal.step(power, config.bmc.control_quantum_s)
+    return controller
+
+
+class TestControllerEventTrail:
+    def test_cap_set_logged(self, config):
+        controller = run_capped(config, 150.0, quanta=10)
+        events = controller.sel.by_type(SelEventType.CAP_SET)
+        assert len(events) == 1
+        assert "150" in events[0].detail
+
+    def test_moderate_cap_leaves_a_quiet_log(self, config):
+        controller = run_capped(config, 150.0)
+        assert not controller.sel.by_type(SelEventType.ESCALATED)
+        assert not controller.sel.by_type(SelEventType.DUTY_THROTTLED)
+        assert not controller.sel.by_type(SelEventType.PSTATE_FLOOR_REACHED)
+
+    def test_120w_leaves_the_full_pathology(self, config):
+        """The SEL reconstructs the paper's low-cap story end to end."""
+        controller = run_capped(config, 120.0)
+        sel = controller.sel
+        assert sel.by_type(SelEventType.PSTATE_FLOOR_REACHED)
+        escalations = sel.by_type(SelEventType.ESCALATED)
+        assert len(escalations) == controller.ladder.max_level
+        assert "way-gate" in escalations[0].detail
+        assert sel.by_type(SelEventType.OVER_CAP)
+        assert sel.by_type(SelEventType.DUTY_PINNED_AT_MINIMUM)
+        # Event ordering: floor before first escalation before pinning.
+        order = [e.event for e in sel.entries()]
+        assert order.index(SelEventType.PSTATE_FLOOR_REACHED) < order.index(
+            SelEventType.ESCALATED
+        )
+        assert order.index(SelEventType.ESCALATED) < order.index(
+            SelEventType.DUTY_PINNED_AT_MINIMUM
+        )
+
+    def test_clearing_the_cap_logged(self, config):
+        controller = run_capped(config, 140.0, quanta=20)
+        controller.set_cap(None)
+        assert controller.sel.by_type(SelEventType.CAP_CLEARED)
+
+    def test_timestamps_monotone(self, config):
+        controller = run_capped(config, 120.0)
+        times = [e.time_s for e in controller.sel.entries()]
+        assert times == sorted(times)

@@ -1,0 +1,191 @@
+"""Power sensors, escalation ladder runtime, and the BMC IPMI device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.bmc import Bmc
+from repro.bmc.escalation import EscalationLadder
+from repro.bmc.sensors import PowerSensor, TemperatureSensor
+from repro.errors import SimulationError
+from repro.ipmi.commands import (
+    ActivatePowerLimitRequest,
+    GetPowerLimitRequest,
+    GetPowerReadingRequest,
+    GetPowerReadingResponse,
+    PowerLimitResponse,
+    SetPowerLimitRequest,
+)
+from repro.ipmi.messages import CompletionCode, IpmiMessage, IpmiResponse
+from repro.ipmi.transport import LanTransport
+
+
+class TestPowerSensor:
+    def test_noiseless_tracks_truth(self):
+        s = PowerSensor(np.random.default_rng(0), noise_sigma_w=0.0, smoothing=1.0)
+        assert s.sample(150.0) == pytest.approx(150.0)
+
+    def test_smoothing_filters_steps(self):
+        s = PowerSensor(np.random.default_rng(0), noise_sigma_w=0.0, smoothing=0.5)
+        s.sample(100.0)
+        after = s.sample(200.0)
+        assert after == pytest.approx(150.0)
+
+    def test_reading_before_sample_raises(self):
+        s = PowerSensor(np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            _ = s.reading_w
+
+    def test_reset(self):
+        s = PowerSensor(np.random.default_rng(0), noise_sigma_w=0.0)
+        s.sample(100.0)
+        s.reset()
+        assert s.sample(200.0) == pytest.approx(200.0)
+
+    def test_temperature_sensor_noise(self):
+        t = TemperatureSensor(np.random.default_rng(0), noise_sigma_c=0.0)
+        assert t.sample(45.0) == 45.0
+
+
+class TestEscalationLadder:
+    def test_walk_up_and_down(self, config):
+        ladder = EscalationLadder(config.bmc.ladder)
+        assert ladder.level == 0
+        assert ladder.gating_state().is_ungated
+        assert ladder.power_saving_w() == 0.0
+        levels_climbed = 0
+        while ladder.escalate():
+            levels_climbed += 1
+        assert levels_climbed == ladder.max_level
+        assert ladder.at_top
+        assert not ladder.escalate()
+        while ladder.deescalate():
+            pass
+        assert ladder.level == 0
+        assert not ladder.deescalate()
+
+    def test_gating_matches_spec(self, config):
+        ladder = EscalationLadder(config.bmc.ladder)
+        ladder.escalate()
+        spec = config.bmc.ladder.levels[0]
+        g = ladder.gating_state()
+        assert g.l3_way_fraction == spec.l3_way_fraction
+        assert g.itlb_fraction == spec.itlb_fraction
+        assert ladder.power_saving_w() == spec.power_saving_w
+
+    def test_set_level_bounds(self, config):
+        ladder = EscalationLadder(config.bmc.ladder)
+        ladder.set_level(ladder.max_level)
+        assert ladder.at_top
+        with pytest.raises(SimulationError):
+            ladder.set_level(ladder.max_level + 1)
+        ladder.reset()
+        assert ladder.level == 0
+
+
+@pytest.fixture
+def rig(config):
+    """A BMC on a LAN with a deterministic clean channel."""
+    node = Node(config)
+    lan = LanTransport(
+        np.random.default_rng(0), drop_probability=0.0, corruption_probability=0.0
+    )
+    bmc = Bmc(
+        node, np.random.default_rng(1), lan_address="10.0.0.5", transport=lan
+    )
+    return node, lan, bmc
+
+
+def roundtrip(lan, request) -> IpmiResponse:
+    return IpmiResponse.decode(lan.request("10.0.0.5", request.encode()))
+
+
+class TestBmcIpmi:
+    def test_set_then_activate_programs_controller(self, rig):
+        node, lan, bmc = rig
+        seq = iter(range(1, 60))
+        resp = roundtrip(
+            lan, SetPowerLimitRequest(limit_w=130).to_message(0x20, 0x81, next(seq))
+        )
+        assert resp.ok
+        assert bmc.programmed_limit_w == 130
+        assert bmc.controller.cap_w is None  # not yet armed
+        resp = roundtrip(
+            lan, ActivatePowerLimitRequest(True).to_message(0x20, 0x81, next(seq))
+        )
+        assert resp.ok
+        assert bmc.controller.cap_w == 130.0
+
+    def test_deactivate_clears_cap(self, rig):
+        node, lan, bmc = rig
+        roundtrip(lan, SetPowerLimitRequest(limit_w=130).to_message(0x20, 0x81, 1))
+        roundtrip(lan, ActivatePowerLimitRequest(True).to_message(0x20, 0x81, 2))
+        roundtrip(lan, ActivatePowerLimitRequest(False).to_message(0x20, 0x81, 3))
+        assert bmc.controller.cap_w is None
+        assert not bmc.limit_active
+
+    def test_activate_without_limit_fails(self, rig):
+        _, lan, _ = rig
+        resp = roundtrip(
+            lan, ActivatePowerLimitRequest(True).to_message(0x20, 0x81, 1)
+        )
+        assert resp.completion_code == int(CompletionCode.POWER_LIMIT_NOT_ACTIVE)
+
+    def test_get_limit_roundtrip(self, rig):
+        _, lan, bmc = rig
+        roundtrip(lan, SetPowerLimitRequest(limit_w=145).to_message(0x20, 0x81, 1))
+        resp = roundtrip(lan, GetPowerLimitRequest().to_message(0x20, 0x81, 2))
+        limit = PowerLimitResponse.from_payload(resp.data)
+        assert limit.limit_w == 145
+        assert not limit.active
+
+    def test_get_limit_before_set_fails(self, rig):
+        _, lan, _ = rig
+        resp = roundtrip(lan, GetPowerLimitRequest().to_message(0x20, 0x81, 1))
+        assert not resp.ok
+
+    def test_absurd_limit_rejected(self, rig):
+        _, lan, bmc = rig
+        resp = roundtrip(
+            lan, SetPowerLimitRequest(limit_w=10).to_message(0x20, 0x81, 1)
+        )
+        assert resp.completion_code == int(
+            CompletionCode.POWER_LIMIT_OUT_OF_RANGE
+        )
+        assert bmc.programmed_limit_w is None
+
+    def test_power_reading_statistics(self, rig):
+        _, lan, bmc = rig
+        for p in (150.0, 155.0, 145.0):
+            bmc.record_power(p, 0.05)
+        resp = roundtrip(lan, GetPowerReadingRequest().to_message(0x20, 0x81, 1))
+        reading = GetPowerReadingResponse.from_payload(resp.data)
+        assert reading.current_w == 145
+        assert reading.minimum_w == 145
+        assert reading.maximum_w == 155
+        assert reading.average_w == 150
+
+    def test_unknown_command_rejected(self, rig):
+        _, lan, _ = rig
+        msg = IpmiMessage(
+            rs_addr=0x20, net_fn=0x2C, rq_addr=0x81, rq_seq=1, cmd=0x7F
+        )
+        resp = roundtrip(lan, msg)
+        assert resp.completion_code == int(CompletionCode.INVALID_COMMAND)
+
+    def test_wrong_netfn_rejected(self, rig):
+        _, lan, _ = rig
+        msg = IpmiMessage(rs_addr=0x20, net_fn=0x06, rq_addr=0x81, rq_seq=1, cmd=2)
+        resp = roundtrip(lan, msg)
+        assert resp.completion_code == int(CompletionCode.INVALID_COMMAND)
+
+    def test_malformed_payload_rejected(self, rig):
+        _, lan, _ = rig
+        msg = IpmiMessage(
+            rs_addr=0x20, net_fn=0x2C, rq_addr=0x81, rq_seq=1, cmd=0x04,
+            data=b"\x00",
+        )
+        resp = roundtrip(lan, msg)
+        assert resp.completion_code == int(CompletionCode.REQUEST_DATA_INVALID)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import sandy_bridge_config
+from repro.rng import RngStreams
+
+
+@pytest.fixture
+def config():
+    """The default Sandy Bridge node configuration."""
+    return sandy_bridge_config()
+
+
+@pytest.fixture
+def streams():
+    """Deterministic RNG streams for a test."""
+    return RngStreams(seed=1234)
+
+
+@pytest.fixture
+def rng(streams):
+    """One deterministic generator."""
+    return streams.stream("test")
+
+
+@pytest.fixture
+def small_config():
+    """A scaled-down node for fast cache tests.
+
+    Same structure as the real platform but with tiny caches so tests
+    can exercise capacity/associativity effects with short traces.
+    """
+    from repro.config import CacheGeometry, TlbGeometry
+
+    base = sandy_bridge_config()
+    return base.with_overrides(
+        l1d=CacheGeometry(
+            name="L1D", capacity_bytes=1024, line_bytes=64, ways=2,
+            hit_latency_ns=1.5, miss_penalty_ns=2.0, leakage_w=0.2,
+        ),
+        l1i=CacheGeometry(
+            name="L1I", capacity_bytes=1024, line_bytes=64, ways=2,
+            hit_latency_ns=1.5, miss_penalty_ns=2.0, leakage_w=0.2,
+        ),
+        l2=CacheGeometry(
+            name="L2", capacity_bytes=4096, line_bytes=64, ways=4,
+            hit_latency_ns=3.5, miss_penalty_ns=5.1, leakage_w=0.4,
+        ),
+        l3=CacheGeometry(
+            name="L3", capacity_bytes=16384, line_bytes=64, ways=4,
+            hit_latency_ns=8.6, miss_penalty_ns=37.1, leakage_w=1.2,
+        ),
+        itlb=TlbGeometry(
+            name="ITLB", entries=16, ways=4, page_bytes=4096,
+            miss_penalty_ns=45.0, leakage_w=0.05,
+        ),
+        dtlb=TlbGeometry(
+            name="DTLB", entries=16, ways=4, page_bytes=4096,
+            miss_penalty_ns=45.0, leakage_w=0.05,
+        ),
+    )

@@ -1,0 +1,73 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ascii_plot import line_chart, log_scatter_chart
+from repro.errors import SimulationError
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        chart = line_chart(
+            {"time": [0.1, 0.5, 1.0], "freq": [1.0, 0.5, 0.4]},
+            labels=["a", "b", "c"],
+            title="T",
+        )
+        assert chart.startswith("T\n")
+        assert "o time" in chart and "+ freq" in chart
+        for label in ("a", "b", "c"):
+            assert label in chart
+
+    def test_extremes_land_on_edge_rows(self):
+        chart = line_chart({"s": [0.0, 1.0]}, labels=["lo", "hi"], height=8)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert "o" in rows[0]      # the 1.0 point on the top row
+        assert "o" in rows[-1]     # the 0.0 point on the bottom row
+
+    def test_values_clamped(self):
+        chart = line_chart({"s": [-0.5, 2.0]}, labels=["x", "y"])
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert sum(r.count("o") for r in plot_rows) == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            line_chart({}, labels=["a"])
+        with pytest.raises(SimulationError):
+            line_chart({"s": [1.0]}, labels=["a", "b"])
+        with pytest.raises(SimulationError):
+            line_chart({"s": [1.0]}, labels=["a"], height=2)
+
+    def test_marker_rotation(self):
+        series = {f"s{i}": [0.5] for i in range(10)}
+        chart = line_chart(series, labels=["x"])
+        # Ten series share eight markers without crashing.
+        assert "s9" in chart
+
+
+class TestLogScatter:
+    def test_basic_rendering(self):
+        chart = log_scatter_chart(
+            {"4K": [(8, 1.5), (64, 1.5)], "64M": [(8, 7.0), (64, 46.0)]},
+            title="Fig 3",
+        )
+        assert "Fig 3" in chart
+        assert "o 4K" in chart and "+ 64M" in chart
+        assert "log" in chart
+
+    def test_higher_latency_plots_higher(self):
+        chart = log_scatter_chart({"s": [(10, 1.0), (1000, 1000.0)]}, height=10)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        first_marker_row = next(i for i, r in enumerate(rows) if "o" in r)
+        last_marker_row = max(i for i, r in enumerate(rows) if "o" in r)
+        assert first_marker_row < last_marker_row  # both points present
+
+    def test_non_positive_points_skipped(self):
+        chart = log_scatter_chart({"s": [(1, 1.0), (0, 5.0), (2, -1.0)]})
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert sum(r.count("o") for r in plot_rows) == 1
+
+    def test_all_invalid_raises(self):
+        with pytest.raises(SimulationError):
+            log_scatter_chart({"s": [(0, 0)]})

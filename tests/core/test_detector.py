@@ -1,0 +1,104 @@
+"""The technique detector (the paper's future-work methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import TechniqueDetector, _edge_before
+from repro.mem.reconfig import GatingState
+from repro.workloads.microbench import MachineUnderTest
+
+# Compact probe grids so each detection runs in a couple of seconds.
+L2_FOOTPRINTS = (48 * 1024, 96 * 1024, 224 * 1024, 384 * 1024)
+L3_FOOTPRINTS = tuple(m * 1024 * 1024 for m in (3, 6, 10, 16))
+ITLB_PAGES = (8, 16, 32, 96, 128, 192)
+
+
+def detect(machine: MachineUnderTest):
+    return TechniqueDetector(machine).detect(
+        l2_footprints=L2_FOOTPRINTS,
+        l3_footprints=L3_FOOTPRINTS,
+        itlb_page_counts=ITLB_PAGES,
+    )
+
+
+class TestEdgeFinder:
+    def test_finds_first_jump(self):
+        curve = {1: 1.0, 2: 1.1, 4: 5.0, 8: 5.2}
+        assert _edge_before(curve, jump=1.6) == 2
+
+    def test_no_jump_returns_last(self):
+        curve = {1: 1.0, 2: 1.1, 4: 1.2}
+        assert _edge_before(curve, jump=1.6) == 4
+
+
+class TestScenarios:
+    def test_uncapped_nothing_active(self):
+        report = detect(MachineUnderTest())
+        assert not report.dvfs_active
+        assert not report.clock_modulation_active
+        assert not report.l2_way_gating_active
+        assert not report.itlb_gating_active
+        assert not report.dram_gating_active
+
+    def test_dvfs_only(self):
+        report = detect(MachineUnderTest(freq_hz=1.7e9))
+        assert report.dvfs_active
+        assert report.effective_freq_hz == pytest.approx(1.7e9)
+        assert not report.clock_modulation_active
+        assert not report.l2_way_gating_active
+
+    def test_clock_modulation_only(self):
+        report = detect(MachineUnderTest(duty=0.25))
+        assert report.clock_modulation_active
+        assert report.duty == pytest.approx(0.25)
+        assert not report.dvfs_active
+
+    def test_way_gating_only(self):
+        gating = GatingState(l2_way_fraction=0.25, l3_way_fraction=0.25)
+        report = detect(MachineUnderTest(gating=gating))
+        assert report.l2_way_gating_active
+        assert report.l3_way_gating_active
+        assert not report.dvfs_active
+        assert not report.dram_gating_active
+
+    def test_itlb_gating_only(self):
+        gating = GatingState(itlb_fraction=0.0625)
+        report = detect(MachineUnderTest(gating=gating))
+        assert report.itlb_gating_active
+        assert report.effective_itlb_pages <= 16
+        assert not report.l2_way_gating_active
+
+    def test_dram_gating_only(self):
+        gating = GatingState(dram_latency_multiplier=4.0)
+        report = detect(MachineUnderTest(gating=gating))
+        assert report.dram_gating_active
+        assert not report.l2_way_gating_active
+
+    def test_the_120w_operating_point(self):
+        """The full stack the BMC applies at the 120 W cap: every
+        mechanism lights up — the answer to the paper's open question."""
+        gating = GatingState(
+            l3_way_fraction=0.25,
+            l2_way_fraction=0.25,
+            itlb_fraction=0.0625,
+            dram_latency_multiplier=3.0,
+            cache_latency_multiplier=1.5,
+        )
+        report = detect(
+            MachineUnderTest(gating=gating, freq_hz=1.2e9, duty=0.15)
+        )
+        assert report.dvfs_active
+        assert report.clock_modulation_active
+        assert report.l2_way_gating_active
+        assert report.l3_way_gating_active
+        assert report.itlb_gating_active
+        assert report.dram_gating_active
+        assert report.duty == pytest.approx(0.15, abs=0.02)
+        assert report.effective_freq_hz == pytest.approx(1.2e9, rel=0.01)
+
+    def test_summary_text(self):
+        report = detect(MachineUnderTest(freq_hz=1.2e9))
+        text = report.summary()
+        assert "DVFS" in text and "ACTIVE" in text
+        assert "1200 MHz" in text

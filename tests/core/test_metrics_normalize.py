@@ -1,0 +1,131 @@
+"""Run metrics, averaging, percent diffs, and figure normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import AveragedResult, RunResult, percent_diff
+from repro.core.normalize import normalize_series
+from repro.errors import SimulationError
+from repro.perf.events import PapiEvent
+
+
+def make_run(time_s=91.0, power=153.1, cap=None, l2=69e6, **kw):
+    counters = {e: 0.0 for e in PapiEvent}
+    counters[PapiEvent.PAPI_L1_TCM] = 1.66e9
+    counters[PapiEvent.PAPI_L2_TCM] = l2
+    counters[PapiEvent.PAPI_L3_TCM] = 1.47e7
+    counters[PapiEvent.PAPI_TLB_DM] = 1.34e8
+    counters[PapiEvent.PAPI_TLB_IM] = 6.16e4
+    defaults = dict(
+        workload="StereoMatching",
+        cap_w=cap,
+        execution_s=time_s,
+        avg_power_w=power,
+        energy_j=power * time_s,
+        avg_freq_mhz=2701.0,
+        counters=counters,
+        committed_instructions=2.6e11,
+        executed_instructions=2.6e11 * 1.001,
+        max_escalation_level=0,
+        min_duty=1.0,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestPercentDiff:
+    def test_paper_examples(self):
+        # A9: 3,467% time increase over the baseline's 89 s.
+        assert percent_diff(3168.0, 89.0) == pytest.approx(3459.6, abs=15)
+        # Frequency: 1,200 vs 2,701 -> -55%.
+        assert percent_diff(1200.0, 2701.0) == pytest.approx(-55.6, abs=0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(SimulationError):
+            percent_diff(1.0, 0.0)
+
+
+class TestRunResult:
+    def test_cap_label(self):
+        assert make_run().cap_label == "baseline"
+        assert make_run(cap=120.0).cap_label == "120"
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            make_run(time_s=0.0)
+        with pytest.raises(SimulationError):
+            make_run(power=-1.0)
+
+
+class TestAveragedResult:
+    def test_averaging(self):
+        runs = [make_run(time_s=t) for t in (90.0, 92.0, 91.0)]
+        avg = AveragedResult.from_runs(runs)
+        assert avg.n_runs == 3
+        assert avg.execution_s == pytest.approx(91.0)
+        assert avg.execution_s_std > 0
+
+    def test_mixed_caps_rejected(self):
+        with pytest.raises(SimulationError):
+            AveragedResult.from_runs([make_run(), make_run(cap=120.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            AveragedResult.from_runs([])
+
+    def test_diff_vs_baseline(self):
+        base = AveragedResult.from_runs([make_run()])
+        capped = AveragedResult.from_runs(
+            [make_run(time_s=3168.0, power=124.9, cap=120.0, l2=237e6)]
+        )
+        d = capped.diff_vs(base)
+        assert d["time"] == pytest.approx(3381.3, abs=5)
+        assert d["power"] == pytest.approx(-18.4, abs=0.5)
+        assert d[PapiEvent.PAPI_L2_TCM.value] == pytest.approx(243.5, abs=1)
+
+    def test_diff_with_zero_baseline_counter(self):
+        base_runs = [make_run()]
+        base_runs[0].counters[PapiEvent.PAPI_TLB_IM] = 0.0
+        base = AveragedResult.from_runs(base_runs)
+        capped = AveragedResult.from_runs([make_run(cap=120.0)])
+        assert capped.diff_vs(base)[PapiEvent.PAPI_TLB_IM.value] == 0.0
+
+
+class TestNormalize:
+    def test_max_becomes_one(self):
+        out = normalize_series([1.0, 2.0, 4.0])
+        assert list(out) == [0.25, 0.5, 1.0]
+
+    def test_all_zero(self):
+        assert list(normalize_series([0.0, 0.0])) == [0.0, 0.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            normalize_series([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_bounded_in_unit_interval(self, values):
+        out = normalize_series(values)
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_order_preserved(self, values):
+        out = normalize_series(values)
+        order_in = np.argsort(values)
+        order_out = np.argsort(out)
+        assert np.array_equal(order_in, order_out)

@@ -1,0 +1,111 @@
+"""Multi-core power capping (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.multicore import MultiCoreRunner
+from repro.errors import SimulationError
+from repro.mem.reconfig import GatingState
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+def scaled(workload, factor=0.008):
+    workload._spec = dataclasses.replace(
+        workload.spec,
+        total_instructions=workload.spec.total_instructions * factor,
+    )
+    return workload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MultiCoreRunner(slice_accesses=100_000)
+
+
+@pytest.fixture(scope="module")
+def uncapped(runner):
+    return {
+        n: runner.run(scaled(StereoMatchingWorkload()), n)
+        for n in (1, 2, 4)
+    }
+
+
+class TestUncappedScaling:
+    def test_throughput_scales_with_cores(self, uncapped):
+        assert uncapped[2].throughput_ips > 1.8 * uncapped[1].throughput_ips
+        assert uncapped[4].throughput_ips > 3.3 * uncapped[1].throughput_ips
+
+    def test_l3_sharing_costs_some_per_core_throughput(self, uncapped):
+        # The equal-partition approximation: per-core throughput drops
+        # slightly as the shared L3 is divided.
+        assert uncapped[4].per_core_ips <= uncapped[1].per_core_ips
+
+    def test_power_grows_with_cores(self, uncapped):
+        powers = [uncapped[n].avg_power_w for n in (1, 2, 4)]
+        assert powers == sorted(powers)
+        # Roughly +35 W per additional busy core at P0.
+        assert 25 < powers[1] - powers[0] < 45
+
+
+class TestCappedMultiCore:
+    def test_same_cap_bites_harder_with_more_cores(self, runner):
+        one = runner.run(scaled(StereoMatchingWorkload()), 1, 160.0)
+        four = runner.run(scaled(StereoMatchingWorkload()), 4, 160.0)
+        # One core fits under 160 W untouched; four cores must slow.
+        assert one.avg_freq_mhz == pytest.approx(2701.0, abs=5)
+        assert four.avg_freq_mhz < 1600.0
+        assert four.execution_s > 1.5 * one.execution_s
+
+    def test_infeasible_cap_collapses_throughput(self, runner):
+        """Below the n-core floor the node escalates and duty-throttles;
+        adding cores then *reduces* aggregate throughput — the headline
+        multi-core capping hazard."""
+        one = runner.run(scaled(StereoMatchingWorkload()), 1, 140.0)
+        four = runner.run(scaled(StereoMatchingWorkload()), 4, 140.0)
+        assert four.max_escalation_level > 0
+        assert four.min_duty < 1.0
+        assert four.throughput_ips < one.throughput_ips
+
+    def test_cap_honoured_when_feasible(self, runner):
+        res = runner.run(scaled(StereoMatchingWorkload()), 2, 170.0)
+        assert res.avg_power_w < 170.5
+
+    def test_determinism(self, runner):
+        a = runner.run(scaled(StereoMatchingWorkload()), 2, 160.0, rep=1)
+        b = runner.run(scaled(StereoMatchingWorkload()), 2, 160.0, rep=1)
+        assert a.execution_s == b.execution_s
+
+
+class TestSharedGating:
+    def test_partition_composes_with_escalation(self, runner):
+        base = GatingState(l3_way_fraction=0.5)
+        shared = runner._shared_gating(base, 4)
+        assert shared.l3_way_fraction == pytest.approx(0.125)
+
+    def test_partition_floor_one_way(self, runner):
+        base = GatingState(l3_way_fraction=0.25)
+        shared = runner._shared_gating(base, 16)
+        # Never below one way of the 20.
+        assert shared.l3_way_fraction >= 1.0 / 20.0
+
+    def test_single_core_unchanged(self, runner):
+        base = GatingState(l2_way_fraction=0.5)
+        assert runner._shared_gating(base, 1) is base
+
+
+class TestValidation:
+    def test_core_count_bounds(self, runner):
+        with pytest.raises(SimulationError):
+            runner.run(scaled(StereoMatchingWorkload()), 0)
+        with pytest.raises(SimulationError):
+            runner.run(scaled(StereoMatchingWorkload()), 17)
+
+    def test_scaling_table(self, runner):
+        table = runner.scaling_table(
+            scaled(StereoMatchingWorkload()), core_counts=(1, 2)
+        )
+        assert set(table) == {1, 2}
+        assert table[2].n_cores == 2

@@ -1,0 +1,137 @@
+"""The cap optimiser: screening, verification, objectives."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.optimizer import CapOptimizer
+from repro.core.runner import NodeRunner
+from repro.errors import SimulationError
+from repro.workloads.stereo import StereoMatchingWorkload
+
+CAPS = (160.0, 150.0, 140.0, 130.0, 120.0)
+
+
+def scaled(workload, factor=0.01):
+    workload._spec = dataclasses.replace(
+        workload.spec,
+        total_instructions=workload.spec.total_instructions * factor,
+    )
+    return workload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return NodeRunner(slice_accesses=120_000)
+
+
+@pytest.fixture(scope="module")
+def optimizer(runner):
+    return CapOptimizer(runner)
+
+
+@pytest.fixture(scope="module")
+def baseline_s(runner):
+    return runner.run(scaled(StereoMatchingWorkload())).execution_s
+
+
+class TestRecommendation:
+    def test_headroom_objective_picks_lowest_feasible_cap(
+        self, optimizer, baseline_s
+    ):
+        rec = optimizer.recommend(
+            scaled(StereoMatchingWorkload()),
+            deadline_s=baseline_s * 1.5,
+            candidate_caps_w=CAPS,
+            objective="headroom",
+        )
+        # With a 1.5x deadline, ~135-140 W is reachable but 120 is not.
+        assert rec.cap_w is not None
+        assert 130.0 <= rec.cap_w <= 145.0
+        assert rec.meets_deadline
+
+    def test_energy_objective_prefers_high_caps(self, optimizer, baseline_s):
+        # Energy rises as caps fall (the paper's core finding), so the
+        # minimum-energy choice is uncapped or the highest cap.
+        rec = optimizer.recommend(
+            scaled(StereoMatchingWorkload()),
+            deadline_s=baseline_s * 1.5,
+            candidate_caps_w=CAPS,
+            objective="energy",
+        )
+        assert rec.cap_w is None or rec.cap_w >= 150.0
+
+    def test_time_objective_behaves_like_energy_here(self, optimizer, baseline_s):
+        rec = optimizer.recommend(
+            scaled(StereoMatchingWorkload()),
+            deadline_s=baseline_s * 2.0,
+            candidate_caps_w=CAPS,
+            objective="time",
+        )
+        assert rec.run.execution_s <= baseline_s * 1.01
+
+    def test_screening_discards_infeasible_caps_without_running(
+        self, optimizer, baseline_s
+    ):
+        rec = optimizer.recommend(
+            scaled(StereoMatchingWorkload()),
+            deadline_s=baseline_s * 1.3,
+            candidate_caps_w=CAPS,
+            objective="headroom",
+        )
+        # 120 W (x30 slowdown) must be screened out by prediction, not
+        # burned as a simulated run.
+        assert 120.0 in rec.screened_out_w
+        assert 120.0 not in rec.verified_out_w
+
+    def test_allocation_excludes_high_caps(self, optimizer, baseline_s):
+        rec = optimizer.recommend(
+            scaled(StereoMatchingWorkload()),
+            deadline_s=baseline_s * 1.5,
+            candidate_caps_w=CAPS,
+            objective="headroom",
+            allocation_w=145.0,
+        )
+        assert 160.0 in rec.screened_out_w
+        assert 150.0 in rec.screened_out_w
+        assert rec.cap_w <= 145.0
+
+    def test_tight_deadline_keeps_it_uncapped_or_high(
+        self, optimizer, baseline_s
+    ):
+        rec = optimizer.recommend(
+            scaled(StereoMatchingWorkload()),
+            deadline_s=baseline_s * 1.02,
+            candidate_caps_w=CAPS,
+            objective="headroom",
+        )
+        assert rec.cap_w is None or rec.cap_w >= 150.0
+
+
+class TestValidation:
+    def test_impossible_deadline_raises(self, optimizer, baseline_s):
+        with pytest.raises(SimulationError, match="misses the deadline"):
+            optimizer.recommend(
+                scaled(StereoMatchingWorkload()),
+                deadline_s=baseline_s * 0.5,
+                candidate_caps_w=CAPS,
+            )
+
+    def test_bad_objective(self, optimizer, baseline_s):
+        with pytest.raises(SimulationError, match="objective"):
+            optimizer.recommend(
+                scaled(StereoMatchingWorkload()),
+                deadline_s=baseline_s * 2,
+                candidate_caps_w=CAPS,
+                objective="vibes",
+            )
+
+    def test_empty_candidates(self, optimizer, baseline_s):
+        with pytest.raises(SimulationError, match="candidate"):
+            optimizer.recommend(
+                scaled(StereoMatchingWorkload()),
+                deadline_s=baseline_s * 2,
+                candidate_caps_w=(),
+            )

@@ -1,0 +1,98 @@
+"""Phased runner: budgets under bursty demand (Section IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phased import PhasedRunner
+from repro.errors import SimulationError
+from repro.workloads.bursty import BurstyWorkload, PhaseSpec
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+@pytest.fixture(scope="module")
+def bursty():
+    return BurstyWorkload(
+        [
+            PhaseSpec("idle", None, mean_duration_s=4.0),
+            PhaseSpec("burst", StereoMatchingWorkload(), mean_duration_s=2.0),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PhasedRunner(slice_accesses=80_000)
+
+
+@pytest.fixture(scope="module")
+def comparison(runner, bursty):
+    return runner.compare(bursty, horizon_s=60.0, budget_w=135.0)
+
+
+class TestBudgetComparison:
+    def test_uncapped_spikes_over_budget(self, comparison):
+        u = comparison.uncapped
+        assert u.peak_power_w > 145.0
+        assert u.over_budget_s > 1.0
+        assert not u.budget_held
+
+    def test_capped_holds_the_budget(self, comparison):
+        c = comparison.capped
+        assert c.peak_power_w <= 135.0 + 1.0
+        assert c.budget_held
+
+    def test_capping_costs_bounded_throughput(self, comparison):
+        # The cap is above the DVFS knee: the cost is the frequency
+        # ratio during bursts, not a collapse.
+        assert 0.45 < comparison.throughput_retained < 1.0
+
+    def test_violation_reduction_positive(self, comparison):
+        assert comparison.violation_reduction_s > 1.0
+
+    def test_same_demand_process(self, comparison):
+        assert comparison.capped.busy_fraction == pytest.approx(
+            comparison.uncapped.busy_fraction
+        )
+
+
+class TestPhasedRunner:
+    def test_idle_heavy_schedule_draws_near_floor(self, runner):
+        mostly_idle = BurstyWorkload(
+            [
+                PhaseSpec("idle", None, mean_duration_s=20.0, weight=8.0),
+                PhaseSpec(
+                    "burst", StereoMatchingWorkload(), mean_duration_s=0.5,
+                    weight=1.0,
+                ),
+            ]
+        )
+        result = runner.run(mostly_idle, horizon_s=40.0, budget_w=160.0)
+        assert result.avg_power_w < 115.0
+        assert result.budget_held
+
+    def test_generous_cap_changes_nothing(self, runner, bursty):
+        schedule = bursty.schedule(
+            30.0, __import__("numpy").random.default_rng(5)
+        )
+        free = runner.run(
+            bursty, 30.0, budget_w=200.0, schedule=schedule
+        )
+        capped = runner.run(
+            bursty, 30.0, budget_w=200.0, cap_w=200.0, schedule=schedule
+        )
+        assert capped.instructions == pytest.approx(free.instructions, rel=0.01)
+
+    def test_horizon_respected(self, runner, bursty):
+        result = runner.run(bursty, horizon_s=12.0, budget_w=140.0)
+        assert result.horizon_s == pytest.approx(12.0, abs=0.1)
+
+    def test_budget_validation(self, runner, bursty):
+        with pytest.raises(SimulationError):
+            runner.run(bursty, horizon_s=10.0, budget_w=0.0)
+
+    def test_energy_consistent(self, runner, bursty):
+        result = runner.run(bursty, horizon_s=20.0, budget_w=140.0)
+        assert result.energy_j == pytest.approx(
+            result.avg_power_w * result.horizon_s, rel=0.01
+        )

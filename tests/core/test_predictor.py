@@ -1,0 +1,131 @@
+"""The cap-impact predictor, validated against the simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.predictor import CapImpactPredictor, CapRegime
+from repro.core.runner import NodeRunner
+from repro.errors import SimulationError
+from repro.mem.reconfig import GatingState
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+def scaled(workload, factor=0.01):
+    workload._spec = dataclasses.replace(
+        workload.spec,
+        total_instructions=workload.spec.total_instructions * factor,
+    )
+    return workload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return NodeRunner(slice_accesses=150_000)
+
+
+@pytest.fixture(scope="module")
+def predictor(runner):
+    return CapImpactPredictor(runner.config)
+
+
+@pytest.fixture(scope="module")
+def stereo_rates(runner):
+    return runner.rates_for(StereoMatchingWorkload(), GatingState.ungated())
+
+
+@pytest.fixture(scope="module")
+def sire_rates(runner):
+    return runner.rates_for(SireRsmWorkload(), GatingState.ungated())
+
+
+class TestRegimes:
+    def test_unconstrained(self, predictor, stereo_rates):
+        impact = predictor.predict(stereo_rates, 170.0)
+        assert impact.regime is CapRegime.UNCONSTRAINED
+        assert impact.predicted_slowdown == 1.0
+
+    def test_dvfs(self, predictor, stereo_rates):
+        impact = predictor.predict(stereo_rates, 140.0)
+        assert impact.regime is CapRegime.DVFS
+        assert not impact.is_lower_bound
+        assert 1.1 < impact.predicted_slowdown < 1.6
+
+    def test_beyond_dvfs(self, predictor, stereo_rates):
+        impact = predictor.predict(stereo_rates, 123.0)
+        assert impact.regime in (CapRegime.BEYOND_DVFS, CapRegime.INFEASIBLE)
+        assert impact.is_lower_bound
+        assert impact.predicted_freq_mhz == pytest.approx(1200.0)
+
+    def test_infeasible(self, predictor, stereo_rates):
+        impact = predictor.predict(stereo_rates, 118.0)
+        assert impact.regime is CapRegime.INFEASIBLE
+        assert impact.predicted_slowdown > 10.0
+
+    def test_invalid_cap(self, predictor, stereo_rates):
+        with pytest.raises(SimulationError):
+            predictor.predict(stereo_rates, 0.0)
+
+
+class TestAgainstSimulation:
+    """The methodology's validation: predict, then actually run."""
+
+    @pytest.mark.parametrize("cap", [150.0, 145.0, 140.0, 135.0])
+    def test_dvfs_region_accuracy(self, predictor, runner, stereo_rates, cap):
+        predicted = predictor.predict(stereo_rates, cap).predicted_slowdown
+        base = runner.run(scaled(StereoMatchingWorkload()))
+        capped = runner.run(scaled(StereoMatchingWorkload()), cap)
+        simulated = capped.execution_s / base.execution_s
+        assert predicted == pytest.approx(simulated, rel=0.12)
+
+    def test_lower_bound_holds_at_120(self, predictor, runner, stereo_rates):
+        predicted = predictor.predict(stereo_rates, 120.0)
+        # A longer run so the controller's ramp-down transient is a
+        # negligible share and the steady state dominates.
+        base = runner.run(scaled(StereoMatchingWorkload(), 0.05))
+        capped = runner.run(scaled(StereoMatchingWorkload(), 0.05), 120.0)
+        simulated = capped.execution_s / base.execution_s
+        assert predicted.is_lower_bound
+        assert simulated >= 0.9 * predicted.predicted_slowdown
+
+    def test_baseline_power_estimate(self, predictor, stereo_rates, sire_rates):
+        stereo_w = predictor.baseline_power_w(stereo_rates)
+        sire_w = predictor.baseline_power_w(sire_rates)
+        assert 150.0 < stereo_w < 158.0
+        assert sire_w > stereo_w  # the Table I ordering
+
+
+class TestAmenabilityPrediction:
+    def test_memory_bound_tolerates_lower_caps(
+        self, predictor, stereo_rates, sire_rates
+    ):
+        """The paper's core characterisation claim, predicted from
+        counters alone: the streaming workload's compute component is a
+        smaller share of its CPI, so frequency scaling hurts it less."""
+        st = predictor.predict(stereo_rates, 140.0).predicted_slowdown
+        si = predictor.predict(sire_rates, 140.0).predicted_slowdown
+        assert si < st
+
+    def test_knee_matches_paper_region(self, predictor, stereo_rates, sire_rates):
+        st_knee = predictor.knee_cap_w(stereo_rates, 1.25)
+        si_knee = predictor.knee_cap_w(sire_rates, 1.25)
+        # Paper: 145 W (Stereo), 140 W (SIRE).
+        assert st_knee in (150.0, 145.0)
+        assert si_knee in (145.0, 140.0)
+        assert si_knee <= st_knee
+
+    def test_tolerable_tri_state(self, predictor, stereo_rates):
+        assert predictor.predict(stereo_rates, 150.0).tolerable(1.25) is True
+        assert predictor.predict(stereo_rates, 120.0).tolerable(1.25) is False
+        # A beyond-DVFS cap whose lower bound is within tolerance is
+        # undecidable from baseline data.
+        impact = predictor.predict(stereo_rates, 124.5)
+        if impact.is_lower_bound and impact.predicted_slowdown <= 3.0:
+            assert impact.tolerable(3.0) is None
+
+    def test_knee_tolerance_validation(self, predictor, stereo_rates):
+        with pytest.raises(SimulationError):
+            predictor.knee_cap_w(stereo_rates, 1.0)

@@ -1,0 +1,157 @@
+"""Report rendering and the amenability characterisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.amenability import characterize_amenability
+from repro.core.experiment import ExperimentResult
+from repro.core.metrics import AveragedResult
+from repro.core.report import (
+    figure1_series,
+    figure2_series,
+    render_stride_figure,
+    render_table1,
+    render_table2,
+)
+from repro.errors import SimulationError
+from repro.perf.events import PapiEvent
+
+
+def make_avg(workload="StereoMatching", cap=None, time_s=91.0, power=153.1,
+             freq=2701.0, itlb=6.2e4, l2=6.9e7, l3=1.5e7):
+    counters = {e: 1.0 for e in PapiEvent}
+    counters[PapiEvent.PAPI_L1_TCM] = 1.66e9
+    counters[PapiEvent.PAPI_L2_TCM] = l2
+    counters[PapiEvent.PAPI_L3_TCM] = l3
+    counters[PapiEvent.PAPI_TLB_DM] = 1.34e8
+    counters[PapiEvent.PAPI_TLB_IM] = itlb
+    return AveragedResult(
+        workload=workload,
+        cap_w=cap,
+        n_runs=5,
+        execution_s=time_s,
+        avg_power_w=power,
+        energy_j=power * time_s,
+        avg_freq_mhz=freq,
+        counters=counters,
+        committed_instructions=2.6e11,
+        executed_instructions=2.6e11,
+        max_escalation_level=0,
+        min_duty=1.0,
+    )
+
+
+@pytest.fixture
+def sweep():
+    """A hand-built sweep shaped like the paper's Stereo column."""
+    result = ExperimentResult(workload="StereoMatching", baseline=make_avg())
+    slowdowns = {
+        160.0: 1.03, 155.0: 1.0, 150.0: 1.09, 145.0: 1.21, 140.0: 1.40,
+        135.0: 2.07, 130.0: 5.44, 125.0: 12.04, 120.0: 35.67,
+    }
+    for cap, x in slowdowns.items():
+        result.by_cap[cap] = make_avg(
+            cap=cap,
+            time_s=91.0 * x,
+            power=min(cap - 2, 153.0),
+            freq=max(1200.0, 2701.0 / min(x, 2.25)),
+        )
+    return result
+
+
+class TestTables:
+    def test_table1_contains_baselines(self, sweep):
+        text = render_table1([sweep])
+        assert "StereoMatching" in text
+        assert "0:01:31" in text
+        assert "153.1" in text
+
+    def test_table2_has_all_rows(self, sweep):
+        text = render_table2(sweep)
+        assert "baseline" in text
+        for cap in (160, 155, 150, 145, 140, 135, 130, 125, 120):
+            assert f"\n      {cap} " in text or f" {cap} " in text
+        # Percent-diff columns present (time diff at 120 is ~3467%).
+        assert "3467" in text or "3,467" in text.replace(",", "")
+
+    def test_table2_counters_section(self, sweep):
+        text = render_table2(sweep)
+        assert "L1 Misses" in text
+        assert "TLB Instr" in text
+
+
+class TestFigures:
+    def test_figure2_series_shapes(self, sweep):
+        series = figure2_series(sweep)
+        n = 10  # baseline + 9 caps
+        for key in ("frequency", "time", "power", "energy",
+                    "PAPI_L2_TCM", "PAPI_L3_TCM", "PAPI_TLB_IM"):
+            assert len(series[key]) == n
+            assert series[key].max() <= 1.0 + 1e-12
+
+    def test_figure_time_and_energy_peak_at_lowest_cap(self, sweep):
+        series = figure2_series(sweep)
+        assert series["time"][-1] == pytest.approx(1.0)
+        assert series["energy"][-1] == pytest.approx(1.0)
+
+    def test_figure_frequency_peaks_at_baseline(self, sweep):
+        series = figure1_series(sweep)
+        assert series["frequency"][0] == pytest.approx(1.0)
+        assert series["frequency"][-1] < 0.5
+
+    def test_stride_render(self):
+        import numpy as np
+
+        from repro.workloads.stride import StrideResult
+
+        r = StrideResult(
+            sizes=(4096, 65536),
+            strides=(8, 64),
+            access_time_ns=np.array([[1.5, 1.5], [np.nan, 3.5]]),
+        )
+        text = render_stride_figure(r, "Figure 3")
+        assert "Figure 3" in text
+        assert "4K" in text and "64K" in text
+        assert "-" in text  # the NaN cell
+
+
+class TestAmenability:
+    def test_knee_matches_paper_narrative(self, sweep):
+        # "the increase for Stereo Matching is bounded by 25% down to a
+        # power cap of 145 Watts."
+        report = characterize_amenability(sweep, tolerance_slowdown=1.25)
+        assert report.knee_cap_w == 145.0
+        assert set(report.usable_caps_w) == {160.0, 155.0, 150.0, 145.0}
+        assert report.amenability_score == pytest.approx(4 / 9)
+
+    def test_headroom(self, sweep):
+        report = characterize_amenability(sweep, tolerance_slowdown=1.25)
+        assert report.headroom_w == pytest.approx(153.1 - 145.0)
+
+    def test_looser_tolerance_extends_range(self, sweep):
+        tight = characterize_amenability(sweep, tolerance_slowdown=1.25)
+        loose = characterize_amenability(sweep, tolerance_slowdown=1.5)
+        assert len(loose.usable_caps_w) > len(tight.usable_caps_w)
+
+    def test_no_usable_caps(self, sweep):
+        report = characterize_amenability(sweep, tolerance_slowdown=1.01)
+        assert report.knee_cap_w is None
+        assert report.amenability_score == 0.0
+        assert report.headroom_w == 0.0
+
+    def test_stops_at_first_violation(self, sweep):
+        # Even if a lower cap dipped back under tolerance, the range
+        # must stop at the first violation.
+        sweep.by_cap[130.0] = make_avg(cap=130.0, time_s=91.0)  # fake dip
+        report = characterize_amenability(sweep, tolerance_slowdown=1.45)
+        assert 130.0 not in report.usable_caps_w
+
+    def test_tolerance_validation(self, sweep):
+        with pytest.raises(SimulationError):
+            characterize_amenability(sweep, tolerance_slowdown=1.0)
+
+    def test_tolerates(self, sweep):
+        report = characterize_amenability(sweep, tolerance_slowdown=1.25)
+        assert report.tolerates(150.0)
+        assert not report.tolerates(120.0)

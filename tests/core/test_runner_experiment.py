@@ -1,0 +1,216 @@
+"""Runner and experiment integration (scaled-down budgets for speed)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.experiment import PowerCapExperiment
+from repro.core.runner import NodeRunner
+from repro.errors import SimulationError
+from repro.mem.reconfig import GatingState
+from repro.perf.events import PapiEvent
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+def scaled(workload, factor=0.02):
+    """Clone a workload with a reduced instruction budget."""
+    workload._spec = dataclasses.replace(
+        workload.spec, total_instructions=workload.spec.total_instructions * factor
+    )
+    return workload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return NodeRunner(slice_accesses=80_000)
+
+
+@pytest.fixture(scope="module")
+def stereo_baseline(runner):
+    return runner.run(scaled(StereoMatchingWorkload()))
+
+
+class TestRunnerBasics:
+    def test_baseline_runs_at_p0(self, stereo_baseline):
+        r = stereo_baseline
+        assert r.cap_w is None
+        assert r.avg_freq_mhz == pytest.approx(2701.0, abs=1.0)
+        assert r.max_escalation_level == 0
+        assert r.min_duty == 1.0
+
+    def test_baseline_power_in_range(self, stereo_baseline):
+        assert 150.0 < stereo_baseline.avg_power_w < 158.0
+
+    def test_energy_consistent_with_power_and_time(self, stereo_baseline):
+        r = stereo_baseline
+        assert r.energy_j == pytest.approx(
+            r.avg_power_w * r.execution_s, rel=0.02
+        )
+
+    def test_committed_instructions_exact(self, stereo_baseline):
+        w = StereoMatchingWorkload()
+        assert stereo_baseline.committed_instructions == pytest.approx(
+            w.spec.total_instructions * 0.02
+        )
+
+    def test_speculation_wobble_bounded(self, stereo_baseline):
+        r = stereo_baseline
+        ratio = r.executed_instructions / r.committed_instructions
+        assert 1.0 <= ratio <= 1.0036
+
+    def test_counters_present_and_positive(self, stereo_baseline):
+        c = stereo_baseline.counters
+        for e in (
+            PapiEvent.PAPI_L1_TCM,
+            PapiEvent.PAPI_L2_TCM,
+            PapiEvent.PAPI_L3_TCM,
+            PapiEvent.PAPI_TLB_DM,
+            PapiEvent.PAPI_TOT_CYC,
+        ):
+            assert c[e] > 0
+
+    def test_determinism_per_rep(self, runner):
+        a = runner.run(scaled(StereoMatchingWorkload()), 140.0, rep=3)
+        b = runner.run(scaled(StereoMatchingWorkload()), 140.0, rep=3)
+        assert a.execution_s == b.execution_s
+        assert a.avg_power_w == b.avg_power_w
+
+    def test_reps_differ_in_measurement_noise(self, runner):
+        # Committed instructions are identical across runs (as in the
+        # paper); meter noise and speculation wobble vary per rep.
+        a = runner.run(scaled(StereoMatchingWorkload()), 140.0, rep=0)
+        b = runner.run(scaled(StereoMatchingWorkload()), 140.0, rep=1)
+        assert a.avg_power_w != b.avg_power_w
+        assert a.executed_instructions != b.executed_instructions
+        assert a.execution_s == pytest.approx(b.execution_s, rel=0.05)
+
+    def test_rates_cache_shared_across_runs(self, runner):
+        runner.run(scaled(StereoMatchingWorkload()), 125.0)
+        key_count = len(runner._rates)
+        runner.run(scaled(StereoMatchingWorkload()), 125.0, rep=1)
+        assert len(runner._rates) == key_count  # no re-simulation
+
+    def test_runaway_guard(self):
+        tiny = NodeRunner(slice_accesses=80_000, max_sim_seconds=0.5)
+        with pytest.raises(SimulationError, match="exceeded"):
+            tiny.run(scaled(StereoMatchingWorkload()))
+
+    def test_series_recording(self):
+        r = NodeRunner(slice_accesses=80_000, record_series=True)
+        res = r.run(scaled(StereoMatchingWorkload(), 0.005), 140.0)
+        assert len(res.series) > 2
+        t, p, f, d = res.series[-1]
+        assert t == pytest.approx(res.execution_s, rel=0.01)
+        assert 100.0 < p < 160.0
+
+
+class TestCappedBehaviour:
+    def test_moderate_cap_slows_moderately(self, runner, stereo_baseline):
+        r = runner.run(scaled(StereoMatchingWorkload()), 140.0)
+        slowdown = r.execution_s / stereo_baseline.execution_s
+        assert 1.1 < slowdown < 1.6
+        assert r.avg_power_w < 140.0
+
+    def test_low_cap_forces_escalation(self, runner):
+        r = runner.run(scaled(StereoMatchingWorkload()), 125.0)
+        assert r.max_escalation_level >= 1
+        assert r.avg_freq_mhz == pytest.approx(1200.0, abs=30.0)
+
+    def test_cap_120_overruns_and_throttles(self, runner, stereo_baseline):
+        r = runner.run(scaled(StereoMatchingWorkload()), 120.0)
+        assert r.min_duty == pytest.approx(
+            runner.config.bmc.ladder.duty_min
+        )
+        assert r.avg_power_w > 120.0  # cap not honoured
+        assert r.execution_s > 15 * stereo_baseline.execution_s
+
+    def test_cap_160_equivalent_to_baseline(self, runner, stereo_baseline):
+        r = runner.run(scaled(StereoMatchingWorkload()), 160.0)
+        assert r.execution_s == pytest.approx(
+            stereo_baseline.execution_s, rel=0.02
+        )
+
+    def test_sel_trail_records_the_pathology(self, runner):
+        r = runner.run(scaled(StereoMatchingWorkload()), 120.0)
+        names = [name for _, name, _ in r.sel_events]
+        assert "cap-set" in names
+        assert "pstate-floor-reached" in names
+        assert "escalated" in names
+        assert "duty-pinned-at-minimum" in names
+
+    def test_baseline_sel_has_no_cap_events(self, stereo_baseline):
+        names = [name for _, name, _ in stereo_baseline.sel_events]
+        assert "escalated" not in names
+        assert "cap-set" not in names
+
+    def test_counters_respond_to_gating(self, runner, stereo_baseline):
+        r = runner.run(scaled(StereoMatchingWorkload()), 120.0)
+        base_itlb = stereo_baseline.counters[PapiEvent.PAPI_TLB_IM]
+        assert r.counters[PapiEvent.PAPI_TLB_IM] > 20 * base_itlb
+        assert r.counters[PapiEvent.PAPI_L2_TCM] > 2 * stereo_baseline.counters[
+            PapiEvent.PAPI_L2_TCM
+        ]
+
+    def test_sire_l2_l3_flat_under_gating(self, runner):
+        base = runner.run(scaled(SireRsmWorkload(), 0.01))
+        capped = runner.run(scaled(SireRsmWorkload(), 0.01), 125.0)
+        for e in (PapiEvent.PAPI_L2_TCM, PapiEvent.PAPI_L3_TCM):
+            assert capped.counters[e] == pytest.approx(
+                base.counters[e], rel=0.10
+            )
+
+
+class TestRatesMeasurement:
+    def test_rates_cached_by_config_key(self, runner):
+        w = StereoMatchingWorkload()
+        a = runner.rates_for(w, GatingState.ungated())
+        b = runner.rates_for(w, GatingState(cache_latency_multiplier=2.0))
+        assert a is b  # same miss-relevant key
+
+    def test_gated_rates_differ(self, runner):
+        w = StereoMatchingWorkload()
+        a = runner.rates_for(w, GatingState.ungated())
+        g = runner.rates_for(
+            w, GatingState(l2_way_fraction=0.5, l3_way_fraction=0.5)
+        )
+        assert g.l2_misses > a.l2_misses
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def experiment_result(self):
+        exp = PowerCapExperiment(
+            [scaled(StereoMatchingWorkload(), 0.01)],
+            caps_w=(150.0, 130.0),
+            repetitions=2,
+            slice_accesses=80_000,
+        )
+        return exp.run_workload(scaled(StereoMatchingWorkload(), 0.01))
+
+    def test_rows_ordering(self, experiment_result):
+        rows = experiment_result.rows()
+        assert rows[0].cap_label == "baseline"
+        assert [r.cap_label for r in rows[1:]] == ["150", "130"]
+
+    def test_averages_over_reps(self, experiment_result):
+        assert experiment_result.baseline.n_runs == 2
+
+    def test_slowdown_monotone(self, experiment_result):
+        assert 1.0 <= experiment_result.slowdown(150.0) < experiment_result.slowdown(130.0)
+
+    def test_row_lookup(self, experiment_result):
+        assert experiment_result.row(None) is experiment_result.baseline
+        assert experiment_result.row(130.0).cap_w == 130.0
+        with pytest.raises(SimulationError):
+            experiment_result.row(111.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PowerCapExperiment([], caps_w=(130.0,))
+        with pytest.raises(SimulationError):
+            PowerCapExperiment(
+                [StereoMatchingWorkload()], caps_w=(130.0,), repetitions=0
+            )

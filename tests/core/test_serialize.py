@@ -1,0 +1,93 @@
+"""JSON serialisation of experiment results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.metrics import AveragedResult
+from repro.core.serialize import (
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiment,
+    save_experiment,
+)
+from repro.errors import SimulationError
+from repro.perf.events import PapiEvent
+
+
+def make_result() -> ExperimentResult:
+    def row(cap, time_s):
+        counters = {e: float(i) for i, e in enumerate(PapiEvent, start=1)}
+        return AveragedResult(
+            workload="StereoMatching",
+            cap_w=cap,
+            n_runs=5,
+            execution_s=time_s,
+            avg_power_w=153.1,
+            energy_j=153.1 * time_s,
+            avg_freq_mhz=2701.0,
+            counters=counters,
+            committed_instructions=2.6e11,
+            executed_instructions=2.6e11,
+            max_escalation_level=0,
+            min_duty=1.0,
+            execution_s_std=0.4,
+        )
+
+    result = ExperimentResult(workload="StereoMatching", baseline=row(None, 91.0))
+    result.by_cap[140.0] = row(140.0, 124.0)
+    result.by_cap[120.0] = row(120.0, 3168.0)
+    return result
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = make_result()
+        restored = experiment_from_dict(experiment_to_dict(original))
+        assert restored.workload == original.workload
+        assert restored.baseline == original.baseline
+        assert restored.by_cap == original.by_cap
+
+    def test_file_roundtrip(self, tmp_path):
+        original = make_result()
+        path = tmp_path / "sweep.json"
+        save_experiment(original, path)
+        restored = load_experiment(path)
+        assert restored.by_cap[120.0].execution_s == 3168.0
+        assert restored.slowdown(120.0) == pytest.approx(3168.0 / 91.0)
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_experiment(make_result(), path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert "PAPI_L2_TCM" in data["baseline"]["counters"]
+
+
+class TestErrors:
+    def test_version_mismatch(self):
+        data = experiment_to_dict(make_result())
+        data["format_version"] = 99
+        with pytest.raises(SimulationError, match="version"):
+            experiment_from_dict(data)
+
+    def test_malformed_row(self):
+        data = experiment_to_dict(make_result())
+        del data["baseline"]["avg_power_w"]
+        with pytest.raises(SimulationError, match="malformed"):
+            experiment_from_dict(data)
+
+    def test_unknown_counter_rejected(self):
+        data = experiment_to_dict(make_result())
+        data["baseline"]["counters"]["PAPI_FAKE"] = 1.0
+        with pytest.raises(SimulationError):
+            experiment_from_dict(data)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json at all{")
+        with pytest.raises(SimulationError, match="not a result file"):
+            load_experiment(path)

@@ -1,0 +1,104 @@
+"""Group balancer: hysteresis, reallocation, history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.bmc import Bmc
+from repro.dcm.balancer import GroupBalancer
+from repro.dcm.group import DivisionStrategy, NodeGroup
+from repro.dcm.manager import DataCenterManager
+from repro.errors import PolicyError
+from repro.ipmi.transport import LanTransport
+
+
+@pytest.fixture
+def rig(config):
+    lan = LanTransport(
+        np.random.default_rng(0), drop_probability=0.0,
+        corruption_probability=0.0,
+    )
+    dcm = DataCenterManager(lan)
+    bmcs = {}
+    for i in range(3):
+        node = Node(config)
+        addr = f"10.2.0.{i + 1}"
+        bmc = Bmc(node, np.random.default_rng(i), lan_address=addr,
+                  transport=lan)
+        bmc.record_power(150.0, 0.05)
+        bmcs[f"n{i}"] = bmc
+        dcm.register_node(f"n{i}", addr)
+    dcm.tick(0.0)
+    group = NodeGroup(dcm, "rack", budget_w=420.0)
+    for name in dcm.node_ids():
+        group.add_member(name, min_cap_w=110.0, max_cap_w=165.0)
+    return dcm, bmcs, group
+
+
+class TestBalancer:
+    def test_first_tick_always_applies(self, rig):
+        dcm, bmcs, group = rig
+        balancer = GroupBalancer(group)
+        record = balancer.tick(0.0)
+        assert record.applied
+        assert balancer.rebalance_count == 1
+        for bmc in bmcs.values():
+            assert bmc.controller.cap_w is not None
+
+    def test_stable_demand_no_thrash(self, rig):
+        dcm, bmcs, group = rig
+        balancer = GroupBalancer(group, rebalance_threshold_w=5.0)
+        balancer.tick(0.0)
+        # Small demand wobble: readings drift by a watt.
+        for i, bmc in enumerate(bmcs.values()):
+            bmc.record_power(150.5 + 0.2 * i, 0.05)
+        dcm.tick(10.0)
+        record = balancer.tick(10.0)
+        assert not record.applied
+        assert balancer.rebalance_count == 1
+
+    def test_demand_shift_reallocates(self, rig):
+        dcm, bmcs, group = rig
+        balancer = GroupBalancer(
+            group, DivisionStrategy.PROPORTIONAL, rebalance_threshold_w=5.0
+        )
+        balancer.tick(0.0)
+        even = balancer.applied_caps_w
+        # n0's workload surges; the others go quiet.
+        bmcs["n0"].record_power(165.0, 0.05)
+        bmcs["n1"].record_power(120.0, 0.05)
+        bmcs["n2"].record_power(120.0, 0.05)
+        dcm.tick(20.0)
+        record = balancer.tick(20.0)
+        assert record.applied
+        caps = balancer.applied_caps_w
+        assert caps["n0"] > even["n0"]
+        assert caps["n1"] < even["n1"]
+        # BMCs actually reprogrammed over IPMI.
+        assert bmcs["n0"].controller.cap_w == pytest.approx(caps["n0"], abs=1)
+
+    def test_budget_respected_through_rebalances(self, rig):
+        dcm, bmcs, group = rig
+        balancer = GroupBalancer(group)
+        balancer.tick(0.0)
+        bmcs["n0"].record_power(170.0, 0.05)
+        dcm.tick(5.0)
+        balancer.tick(5.0)
+        assert sum(balancer.applied_caps_w.values()) <= group.budget_w + 1e-6
+
+    def test_history_records_everything(self, rig):
+        dcm, bmcs, group = rig
+        balancer = GroupBalancer(group)
+        balancer.tick(0.0)
+        balancer.tick(1.0)
+        history = balancer.history
+        assert len(history) == 2
+        assert history[0].applied and not history[1].applied
+        assert history[1].max_delta_w < 5.0
+
+    def test_threshold_validation(self, rig):
+        _, _, group = rig
+        with pytest.raises(PolicyError):
+            GroupBalancer(group, rebalance_threshold_w=-1.0)

@@ -1,0 +1,248 @@
+"""DCM: policies, manager over IPMI, group capping, alerts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.bmc import Bmc
+from repro.dcm.events import AlertLog, AlertSeverity
+from repro.dcm.group import DivisionStrategy, NodeGroup
+from repro.dcm.manager import DataCenterManager
+from repro.dcm.policy import (
+    NoCapPolicy,
+    ScheduledCapPolicy,
+    StaticCapPolicy,
+)
+from repro.errors import PolicyError
+from repro.ipmi.transport import LanTransport
+
+
+class TestPolicies:
+    def test_no_cap(self):
+        assert NoCapPolicy().cap_at(123.0) is None
+
+    def test_static(self):
+        p = StaticCapPolicy(cap_w=130.0)
+        assert p.cap_at(0.0) == 130.0
+        assert p.cap_at(1e6) == 130.0
+
+    def test_static_rejects_non_positive(self):
+        with pytest.raises(PolicyError):
+            StaticCapPolicy(cap_w=0.0)
+
+    def test_scheduled_windows(self):
+        p = ScheduledCapPolicy(
+            [(0.0, 10.0, 150.0), (10.0, 20.0, 130.0), (30.0, 40.0, None)]
+        )
+        assert p.cap_at(5.0) == 150.0
+        assert p.cap_at(10.0) == 130.0
+        assert p.cap_at(25.0) is None  # between windows
+        assert p.cap_at(35.0) is None  # explicit uncapped window
+
+    def test_scheduled_rejects_overlap(self):
+        with pytest.raises(PolicyError, match="overlap"):
+            ScheduledCapPolicy([(0.0, 10.0, 150.0), (5.0, 15.0, 130.0)])
+
+    def test_scheduled_rejects_empty_window(self):
+        with pytest.raises(PolicyError):
+            ScheduledCapPolicy([(5.0, 5.0, 150.0)])
+
+    def test_describe(self):
+        assert "130" in StaticCapPolicy(130.0).describe()
+        assert "uncapped" in NoCapPolicy().describe()
+
+
+@pytest.fixture
+def datacenter(config):
+    """Three BMC-managed nodes on one LAN plus a DCM."""
+    lan = LanTransport(
+        np.random.default_rng(0), drop_probability=0.0, corruption_probability=0.0
+    )
+    nodes = {}
+    for i in range(3):
+        node = Node(config)
+        addr = f"10.0.0.{i + 1}"
+        bmc = Bmc(node, np.random.default_rng(i), lan_address=addr, transport=lan)
+        bmc.record_power(150.0 + i, 0.05)
+        nodes[f"node{i}"] = (node, bmc, addr)
+    dcm = DataCenterManager(lan)
+    for name, (_, _, addr) in nodes.items():
+        dcm.register_node(name, addr)
+    return dcm, nodes, lan
+
+
+class TestManager:
+    def test_registry(self, datacenter):
+        dcm, nodes, _ = datacenter
+        assert dcm.node_ids() == ["node0", "node1", "node2"]
+        with pytest.raises(PolicyError):
+            dcm.register_node("node0", "10.0.0.1")
+        with pytest.raises(PolicyError):
+            dcm.node("ghost")
+
+    def test_apply_cap_programs_bmc_over_the_wire(self, datacenter):
+        dcm, nodes, _ = datacenter
+        dcm.apply_cap("node1", 130.0)
+        _, bmc, _ = nodes["node1"]
+        assert bmc.programmed_limit_w == 130
+        assert bmc.limit_active
+        assert bmc.controller.cap_w == 130.0
+        # Other nodes untouched.
+        assert nodes["node0"][1].programmed_limit_w is None
+
+    def test_apply_none_disarms(self, datacenter):
+        dcm, nodes, _ = datacenter
+        dcm.apply_cap("node1", 130.0)
+        dcm.apply_cap("node1", None)
+        assert not nodes["node1"][1].limit_active
+
+    def test_read_power(self, datacenter):
+        dcm, nodes, _ = datacenter
+        reading = dcm.read_power("node2")
+        assert reading.current_w == 152
+
+    def test_read_limit(self, datacenter):
+        dcm, _, _ = datacenter
+        dcm.apply_cap("node0", 125.0)
+        limit = dcm.read_limit("node0")
+        assert limit.limit_w == 125 and limit.active
+
+    def test_tick_applies_policies_and_records_history(self, datacenter):
+        dcm, nodes, _ = datacenter
+        dcm.set_policy("node0", StaticCapPolicy(135.0))
+        dcm.tick(time_s=0.0)
+        assert nodes["node0"][1].controller.cap_w == 135.0
+        entry = dcm.node("node0")
+        assert len(entry.history) == 1
+
+    def test_tick_scheduled_policy_transitions(self, datacenter):
+        dcm, nodes, _ = datacenter
+        dcm.set_policy(
+            "node0", ScheduledCapPolicy([(0.0, 10.0, 150.0), (10.0, 20.0, 125.0)])
+        )
+        dcm.tick(0.0)
+        assert nodes["node0"][1].controller.cap_w == 150.0
+        dcm.tick(12.0)
+        assert nodes["node0"][1].controller.cap_w == 125.0
+        dcm.tick(25.0)
+        assert nodes["node0"][1].controller.cap_w is None
+
+    def test_threshold_alert(self, datacenter):
+        dcm, nodes, _ = datacenter
+        dcm.node("node1").warn_threshold_w = 140.0
+        dcm.tick(0.0)
+        warnings = dcm.alerts.by_severity(AlertSeverity.WARNING)
+        assert len(warnings) == 1
+        assert warnings[0].node_id == "node1"
+
+    def test_unreachable_node_raises_critical_alert(self, config):
+        lan = LanTransport(
+            np.random.default_rng(0),
+            drop_probability=0.999999,
+            corruption_probability=0.0,
+            max_retries=1,
+        )
+        node = Node(config)
+        Bmc(node, np.random.default_rng(1), lan_address="10.0.0.9", transport=lan)
+        dcm = DataCenterManager(lan)
+        dcm.register_node("flaky", "10.0.0.9")
+        dcm.tick(0.0)
+        critical = dcm.alerts.by_severity(AlertSeverity.CRITICAL)
+        assert len(critical) == 1
+        assert not dcm.node("flaky").reachable
+
+    def test_total_power(self, datacenter):
+        dcm, _, _ = datacenter
+        dcm.tick(0.0)
+        assert dcm.total_power_w() == pytest.approx(150 + 151 + 152, abs=3)
+
+
+class TestNodeGroup:
+    def test_equal_division(self, datacenter):
+        dcm, _, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=420.0)
+        for n in dcm.node_ids():
+            group.add_member(n)
+        caps = group.divide(DivisionStrategy.EQUAL)
+        assert all(v == pytest.approx(140.0) for v in caps.values())
+
+    def test_equal_clamps_to_member_range(self, datacenter):
+        dcm, _, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=900.0)
+        for n in dcm.node_ids():
+            group.add_member(n, max_cap_w=160.0)
+        caps = group.divide(DivisionStrategy.EQUAL)
+        assert all(v == 160.0 for v in caps.values())
+
+    def test_proportional_follows_demand(self, datacenter):
+        dcm, _, _ = datacenter
+        dcm.tick(0.0)  # record history: 150, 151, 152
+        group = NodeGroup(dcm, "rack", budget_w=450.0)
+        for n in dcm.node_ids():
+            group.add_member(n)
+        caps = group.divide(DivisionStrategy.PROPORTIONAL)
+        assert caps["node0"] < caps["node1"] < caps["node2"]
+        assert sum(caps.values()) <= 450.0 + 1e-9
+
+    def test_priority_fills_high_priority_first(self, datacenter):
+        dcm, _, _ = datacenter
+        dcm.tick(0.0)
+        group = NodeGroup(dcm, "rack", budget_w=400.0)
+        group.add_member("node0", priority=10)
+        group.add_member("node1", priority=1)
+        group.add_member("node2", priority=1)
+        caps = group.divide(DivisionStrategy.PRIORITY)
+        # node0 gets filled to demand; others share the remainder.
+        assert caps["node0"] == pytest.approx(150.0, abs=2)
+        assert caps["node1"] < caps["node0"]
+
+    def test_feasibility(self, datacenter):
+        dcm, _, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=200.0)
+        for n in dcm.node_ids():
+            group.add_member(n, min_cap_w=110.0)
+        assert not group.feasible()
+
+    def test_apply_programs_all_members(self, datacenter):
+        dcm, nodes, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=420.0)
+        for n in dcm.node_ids():
+            group.add_member(n)
+        caps = group.apply(DivisionStrategy.EQUAL)
+        for name, (_, bmc, _) in nodes.items():
+            assert bmc.controller.cap_w == pytest.approx(caps[name])
+
+    def test_membership_validation(self, datacenter):
+        dcm, _, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=400.0)
+        group.add_member("node0")
+        with pytest.raises(PolicyError):
+            group.add_member("node0")
+        with pytest.raises(PolicyError):
+            group.add_member("ghost")
+        with pytest.raises(PolicyError):
+            group.add_member("node1", priority=0)
+
+    def test_empty_group_divide_rejected(self, datacenter):
+        dcm, _, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=400.0)
+        with pytest.raises(PolicyError):
+            group.divide(DivisionStrategy.EQUAL)
+
+
+class TestAlertLog:
+    def test_subscribe(self):
+        log = AlertLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.raise_alert(1.0, "n", AlertSeverity.INFO, "hello")
+        assert len(seen) == 1 and len(log) == 1
+
+    def test_filters(self):
+        log = AlertLog()
+        log.raise_alert(1.0, "a", AlertSeverity.INFO, "x")
+        log.raise_alert(2.0, "b", AlertSeverity.CRITICAL, "y")
+        assert len(log.by_severity(AlertSeverity.CRITICAL)) == 1
+        assert len(log.for_node("a")) == 1

@@ -1,0 +1,192 @@
+"""DCMI commands, the lossy LAN transport, and the session layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IpmiError, IpmiSessionError, IpmiTransportError
+from repro.ipmi.commands import (
+    ActivatePowerLimitRequest,
+    CorrectionAction,
+    GetPowerReadingRequest,
+    GetPowerReadingResponse,
+    PowerLimitResponse,
+    SetPowerLimitRequest,
+)
+from repro.ipmi.messages import IpmiMessage, IpmiResponse, NetFn
+from repro.ipmi.session import IpmiSession, SessionAuthenticator
+from repro.ipmi.transport import LanTransport
+
+
+class TestCommandPayloads:
+    def test_set_power_limit_roundtrip(self):
+        req = SetPowerLimitRequest(
+            limit_w=130,
+            correction_action=CorrectionAction.THROTTLE,
+            correction_time_ms=2000,
+            sampling_period_s=5,
+        )
+        assert SetPowerLimitRequest.from_payload(req.to_payload()) == req
+
+    def test_set_power_limit_validation(self):
+        with pytest.raises(IpmiError):
+            SetPowerLimitRequest(limit_w=0)
+        with pytest.raises(IpmiError):
+            SetPowerLimitRequest(limit_w=70000)
+
+    def test_power_reading_roundtrip(self):
+        resp = GetPowerReadingResponse(
+            current_w=154, minimum_w=101, maximum_w=158, average_w=153,
+            timestamp_s=377,
+        )
+        assert GetPowerReadingResponse.from_payload(resp.to_payload()) == resp
+
+    def test_power_limit_response_roundtrip(self):
+        resp = PowerLimitResponse(limit_w=120, active=True)
+        back = PowerLimitResponse.from_payload(resp.to_payload())
+        assert back.limit_w == 120 and back.active
+
+    def test_activate_roundtrip(self):
+        for flag in (True, False):
+            req = ActivatePowerLimitRequest(activate=flag)
+            assert ActivatePowerLimitRequest.from_payload(req.to_payload()) == req
+
+    def test_group_extension_id_enforced(self):
+        bad = b"\x00" + SetPowerLimitRequest(limit_w=130).to_payload()[1:]
+        with pytest.raises(IpmiError, match="DCMI"):
+            SetPowerLimitRequest.from_payload(bad)
+
+    def test_to_message_uses_group_netfn(self):
+        msg = GetPowerReadingRequest().to_message(0x20, 0x81, 1)
+        assert msg.net_fn == int(NetFn.GROUP_EXTENSION)
+
+    @given(st.integers(min_value=1, max_value=0xFFFF))
+    def test_limit_watts_roundtrip_property(self, watts):
+        req = SetPowerLimitRequest(limit_w=watts)
+        assert SetPowerLimitRequest.from_payload(req.to_payload()).limit_w == watts
+
+
+def echo_bmc(frame: bytes) -> bytes:
+    """A minimal endpoint: acknowledges any decodable request."""
+    msg = IpmiMessage.decode(frame)
+    return IpmiResponse.for_request(msg, data=b"\xdc").encode()
+
+
+class TestTransport:
+    def _transport(self, **kw) -> LanTransport:
+        return LanTransport(np.random.default_rng(0), **kw)
+
+    def test_clean_delivery(self):
+        lan = self._transport(drop_probability=0.0, corruption_probability=0.0)
+        lan.register("10.0.0.1", echo_bmc)
+        msg = GetPowerReadingRequest().to_message(0x20, 0x81, 1)
+        resp = IpmiResponse.decode(lan.request("10.0.0.1", msg.encode()))
+        assert resp.ok
+
+    def test_unknown_address(self):
+        lan = self._transport()
+        with pytest.raises(IpmiTransportError, match="no endpoint"):
+            lan.request("10.9.9.9", b"\x00" * 8)
+
+    def test_duplicate_registration(self):
+        lan = self._transport()
+        lan.register("a", echo_bmc)
+        with pytest.raises(IpmiTransportError):
+            lan.register("a", echo_bmc)
+
+    def test_retries_recover_from_loss(self):
+        lan = self._transport(drop_probability=0.4, max_retries=30)
+        lan.register("a", echo_bmc)
+        msg = GetPowerReadingRequest().to_message(0x20, 0x81, 1)
+        for seq in range(20):
+            resp = IpmiResponse.decode(lan.request("a", msg.encode()))
+            assert resp.ok
+        assert lan.stats.retries > 0
+        assert lan.stats.dropped > 0
+
+    def test_total_loss_raises_after_retries(self):
+        lan = self._transport(drop_probability=0.999999, max_retries=2)
+        lan.register("a", echo_bmc)
+        msg = GetPowerReadingRequest().to_message(0x20, 0x81, 1)
+        with pytest.raises(IpmiTransportError, match="failed after 3 attempts"):
+            lan.request("a", msg.encode())
+
+    def test_corruption_detected_and_retried(self):
+        lan = self._transport(
+            drop_probability=0.0, corruption_probability=0.3, max_retries=50
+        )
+        lan.register("a", echo_bmc)
+        msg = GetPowerReadingRequest().to_message(0x20, 0x81, 1)
+        for _ in range(10):
+            assert IpmiResponse.decode(lan.request("a", msg.encode())).ok
+        assert lan.stats.corrupted > 0
+
+    def test_latency_accumulates(self):
+        lan = self._transport(drop_probability=0.0, corruption_probability=0.0)
+        lan.register("a", echo_bmc)
+        msg = GetPowerReadingRequest().to_message(0x20, 0x81, 1)
+        lan.request("a", msg.encode())
+        assert lan.elapsed_ms > 0.0
+
+    def test_unregister(self):
+        lan = self._transport()
+        lan.register("a", echo_bmc)
+        lan.unregister("a")
+        assert lan.addresses() == []
+
+
+class TestSession:
+    def test_open_with_correct_secret(self):
+        auth = SessionAuthenticator("s3cret")
+        session = auth.open("s3cret")
+        assert auth.is_open(session.session_id)
+
+    def test_wrong_secret_rejected(self):
+        auth = SessionAuthenticator("s3cret")
+        with pytest.raises(IpmiSessionError, match="bad secret"):
+            auth.open("guess")
+
+    def test_validate_accepts_fresh_sequence(self):
+        auth = SessionAuthenticator("s")
+        session = auth.open("s")
+        frame = b"\x01\x02"
+        seq = session.next_seq()
+        auth.validate(session.session_id, seq, frame, session.tag(frame))
+
+    def test_replay_rejected(self):
+        auth = SessionAuthenticator("s")
+        session = auth.open("s")
+        frame = b"\x01\x02"
+        seq = session.next_seq()
+        tag = session.tag(frame)
+        auth.validate(session.session_id, seq, frame, tag)
+        with pytest.raises(IpmiSessionError, match="stale"):
+            auth.validate(session.session_id, seq, frame, tag)
+
+    def test_tag_mismatch_rejected(self):
+        auth = SessionAuthenticator("s")
+        session = auth.open("s")
+        with pytest.raises(IpmiSessionError, match="tag mismatch"):
+            auth.validate(session.session_id, 1, b"\x01", "bogus")
+
+    def test_closed_session_rejected(self):
+        auth = SessionAuthenticator("s")
+        session = auth.open("s")
+        auth.close(session)
+        with pytest.raises(IpmiSessionError, match="no such session"):
+            auth.validate(session.session_id, 1, b"", session.tag(b""))
+
+    def test_seq_wraps_skipping_zero(self):
+        session = IpmiSession(session_id=1, secret="s", seq=0x3E)
+        assert session.next_seq() == 0x3F
+        assert session.next_seq() == 1  # wraps past 0
+
+    def test_validate_accepts_across_wrap(self):
+        auth = SessionAuthenticator("s")
+        session = auth.open("s")
+        frame = b"\x00"
+        auth.validate(session.session_id, 0x3F, frame, session.tag(frame))
+        # Post-wrap small sequence numbers are within the window.
+        auth.validate(session.session_id, 0x02, frame, session.tag(frame))

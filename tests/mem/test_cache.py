@@ -1,0 +1,177 @@
+"""Set-associative cache: hits, LRU, capacity, way gating."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheGeometry
+from repro.errors import ConfigError
+from repro.mem.cache import SetAssociativeCache
+
+
+def make_cache(capacity=1024, line=64, ways=2) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheGeometry(
+            name="T", capacity_bytes=capacity, line_bytes=line, ways=ways,
+            hit_latency_ns=1.0, miss_penalty_ns=1.0,
+        )
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert c.access_line(5) is False
+        assert c.access_line(5) is True
+        assert c.stats.misses == 1 and c.stats.hits == 1
+
+    def test_line_address(self):
+        c = make_cache(line=64)
+        assert c.line_address(0) == 0
+        assert c.line_address(63) == 0
+        assert c.line_address(64) == 1
+
+    def test_within_capacity_no_steady_state_misses(self):
+        c = make_cache(capacity=1024, line=64, ways=2)  # 16 lines
+        lines = list(range(16))
+        for l in lines:
+            c.access_line(l)
+        c.stats.reset()
+        for _ in range(10):
+            for l in lines:
+                assert c.access_line(l) is True
+        assert c.stats.misses == 0
+
+    def test_capacity_thrash(self):
+        # A cyclic sweep over 2x capacity with LRU misses every access.
+        c = make_cache(capacity=1024, line=64, ways=2)
+        lines = list(range(32))
+        for _ in range(3):
+            for l in lines:
+                c.access_line(l)
+        c.stats.reset()
+        for l in lines:
+            assert c.access_line(l) is False
+
+    def test_lru_within_set(self):
+        c = make_cache(capacity=1024, line=64, ways=2)  # 8 sets
+        # Three lines mapping to set 0: 0, 8, 16.
+        c.access_line(0)
+        c.access_line(8)
+        c.access_line(0)      # 0 is now MRU; 8 is LRU
+        c.access_line(16)     # evicts 8
+        assert c.access_line(0) is True
+        assert c.access_line(8) is False
+
+    def test_flush_preserves_counters(self):
+        c = make_cache()
+        c.access_line(1)
+        c.flush()
+        assert c.stats.accesses == 1
+        assert c.access_line(1) is False
+        assert c.resident_lines() == 1
+
+
+class TestWayGating:
+    def test_effective_capacity(self):
+        c = make_cache(capacity=1024, ways=2)
+        assert c.effective_capacity_bytes == 1024
+        c.set_enabled_ways(1)
+        assert c.effective_capacity_bytes == 512
+
+    def test_gating_invalidates_lru_tail(self):
+        c = make_cache(capacity=1024, ways=2)
+        c.access_line(0)
+        c.access_line(8)   # set 0 now holds [8, 0]
+        c.set_enabled_ways(1)
+        assert c.stats.gating_invalidations == 1
+        assert c.access_line(8) is True    # MRU survived
+        assert c.access_line(0) is False   # LRU was dropped
+
+    def test_gating_raises_miss_rate(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 2048, size=4000) * 64  # 2x capacity
+        full = make_cache(capacity=64 * 1024, ways=8)
+        gated = make_cache(capacity=64 * 1024, ways=8)
+        gated.set_enabled_ways(2)
+        full.access_bytes(np.asarray(addrs))
+        gated.access_bytes(np.asarray(addrs))
+        assert gated.stats.misses > full.stats.misses
+
+    def test_regating_up_restores_capacity(self):
+        c = make_cache(capacity=1024, ways=2)
+        c.set_enabled_ways(1)
+        c.set_enabled_ways(2)
+        assert c.enabled_ways == 2
+        # 16 lines fit again.
+        for l in range(16):
+            c.access_line(l)
+        c.stats.reset()
+        for l in range(16):
+            assert c.access_line(l) is True
+
+    def test_invalid_way_counts(self):
+        c = make_cache(ways=2)
+        with pytest.raises(ConfigError):
+            c.set_enabled_ways(0)
+        with pytest.raises(ConfigError):
+            c.set_enabled_ways(3)
+
+
+class TestVectorInterface:
+    def test_access_bytes_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 20, size=3000)
+        a = make_cache(capacity=4096, ways=4)
+        b = make_cache(capacity=4096, ways=4)
+        misses_vec = a.access_bytes(np.asarray(addrs))
+        misses_scalar = sum(
+            0 if b.access_line(int(x) >> 6) else 1 for x in addrs
+        )
+        assert misses_vec == misses_scalar
+
+    def test_rejects_2d(self):
+        c = make_cache()
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            c.access_bytes(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=400))
+    def test_counter_conservation(self, addresses):
+        c = make_cache(capacity=2048, ways=2)
+        c.access_bytes(np.asarray(addresses, dtype=np.int64))
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+        assert 0 <= c.stats.miss_ratio <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=400))
+    def test_residency_bounded_by_enabled_capacity(self, addresses):
+        c = make_cache(capacity=2048, ways=2)
+        c.set_enabled_ways(1)
+        c.access_bytes(np.asarray(addresses, dtype=np.int64))
+        assert c.resident_lines() <= c.effective_capacity_bytes // 64
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_gating_never_reduces_misses(self, addresses):
+        """Fewer ways can never produce fewer misses for the same trace
+        (LRU is a stack algorithm: the inclusion property holds per set)."""
+        arr = np.asarray(addresses, dtype=np.int64)
+        full = make_cache(capacity=4096, ways=4)
+        gated = make_cache(capacity=4096, ways=4)
+        gated.set_enabled_ways(2)
+        m_full = full.access_bytes(arr)
+        m_gated = gated.access_bytes(arr)
+        assert m_gated >= m_full

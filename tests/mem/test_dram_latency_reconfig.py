@@ -1,0 +1,183 @@
+"""DRAM model, access costs, and the reconfiguration engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.mem.dram import Dram
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.latency import AccessCosts, stall_ns_per_instruction
+from repro.mem.reconfig import GatingState, ReconfigEngine
+
+
+class TestDram:
+    def test_gating_multiplies_latency(self, config):
+        d = Dram(config.dram)
+        assert d.access_latency_ns == 60.0
+        d.set_latency_multiplier(3.0)
+        assert d.access_latency_ns == 180.0
+
+    def test_multiplier_below_one_rejected(self, config):
+        with pytest.raises(ConfigError):
+            Dram(config.dram).set_latency_multiplier(0.5)
+
+    def test_traffic_power_clamps_at_bandwidth(self, config):
+        d = Dram(config.dram)
+        at_bw = d.traffic_power_w(config.dram.bandwidth_gbs * 1e9)
+        beyond = d.traffic_power_w(10 * config.dram.bandwidth_gbs * 1e9)
+        assert beyond == pytest.approx(at_bw)
+
+    def test_traffic_from_miss_rate(self, config):
+        d = Dram(config.dram)
+        bps = d.traffic_bytes_per_second(1e-3, 3e9, line_bytes=64)
+        assert bps == pytest.approx(1e-3 * 3e9 * 64)
+
+
+class TestAccessCosts:
+    def test_ungated_matches_figure3(self, config):
+        c = AccessCosts.from_config(config)
+        # Section IV-B items 4-6: 1.5 ns L1, 3.5 ns L2, 8.6 ns L3.
+        assert c.l1_serve_ns == pytest.approx(1.5)
+        assert c.l2_serve_ns == pytest.approx(3.5)
+        assert c.l3_serve_ns == pytest.approx(8.6)
+        assert c.dram_serve_ns == pytest.approx(8.6 + 37.1)
+
+    def test_costs_monotone_outward(self, config):
+        c = AccessCosts.from_config(config)
+        assert c.l1_serve_ns < c.l2_serve_ns < c.l3_serve_ns < c.dram_serve_ns
+
+    def test_dram_gating_inflates_outer_costs_only(self, config):
+        gated = AccessCosts.from_config(
+            config, GatingState(dram_latency_multiplier=4.0)
+        )
+        base = AccessCosts.from_config(config)
+        assert gated.l1_serve_ns == base.l1_serve_ns
+        assert gated.dram_serve_ns == pytest.approx(
+            base.dram_serve_ns + 3 * config.dram.access_latency_ns
+        )
+
+    def test_cache_gating_inflates_all_levels(self, config):
+        gated = AccessCosts.from_config(
+            config, GatingState(cache_latency_multiplier=2.0)
+        )
+        base = AccessCosts.from_config(config)
+        assert gated.l1_serve_ns == pytest.approx(2 * base.l1_serve_ns)
+        assert gated.l3_serve_ns == pytest.approx(2 * base.l3_serve_ns)
+
+    def test_average_access_time_weighted(self, config):
+        c = AccessCosts.from_config(config)
+        # All hits in L1:
+        assert c.average_access_ns(100, 0, 0, 0) == pytest.approx(1.5)
+        # All served by DRAM:
+        assert c.average_access_ns(100, 100, 100, 100) == pytest.approx(
+            c.dram_serve_ns
+        )
+
+    def test_average_rejects_non_nested_counts(self, config):
+        c = AccessCosts.from_config(config)
+        with pytest.raises(SimulationError):
+            c.average_access_ns(100, 10, 20, 5)  # L2 > L1 misses
+
+    def test_serve_ns_for_level(self, config):
+        c = AccessCosts.from_config(config)
+        assert c.serve_ns_for_level("L1") == c.l1_serve_ns
+        assert c.serve_ns_for_level("DRAM") == c.dram_serve_ns
+        with pytest.raises(SimulationError):
+            c.serve_ns_for_level("L4")
+
+
+class TestStallModel:
+    def test_zero_rates_zero_stall(self, config):
+        costs = AccessCosts.from_config(config)
+
+        class Rates:
+            l1d_misses = l1i_misses = l2_misses = l3_misses = 0.0
+            itlb_misses = dtlb_misses = 0.0
+
+        assert stall_ns_per_instruction(Rates(), costs) == 0.0
+
+    def test_hierarchical_pricing(self, config):
+        costs = AccessCosts.from_config(config)
+
+        class Rates:
+            l1d_misses = 1.0
+            l1i_misses = 0.0
+            l2_misses = 1.0
+            l3_misses = 1.0
+            itlb_misses = dtlb_misses = 0.0
+
+        # One access missing everything pays the full DRAM - L1 delta.
+        expected = costs.dram_serve_ns - costs.l1_serve_ns
+        assert stall_ns_per_instruction(Rates(), costs) == pytest.approx(expected)
+
+
+class TestReconfigEngine:
+    def test_apply_sets_ways_and_fractions(self, config):
+        h = MemoryHierarchy(config)
+        engine = ReconfigEngine(config)
+        state = GatingState(
+            l3_way_fraction=0.5,
+            l2_way_fraction=0.5,
+            itlb_fraction=0.125,
+            dram_latency_multiplier=2.0,
+        )
+        engine.apply(h, state)
+        assert h.l3.enabled_ways == 10
+        assert h.l2.enabled_ways == 4
+        assert h.l1d.enabled_ways == 8  # untouched
+        assert h.itlb.enabled_entries == 16
+        assert h.dram.latency_multiplier == 2.0
+        assert h.gating == state
+
+    def test_apply_ungated_restores(self, config):
+        h = MemoryHierarchy(config)
+        engine = ReconfigEngine(config)
+        engine.apply(h, GatingState(l3_way_fraction=0.25))
+        engine.apply(h, GatingState.ungated())
+        assert h.l3.enabled_ways == 20
+
+    def test_savings_small_and_monotone(self, config):
+        # "small decreases in power consumption at the cost of high
+        # losses in execution time performance."
+        engine = ReconfigEngine(config)
+        ladder = config.bmc.ladder
+        savings = [
+            engine.leakage_saving_w(GatingState.from_level(l))
+            for l in ladder.levels
+        ]
+        assert all(0 < s < 6.0 for s in savings)
+        assert savings == sorted(savings)
+
+    def test_firmware_table_close_to_physical_estimate(self, config):
+        # The configured per-rung savings should be within ~1.5 W of
+        # the engine's leakage-derived estimate (consistency check).
+        engine = ReconfigEngine(config)
+        for level in config.bmc.ladder.levels:
+            est = engine.leakage_saving_w(GatingState.from_level(level))
+            assert abs(est - level.power_saving_w) < 1.5
+
+
+class TestGatingState:
+    def test_ungated_singleton_semantics(self):
+        assert GatingState.ungated().is_ungated
+        assert not GatingState(l3_way_fraction=0.5).is_ungated
+
+    def test_hashable_and_config_key(self):
+        a = GatingState(l3_way_fraction=0.5, dram_latency_multiplier=2.0)
+        b = GatingState(l3_way_fraction=0.5, dram_latency_multiplier=4.0)
+        assert a != b
+        # Latency multipliers are excluded from the miss-relevant key.
+        assert a.config_key() == b.config_key()
+        assert len({a, b}) == 2
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_valid_fractions_accepted(self, f):
+        GatingState(l3_way_fraction=f)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            GatingState(l2_way_fraction=0.0)
+        with pytest.raises(ConfigError):
+            GatingState(cache_latency_multiplier=0.9)

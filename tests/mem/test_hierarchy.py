@@ -1,0 +1,154 @@
+"""Composed hierarchy: nesting invariants and workload signatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.mem.hierarchy import AccessCounts, AccessRates, MemoryHierarchy
+from repro.mem.reconfig import GatingState, ReconfigEngine
+from repro.trace.synthetic import random_trace, streaming_trace
+
+
+class TestAccessCounts:
+    def test_addition(self):
+        a = AccessCounts(data_accesses=10, l1d_misses=2)
+        b = AccessCounts(data_accesses=5, l1d_misses=1, l2_misses=1)
+        c = a + b
+        assert c.data_accesses == 15
+        assert c.l1d_misses == 3
+        assert c.l2_misses == 1
+
+    def test_scaling(self):
+        a = AccessCounts(data_accesses=10, l1d_misses=4)
+        s = a.scaled(2.5)
+        assert s.data_accesses == 25 and s.l1d_misses == 10
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(SimulationError):
+            AccessCounts().scaled(-1.0)
+
+    def test_nesting_validation(self):
+        with pytest.raises(SimulationError):
+            AccessCounts(data_accesses=5, l1d_misses=6).validate_nesting()
+        with pytest.raises(SimulationError):
+            AccessCounts(
+                data_accesses=10, l1d_misses=2, l2_misses=3
+            ).validate_nesting()
+
+
+class TestAccessRates:
+    def test_roundtrip(self):
+        counts = AccessCounts(
+            data_accesses=1000, ifetches=500, l1d_misses=100,
+            l1i_misses=10, l2_misses=20, l3_misses=5,
+            itlb_misses=2, dtlb_misses=8,
+        )
+        rates = AccessRates.from_counts(counts, instructions=2000)
+        back = rates.counts_for(2000)
+        assert back == counts
+
+    def test_requires_positive_instructions(self):
+        with pytest.raises(SimulationError):
+            AccessRates.from_counts(AccessCounts(), 0)
+
+
+class TestHierarchySimulation:
+    def test_streaming_signature(self, small_config):
+        """A stream larger than every cache misses at every level at
+        (roughly) the line rate — SIRE's Table II signature."""
+        h = MemoryHierarchy(small_config)
+        trace = streaming_trace(256 * 1024, 40_000, element_bytes=4)
+        h.simulate_data_trace(trace)  # warm
+        c = h.simulate_data_trace(streaming_trace(256 * 1024, 40_000, element_bytes=4))
+        line_rate = 4 / 64
+        assert c.l1d_misses / c.data_accesses == pytest.approx(line_rate, rel=0.2)
+        # Streaming misses propagate: L2 and L3 miss counts track L1's.
+        assert c.l2_misses == pytest.approx(c.l1d_misses, rel=0.05)
+        assert c.l3_misses == pytest.approx(c.l2_misses, rel=0.05)
+
+    def test_resident_signature(self, small_config):
+        """A working set inside L1 generates no steady-state misses."""
+        h = MemoryHierarchy(small_config)
+        rng = np.random.default_rng(0)
+        trace = random_trace(512, 20_000, rng, element_bytes=8)
+        h.simulate_data_trace(trace[:2000])
+        c = h.simulate_data_trace(trace[2000:])
+        assert c.l1d_misses == 0
+
+    def test_l2_resident_signature(self, small_config):
+        """Between L1 and L2 capacity: L1 misses served by L2 —
+        Stereo's baseline signature (L2 misses << L1 misses)."""
+        h = MemoryHierarchy(small_config)
+        rng = np.random.default_rng(0)
+        trace = random_trace(3072, 30_000, rng, element_bytes=8)
+        h.simulate_data_trace(trace[:10000])
+        c = h.simulate_data_trace(trace[10000:])
+        assert c.l1d_misses > 0
+        assert c.l2_misses < 0.05 * c.l1d_misses
+
+    def test_way_gating_hurts_resident_not_streaming(self, small_config):
+        """The paper's central counter observation (Section IV-B)."""
+        engine = ReconfigEngine(small_config)
+        gated = GatingState(l2_way_fraction=0.25, l3_way_fraction=0.25)
+        rng = np.random.default_rng(0)
+
+        def measure(trace, gating):
+            h = MemoryHierarchy(small_config)
+            engine.apply(h, gating)
+            h.simulate_data_trace(trace[: len(trace) // 3])
+            return h.simulate_data_trace(trace[len(trace) // 3 :])
+
+        resident = random_trace(8192, 30_000, rng, element_bytes=8)
+        r_full = measure(resident, GatingState.ungated())
+        r_gated = measure(resident, gated)
+        assert r_gated.l3_misses > 2 * max(1, r_full.l3_misses)
+
+        stream = streaming_trace(256 * 1024, 30_000, element_bytes=4)
+        s_full = measure(stream, GatingState.ungated())
+        s_gated = measure(stream, gated)
+        assert s_gated.l3_misses == pytest.approx(s_full.l3_misses, rel=0.05)
+
+    def test_ifetch_stream_uses_own_l1_and_itlb(self, small_config):
+        h = MemoryHierarchy(small_config)
+        trace = streaming_trace(64 * 1024, 5000, element_bytes=16, base=1 << 40)
+        c = h.simulate_ifetch_trace(trace)
+        assert c.ifetches == 5000
+        assert c.l1i_misses > 0
+        assert c.itlb_misses > 0
+        assert c.data_accesses == 0 and c.l1d_misses == 0
+        # Data-side components untouched.
+        assert h.l1d.stats.accesses == 0
+        assert h.dtlb.stats.accesses == 0
+
+    def test_slice_combines_both_streams(self, small_config):
+        h = MemoryHierarchy(small_config)
+        data = streaming_trace(32 * 1024, 3000, element_bytes=4)
+        ifetch = streaming_trace(8 * 1024, 1000, element_bytes=16, base=1 << 40)
+        c = h.simulate_slice(data, ifetch)
+        assert c.data_accesses == 3000 and c.ifetches == 1000
+        c.validate_nesting()
+
+    def test_flush_and_reset_stats(self, small_config):
+        h = MemoryHierarchy(small_config)
+        h.simulate_data_trace(streaming_trace(4096, 500, element_bytes=4))
+        h.reset_stats()
+        assert h.l1d.stats.accesses == 0
+        h.flush_all()
+        c = h.simulate_data_trace(np.array([0], dtype=np.int64))
+        assert c.l1d_misses == 1  # cold again
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_nesting_invariant_random_traces(self, n):
+        from repro.config import sandy_bridge_config
+
+        cfg = sandy_bridge_config()
+        h = MemoryHierarchy(cfg)
+        rng = np.random.default_rng(n)
+        trace = rng.integers(0, 1 << 28, size=n)
+        c = h.simulate_data_trace(np.asarray(trace, dtype=np.int64))
+        c.validate_nesting()
+        assert c.data_accesses == n

@@ -1,0 +1,115 @@
+"""TLB simulator: reach, gating, conflict behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TlbGeometry
+from repro.errors import ConfigError
+from repro.mem.tlb import Tlb
+
+
+def make_tlb(entries=16, ways=4, page=4096) -> Tlb:
+    return Tlb(
+        TlbGeometry(
+            name="T", entries=entries, ways=ways, page_bytes=page,
+            miss_penalty_ns=45.0,
+        )
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        t = make_tlb()
+        assert t.access_page(7) is False
+        assert t.access_page(7) is True
+
+    def test_same_page_bytes_share_translation(self):
+        t = make_tlb()
+        t.access_bytes(np.array([100], dtype=np.int64))
+        assert t.access_page(0) is True  # address 100 is page 0
+
+    def test_reach(self):
+        # 16 entries x 4 KiB = 64 KiB reach: accesses within it hit.
+        t = make_tlb(entries=16)
+        pages = list(range(16))
+        for p in pages:
+            t.access_page(p)
+        t.stats.reset()
+        for p in pages:
+            assert t.access_page(p) is True
+
+    def test_exceeding_reach_thrashes(self):
+        t = make_tlb(entries=16, ways=4)
+        for _ in range(3):
+            for p in range(32):  # 2x reach, cyclic
+                t.access_page(p)
+        t.stats.reset()
+        for p in range(32):
+            t.access_page(p)
+        assert t.stats.miss_ratio == 1.0
+
+
+class TestEntryGating:
+    """The paper's smoking gun: iTLB misses exploding at low caps."""
+
+    def test_fraction_maps_to_ways(self):
+        t = make_tlb(entries=128, ways=8)
+        t.set_enabled_fraction(0.125)
+        assert t.enabled_entries == 16
+
+    def test_minimum_one_way(self):
+        t = make_tlb(entries=16, ways=4)
+        t.set_enabled_fraction(0.01)
+        assert t.enabled_entries == 4  # 1 way x 4 sets
+
+    def test_invalid_fraction(self):
+        t = make_tlb()
+        with pytest.raises(ConfigError):
+            t.set_enabled_fraction(0.0)
+        with pytest.raises(ConfigError):
+            t.set_enabled_fraction(1.5)
+
+    def test_gating_explodes_hot_loop_misses(self):
+        # A 24-page hot loop fits a 128-entry iTLB (no steady misses)
+        # but thrashes one gated to 16 entries — the Table II iTLB
+        # explosion mechanism.
+        full = make_tlb(entries=128, ways=8)
+        gated = make_tlb(entries=128, ways=8)
+        gated.set_enabled_fraction(0.125)
+        loop = [p for _ in range(50) for p in range(24)]
+        for t in (full, gated):
+            for p in loop:
+                t.access_page(p)
+        assert full.stats.misses == 24  # compulsory only
+        assert gated.stats.misses > 20 * full.stats.misses
+
+    def test_regate_up(self):
+        t = make_tlb(entries=16, ways=4)
+        t.set_enabled_fraction(0.25)
+        t.set_enabled_fraction(1.0)
+        assert t.enabled_entries == 16
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30), max_size=300))
+    def test_counter_conservation(self, addresses):
+        t = make_tlb()
+        t.access_bytes(np.asarray(addresses, dtype=np.int64))
+        assert t.stats.hits + t.stats.misses == t.stats.accesses
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 26), max_size=300)
+    )
+    def test_gating_never_reduces_misses(self, addresses):
+        arr = np.asarray(addresses, dtype=np.int64)
+        full = make_tlb(entries=64, ways=4)
+        gated = make_tlb(entries=64, ways=4)
+        gated.set_enabled_fraction(0.5)
+        m_full = full.access_bytes(arr)
+        m_gated = gated.access_bytes(arr)
+        assert m_gated >= m_full

@@ -1,0 +1,112 @@
+"""PAPI-like counters: bank accumulation and session windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CounterError
+from repro.mem.hierarchy import AccessCounts
+from repro.perf.counters import CounterBank
+from repro.perf.events import PapiEvent
+from repro.perf.papi import PapiSession
+
+
+class TestCounterBank:
+    def test_starts_at_zero(self):
+        bank = CounterBank()
+        for e in PapiEvent:
+            assert bank.read(e) == 0.0
+
+    def test_add(self):
+        bank = CounterBank()
+        bank.add(PapiEvent.PAPI_TOT_INS, 1000.0)
+        bank.add(PapiEvent.PAPI_TOT_INS, 500.0)
+        assert bank.read(PapiEvent.PAPI_TOT_INS) == 1500.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CounterError):
+            CounterBank().add(PapiEvent.PAPI_TOT_INS, -1.0)
+
+    def test_access_counts_mapping(self):
+        bank = CounterBank()
+        counts = AccessCounts(
+            data_accesses=300, ifetches=100, l1d_misses=30, l1i_misses=3,
+            l2_misses=10, l3_misses=4, itlb_misses=1, dtlb_misses=7,
+        )
+        bank.add_access_counts(counts)
+        assert bank.read(PapiEvent.PAPI_L1_DCM) == 30
+        assert bank.read(PapiEvent.PAPI_L1_ICM) == 3
+        assert bank.read(PapiEvent.PAPI_L1_TCM) == 33
+        assert bank.read(PapiEvent.PAPI_L2_TCM) == 10
+        assert bank.read(PapiEvent.PAPI_L3_TCM) == 4
+        assert bank.read(PapiEvent.PAPI_TLB_DM) == 7
+        assert bank.read(PapiEvent.PAPI_TLB_IM) == 1
+        # Loads + stores = data accesses (2:1 split).
+        total = bank.read(PapiEvent.PAPI_LD_INS) + bank.read(PapiEvent.PAPI_SR_INS)
+        assert total == pytest.approx(300)
+
+    def test_snapshot_is_a_copy(self):
+        bank = CounterBank()
+        snap = bank.snapshot()
+        bank.add(PapiEvent.PAPI_TOT_CYC, 10)
+        assert snap[PapiEvent.PAPI_TOT_CYC] == 0.0
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.add(PapiEvent.PAPI_TOT_CYC, 10)
+        bank.reset()
+        assert bank.read(PapiEvent.PAPI_TOT_CYC) == 0.0
+
+
+class TestPapiSession:
+    def test_window_semantics(self):
+        bank = CounterBank()
+        bank.add(PapiEvent.PAPI_L2_TCM, 100)
+        session = PapiSession(bank, [PapiEvent.PAPI_L2_TCM])
+        session.start()
+        bank.add(PapiEvent.PAPI_L2_TCM, 42)
+        assert session.read()[PapiEvent.PAPI_L2_TCM] == 42
+        final = session.stop()
+        assert final[PapiEvent.PAPI_L2_TCM] == 42
+        assert not session.running
+
+    def test_double_start_rejected(self):
+        session = PapiSession(CounterBank(), [PapiEvent.PAPI_TOT_INS])
+        session.start()
+        with pytest.raises(CounterError):
+            session.start()
+
+    def test_read_before_start_rejected(self):
+        session = PapiSession(CounterBank(), [PapiEvent.PAPI_TOT_INS])
+        with pytest.raises(CounterError):
+            session.read()
+
+    def test_empty_event_set_rejected(self):
+        with pytest.raises(CounterError):
+            PapiSession(CounterBank(), [])
+
+    def test_duplicate_events_rejected(self):
+        with pytest.raises(CounterError):
+            PapiSession(
+                CounterBank(), [PapiEvent.PAPI_TOT_INS, PapiEvent.PAPI_TOT_INS]
+            )
+
+    def test_overlapping_sessions_independent_windows(self):
+        bank = CounterBank()
+        a = PapiSession(bank, [PapiEvent.PAPI_TOT_INS])
+        b = PapiSession(bank, [PapiEvent.PAPI_TOT_INS])
+        a.start()
+        bank.add(PapiEvent.PAPI_TOT_INS, 10)
+        b.start()
+        bank.add(PapiEvent.PAPI_TOT_INS, 5)
+        assert a.read()[PapiEvent.PAPI_TOT_INS] == 15
+        assert b.read()[PapiEvent.PAPI_TOT_INS] == 5
+
+    def test_session_reset_rezeroes_window(self):
+        bank = CounterBank()
+        s = PapiSession(bank, [PapiEvent.PAPI_TOT_INS])
+        s.start()
+        bank.add(PapiEvent.PAPI_TOT_INS, 10)
+        s.reset()
+        bank.add(PapiEvent.PAPI_TOT_INS, 3)
+        assert s.read()[PapiEvent.PAPI_TOT_INS] == 3

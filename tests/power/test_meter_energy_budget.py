@@ -1,0 +1,150 @@
+"""Watts Up! meter, energy accumulator, and fielded power budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import MeterConfig
+from repro.errors import ConfigError, SimulationError
+from repro.power.budget import BATTERY, GENERATOR, PowerBudget
+from repro.power.energy import EnergyAccumulator
+from repro.power.meter import WattsUpMeter
+
+
+def make_meter(noise=0.0, period=1.0) -> WattsUpMeter:
+    return WattsUpMeter(
+        MeterConfig(sample_period_s=period, noise_sigma_w=noise),
+        np.random.default_rng(0),
+    )
+
+
+class TestMeter:
+    def test_sampling_grid(self):
+        m = make_meter()
+        m.advance(0.0, 5.0, lambda t: 150.0)
+        assert len(m.readings) == 5
+        assert [r.time_s for r in m.readings] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_sub_period_advances_accumulate(self):
+        m = make_meter()
+        for i in range(100):
+            m.advance(i * 0.05, 0.05, lambda t: 150.0)
+        assert len(m.readings) == 5
+
+    def test_average_of_constant_power(self):
+        m = make_meter()
+        m.advance(0.0, 10.0, lambda t: 153.1)
+        assert m.average_power_w() == pytest.approx(153.1, abs=0.05)
+
+    def test_quantisation(self):
+        m = make_meter()
+        r = m.sample_now(0.0, 153.123456)
+        assert r.power_w == pytest.approx(153.1)
+
+    def test_noise_is_deterministic_per_rng(self):
+        a = make_meter(noise=0.5)
+        b = make_meter(noise=0.5)
+        assert a.sample_now(0.0, 150.0).power_w == b.sample_now(0.0, 150.0).power_w
+
+    def test_energy_integral(self):
+        m = make_meter()
+        m.advance(0.0, 10.0, lambda t: 150.0)
+        assert m.energy_j == pytest.approx(1500.0)
+
+    def test_no_samples_raises(self):
+        with pytest.raises(SimulationError):
+            make_meter().average_power_w()
+
+    def test_reset(self):
+        m = make_meter()
+        m.advance(0.0, 3.0, lambda t: 100.0)
+        m.reset()
+        assert m.readings == [] and m.energy_j == 0.0
+
+    def test_max_power(self):
+        m = make_meter()
+        m.advance(0.0, 4.0, lambda t: 100.0 + 10.0 * t)
+        assert m.max_power_w() == pytest.approx(130.0, abs=0.1)
+
+
+class TestEnergyAccumulator:
+    def test_power_times_time(self):
+        e = EnergyAccumulator()
+        e.add(153.1, 89.0)
+        # Table II row A0: 153.1 W x 89 s ~ 13,626 J.
+        assert e.energy_j == pytest.approx(13625.9)
+
+    def test_average_power(self):
+        e = EnergyAccumulator()
+        e.add(100.0, 1.0)
+        e.add(200.0, 3.0)
+        assert e.average_power_w() == pytest.approx(175.0)
+
+    def test_merge(self):
+        a, b = EnergyAccumulator(), EnergyAccumulator()
+        a.add(100.0, 1.0)
+        b.add(50.0, 2.0)
+        c = a.merge(b)
+        assert c.energy_j == pytest.approx(200.0)
+        assert c.elapsed_s == pytest.approx(3.0)
+
+    def test_empty_average_raises(self):
+        with pytest.raises(SimulationError):
+            EnergyAccumulator().average_power_w()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=500),
+                st.floats(min_value=0, max_value=1000),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_energy_equals_sum_of_segments(self, segments):
+        e = EnergyAccumulator()
+        for p, d in segments:
+            e.add(p, d)
+        assert e.energy_j == pytest.approx(sum(p * d for p, d in segments))
+
+
+class TestPowerBudget:
+    def test_generator_admits_caps_within_allocation(self):
+        b = PowerBudget(allocation_w=150.0)
+        assert b.admits_cap(140.0)
+        assert not b.admits_cap(160.0)
+
+    def test_headroom(self):
+        b = PowerBudget(allocation_w=150.0)
+        assert b.headroom_w(130.0) == pytest.approx(20.0)
+        assert b.headroom_w(160.0) == pytest.approx(-10.0)
+
+    def test_battery_requires_capacity(self):
+        with pytest.raises(ConfigError):
+            PowerBudget(allocation_w=150.0, scenario=BATTERY)
+
+    def test_battery_life(self):
+        b = PowerBudget(allocation_w=150.0, scenario=BATTERY, battery_wh=300.0)
+        # 300 Wh at 150 W = 2 hours.
+        assert b.battery_life_s(150.0) == pytest.approx(7200.0)
+
+    def test_battery_drains_slower_at_lower_draw_but_capping_wastes_energy(self):
+        # Section IV-C: capping lowers draw but raises total energy, so
+        # a capped run uses a larger battery fraction overall.
+        b = PowerBudget(allocation_w=150.0, scenario=BATTERY, battery_wh=500.0)
+        uncapped = b.battery_fraction_used(13_626.0)   # A0
+        capped = b.battery_fraction_used(395_921.0)    # A9 (120 W cap)
+        assert capped > 25 * uncapped
+
+    def test_battery_accounting_rejected_for_generator(self):
+        b = PowerBudget(allocation_w=150.0, scenario=GENERATOR)
+        with pytest.raises(ConfigError):
+            b.battery_life_s(100.0)
+
+    def test_deadline_check(self):
+        b = PowerBudget(allocation_w=150.0)
+        assert b.deadline_met(execution_s=110.0, deadline_s=120.0)
+        assert not b.deadline_met(execution_s=130.0, deadline_s=120.0)

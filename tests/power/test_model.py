@@ -1,0 +1,125 @@
+"""Node power model: components, calibration, duty insensitivity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.pstate import PStateTable
+from repro.power.model import NodePowerModel, OperatingPoint
+
+
+@pytest.fixture
+def model(config):
+    return NodePowerModel(config)
+
+
+@pytest.fixture
+def table(config):
+    return PStateTable(config.pstates)
+
+
+class TestComponents:
+    def test_breakdown_sums(self, model, table):
+        op = OperatingPoint(pstate=table.fastest, dram_traffic_bps=1e9)
+        b = model.breakdown(op)
+        assert b.total_w == pytest.approx(
+            b.platform_w
+            + b.dram_background_w
+            + b.leakage_w
+            + b.uncore_w
+            + b.core_dynamic_w
+            + b.dram_traffic_w
+            - b.gating_saving_w
+        )
+
+    def test_idle_has_no_active_terms(self, model, table):
+        op = OperatingPoint(pstate=table.fastest, busy_cores=0)
+        b = model.breakdown(op)
+        assert b.uncore_w == 0.0
+        assert b.core_dynamic_w == 0.0
+        assert model.node_power_w(op) == pytest.approx(
+            model.idle_power_w(op.temperature_c)
+        )
+
+    def test_leakage_rises_with_temperature(self, model):
+        assert model.leakage_w(60.0) > model.leakage_w(35.0) > model.leakage_w(25.0)
+
+    def test_leakage_clamped_at_low_temperature(self, model):
+        assert model.leakage_w(-200.0) == pytest.approx(model.leakage_w(-100.0))
+
+    def test_gating_saving_cannot_exceed_active_power(self, model, table):
+        op = OperatingPoint(
+            pstate=table.slowest, gating_saving_w=1e6, busy_cores=1
+        )
+        b = model.breakdown(op)
+        assert b.total_w >= model.idle_power_w(op.temperature_c) - 1e-9
+
+
+class TestDutyAuthority:
+    """Sub-floor throttling saves almost no power — the paper's
+    central low-cap finding."""
+
+    def test_duty_saving_is_small(self, model, table):
+        full = model.power_of_pstate(table.slowest, duty=1.0)
+        throttled = model.power_of_pstate(table.slowest, duty=0.15)
+        # Less than 2 W of authority across the whole duty range.
+        assert 0 < full - throttled < 2.0
+
+    def test_high_halt_residual(self, config):
+        # The constant behind the small authority.
+        assert config.power.halt_residual_fraction >= 0.8
+
+
+class TestPaperCalibration:
+    def test_p0_busy_matches_table1(self, model, table):
+        p = model.power_of_pstate(table.fastest, dram_traffic_bps=3e8)
+        assert 150.0 < p < 158.0
+
+    def test_floor_between_125_and_130(self, model, table):
+        p = model.power_of_pstate(table.slowest)
+        assert 125.0 < p < 130.0
+
+    def test_floor_power_reports_deepest_mechanism(self, model, table, config):
+        floor = model.floor_power_w(
+            table.slowest,
+            max(l.power_saving_w for l in config.bmc.ladder.levels),
+            temperature_c=35.0,
+        )
+        # Above 120 W: the cap the paper could not honor.
+        assert 120.0 < floor < 125.0
+
+    def test_power_monotone_in_pstate(self, model, table):
+        powers = [model.power_of_pstate(s) for s in table]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+
+class TestOperatingPointValidation:
+    def test_rejects_bad_duty(self, table):
+        with pytest.raises(Exception):
+            OperatingPoint(pstate=table.fastest, duty=1.5)
+
+    def test_rejects_negative_traffic(self, table):
+        with pytest.raises(Exception):
+            OperatingPoint(pstate=table.fastest, dram_traffic_bps=-1.0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=5e10),
+    )
+    def test_power_positive_everywhere(self, duty, activity, traffic):
+        from repro.config import sandy_bridge_config
+
+        cfg = sandy_bridge_config()
+        model = NodePowerModel(cfg)
+        table = PStateTable(cfg.pstates)
+        p = model.node_power_w(
+            OperatingPoint(
+                pstate=table[7],
+                duty=duty,
+                activity=activity,
+                dram_traffic_bps=traffic,
+            )
+        )
+        assert p > 0

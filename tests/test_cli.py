@@ -1,0 +1,74 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workload == "stereo"
+        assert args.scale == 0.05
+        assert len(args.caps) == 9
+
+    def test_sweep_custom_caps(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workload", "sire", "--caps", "150", "130"]
+        )
+        assert args.caps == [150.0, 130.0]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workload", "linpack"])
+
+    def test_stride_cap_optional(self):
+        args = build_parser().parse_args(["stride"])
+        assert args.cap is None
+        args = build_parser().parse_args(["stride", "--cap", "120"])
+        assert args.cap == 120.0
+
+
+class TestCommands:
+    def test_sweep_prints_table(self, capsys):
+        code = main(
+            ["--scale", "0.002", "sweep", "--workload", "stereo",
+             "--caps", "150"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table II rows for StereoMatching" in out
+        assert "baseline" in out
+        assert "150" in out
+
+    def test_baseline_prints_table1(self, capsys):
+        code = main(["--scale", "0.002", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table I" in out
+        assert "StereoMatching" in out and "SIRE/RSM" in out
+
+    def test_amenability_report(self, capsys):
+        code = main(
+            ["--scale", "0.002", "amenability", "--workload", "stereo",
+             "--tolerance", "1.3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Amenability of StereoMatching" in out
+        assert "slowdown" in out
+        assert "score" in out
+
+    def test_seed_changes_noise_not_shape(self, capsys):
+        main(["--seed", "1", "--scale", "0.002", "sweep", "--caps", "150"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "--scale", "0.002", "sweep", "--caps", "150"])
+        second = capsys.readouterr().out
+        assert first != second  # noise differs
+        assert first.splitlines()[0] == second.splitlines()[0]

@@ -1,0 +1,64 @@
+"""CLI subcommands for the future-work extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParserExtensions:
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.workload == "stereo"
+        assert len(args.caps) == 9
+
+    def test_multicore_args(self):
+        args = build_parser().parse_args(
+            ["multicore", "--cores", "1", "4", "--cap", "150"]
+        )
+        assert args.cores == [1, 4]
+        assert args.cap == 150.0
+
+    def test_detect_requires_cap(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect"])
+
+
+class TestCommands:
+    def test_predict_output(self, capsys):
+        code = main(["predict", "--workload", "stereo", "--caps", "150", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Predicted cap impact" in out
+        assert "dvfs" in out
+        assert "infeasible" in out
+        assert "knee" in out.lower()
+
+    def test_multicore_output(self, capsys):
+        code = main(
+            ["--scale", "0.003", "multicore", "--cores", "1", "2",
+             "--cap", "160"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Multi-core scaling" in out
+        lines = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 "))]
+        assert len(lines) == 2
+
+    def test_figures_output(self, capsys):
+        code = main(["--scale", "0.002", "figures", "--workload", "stereo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 2" in out
+        assert "baseline" in out
+        assert "frequency" in out
+
+    def test_detect_output(self, capsys):
+        code = main(["detect", "--cap", "125"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Mechanisms at a 125 W cap" in out
+        assert "DVFS" in out
+        # 125 W engages way/iTLB gating at the floor.
+        assert "ACTIVE" in out

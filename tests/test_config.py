@@ -1,0 +1,175 @@
+"""Platform configuration: geometry validation and paper constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    PAPER_IDLE_POWER_RANGE_W,
+    PAPER_POWER_CAPS_W,
+    BmcConfig,
+    CacheGeometry,
+    CStateSpec,
+    DramConfig,
+    EscalationLadderConfig,
+    EscalationLevelSpec,
+    PStateTableConfig,
+    TlbGeometry,
+    default_escalation_ladder,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperConstants:
+    def test_nine_caps_highest_first(self):
+        assert len(PAPER_POWER_CAPS_W) == 9
+        assert PAPER_POWER_CAPS_W[0] == 160.0
+        assert PAPER_POWER_CAPS_W[-1] == 120.0
+        assert list(PAPER_POWER_CAPS_W) == sorted(PAPER_POWER_CAPS_W, reverse=True)
+        # 5 W steps throughout.
+        diffs = {
+            a - b for a, b in zip(PAPER_POWER_CAPS_W, PAPER_POWER_CAPS_W[1:])
+        }
+        assert diffs == {5.0}
+
+    def test_idle_range(self):
+        assert PAPER_IDLE_POWER_RANGE_W == (100.0, 103.0)
+
+
+class TestSandyBridgeConfig:
+    def test_section_iii_geometry(self, config):
+        # Section III's bullet list, verbatim.
+        assert config.n_sockets == 2
+        assert config.cores_per_socket == 8
+        assert config.l1d.capacity_bytes == 32 * 1024
+        assert config.l1i.capacity_bytes == 32 * 1024
+        assert config.l2.capacity_bytes == 256 * 1024
+        assert config.l3.capacity_bytes == 20 * 1024 * 1024
+        assert config.dram.capacity_bytes == 64 * 1024**3
+        assert config.pstates.n_states == 16
+
+    def test_figure3_inferences(self, config):
+        # Section IV-B items 4-8: latencies, 64 B lines, associativity.
+        assert config.l1d.hit_latency_ns == 1.5
+        assert config.l1d.miss_penalty_ns == 2.0
+        assert config.l2.miss_penalty_ns == 5.1
+        assert config.l3.miss_penalty_ns == 37.1
+        assert config.dram.access_latency_ns == 60.0
+        assert config.l1d.line_bytes == config.l2.line_bytes == 64
+        assert config.l3.line_bytes == 64
+        assert config.l1d.ways == 8
+        assert config.l2.ways == 8
+        assert config.l3.ways == 20
+
+    def test_dvfs_range(self, config):
+        assert config.pstates.f_max_mhz == 2701.0
+        assert config.pstates.f_min_mhz == 1200.0
+
+    def test_n_cores(self, config):
+        assert config.n_cores == 16
+
+    def test_with_overrides(self, config):
+        other = config.with_overrides(base_cpi=1.0)
+        assert other.base_cpi == 1.0
+        assert config.base_cpi != 1.0  # original untouched (frozen)
+
+    def test_cache_levels_mapping(self, config):
+        levels = config.cache_levels()
+        assert list(levels) == ["L1D", "L1I", "L2", "L3"]
+
+
+class TestGeometryValidation:
+    def test_cache_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError, match="power of two"):
+            CacheGeometry(
+                name="bad", capacity_bytes=24 * 1024, line_bytes=64, ways=2,
+                hit_latency_ns=1.0, miss_penalty_ns=1.0,
+            )
+
+    def test_cache_rejects_indivisible_capacity(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(
+                name="bad", capacity_bytes=1000, line_bytes=64, ways=3,
+                hit_latency_ns=1.0, miss_penalty_ns=1.0,
+            )
+
+    def test_cache_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError, match="line size"):
+            CacheGeometry(
+                name="bad", capacity_bytes=96 * 48, line_bytes=96, ways=3,
+                hit_latency_ns=1.0, miss_penalty_ns=1.0,
+            )
+
+    def test_cache_n_sets(self):
+        g = CacheGeometry(
+            name="L1", capacity_bytes=32 * 1024, line_bytes=64, ways=8,
+            hit_latency_ns=1.0, miss_penalty_ns=1.0,
+        )
+        assert g.n_sets == 64
+
+    def test_tlb_rejects_bad_ways(self):
+        with pytest.raises(ConfigError):
+            TlbGeometry(
+                name="bad", entries=100, ways=3, page_bytes=4096,
+                miss_penalty_ns=45.0,
+            )
+
+    def test_tlb_n_sets(self):
+        g = TlbGeometry(
+            name="ITLB", entries=128, ways=8, page_bytes=4096,
+            miss_penalty_ns=45.0,
+        )
+        assert g.n_sets == 16
+
+    def test_dram_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            DramConfig(
+                capacity_bytes=0, access_latency_ns=60, bandwidth_gbs=50,
+                background_w=5, active_w_per_gbs=0.3,
+            )
+
+    def test_pstate_table_rejects_inverted_range(self):
+        with pytest.raises(ConfigError):
+            PStateTableConfig(f_max_mhz=1000, f_min_mhz=2000)
+
+    def test_cstate_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            CStateSpec(name="C1", power_fraction=1.5, wake_latency_us=1.0)
+
+
+class TestEscalationLadder:
+    def test_default_ladder_ordering(self):
+        ladder = default_escalation_ladder()
+        assert len(ladder.levels) == 4
+        # Savings must increase with depth (deeper rungs include the
+        # shallower mechanisms).
+        savings = [l.power_saving_w for l in ladder.levels]
+        assert savings == sorted(savings)
+        # Savings stay small: "small decreases in power consumption".
+        assert max(savings) < 5.0
+
+    def test_default_ladder_gates_progressively(self):
+        ladder = default_escalation_ladder()
+        l3_fracs = [l.l3_way_fraction for l in ladder.levels]
+        assert l3_fracs == sorted(l3_fracs, reverse=True)
+        # Deepest level quarters the outer caches and slows DRAM.
+        deepest = ladder.levels[-1]
+        assert deepest.l3_way_fraction == 0.25
+        assert deepest.dram_latency_multiplier > 1.0
+
+    def test_level_spec_validation(self):
+        with pytest.raises(ConfigError):
+            EscalationLevelSpec(name="bad", l3_way_fraction=0.0)
+        with pytest.raises(ConfigError):
+            EscalationLevelSpec(name="bad", dram_latency_multiplier=0.5)
+        with pytest.raises(ConfigError):
+            EscalationLevelSpec(name="bad", power_saving_w=-1.0)
+
+    def test_ladder_requires_levels(self):
+        with pytest.raises(ConfigError):
+            EscalationLadderConfig(levels=())
+
+    def test_bmc_config_gets_default_ladder(self):
+        bmc = BmcConfig()
+        assert bmc.ladder is not None
+        assert len(bmc.ladder.levels) == 4

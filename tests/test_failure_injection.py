@@ -1,0 +1,166 @@
+"""Failure injection: the management plane under adverse conditions.
+
+A credible management stack must degrade sanely when its inputs lie or
+its network misbehaves — these tests break things on purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.bmc import Bmc
+from repro.bmc.controller import CapController
+from repro.bmc.sensors import PowerSensor
+from repro.dcm.events import AlertSeverity
+from repro.dcm.manager import DataCenterManager
+from repro.dcm.policy import StaticCapPolicy
+from repro.errors import IpmiTransportError
+from repro.ipmi.transport import LanTransport
+
+
+class StuckSensor(PowerSensor):
+    """A sensor whose reading froze at a fixed value."""
+
+    def __init__(self, stuck_at_w: float) -> None:
+        super().__init__(np.random.default_rng(0), noise_sigma_w=0.0)
+        self._stuck = stuck_at_w
+
+    def sample(self, true_power_w: float) -> float:  # noqa: ARG002
+        return super().sample(self._stuck)
+
+
+def drive(node, controller, quanta=400):
+    power = node.power_w()
+    cmd = None
+    for _ in range(quanta):
+        cmd = controller.update(power)
+        power = node.power_model.power_of_pstate(
+            cmd.pstate_slow,
+            duty=cmd.duty,
+            gating_saving_w=cmd.gating_saving_w,
+            temperature_c=node.thermal.temperature_c,
+        )
+        node.thermal.step(power, 0.05)
+    return cmd, power
+
+
+class TestStuckSensors:
+    """The DVFS stage is model-based feed-forward, so a lying sensor
+    cannot disturb it; only the (sensor-fed) escalation machine is
+    corrupted, and only when the bracket sits at the floor."""
+
+    def test_dvfs_stage_immune_to_stuck_sensor(self, config):
+        node = Node(config)
+        controller = CapController(node, StuckSensor(200.0))
+        controller.set_cap(150.0)
+        cmd, power = drive(node, controller, quanta=1500)
+        # The model still picks the right dither pair; no escalation is
+        # possible because the bracket never reaches the floor.
+        assert cmd.escalation_level == 0
+        assert cmd.duty == 1.0
+        assert power == pytest.approx(147.0, abs=2.0)
+
+    def test_sensor_stuck_low_blocks_escalation(self, config):
+        """At a 120 W cap the node genuinely needs sub-floor measures,
+        but a sensor stuck at 110 W says everything is fine: the node
+        sits at the DVFS floor, quietly over the cap, with no
+        escalation artifacts — a bounded failure, not a spiral."""
+        node = Node(config)
+        controller = CapController(node, StuckSensor(110.0))
+        controller.set_cap(120.0)
+        cmd, power = drive(node, controller, quanta=800)
+        assert cmd.escalation_level == 0
+        assert cmd.duty == 1.0
+        assert power > 120.0  # overrun, as physics demands
+
+    def test_sensor_stuck_high_exhausts_actuators_and_stops(self, config):
+        """At the floor, a sensor stuck high walks the ladder to its
+        top and duty to its minimum — and stays there, stable."""
+        node = Node(config)
+        controller = CapController(node, StuckSensor(200.0))
+        controller.set_cap(120.0)
+        cmd, power = drive(node, controller, quanta=1500)
+        assert cmd.escalation_level == controller.ladder.max_level
+        assert cmd.duty == pytest.approx(config.bmc.ladder.duty_min)
+        # Still over 120 W (the achievable floor) but bounded.
+        assert 118.0 < power < 126.0
+
+
+class TestNetworkPartitions:
+    def test_partition_alerts_then_recovers(self, config):
+        """Node vanishes from the LAN mid-operation; the DCM raises a
+        CRITICAL alert, keeps ticking, and reconciles on return."""
+        rng = np.random.default_rng(0)
+        lan = LanTransport(
+            rng, drop_probability=0.0, corruption_probability=0.0,
+            max_retries=1,
+        )
+        node = Node(config)
+        bmc = Bmc(node, np.random.default_rng(1), lan_address="10.0.0.8",
+                  transport=lan)
+        bmc.record_power(150.0, 0.05)
+        dcm = DataCenterManager(lan)
+        dcm.register_node("n", "10.0.0.8", policy=StaticCapPolicy(140.0))
+        dcm.tick(0.0)
+        assert dcm.node("n").reachable
+
+        # Partition: detach the endpoint.
+        lan.unregister("10.0.0.8")
+        dcm.tick(10.0)
+        assert not dcm.node("n").reachable
+        critical = dcm.alerts.by_severity(AlertSeverity.CRITICAL)
+        assert len(critical) == 1
+
+        # Heal: reattach; next tick reconciles and logs recovery.
+        lan.register("10.0.0.8", bmc.handle_frame)
+        dcm.tick(20.0)
+        assert dcm.node("n").reachable
+        infos = dcm.alerts.by_severity(AlertSeverity.INFO)
+        assert any("reachable again" in a.message for a in infos)
+
+    def test_direct_request_to_partitioned_node_raises(self, config):
+        rng = np.random.default_rng(0)
+        lan = LanTransport(rng, max_retries=1)
+        dcm = DataCenterManager(lan)
+        dcm.register_node("ghost", "10.0.0.99")
+        with pytest.raises(IpmiTransportError):
+            dcm.read_power("ghost")
+
+    def test_very_lossy_lan_still_converges(self, config):
+        """30 % frame loss: retries carry the day."""
+        rng = np.random.default_rng(4)
+        lan = LanTransport(
+            rng, drop_probability=0.3, corruption_probability=0.05,
+            max_retries=40,
+        )
+        node = Node(config)
+        bmc = Bmc(node, np.random.default_rng(1), lan_address="10.0.0.7",
+                  transport=lan)
+        bmc.record_power(151.0, 0.05)
+        dcm = DataCenterManager(lan)
+        dcm.register_node("n", "10.0.0.7", policy=StaticCapPolicy(135.0))
+        for t in range(5):
+            dcm.tick(float(t))
+        assert bmc.controller.cap_w == 135.0
+        assert dcm.node("n").history  # readings made it through
+        assert lan.stats.retries > 0
+
+
+class TestThermalExtremes:
+    def test_hot_ambient_raises_idle_power_but_nothing_breaks(self, config):
+        node = Node(config)
+        node.thermal.reset(70.0)
+        hot_idle = node.idle_power_w()
+        node.thermal.reset(25.0)
+        cool_idle = node.idle_power_w()
+        assert hot_idle > cool_idle
+        # Controller still converges with the hotter leakage.
+        node.thermal.reset(70.0)
+        controller = CapController(
+            node, PowerSensor(np.random.default_rng(0), noise_sigma_w=0.0)
+        )
+        controller.set_cap(140.0)
+        cmd, power = drive(node, controller)
+        assert power < 140.5

@@ -1,0 +1,119 @@
+"""End-to-end integration: DCM -> IPMI -> BMC -> node -> workload.
+
+The full management chain the paper's testbed used: the Data Center
+Manager programs a cap over the out-of-band LAN; the BMC enforces it
+while a workload executes on the node; the DCM polls power readings
+back over the same wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch.node import Node
+from repro.bmc.bmc import Bmc
+from repro.core.runner import NodeRunner
+from repro.dcm.manager import DataCenterManager
+from repro.dcm.policy import StaticCapPolicy
+from repro.ipmi.transport import LanTransport
+from repro.mem.latency import AccessCosts, stall_ns_per_instruction
+from repro.rng import RngStreams
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+@pytest.fixture
+def plane(config):
+    streams = RngStreams(3)
+    lan = LanTransport(streams.stream("lan"), drop_probability=0.005)
+    node = Node(config)
+    bmc = Bmc(
+        node, streams.stream("bmc"), lan_address="10.0.0.42", transport=lan
+    )
+    dcm = DataCenterManager(lan)
+    dcm.register_node("edge-node", "10.0.0.42")
+    return dcm, bmc, node
+
+
+class TestManagementPlane:
+    def test_policy_reaches_the_controller(self, plane):
+        dcm, bmc, node = plane
+        dcm.set_policy("edge-node", StaticCapPolicy(135.0))
+        dcm.tick(time_s=0.0)
+        assert bmc.controller.cap_w == 135.0
+
+    def test_enforcement_loop_with_workload_model(self, plane):
+        """Drive the node's closed loop under a DCM-set cap and check
+        the power the DCM reads back respects the cap."""
+        dcm, bmc, node = plane
+        dcm.set_policy("edge-node", StaticCapPolicy(140.0))
+        dcm.tick(time_s=0.0)
+
+        runner = NodeRunner(slice_accesses=60_000)
+        workload = StereoMatchingWorkload()
+        rates = runner.rates_for(workload, bmc.controller.ladder.gating_state())
+        costs = AccessCosts.from_config(node.config)
+        stall = stall_ns_per_instruction(rates, costs)
+
+        power = node.power_w()
+        model = node.power_model
+        for _ in range(600):
+            cmd = bmc.controller.update(power)
+            p_fast = model.power_of_pstate(
+                cmd.pstate_fast,
+                duty=cmd.duty,
+                gating_saving_w=cmd.gating_saving_w,
+                temperature_c=node.thermal.temperature_c,
+            )
+            p_slow = model.power_of_pstate(
+                cmd.pstate_slow,
+                duty=cmd.duty,
+                gating_saving_w=cmd.gating_saving_w,
+                temperature_c=node.thermal.temperature_c,
+            )
+            power = cmd.alpha * p_fast + (1 - cmd.alpha) * p_slow
+            node.thermal.step(power, 0.05)
+            bmc.record_power(power, 0.05)
+
+        dcm.tick(time_s=30.0)
+        reading = dcm.read_power("edge-node")
+        assert reading.average_w <= 141
+        assert reading.maximum_w <= 156  # includes the pre-cap samples
+
+    def test_policy_change_deescalates(self, plane):
+        dcm, bmc, node = plane
+        dcm.set_policy("edge-node", StaticCapPolicy(120.0))
+        dcm.tick(0.0)
+        power = node.power_w()
+        for _ in range(800):
+            cmd = bmc.controller.update(power)
+            power = node.power_model.power_of_pstate(
+                cmd.pstate_slow,
+                duty=cmd.duty,
+                gating_saving_w=cmd.gating_saving_w,
+                temperature_c=node.thermal.temperature_c,
+            )
+            node.thermal.step(power, 0.05)
+        assert bmc.controller.ladder.level > 0
+        # Lift the cap entirely via policy.
+        from repro.dcm.policy import NoCapPolicy
+
+        dcm.set_policy("edge-node", NoCapPolicy())
+        dcm.tick(60.0)
+        assert bmc.controller.cap_w is None
+        cmd = bmc.controller.update(power)
+        assert cmd.escalation_level == 0
+        assert cmd.duty == 1.0
+
+    def test_runner_matches_direct_controller_shape(self, plane, config):
+        """The runner's result and a hand-driven loop agree on the
+        steady-state power at a given cap."""
+        runner = NodeRunner(slice_accesses=60_000)
+        workload = StereoMatchingWorkload()
+        workload._spec = dataclasses.replace(
+            workload.spec,
+            total_instructions=workload.spec.total_instructions * 0.01,
+        )
+        result = runner.run(workload, 140.0)
+        assert result.avg_power_w == pytest.approx(137.0, abs=2.0)

@@ -1,0 +1,205 @@
+"""Integration: the paper's qualitative findings, end to end.
+
+These tests run the full methodology (scaled-down instruction budgets,
+all nine caps) and assert the *shape* criteria from DESIGN.md §4 — the
+claims the reproduction stands or falls on.  Absolute numbers are
+checked loosely; orderings, knees, and factor relationships are checked
+strictly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import PAPER_POWER_CAPS_W
+from repro.core.experiment import PowerCapExperiment
+from repro.core.amenability import characterize_amenability
+from repro.perf.events import PapiEvent
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+SCALE = 0.06
+
+
+def scaled(workload):
+    workload._spec = dataclasses.replace(
+        workload.spec,
+        total_instructions=workload.spec.total_instructions * SCALE,
+    )
+    return workload
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    exp = PowerCapExperiment(
+        [scaled(StereoMatchingWorkload()), scaled(SireRsmWorkload())],
+        caps_w=PAPER_POWER_CAPS_W,
+        repetitions=1,
+        slice_accesses=250_000,
+    )
+    return exp.run_all()
+
+
+@pytest.fixture(scope="module")
+def stereo(sweeps):
+    return sweeps["StereoMatching"]
+
+
+@pytest.fixture(scope="module")
+def sire(sweeps):
+    return sweeps["SIRE/RSM"]
+
+
+class TestTable1Shape:
+    def test_sire_runs_about_4x_longer(self, stereo, sire):
+        ratio = sire.baseline.execution_s / stereo.baseline.execution_s
+        assert 3.0 < ratio < 5.5  # paper: 377/91 ~ 4.15
+
+    def test_both_draw_150_to_160_watts(self, stereo, sire):
+        for sweep in (stereo, sire):
+            assert 150.0 < sweep.baseline.avg_power_w < 160.0
+
+    def test_sire_draws_more_than_stereo(self, stereo, sire):
+        # Table I: 157 vs 153 W (streaming DRAM traffic).
+        assert sire.baseline.avg_power_w > stereo.baseline.avg_power_w
+
+
+class TestTable2TimeAndEnergyShape:
+    def test_time_monotone_in_cap(self, stereo, sire):
+        for sweep in (stereo, sire):
+            times = [sweep.row(c).execution_s for c in sorted(
+                sweep.by_cap, reverse=True)]
+            for a, b in zip(times, times[1:]):
+                assert b >= a * 0.995  # monotone within noise
+
+    def test_energy_minimal_at_high_caps(self, stereo, sire):
+        # "total energy consumption is lowest at power caps of 155 and
+        # 160 Watts."
+        for sweep in (stereo, sire):
+            high = min(
+                sweep.row(160.0).energy_j, sweep.row(155.0).energy_j
+            )
+            for cap in (150.0, 140.0, 130.0, 120.0):
+                assert sweep.row(cap).energy_j > high * 0.99
+
+    def test_moderate_caps_cost_at_most_40_percent(self, stereo, sire):
+        # "From 160 to 140 Watts this growth is relatively small, i.e.,
+        # less than or equal to 40%."
+        for sweep in (stereo, sire):
+            for cap in (160.0, 155.0, 150.0, 145.0, 140.0):
+                assert sweep.slowdown(cap) <= 1.45
+
+    def test_blowup_at_120(self, stereo, sire):
+        # Paper: +3,467% (Stereo) and +2,583% (SIRE) at 120 W.
+        assert stereo.slowdown(120.0) > 15.0
+        assert sire.slowdown(120.0) > 15.0
+
+    def test_stereo_blowup_exceeds_sire(self, stereo, sire):
+        assert stereo.slowdown(120.0) >= sire.slowdown(120.0)
+
+    def test_energy_tracks_time(self, stereo):
+        # "the increase in energy consumption always tracking the
+        # increase in execution time."
+        caps = sorted(stereo.by_cap, reverse=True)
+        times = [stereo.row(c).execution_s for c in caps]
+        energies = [stereo.row(c).energy_j for c in caps]
+        order_t = sorted(range(len(caps)), key=lambda i: times[i])
+        order_e = sorted(range(len(caps)), key=lambda i: energies[i])
+        assert order_t == order_e
+
+    def test_average_power_under_cap_except_lowest(self, stereo, sire):
+        # "in general, the average node power consumption is under the
+        # power cap; this is not the case ... at 120 Watts."
+        for sweep in (stereo, sire):
+            for cap in (150.0, 140.0, 130.0):
+                assert sweep.row(cap).avg_power_w < cap + 1.0
+            assert sweep.row(120.0).avg_power_w > 120.0
+
+
+class TestFrequencyShape:
+    def test_baseline_at_2701(self, stereo):
+        assert stereo.baseline.avg_freq_mhz == pytest.approx(2701.0, abs=2)
+
+    def test_frequency_decreases_with_cap(self, stereo):
+        freqs = [
+            stereo.row(c).avg_freq_mhz
+            for c in sorted(stereo.by_cap, reverse=True)
+        ]
+        for a, b in zip(freqs, freqs[1:]):
+            assert b <= a + 20.0
+
+    def test_pinned_at_floor_for_low_caps(self, stereo, sire):
+        # Table II: 1,200 MHz at caps <= 125 W -> DVFS exhausted.
+        for sweep in (stereo, sire):
+            for cap in (125.0, 120.0):
+                assert sweep.row(cap).avg_freq_mhz == pytest.approx(
+                    1200.0, abs=25.0
+                )
+
+
+class TestCounterShape:
+    """Section IV-B: the memory-hierarchy reconfiguration evidence."""
+
+    def test_stereo_l2_l3_jump_at_low_caps(self, stereo):
+        base = stereo.baseline
+        low = stereo.row(120.0)
+        assert low.counters[PapiEvent.PAPI_L2_TCM] > 2.0 * base.counters[
+            PapiEvent.PAPI_L2_TCM
+        ]
+        assert low.counters[PapiEvent.PAPI_L3_TCM] > 2.0 * base.counters[
+            PapiEvent.PAPI_L3_TCM
+        ]
+
+    def test_sire_l2_l3_flat_at_low_caps(self, sire):
+        # "For SIRE/RSM the number of L1, L2, and L3 cache misses are
+        # essentially unchanged" — the streaming signature.
+        base = sire.baseline
+        for cap in (125.0, 120.0):
+            row = sire.row(cap)
+            for e in (PapiEvent.PAPI_L2_TCM, PapiEvent.PAPI_L3_TCM):
+                assert row.counters[e] == pytest.approx(
+                    base.counters[e], rel=0.10
+                )
+
+    def test_itlb_explodes_for_both(self, stereo, sire):
+        # Paper: +6,395% (Stereo) and +8,481% (SIRE) at 120 W.
+        for sweep in (stereo, sire):
+            base = max(1.0, sweep.baseline.counters[PapiEvent.PAPI_TLB_IM])
+            low = sweep.row(120.0).counters[PapiEvent.PAPI_TLB_IM]
+            assert low > 10.0 * base
+
+    def test_dtlb_stays_calm(self, stereo):
+        # "the number of data TLB misses remain fairly constant
+        # (bounded by an increase of 6.85%)" for Stereo.
+        base = stereo.baseline.counters[PapiEvent.PAPI_TLB_DM]
+        low = stereo.row(120.0).counters[PapiEvent.PAPI_TLB_DM]
+        assert abs(low - base) / base < 0.35
+
+    def test_l1_essentially_unchanged(self, stereo):
+        # Table II: Stereo L1 misses at most +2% vs baseline.
+        base = stereo.baseline.counters[PapiEvent.PAPI_L1_TCM]
+        low = stereo.row(120.0).counters[PapiEvent.PAPI_L1_TCM]
+        assert abs(low - base) / base < 0.10
+
+    def test_no_miss_changes_at_moderate_caps(self, stereo):
+        base = stereo.baseline
+        for cap in (150.0, 140.0):
+            row = stereo.row(cap)
+            for e in (PapiEvent.PAPI_L2_TCM, PapiEvent.PAPI_L3_TCM):
+                assert row.counters[e] == pytest.approx(
+                    base.counters[e], rel=0.05
+                )
+
+
+class TestAmenabilityShape:
+    def test_sire_more_amenable_than_stereo(self, stereo, sire):
+        # The paper's conclusion: "SIRE/RSM is more amenable to power
+        # capping than is Stereo Matching" (knee at 140 vs 145 W).
+        st_report = characterize_amenability(stereo, tolerance_slowdown=1.25)
+        si_report = characterize_amenability(sire, tolerance_slowdown=1.25)
+        assert si_report.knee_cap_w is not None
+        assert st_report.knee_cap_w is not None
+        assert si_report.knee_cap_w <= st_report.knee_cap_w
+        assert si_report.amenability_score >= st_report.amenability_score

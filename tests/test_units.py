@@ -1,0 +1,103 @@
+"""Unit helpers: conversions, validation, formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import UnitsError
+
+
+class TestConversions:
+    def test_kib_mib_gib(self):
+        assert units.kib(32) == 32 * 1024
+        assert units.mib(20) == 20 * 1024 * 1024
+        assert units.gib(64) == 64 * 1024**3
+
+    def test_mhz_ghz(self):
+        assert units.mhz(2701) == 2.701e9
+        assert units.ghz(2.7) == 2.7e9
+
+    def test_hz_roundtrip(self):
+        assert units.hz_to_mhz(units.mhz(1200)) == pytest.approx(1200)
+        assert units.hz_to_ghz(units.ghz(2.7)) == pytest.approx(2.7)
+
+    def test_time_units(self):
+        assert units.ns(60) == pytest.approx(60e-9)
+        assert units.us(2) == pytest.approx(2e-6)
+        assert units.ms(50) == pytest.approx(0.05)
+        assert units.seconds_to_ns(1.5) == pytest.approx(1.5e9)
+        assert units.ns_to_seconds(1.5e9) == pytest.approx(1.5)
+
+    def test_energy_identity(self):
+        # The paper's central identity: energy = power x time.
+        assert units.joules(153.1, 89.0) == pytest.approx(13625.9)
+
+    def test_watt_hours(self):
+        assert units.watt_hours_to_joules(1.0) == 3600.0
+        assert units.joules_to_watt_hours(7200.0) == 2.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-1.0, 0.0, float("nan"), float("inf")])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(UnitsError):
+            units.require_positive(bad, "x")
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), float("-inf")])
+    def test_require_non_negative_rejects(self, bad):
+        with pytest.raises(UnitsError):
+            units.require_non_negative(bad, "x")
+
+    def test_require_non_negative_accepts_zero(self):
+        assert units.require_non_negative(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_require_fraction_rejects(self, bad):
+        with pytest.raises(UnitsError):
+            units.require_fraction(bad, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(UnitsError, match="cap_watts"):
+            units.require_positive(-5, "cap_watts")
+
+
+class TestFormatting:
+    def test_format_duration_paper_values(self):
+        # Exact values from Table II rows.
+        assert units.format_duration(89) == "0:01:29"
+        assert units.format_duration(92) == "0:01:32"
+        assert units.format_duration(3168) == "0:52:48"
+        assert units.format_duration(10139) == "2:48:59"
+
+    def test_format_duration_zero(self):
+        assert units.format_duration(0) == "0:00:00"
+
+    def test_format_bytes(self):
+        assert units.format_bytes(32 * 1024) == "32K"
+        assert units.format_bytes(20 * 1024**2) == "20M"
+        assert units.format_bytes(64 * 1024**3) == "64G"
+        assert units.format_bytes(100) == "100B"
+
+
+class TestProperties:
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_hz_mhz_roundtrip(self, f):
+        assert units.hz_to_mhz(units.mhz(f)) == pytest.approx(f)
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=0, max_value=1e5),
+    )
+    def test_energy_non_negative_and_bilinear(self, p, t):
+        e = units.joules(p, t)
+        assert e >= 0
+        assert units.joules(2 * p, t) == pytest.approx(2 * e)
+
+    @given(st.integers(min_value=0, max_value=10**7))
+    def test_format_duration_parses_back(self, seconds):
+        text = units.format_duration(seconds)
+        h, m, s = (int(x) for x in text.split(":"))
+        assert h * 3600 + m * 60 + s == seconds
+        assert 0 <= m < 60 and 0 <= s < 60

@@ -1,0 +1,196 @@
+"""Trace capture (TracedArray), sampling, interleaving, TraceSlice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.trace.capture import TracedArray, TraceRecorder
+from repro.trace.events import TraceSlice
+from repro.trace.sampler import interleave, sample_slice
+
+
+class TestTraceRecorder:
+    def test_bases_do_not_overlap_pages(self):
+        rec = TraceRecorder()
+        a = rec.allocate_base(1000)
+        b = rec.allocate_base(1000)
+        assert b >= a + 4096
+        assert a % 4096 == 0 or a == 1 << 20
+
+    def test_record_caps_at_max(self):
+        rec = TraceRecorder(max_addresses=10)
+        rec.record(np.arange(8, dtype=np.int64))
+        rec.record(np.arange(8, dtype=np.int64))
+        assert rec.count == 10
+        assert len(rec.addresses()) == 10
+
+    def test_reset(self):
+        rec = TraceRecorder()
+        rec.record(np.arange(5, dtype=np.int64))
+        rec.reset()
+        assert rec.count == 0
+        assert len(rec.addresses()) == 0
+
+
+class TestTracedArray:
+    def test_scalar_read_records_address(self):
+        rec = TraceRecorder()
+        arr = TracedArray(np.arange(10, dtype=np.int64), rec)
+        value = arr[3]
+        assert value == 3
+        assert rec.addresses()[0] == arr.base + 3 * 8
+
+    def test_2d_indexing(self):
+        rec = TraceRecorder()
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        arr = TracedArray(data, rec)
+        assert arr[1, 2] == 6.0
+        assert rec.addresses()[-1] == arr.base + 6 * 8
+
+    def test_slice_records_every_element(self):
+        rec = TraceRecorder()
+        arr = TracedArray(np.arange(10, dtype=np.int32), rec)
+        _ = arr[2:5]
+        assert list(rec.addresses()) == [arr.base + i * 4 for i in (2, 3, 4)]
+
+    def test_write_records(self):
+        rec = TraceRecorder()
+        arr = TracedArray(np.zeros(4, dtype=np.int64), rec)
+        arr[1] = 7
+        assert arr.data[1] == 7
+        assert rec.count == 1
+
+    def test_fancy_indexing(self):
+        rec = TraceRecorder()
+        arr = TracedArray(np.arange(20, dtype=np.int8), rec)
+        _ = arr[np.array([1, 5, 9])]
+        assert list(rec.addresses()) == [arr.base + i for i in (1, 5, 9)]
+
+    def test_window_read_matches_algorithm_shape(self):
+        """Capture a 2-D window read like the stereo matcher's SSD."""
+        rec = TraceRecorder()
+        img = TracedArray(np.random.default_rng(0).random((64, 64)), rec)
+        window = img[10:13, 20:23]
+        assert window.shape == (3, 3)
+        addrs = rec.addresses()
+        assert len(addrs) == 9
+        # Rows are 64*8 bytes apart.
+        assert addrs[3] - addrs[0] == 64 * 8
+
+    def test_properties(self):
+        rec = TraceRecorder()
+        arr = TracedArray(np.zeros((2, 3)), rec, name="img")
+        assert arr.shape == (2, 3)
+        assert arr.dtype == np.float64
+        assert len(arr) == 2
+
+
+class TestSampleSlice:
+    def test_short_input_unchanged(self):
+        a = np.arange(100, dtype=np.int64)
+        assert sample_slice(a, 200) is a
+
+    def test_windows_preserve_contiguity(self):
+        a = np.arange(10_000, dtype=np.int64)
+        s = sample_slice(a, 800, n_windows=8)
+        assert len(s) == 800
+        # Each 100-element window is contiguous (unit diffs).
+        for w in range(8):
+            window = s[w * 100 : (w + 1) * 100]
+            assert np.all(np.diff(window) == 1)
+
+    def test_windows_span_the_input(self):
+        a = np.arange(10_000, dtype=np.int64)
+        s = sample_slice(a, 800, n_windows=8)
+        assert s[0] == 0
+        assert s[-1] == 9999
+
+    def test_validation(self):
+        a = np.arange(100, dtype=np.int64)
+        with pytest.raises(WorkloadError):
+            sample_slice(a, 0)
+        with pytest.raises(WorkloadError):
+            sample_slice(np.arange(1000, dtype=np.int64), 4, n_windows=8)
+
+
+class TestInterleave:
+    def test_round_robin_with_weights(self):
+        a = np.array([1, 2, 3, 4], dtype=np.int64)
+        b = np.array([10, 20], dtype=np.int64)
+        merged = interleave(a, b, weights=(2, 1))
+        assert list(merged) == [1, 2, 10, 3, 4, 20]
+
+    def test_equal_weights_default(self):
+        a = np.array([1, 2], dtype=np.int64)
+        b = np.array([3, 4], dtype=np.int64)
+        assert list(interleave(a, b)) == [1, 3, 2, 4]
+
+    def test_order_preserved_within_stream(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 100, 30)
+        b = rng.integers(100, 200, 60)
+        merged = interleave(a, b, weights=(1, 2))
+        from_a = merged[merged < 100]
+        assert np.array_equal(from_a, a[: len(from_a)])
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            interleave()
+        with pytest.raises(WorkloadError):
+            interleave(np.array([1]), weights=(1, 2))
+        with pytest.raises(WorkloadError):
+            interleave(np.array([1]), np.array([2]), weights=(0, 1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_length_conserved_pro_rata(self, na, nb, wa, wb):
+        a = np.arange(na, dtype=np.int64)
+        b = np.arange(nb, dtype=np.int64) + 1000
+        merged = interleave(a, b, weights=(wa, wb))
+        rounds = min(na // wa, nb // wb)
+        if rounds:
+            assert len(merged) == rounds * (wa + wb)
+
+
+class TestTraceSlice:
+    def test_split_warmup(self):
+        sl = TraceSlice(
+            data_addresses=np.arange(100, dtype=np.int64),
+            ifetch_addresses=np.arange(40, dtype=np.int64),
+            instructions=1000.0,
+            warmup_fraction=0.25,
+        )
+        dw, dm, iw, im = sl.split_warmup()
+        assert len(dw) == 25 and len(dm) == 75
+        assert len(iw) == 10 and len(im) == 30
+        assert sl.measured_instructions == pytest.approx(750.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceSlice(
+                data_addresses=np.zeros((2, 2), dtype=np.int64),
+                ifetch_addresses=np.zeros(2, dtype=np.int64),
+                instructions=10.0,
+            )
+        with pytest.raises(WorkloadError):
+            TraceSlice(
+                data_addresses=np.zeros(2, dtype=np.int64),
+                ifetch_addresses=np.zeros(2, dtype=np.int64),
+                instructions=0.0,
+            )
+
+    def test_preload_default_empty(self):
+        sl = TraceSlice(
+            data_addresses=np.arange(10, dtype=np.int64),
+            ifetch_addresses=np.arange(10, dtype=np.int64),
+            instructions=10.0,
+        )
+        assert len(sl.preload_addresses) == 0

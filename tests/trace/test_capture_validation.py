@@ -1,0 +1,155 @@
+"""Validate the synthetic trace models against the real algorithms.
+
+The simulator consumes parametric traces (:mod:`repro.trace.synthetic`)
+whose *shape* is supposed to match the real workloads' memory
+behaviour.  These tests run the actual algorithm kernels at reduced
+scale over :class:`~repro.trace.capture.TracedArray` wrappers, capture
+the addresses they really touch, and check that the captured streams
+have the same structural signatures the generators produce:
+
+- stereo proposals: tight within-proposal locality, image-wide anchor
+  spread (the `windowed_random_trace` model);
+- SAR back-projection + RSM: long sequential sweeps over the returns
+  matrix, repeated across iterations (the wrap-around
+  `streaming_trace` model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.capture import TracedArray, TraceRecorder
+from repro.trace.synthetic import streaming_trace, windowed_random_trace
+from repro.workloads.wedding_cake import (
+    render_stereo_pair,
+    wedding_cake_disparity,
+)
+
+
+def locality_stats(addresses: np.ndarray, burst: int) -> dict:
+    """Per-burst span and global spread of an address stream."""
+    n_bursts = len(addresses) // burst
+    trimmed = addresses[: n_bursts * burst].reshape(n_bursts, burst)
+    spans = trimmed.max(axis=1) - trimmed.min(axis=1)
+    anchors = trimmed.min(axis=1)
+    return {
+        "median_burst_span": float(np.median(spans)),
+        "anchor_spread": float(anchors.max() - anchors.min()) if n_bursts else 0.0,
+    }
+
+
+class TestStereoCapture:
+    """The annealer's proposal loop, executed for real over traced
+    images."""
+
+    @pytest.fixture(scope="class")
+    def captured(self):
+        rng = np.random.default_rng(3)
+        h, w = 96, 128
+        truth = wedding_cake_disparity(h, w)
+        left_data, right_data = render_stereo_pair(truth, rng)
+        rec = TraceRecorder()
+        left = TracedArray(left_data.astype(np.float64), rec, "left")
+        right = TracedArray(right_data.astype(np.float64), rec, "right")
+        disparity = TracedArray(
+            rng.integers(0, 12, size=(h, w)).astype(np.int32), rec, "disp"
+        )
+        k = 2  # 5x5 windows
+        bursts = []
+        for _ in range(300):
+            y = int(rng.integers(k, h - k))
+            x = int(rng.integers(k + 12, w - k))
+            d = int(disparity[y, x])
+            start = rec.count
+            lw = left[y - k : y + k + 1, x - k : x + k + 1]
+            rw = right[y - k : y + k + 1, x - k - d : x + k + 1 - d]
+            _ = float(np.mean((lw - rw) ** 2))
+            for dy, dx in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                _ = disparity[y + dy, x + dx]
+            bursts.append((start, rec.count))
+        return rec.addresses(), bursts, (left, right, disparity)
+
+    def test_within_proposal_locality(self, captured):
+        addresses, bursts, arrays = captured
+        left = arrays[0]
+        spans = [
+            addresses[a:b].max() - addresses[a:b].min() for a, b in bursts
+        ]
+        # A proposal touches a handful of rows of each image plus four
+        # neighbours — its span is far below the full arrays' extent.
+        image_rows_bytes = 6 * 128 * 8
+        assert np.median(spans) < 40 * image_rows_bytes
+
+    def test_anchors_span_the_image(self, captured):
+        addresses, bursts, arrays = captured
+        left = arrays[0]
+        anchors = np.array([addresses[a:b].min() for a, b in bursts])
+        image_bytes = 96 * 128 * 8
+        assert anchors.max() - anchors.min() > 0.5 * image_bytes
+
+    def test_matches_windowed_model_shape(self, captured):
+        """The synthetic generator shows the same two signatures."""
+        addresses, bursts, _ = captured
+        burst_len = int(np.median([b - a for a, b in bursts]))
+        real = locality_stats(addresses, burst_len)
+        rng = np.random.default_rng(0)
+        synthetic = windowed_random_trace(
+            96 * 128 * 8 * 3,  # three arrays' worth of footprint
+            len(addresses),
+            rng,
+            window_bytes=5 * 8,
+            burst=burst_len,
+            row_bytes=128 * 8,
+            window_rows=5,
+            element_bytes=8,
+        )
+        model = locality_stats(synthetic, burst_len)
+        # Same orders of magnitude: bursts are row-window local...
+        assert 0.1 < real["median_burst_span"] / max(1, model["median_burst_span"]) < 50
+        # ...and anchors cover most of the footprint in both.
+        assert real["anchor_spread"] > 0.4 * model["anchor_spread"] * (
+            (96 * 128 * 8) / (96 * 128 * 8 * 3)
+        )
+
+
+class TestSarCapture:
+    """Back-projection's per-aperture row reads, captured for real."""
+
+    @pytest.fixture(scope="class")
+    def captured(self):
+        rng = np.random.default_rng(1)
+        rec = TraceRecorder()
+        n_ap, n_samp = 12, 512
+        returns = TracedArray(
+            rng.normal(size=(n_ap, n_samp)).astype(np.float64), rec, "returns"
+        )
+        # Two RSM-style iterations, each sweeping every aperture row.
+        for _iteration in range(2):
+            for a in range(n_ap):
+                row = returns[a]
+                _ = row.sum()
+        return rec.addresses(), returns
+
+    def test_sequential_within_pass(self, captured):
+        addresses, returns = captured
+        one_pass = addresses[: returns.data.size]
+        diffs = np.diff(one_pass)
+        # Row-major sweep: overwhelmingly unit-stride (8-byte) steps.
+        assert np.mean(diffs == 8) > 0.95
+
+    def test_iterations_rewalk_the_array(self, captured):
+        """The 'iteratively loops through the array' behaviour: the
+        second pass revisits the same addresses — the wrap-around the
+        streaming generator models."""
+        addresses, returns = captured
+        n = returns.data.size
+        assert np.array_equal(addresses[:n], addresses[n : 2 * n])
+
+    def test_matches_streaming_model_shape(self, captured):
+        addresses, returns = captured
+        n = returns.data.size
+        model = streaming_trace(
+            returns.data.nbytes, 2 * n, element_bytes=8, base=int(addresses[0])
+        )
+        assert np.array_equal(addresses[: 2 * n], model)

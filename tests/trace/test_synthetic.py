@@ -1,0 +1,130 @@
+"""Synthetic trace generators: shapes, wrapping, locality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.trace.synthetic import (
+    loop_ifetch_trace,
+    random_trace,
+    streaming_trace,
+    strided_trace,
+    windowed_random_trace,
+)
+
+
+class TestStreaming:
+    def test_sequential(self):
+        t = streaming_trace(1024, 10, element_bytes=4)
+        assert list(t[:4]) == [0, 4, 8, 12]
+
+    def test_wraps(self):
+        t = streaming_trace(16, 8, element_bytes=4)
+        assert list(t) == [0, 4, 8, 12, 0, 4, 8, 12]
+
+    def test_base_and_offset(self):
+        t = streaming_trace(1024, 4, element_bytes=4, base=1000, start_offset=2)
+        assert t[0] == 1000 + 8
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            streaming_trace(0, 10)
+        with pytest.raises(WorkloadError):
+            streaming_trace(2, 10, element_bytes=4)
+
+
+class TestStrided:
+    def test_wrapping_slots(self):
+        t = strided_trace(256, 64, 8)
+        assert list(t) == [0, 64, 128, 192, 0, 64, 128, 192]
+
+    def test_stride_larger_than_array_rejected(self):
+        with pytest.raises(WorkloadError):
+            strided_trace(64, 128, 10)
+
+    @given(
+        st.integers(min_value=6, max_value=20),
+        st.integers(min_value=3, max_value=12),
+    )
+    def test_touches_exactly_array_over_stride_slots(self, log_size, log_stride):
+        size, stride = 1 << log_size, 1 << log_stride
+        if stride > size:
+            return
+        t = strided_trace(size, stride, 4 * (size // stride))
+        assert len(np.unique(t)) == size // stride
+
+
+class TestRandom:
+    def test_within_footprint(self, rng):
+        t = random_trace(4096, 1000, rng, element_bytes=4)
+        assert t.min() >= 0 and t.max() < 4096
+
+    def test_aligned_to_elements(self, rng):
+        t = random_trace(4096, 1000, rng, element_bytes=8)
+        assert np.all(t % 8 == 0)
+
+
+class TestWindowed:
+    def test_burst_locality(self, rng):
+        t = windowed_random_trace(
+            1 << 24, 1280, rng, window_bytes=128, burst=128,
+            row_bytes=4096, window_rows=4,
+        )
+        # Within a burst, the address span is a few rows, not the
+        # footprint.
+        burst = t[:128]
+        assert burst.max() - burst.min() < 5 * 4096
+
+    def test_anchors_span_footprint(self, rng):
+        t = windowed_random_trace(1 << 24, 12800, rng, burst=128)
+        assert t.max() - t.min() > (1 << 23)  # spread across > half
+
+    def test_within_footprint(self, rng):
+        t = windowed_random_trace(1 << 20, 5000, rng)
+        assert t.min() >= 0 and t.max() < (1 << 20)
+
+
+class TestIfetch:
+    def test_hot_loop_page_set(self, rng):
+        t = loop_ifetch_trace(
+            50_000, rng, hot_pages=22, excursion_probability=0.0
+        )
+        pages = np.unique(t >> 12)
+        assert len(pages) == 22
+
+    def test_hot_lines_fit_l1i(self, rng):
+        # The design constraint: hot code is L1I-resident.
+        t = loop_ifetch_trace(
+            50_000, rng, hot_pages=22, excursion_probability=0.0
+        )
+        lines = np.unique(t >> 6)
+        assert len(lines) * 64 < 32 * 1024
+
+    def test_hot_lines_spread_across_l1i_sets(self, rng):
+        # Regression: naive page-relative offsets alias all pages into
+        # a handful of L1I sets and thrash a cache the loop fits in.
+        t = loop_ifetch_trace(
+            50_000, rng, hot_pages=22, excursion_probability=0.0
+        )
+        sets = np.unique((t >> 6) & 63)
+        assert len(sets) >= 16
+
+    def test_excursions_add_pages(self, rng):
+        t = loop_ifetch_trace(
+            200_000, rng, hot_pages=22, cold_pages=300,
+            excursion_probability=0.001,
+        )
+        pages = np.unique(t >> 12)
+        assert len(pages) > 22
+
+    def test_chunk_larger_than_page_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            loop_ifetch_trace(100, rng, chunk_bytes=8192)
+
+    def test_deterministic_given_rng(self):
+        a = loop_ifetch_trace(10_000, np.random.default_rng(5))
+        b = loop_ifetch_trace(10_000, np.random.default_rng(5))
+        assert np.array_equal(a, b)

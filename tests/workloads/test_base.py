@@ -1,0 +1,101 @@
+"""Workload base abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.events import TraceSlice
+from repro.workloads.base import Workload, WorkloadSpec
+
+
+class TestWorkloadSpec:
+    def test_valid(self):
+        spec = WorkloadSpec(
+            name="toy",
+            total_instructions=1e9,
+            loads_stores_per_instruction=0.4,
+            ifetch_per_instruction=0.2,
+        )
+        assert spec.name == "toy"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_instructions": 0},
+            {"loads_stores_per_instruction": 0.0},
+            {"loads_stores_per_instruction": 4.5},
+            {"ifetch_per_instruction": 0.0},
+            {"ifetch_per_instruction": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(
+            name="toy",
+            total_instructions=1e9,
+            loads_stores_per_instruction=0.4,
+            ifetch_per_instruction=0.2,
+        )
+        base.update(kwargs)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**base)
+
+
+class ToyWorkload(Workload):
+    """Minimal concrete workload for exercising the base class."""
+
+    def __init__(self):
+        super().__init__(
+            WorkloadSpec(
+                name="toy",
+                total_instructions=1e9,
+                loads_stores_per_instruction=0.5,
+                ifetch_per_instruction=0.25,
+            )
+        )
+
+    def build_slice(self, rng, n_data_accesses):
+        data = np.arange(n_data_accesses, dtype=np.int64) * 64
+        instructions = self.slice_instructions(n_data_accesses)
+        ifetch = np.arange(self.ifetches_for(instructions), dtype=np.int64) * 16
+        return TraceSlice(
+            data_addresses=data,
+            ifetch_addresses=ifetch,
+            instructions=instructions,
+        )
+
+    def run_reference(self, scale: float = 1.0, seed: int = 0):
+        return {"scale": scale}
+
+
+class TestWorkloadBase:
+    def test_slice_instruction_accounting(self):
+        w = ToyWorkload()
+        # 0.5 loads/stores per instruction: 1000 accesses = 2000 instrs.
+        assert w.slice_instructions(1000) == pytest.approx(2000.0)
+
+    def test_ifetch_budget(self):
+        w = ToyWorkload()
+        assert w.ifetches_for(2000.0) == 500
+
+    def test_ifetch_budget_minimum_one(self):
+        assert ToyWorkload().ifetches_for(0.5) == 1
+
+    def test_name_and_spec(self):
+        w = ToyWorkload()
+        assert w.name == "toy"
+        assert w.spec.total_instructions == 1e9
+
+    def test_runs_on_the_runner(self):
+        """Any conforming Workload can be driven by the NodeRunner."""
+        import dataclasses
+
+        from repro.core.runner import NodeRunner
+
+        w = ToyWorkload()
+        w._spec = dataclasses.replace(w.spec, total_instructions=5e8)
+        result = NodeRunner(slice_accesses=20_000).run(w)
+        assert result.workload == "toy"
+        assert result.execution_s > 0
+        assert result.avg_freq_mhz == pytest.approx(2701.0, abs=2)

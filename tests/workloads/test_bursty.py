@@ -1,0 +1,74 @@
+"""Bursty workload scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.bursty import BurstyWorkload, PhaseSpec
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+@pytest.fixture
+def bursty():
+    return BurstyWorkload(
+        [
+            PhaseSpec("idle", None, mean_duration_s=3.0, weight=2.0),
+            PhaseSpec(
+                "burst", StereoMatchingWorkload(), mean_duration_s=1.5,
+                weight=1.0,
+            ),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_requires_phases(self):
+        with pytest.raises(WorkloadError):
+            BurstyWorkload([])
+
+    def test_requires_a_busy_phase(self):
+        with pytest.raises(WorkloadError):
+            BurstyWorkload([PhaseSpec("idle", None, mean_duration_s=1.0)])
+
+    def test_phase_validation(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec("bad", None, mean_duration_s=0.0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec("bad", None, mean_duration_s=1.0, weight=0.0)
+
+
+class TestSchedule:
+    def test_covers_horizon_exactly(self, bursty, rng):
+        schedule = bursty.schedule(60.0, rng)
+        assert schedule[0].start_s == 0.0
+        assert schedule[-1].end_s == pytest.approx(60.0)
+        for a, b in zip(schedule, schedule[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+
+    def test_alternates_phases(self, bursty, rng):
+        schedule = bursty.schedule(200.0, rng)
+        names = [i.name for i in schedule]
+        assert all(a != b for a, b in zip(names, names[1:]))
+        assert "burst" in names and "idle" in names
+
+    def test_deterministic_given_rng(self, bursty):
+        a = bursty.schedule(50.0, np.random.default_rng(9))
+        b = bursty.schedule(50.0, np.random.default_rng(9))
+        assert [i.duration_s for i in a] == [i.duration_s for i in b]
+
+    def test_busy_fraction(self, bursty, rng):
+        schedule = bursty.schedule(500.0, rng)
+        frac = bursty.busy_fraction(schedule)
+        # Mean durations 3 s idle vs 1.5 s burst, alternating: ~1/3.
+        assert 0.15 < frac < 0.55
+
+    def test_invalid_horizon(self, bursty, rng):
+        with pytest.raises(WorkloadError):
+            bursty.schedule(0.0, rng)
+
+    def test_mean_durations_roughly_respected(self, bursty, rng):
+        schedule = bursty.schedule(2000.0, rng)
+        bursts = [i.duration_s for i in schedule if i.name == "burst"]
+        assert np.mean(bursts) == pytest.approx(1.5, rel=0.35)

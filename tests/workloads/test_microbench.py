@@ -1,0 +1,119 @@
+"""Microbenchmark probes: counters, kernels, edges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mem.reconfig import GatingState
+from repro.workloads.microbench import (
+    TSC_HZ,
+    MachineUnderTest,
+    cache_capacity_probe,
+    compute_probe,
+    dram_latency_probe,
+    itlb_reach_probe,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMsrCounters:
+    def test_tsc_always_ticks(self):
+        m = MachineUnderTest(duty=0.25)
+        wall = m.time_compute(1_000_000)
+        msr = m.read_msr()
+        assert msr.tsc == pytest.approx(wall * TSC_HZ)
+
+    def test_mperf_tracks_unhalted_fraction(self):
+        m = MachineUnderTest(duty=0.25)
+        m.time_compute(1_000_000)
+        msr = m.read_msr()
+        assert msr.mperf / msr.tsc == pytest.approx(0.25)
+
+    def test_aperf_tracks_actual_frequency(self):
+        m = MachineUnderTest(freq_hz=1.2e9)
+        m.time_compute(1_000_000)
+        msr = m.read_msr()
+        assert msr.aperf / msr.mperf * TSC_HZ == pytest.approx(1.2e9)
+
+    def test_delta(self):
+        m = MachineUnderTest()
+        before = m.read_msr()
+        m.time_compute(1000)
+        d = m.read_msr().delta(before)
+        assert d.tsc > 0 and d.aperf > 0 and d.mperf > 0
+
+
+class TestComputeProbe:
+    def test_unthrottled_nominal(self):
+        r = compute_probe(MachineUnderTest())
+        assert r.effective_freq_hz == pytest.approx(2.701e9)
+        assert r.duty == pytest.approx(1.0)
+
+    def test_separates_dvfs_from_modulation(self):
+        r = compute_probe(MachineUnderTest(freq_hz=1.2e9, duty=0.15))
+        assert r.effective_freq_hz == pytest.approx(1.2e9)
+        assert r.duty == pytest.approx(0.15)
+
+    def test_wall_time_reflects_both(self):
+        base = compute_probe(MachineUnderTest()).seconds_per_instruction
+        slow = compute_probe(
+            MachineUnderTest(freq_hz=1.3505e9, duty=0.5)
+        ).seconds_per_instruction
+        assert slow == pytest.approx(4.0 * base)
+
+
+class TestCacheCapacityProbe:
+    def test_l2_edge_at_nominal_capacity(self, rng):
+        m = MachineUnderTest()
+        curve = cache_capacity_probe(
+            m, (128 * 1024, 256 * 1024, 512 * 1024), rng
+        )
+        assert curve[512 * 1024] > 1.6 * curve[256 * 1024]
+        assert curve[256 * 1024] == pytest.approx(curve[128 * 1024], rel=0.3)
+
+    def test_l2_edge_moves_under_way_gating(self, rng):
+        m = MachineUnderTest(gating=GatingState(l2_way_fraction=0.5))
+        curve = cache_capacity_probe(
+            m, (64 * 1024, 128 * 1024, 256 * 1024), rng
+        )
+        # 128 KB effective: the 256 KB point now misses.
+        assert curve[256 * 1024] > 1.6 * curve[128 * 1024]
+
+
+class TestItlbProbe:
+    def test_reach_at_nominal(self, rng):
+        m = MachineUnderTest()
+        curve = itlb_reach_probe(m, (96, 128, 192), rng)
+        assert curve[192] > 1.6 * curve[128]
+
+    def test_reach_shrinks_under_gating(self, rng):
+        m = MachineUnderTest(gating=GatingState(itlb_fraction=0.0625))
+        curve = itlb_reach_probe(m, (8, 16, 24, 48), rng)
+        assert curve[24] > 1.6 * curve[16]
+
+
+class TestDramProbe:
+    def test_nominal_latency(self, rng):
+        ns = dram_latency_probe(MachineUnderTest(), rng, accesses=60_000)
+        assert 40.0 < ns < 55.0
+
+    def test_gated_latency(self, rng):
+        m = MachineUnderTest(gating=GatingState(dram_latency_multiplier=4.0))
+        ns = dram_latency_probe(m, rng, accesses=60_000)
+        assert ns > 150.0
+
+
+class TestValidation:
+    def test_duty_bounds(self):
+        with pytest.raises(WorkloadError):
+            MachineUnderTest(duty=0.0)
+
+    def test_compute_requires_positive_n(self):
+        with pytest.raises(WorkloadError):
+            MachineUnderTest().time_compute(0)

@@ -1,0 +1,149 @@
+"""Wedding-cake scene and the simulated-annealing stereo matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.stereo import (
+    AnnealingSchedule,
+    StereoMatcher,
+    StereoMatchingWorkload,
+)
+from repro.workloads.wedding_cake import (
+    render_stereo_pair,
+    wedding_cake_disparity,
+)
+
+
+class TestWeddingCake:
+    def test_three_tiers_plus_ground(self):
+        d = wedding_cake_disparity(64, 64, layer_disparities=(2, 6, 10, 14))
+        assert set(np.unique(d)) == {2.0, 6.0, 10.0, 14.0}
+
+    def test_tiers_are_concentric(self):
+        d = wedding_cake_disparity(65, 65, layer_disparities=(0, 1, 2, 3))
+        # Center pixel is the top tier; corner is ground.
+        assert d[32, 32] == 3.0
+        assert d[0, 0] == 0.0
+
+    def test_tier_areas_decrease(self):
+        d = wedding_cake_disparity(128, 128, layer_disparities=(0, 1, 2, 3))
+        areas = [(d == v).sum() for v in (1.0, 2.0, 3.0)]
+        assert areas[0] > areas[1] > areas[2] > 0
+
+    def test_radii_must_decrease(self):
+        with pytest.raises(WorkloadError):
+            wedding_cake_disparity(64, 64, radii_fractions=(0.2, 0.3, 0.1))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            wedding_cake_disparity(4, 4)
+
+
+class TestRenderStereoPair:
+    def test_shapes_and_range(self, rng):
+        d = wedding_cake_disparity(48, 64)
+        left, right = render_stereo_pair(d, rng, noise_sigma=0.0)
+        assert left.shape == right.shape == (48, 64)
+        assert 0.0 <= left.min() and left.max() <= 1.0
+
+    def test_zero_disparity_reproduces_left(self, rng):
+        d = np.zeros((32, 32), dtype=np.float32)
+        left, right = render_stereo_pair(d, rng, noise_sigma=0.0)
+        assert np.allclose(left, right, atol=1e-6)
+
+    def test_constant_disparity_shifts(self, rng):
+        d = np.full((32, 48), 5.0, dtype=np.float32)
+        left, right = render_stereo_pair(d, rng, noise_sigma=0.0)
+        # left(x) == right(x - 5) away from the border.
+        assert np.allclose(left[:, 10:40], right[:, 5:35], atol=1e-5)
+
+
+class TestAnnealingSchedule:
+    def test_temperatures_decrease_geometrically(self):
+        s = AnnealingSchedule(t_initial=1.0, t_final=0.1, cooling=0.5)
+        temps = s.temperatures()
+        assert temps[0] == 1.0
+        assert np.allclose(temps[1:] / temps[:-1], 0.5)
+        assert temps[-1] > 0.1 * 0.5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AnnealingSchedule(t_initial=0.1, t_final=1.0)
+        with pytest.raises(WorkloadError):
+            AnnealingSchedule(cooling=1.0)
+
+
+class TestStereoMatcher:
+    @pytest.fixture
+    def problem(self, rng):
+        truth = wedding_cake_disparity(28, 40, layer_disparities=(2, 4, 6, 8))
+        left, right = render_stereo_pair(truth, rng, noise_sigma=0.005)
+        return truth, StereoMatcher(left, right, max_disparity=10, window=5)
+
+    def test_data_cost_minimised_at_truth(self, problem):
+        truth, matcher = problem
+        y, x = 14, 25  # interior pixel on a known tier
+        d_true = int(truth[y, x])
+        costs = {d: matcher.data_cost(y, x, d) for d in range(11)}
+        assert min(costs, key=costs.get) == d_true
+
+    def test_off_image_window_forbidden(self, problem):
+        _, matcher = problem
+        assert matcher.data_cost(5, 2, 8) >= 1e3
+
+    def test_smoothness_zero_for_uniform_field(self, problem):
+        _, matcher = problem
+        field = np.full((28, 40), 5, dtype=np.int32)
+        assert matcher.smoothness_cost(field, 10, 10, 5) == 0.0
+        assert matcher.smoothness_cost(field, 10, 10, 7) > 0.0
+
+    def test_energy_delta_zero_for_same_value(self, problem):
+        _, matcher = problem
+        field = np.full((28, 40), 5, dtype=np.int32)
+        assert matcher.energy_delta(field, 10, 10, 5) == 0.0
+
+    def test_annealing_improves_over_random_init(self, problem, rng):
+        truth, matcher = problem
+        schedule = AnnealingSchedule(
+            t_initial=0.3, t_final=0.03, cooling=0.7, sweeps_per_temperature=2
+        )
+        init = rng.integers(0, 11, size=truth.shape).astype(np.int32)
+        init_err = np.abs(init - truth).mean()
+        solved, stats = matcher.solve(schedule, rng, initial=init)
+        final_err = np.abs(solved - truth).mean()
+        assert final_err < 0.6 * init_err
+        assert 0 < stats["acceptance_rate"] <= 1.0
+
+    def test_validation(self, rng):
+        img = rng.random((16, 16)).astype(np.float32)
+        with pytest.raises(WorkloadError):
+            StereoMatcher(img, img[:8], max_disparity=4)
+        with pytest.raises(WorkloadError):
+            StereoMatcher(img, img, window=4)
+        with pytest.raises(WorkloadError):
+            StereoMatcher(img, img, max_disparity=0)
+
+
+class TestStereoWorkload:
+    def test_reference_run_beats_chance(self):
+        stats = StereoMatchingWorkload().run_reference(scale=0.6, seed=1)
+        # Random disparity over 13 levels would land within one of
+        # truth ~23% of the time; the matcher must do far better.
+        assert stats["within_one"] > 0.5
+        assert stats["mean_abs_error"] < 2.0
+
+    def test_slice_composition(self, rng):
+        w = StereoMatchingWorkload()
+        sl = w.build_slice(rng, 60_000)
+        d = sl.data_addresses
+        hot = (d < (1 << 28)).sum() / len(d)
+        assert 0.9 < hot <= 0.99  # hot-dominated mix
+        assert len(sl.preload_addresses) > 100_000  # 12 MB + tile lines
+
+    def test_spec(self):
+        spec = StereoMatchingWorkload().spec
+        assert spec.name == "StereoMatching"
+        assert 0 < spec.loads_stores_per_instruction < 1

@@ -1,0 +1,140 @@
+"""Stride microbenchmark: Figure 3 structure and Figure 4 inflation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mem.reconfig import GatingState
+from repro.workloads.stride import StrideBenchmark, StrideResult
+
+# A reduced grid that still spans L1 / L2 / L3 / DRAM regimes.
+SIZES = (16 * 1024, 128 * 1024, 2 * 1024 * 1024, 48 * 1024 * 1024)
+STRIDES = (8, 64, 512, 4096, 65536)
+
+
+@pytest.fixture(scope="module")
+def uncapped_result():
+    bench = StrideBenchmark(sizes=SIZES, strides=STRIDES, accesses_per_cell=3000)
+    return bench.run()
+
+
+class TestFigure3Structure:
+    def test_grid_shape_and_validity_mask(self, uncapped_result):
+        r = uncapped_result
+        assert r.access_time_ns.shape == (len(SIZES), len(STRIDES))
+        for i, size in enumerate(SIZES):
+            for j, stride in enumerate(STRIDES):
+                valid = stride <= size // 2
+                assert np.isfinite(r.access_time_ns[i, j]) == valid
+
+    def test_l1_resident_array_at_l1_latency(self, uncapped_result):
+        # 16 KB fits L1: every stride reads at ~1.5 ns.
+        series = uncapped_result.series_for_size(16 * 1024)
+        assert all(v == pytest.approx(1.5, abs=0.3) for v in series.values())
+
+    def test_plateaus_increase_with_array_size(self, uncapped_result):
+        plateaus = [uncapped_result.plateau_ns(s) for s in SIZES]
+        assert all(a <= b + 1e-9 for a, b in zip(plateaus, plateaus[1:]))
+
+    def test_capacity_edges_visible(self, uncapped_result):
+        # The paper infers the cache sizes from exactly these gaps; the
+        # 64 B (one line per access) column shows them cleanly.
+        l1 = uncapped_result.series_for_size(16 * 1024)[64]
+        l2 = uncapped_result.series_for_size(128 * 1024)[64]
+        l3 = uncapped_result.series_for_size(2 * 1024 * 1024)[64]
+        dram = uncapped_result.series_for_size(48 * 1024 * 1024)[64]
+        assert l2 > 1.8 * l1
+        assert l3 > 2.0 * l2
+        assert dram > 3.0 * l3
+
+    def test_dram_plateau_near_figure3(self, uncapped_result):
+        # The 64 B-stride large-array level sits at the DRAM service
+        # cost (~46 ns in our latency model; the paper reads ~60 ns).
+        assert 30.0 < uncapped_result.series_for_size(48 * 1024 * 1024)[64] < 70.0
+
+    def test_page_stride_tail_shows_tlb_walks(self, uncapped_result):
+        # Page-sized strides over many pages add dTLB walk time — the
+        # raised large-stride tails visible in the published curves.
+        series = uncapped_result.series_for_size(48 * 1024 * 1024)
+        assert series[4096] > series[64] + 30.0
+
+    def test_small_stride_within_line_amortised(self, uncapped_result):
+        # 8 B strides hit the same 64 B line 8x: far cheaper than the
+        # line-per-access regime.
+        series = uncapped_result.series_for_size(48 * 1024 * 1024)
+        assert series[8] < 0.35 * series[64]
+
+
+class TestGatedRun:
+    def test_way_gating_shifts_capacity_edge(self):
+        bench = StrideBenchmark(
+            sizes=(2 * 1024 * 1024, 16 * 1024 * 1024),
+            strides=(64,),
+            accesses_per_cell=3000,
+        )
+        full = bench.run()
+        gated = bench.run(GatingState(l3_way_fraction=0.25))
+        # 16 MB fits a 20 MB L3 but not a 5 MB (quarter-ways) one.
+        assert gated.access_time_ns[1, 0] > 1.5 * full.access_time_ns[1, 0]
+
+    def test_dram_gating_inflates_only_dram_served(self):
+        bench = StrideBenchmark(
+            sizes=(16 * 1024, 48 * 1024 * 1024),
+            strides=(64,),
+            accesses_per_cell=2000,
+        )
+        full = bench.run()
+        gated = bench.run(GatingState(dram_latency_multiplier=4.0))
+        assert gated.access_time_ns[0, 0] == pytest.approx(
+            full.access_time_ns[0, 0]
+        )
+        assert gated.access_time_ns[1, 0] > 2.0 * full.access_time_ns[1, 0]
+
+
+class TestFigure4Cap:
+    def test_capped_run_inflates_and_varies(self):
+        bench = StrideBenchmark(
+            sizes=(16 * 1024, 2 * 1024 * 1024),
+            strides=(64, 4096),
+            accesses_per_cell=2000,
+        )
+        uncapped = bench.run()
+        capped = bench.run_capped(
+            120.0, np.random.default_rng(7), cell_duration_s=1.0, settle_s=10.0
+        )
+        # Every valid cell is slower under the 120 W cap (Figure 4).
+        for i in range(2):
+            for j in range(2):
+                if np.isfinite(uncapped.access_time_ns[i, j]):
+                    assert (
+                        capped.access_time_ns[i, j]
+                        > 3.0 * uncapped.access_time_ns[i, j]
+                    )
+
+    def test_high_cap_barely_changes_times(self):
+        bench = StrideBenchmark(
+            sizes=(16 * 1024,), strides=(64,), accesses_per_cell=2000
+        )
+        uncapped = bench.run()
+        capped = bench.run_capped(
+            200.0, np.random.default_rng(7), cell_duration_s=0.5, settle_s=5.0
+        )
+        assert capped.access_time_ns[0, 0] == pytest.approx(
+            uncapped.access_time_ns[0, 0], rel=0.05
+        )
+
+
+class TestValidation:
+    def test_result_helpers(self, uncapped_result):
+        with pytest.raises(WorkloadError):
+            StrideResult(
+                sizes=(64,), strides=(8,), access_time_ns=np.full((1, 1), np.nan)
+            ).plateau_ns(64)
+
+    def test_bad_construction(self):
+        with pytest.raises(WorkloadError):
+            StrideBenchmark(sizes=(), strides=(8,))
+        with pytest.raises(WorkloadError):
+            StrideBenchmark(sizes=(1024,), strides=(8,), accesses_per_cell=10)
