@@ -1,0 +1,108 @@
+"""Engine throughput: vectorized kernels and the end-to-end sweep.
+
+Unlike the other benchmarks (which regenerate a paper artifact), this
+one measures the fast-engine machinery itself:
+
+* raw kernel throughput — accesses/second through the vectorized
+  hierarchy walk, with the scalar reference timed alongside so the
+  speedup lands in ``extra_info``;
+* the full Table II cap sweep (both applications, all nine caps plus
+  baseline) through the parallel-capable experiment driver, i.e. the
+  wall clock that ``scripts/reproduce.py`` reports.
+
+The assertions are deliberately loose (they guard against the fast
+path silently falling back to the scalar one, not against machine
+noise); the interesting numbers are recorded in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import PAPER_POWER_CAPS_W, sandy_bridge_config
+from repro.core.experiment import PowerCapExperiment
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.rng import RngStreams
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+from .conftest import REPETITIONS, scaled
+
+#: Addresses per timed kernel round (large enough to amortize setup).
+TRACE_LEN = 200_000
+
+
+def _trace() -> np.ndarray:
+    # A real workload slice, not uniform-random addresses: the elision
+    # kernel's win comes from the locality the generators produce.
+    sl = StereoMatchingWorkload().build_slice(
+        RngStreams(17).fresh("bench:kernel"), TRACE_LEN
+    )
+    return np.asarray(sl.data_addresses)
+
+
+def test_bench_kernel_throughput(benchmark):
+    """Vectorized data-trace walk, in accesses per second."""
+    cfg = sandy_bridge_config()
+    addrs = _trace()
+
+    def run():
+        return MemoryHierarchy(cfg).simulate_data_trace(addrs)
+
+    t0 = time.perf_counter()
+    benchmark(run)
+    fallback_s = time.perf_counter() - t0
+    stats = getattr(benchmark, "stats", None)
+    # Under --benchmark-disable the fixture records no stats; the
+    # wall-clock of the single pass stands in.
+    vec_s = stats.stats.mean if stats is not None else fallback_s
+    benchmark.extra_info["accesses_per_s"] = round(TRACE_LEN / vec_s)
+
+    # Time the scalar reference once (it is far too slow to round-trip
+    # through the benchmark fixture) and record the speedup.
+    t0 = time.perf_counter()
+    scalar = MemoryHierarchy(cfg).simulate_data_trace_scalar(addrs)
+    scalar_s = time.perf_counter() - t0
+    assert scalar == MemoryHierarchy(cfg).simulate_data_trace(addrs)
+    speedup = scalar_s / vec_s
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
+    # A loose floor: the per-walk kernel win is modest (the sweep-level
+    # speedup comes from elision *plus* the trace engine's cross-gating
+    # memoization); this guards against the fast path regressing below
+    # the scalar reference, not against machine noise.
+    assert speedup > 1.1
+
+
+def test_bench_table2_sweep_wall_clock(benchmark):
+    """End-to-end Table II sweep wall clock through the fast engine.
+
+    One round, one iteration: the sweep is the unit of work users wait
+    on, and a fresh experiment per round keeps the rate memo cold so
+    the measurement includes trace simulation, not just the run loop.
+    """
+
+    def sweep():
+        experiment = PowerCapExperiment(
+            [scaled(StereoMatchingWorkload()), scaled(SireRsmWorkload())],
+            caps_w=PAPER_POWER_CAPS_W,
+            repetitions=REPETITIONS,
+            slice_accesses=300_000,
+        )
+        return experiment.run_all()
+
+    t0 = time.perf_counter()
+    sweeps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fallback_s = time.perf_counter() - t0
+    stats = getattr(benchmark, "stats", None)
+    wall_s = stats.stats.mean if stats is not None else fallback_s
+    benchmark.extra_info["sweep_wall_s"] = round(wall_s, 2)
+    # Sanity: both halves of the table came back with every cap row.
+    assert set(sweeps) == {"StereoMatching", "SIRE/RSM"}
+    for sweep_result in sweeps.values():
+        assert len(sweep_result.by_cap) == len(PAPER_POWER_CAPS_W)
+    # The fast engine turned this sweep from minutes-scale into
+    # seconds-scale; 60 s leaves an order of magnitude of headroom for
+    # slow CI machines while still catching a fallback to scalar replay.
+    assert wall_s < 60.0

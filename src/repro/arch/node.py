@@ -41,7 +41,10 @@ class Node:
             self._config.thermal,
             idle_power_w=self.power_model.idle_power_w(),
         )
-        self.hierarchy = MemoryHierarchy(self._config)
+        # Built on first use: allocating every cache's set lists is the
+        # most expensive part of node construction, and runs that take
+        # their miss rates from the trace engine never touch it.
+        self._hierarchy: MemoryHierarchy | None = None
         self.reconfig = ReconfigEngine(self._config)
         self.core = CoreTimingModel(self._config.base_cpi)
         #: Current DVFS state (P0 at boot).
@@ -53,6 +56,13 @@ class Node:
     def config(self) -> NodeConfig:
         """The node's static configuration."""
         return self._config
+
+    @property
+    def hierarchy(self) -> MemoryHierarchy:
+        """The active core's memory hierarchy (built lazily)."""
+        if self._hierarchy is None:
+            self._hierarchy = MemoryHierarchy(self._config)
+        return self._hierarchy
 
     def set_pstate(self, state: PState) -> None:
         """Apply a DVFS transition (instantaneous at our timescale)."""
@@ -110,6 +120,9 @@ class Node:
         self.pstate = self.pstates.fastest
         self.duty = 1.0
         self.thermal.reset()
-        self.hierarchy.flush_all()
-        self.hierarchy.reset_stats()
-        self.reconfig.apply(self.hierarchy, type(self.hierarchy.gating).ungated())
+        if self._hierarchy is not None:
+            self.hierarchy.flush_all()
+            self.hierarchy.reset_stats()
+            self.reconfig.apply(
+                self.hierarchy, type(self.hierarchy.gating).ungated()
+            )

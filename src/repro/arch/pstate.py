@@ -147,6 +147,19 @@ class PStateTable:
         two P-states, the BMC switches between the two states".
         """
         powers = [power_of_state(st) for st in self._states]
+        return self.bracketing_pair_from_powers(powers, budget_w)
+
+    def bracketing_pair_from_powers(
+        self, powers: Sequence[float], budget_w: float
+    ) -> Tuple[PState, PState]:
+        """:meth:`bracketing_pair` over a precomputed per-state power list.
+
+        ``powers[i]`` is the node power of state ``i`` (P0 first); the
+        list typically comes from
+        :meth:`repro.power.model.PStatePowerTable.powers_w`, which lets
+        callers in the control loop skip re-evaluating the power model
+        sixteen times per bracket.
+        """
         # powers decrease with index (slower => less power).
         if budget_w >= powers[0]:
             return self._states[0], self._states[0]
@@ -167,11 +180,18 @@ class PStateTable:
         the time in ``faster`` and ``1 - alpha`` in ``slower`` meets the
         budget in expectation.
         """
-        fast, slow = self.bracketing_pair(power_of_state, budget_w)
+        powers = [power_of_state(st) for st in self._states]
+        return self.dither_fraction_from_powers(powers, budget_w)
+
+    def dither_fraction_from_powers(
+        self, powers: Sequence[float], budget_w: float
+    ) -> Tuple[PState, PState, float]:
+        """:meth:`dither_fraction` over a precomputed per-state power list."""
+        fast, slow = self.bracketing_pair_from_powers(powers, budget_w)
         if fast.index == slow.index:
             return fast, slow, 1.0
-        p_fast = power_of_state(fast)
-        p_slow = power_of_state(slow)
+        p_fast = powers[fast.index]
+        p_slow = powers[slow.index]
         if p_fast <= p_slow:  # degenerate; avoid divide-by-zero
             return fast, slow, 1.0
         alpha = (budget_w - p_slow) / (p_fast - p_slow)

@@ -41,6 +41,33 @@ class PowerSensor:
             raise SimulationError("power sensor has no samples yet")
         return self._filtered
 
+    @property
+    def has_sample(self) -> bool:
+        """Whether at least one sample has been taken."""
+        return self._filtered is not None
+
+    @property
+    def noise_sigma_w(self) -> float:
+        """The Gaussian noise sigma applied to each sample."""
+        return self._sigma
+
+    @property
+    def smoothing(self) -> float:
+        """The EMA smoothing factor applied to samples."""
+        return self._alpha
+
+    @property
+    def filtered_sigma_w(self) -> float:
+        """Steady-state standard deviation of the *filtered* reading.
+
+        The EMA of i.i.d. Gaussian samples has variance
+        ``sigma^2 * alpha / (2 - alpha)`` once the filter has settled —
+        the quantity that matters for "can any plausible reading cross
+        a controller threshold", since the controller never sees raw
+        samples.
+        """
+        return self._sigma * (self._alpha / (2.0 - self._alpha)) ** 0.5
+
     def sample(self, true_power_w: float) -> float:
         """Take a sample of the true power; returns the filtered value."""
         noisy = true_power_w + float(self._rng.normal(0.0, self._sigma))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import Sequence
 
@@ -78,6 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="instruction-budget scale (1.0 = paper-calibrated budgets)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-style commands (1 = serial; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--rate-cache",
+        default=os.environ.get("REPRO_RATE_CACHE"),
+        help="path to a persistent miss-rate cache (JSON); defaults to "
+        "the REPRO_RATE_CACHE environment variable",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -163,6 +177,7 @@ def _cmd_baseline(args) -> str:
         caps_w=(),
         repetitions=1,
         seed=args.seed,
+        rate_cache=args.rate_cache,
     )
     results = []
     for name in sorted(_WORKLOADS):
@@ -178,8 +193,9 @@ def _cmd_sweep(args) -> str:
         caps_w=args.caps,
         repetitions=args.reps,
         seed=args.seed,
+        rate_cache=args.rate_cache,
     )
-    return render_table2(experiment.run_workload(workload))
+    return render_table2(experiment.run_workload(workload, jobs=args.jobs))
 
 
 def _cmd_stride(args) -> str:
@@ -207,8 +223,9 @@ def _cmd_amenability(args) -> str:
         caps_w=PAPER_POWER_CAPS_W,
         repetitions=args.reps,
         seed=args.seed,
+        rate_cache=args.rate_cache,
     )
-    result = experiment.run_workload(workload)
+    result = experiment.run_workload(workload, jobs=args.jobs)
     report = characterize_amenability(result, tolerance_slowdown=args.tolerance)
     lines = [
         f"Amenability of {report.workload} "
@@ -233,7 +250,9 @@ def _cmd_amenability(args) -> str:
 
 def _cmd_predict(args) -> str:
     workload = _make_workload(args.workload, args.scale)
-    runner = NodeRunner(seed=args.seed, slice_accesses=200_000)
+    runner = NodeRunner(
+        seed=args.seed, slice_accesses=200_000, rate_cache=args.rate_cache
+    )
     rates = runner.rates_for(workload, GatingState.ungated())
     predictor = CapImpactPredictor(runner.config)
     curve = predictor.predict_curve(rates, args.caps)
@@ -333,8 +352,9 @@ def _cmd_figures(args) -> str:
         caps_w=PAPER_POWER_CAPS_W,
         repetitions=args.reps,
         seed=args.seed,
+        rate_cache=args.rate_cache,
     )
-    result = experiment.run_workload(workload)
+    result = experiment.run_workload(workload, jobs=args.jobs)
     if args.workload == "sire":
         series = figure1_series(result)
         title = "Figure 1: SIRE/RSM, normalised (baseline + caps 160..120 W)"

@@ -4,21 +4,55 @@ Section III: "we studied their performance at nine different power
 caps: 160 ..., 155, 150, 145, 140, 135, 130, 125, and 120 Watts.  Each
 application, given the same input, was executed five times under each
 power cap and the results ... were averaged."
+
+Every (workload, cap, repetition) run is independent — all coupling
+between runs goes through per-run RNG streams derived by name from the
+experiment seed — so the sweep fans out over a process pool with
+``jobs > 1`` and reassembles in deterministic task order.  A parallel
+sweep is run-for-run bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PAPER_POWER_CAPS_W, NodeConfig
 from ..errors import SimulationError
 from ..rng import DEFAULT_SEED
 from ..workloads.base import Workload
 from .metrics import AveragedResult, RunResult
+from .ratecache import RateCache
 from .runner import NodeRunner
 
 __all__ = ["PowerCapExperiment", "ExperimentResult"]
+
+# One NodeRunner per worker process, created by the pool initializer so
+# trace slices and rates are measured once per worker, not once per run.
+_WORKER_RUNNER: NodeRunner | None = None
+
+
+def _pool_init(
+    config: NodeConfig | None,
+    seed: int,
+    slice_accesses: int,
+    rate_cache_path: "str | None",
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = NodeRunner(
+        config=config,
+        seed=seed,
+        slice_accesses=slice_accesses,
+        rate_cache=rate_cache_path,
+    )
+
+
+def _pool_run(task: "Tuple[Workload, Optional[float], int]") -> RunResult:
+    workload, cap_w, rep = task
+    assert _WORKER_RUNNER is not None
+    return _WORKER_RUNNER.run(workload, cap_w, rep=rep)
 
 
 @dataclass
@@ -60,6 +94,7 @@ class PowerCapExperiment:
         seed: int = DEFAULT_SEED,
         config: NodeConfig | None = None,
         slice_accesses: int = 320_000,
+        rate_cache: "RateCache | str | os.PathLike | None" = None,
     ) -> None:
         if not workloads:
             raise SimulationError("need at least one workload")
@@ -68,8 +103,20 @@ class PowerCapExperiment:
         self._workloads = list(workloads)
         self._caps = [float(c) for c in caps_w]
         self._reps = int(repetitions)
+        self._config = config
+        self._seed = int(seed)
+        self._slice_accesses = int(slice_accesses)
+        if isinstance(rate_cache, RateCache):
+            self._rate_cache_path = str(rate_cache.path)
+        elif rate_cache is not None:
+            self._rate_cache_path = str(rate_cache)
+        else:
+            self._rate_cache_path = None
         self._runner = NodeRunner(
-            config=config, seed=seed, slice_accesses=slice_accesses
+            config=config,
+            seed=seed,
+            slice_accesses=slice_accesses,
+            rate_cache=rate_cache,
         )
 
     @property
@@ -90,16 +137,70 @@ class PowerCapExperiment:
         ]
         return AveragedResult.from_runs(runs)
 
-    def run_workload(self, workload: Workload) -> ExperimentResult:
-        """Baseline plus the full cap sweep for one workload."""
+    def _tasks_for(
+        self, workloads: Sequence[Workload]
+    ) -> List[Tuple[Workload, Optional[float], int]]:
+        return [
+            (w, cap, rep)
+            for w in workloads
+            for cap in [None, *self._caps]
+            for rep in range(self._reps)
+        ]
+
+    def _run_tasks(
+        self,
+        tasks: Sequence[Tuple[Workload, Optional[float], int]],
+        jobs: int,
+    ) -> List[RunResult]:
+        if jobs <= 1:
+            return [
+                self._runner.run(w, cap, rep=rep) for (w, cap, rep) in tasks
+            ]
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_pool_init,
+            initargs=(
+                self._config,
+                self._seed,
+                self._slice_accesses,
+                self._rate_cache_path,
+            ),
+        ) as pool:
+            # map() preserves task order, so reassembly below does not
+            # depend on completion order — a parallel sweep yields the
+            # same result list as the serial loop, run for run.
+            return list(pool.map(_pool_run, tasks))
+
+    def _assemble(
+        self, workload: Workload, runs: List[RunResult]
+    ) -> ExperimentResult:
+        reps = self._reps
         result = ExperimentResult(
             workload=workload.name,
-            baseline=self._average(workload, None),
+            baseline=AveragedResult.from_runs(runs[:reps]),
         )
-        for cap in self._caps:
-            result.by_cap[cap] = self._average(workload, cap)
+        for i, cap in enumerate(self._caps):
+            chunk = runs[(i + 1) * reps : (i + 2) * reps]
+            result.by_cap[cap] = AveragedResult.from_runs(chunk)
         return result
 
-    def run_all(self) -> Dict[str, ExperimentResult]:
+    def run_workload(self, workload: Workload, jobs: int = 1) -> ExperimentResult:
+        """Baseline plus the full cap sweep for one workload.
+
+        ``jobs > 1`` fans the (cap, repetition) grid out over a process
+        pool; results are bit-identical to the serial sweep because
+        every run draws from its own named RNG streams.
+        """
+        runs = self._run_tasks(self._tasks_for([workload]), jobs)
+        return self._assemble(workload, runs)
+
+    def run_all(self, jobs: int = 1) -> Dict[str, ExperimentResult]:
         """Every workload's sweep, keyed by workload name."""
-        return {w.name: self.run_workload(w) for w in self._workloads}
+        if jobs <= 1:
+            return {w.name: self.run_workload(w) for w in self._workloads}
+        runs = self._run_tasks(self._tasks_for(self._workloads), jobs)
+        per = (len(self._caps) + 1) * self._reps
+        return {
+            w.name: self._assemble(w, runs[i * per : (i + 1) * per])
+            for i, w in enumerate(self._workloads)
+        }

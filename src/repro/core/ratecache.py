@@ -1,0 +1,149 @@
+"""Persistent on-disk cache of measured access rates.
+
+Trace simulation is the dominant fixed cost of a sweep: every
+(workload, gating) pair costs a full slice replay even though the
+result is a pure function of the node geometry, the workload slice,
+and the gating.  :class:`RateCache` memoizes those results across
+*processes and sessions* — repeated sweeps, the benchmark suite, and
+parallel workers all skip redundant trace simulation.
+
+Keys are ``blake2b`` digests over everything the rates depend on:
+
+- the miss-relevant node geometry (cache/TLB geometries, repr of the
+  frozen dataclasses),
+- the slice identity (workload spec minus ``total_instructions`` —
+  the slice is built from the behavioural parameters only — plus the
+  trace seed and requested access count),
+- the gating's :meth:`~repro.mem.reconfig.GatingState.config_key`.
+
+The store is a single JSON file.  Saves are atomic (write-to-temp +
+``os.replace``) and merge with any entries written concurrently by
+another process, so parallel sweep workers can share one cache file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..config import NodeConfig
+from ..errors import SimulationError
+from ..mem.hierarchy import AccessRates
+from ..mem.reconfig import GatingState
+from ..workloads.base import Workload
+
+__all__ = ["RateCache"]
+
+#: Bump when the simulation semantics of the kernels change.
+_SCHEMA_VERSION = 1
+
+
+def rate_key(
+    config: NodeConfig,
+    workload: Workload,
+    seed: int,
+    slice_accesses: int,
+    gating: GatingState,
+) -> str:
+    """Stable digest identifying one (geometry, slice, gating) rate."""
+    spec = asdict(workload.spec)
+    # The slice is built from the behavioural spec fields only; the
+    # instruction budget just scales how long the run loop executes.
+    spec.pop("total_instructions", None)
+    spec.pop("description", None)
+    payload = {
+        "v": _SCHEMA_VERSION,
+        "geometry": repr(
+            (config.l1d, config.l1i, config.l2, config.l3, config.itlb, config.dtlb)
+        ),
+        "workload": (type(workload).__name__, sorted(spec.items())),
+        "seed": int(seed),
+        "slice_accesses": int(slice_accesses),
+        "gating": gating.config_key(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+class RateCache:
+    """JSON-file-backed store of :class:`AccessRates` keyed by digest."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        # Fail before the sweep, not at the post-sweep save.
+        if self._path.is_dir():
+            raise SimulationError(
+                f"rate cache path is a directory: {self._path}"
+            )
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        """Location of the backing file."""
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _load(self) -> None:
+        try:
+            with open(self._path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return
+        if isinstance(data, dict):
+            self._entries.update(
+                {k: v for k, v in data.items() if isinstance(v, dict)}
+            )
+
+    def get(self, key: str) -> Optional[AccessRates]:
+        """Look one digest up; None on miss or malformed entry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        try:
+            return AccessRates(**{k: float(v) for k, v in entry.items()})
+        except TypeError:
+            return None
+
+    def put(self, key: str, rates: AccessRates) -> None:
+        """Record one result (persisted on the next :meth:`save`)."""
+        self._entries[key] = asdict(rates)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist, merging concurrent writers' entries."""
+        if not self._dirty:
+            return
+        on_disk: Dict[str, dict] = {}
+        try:
+            with open(self._path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                on_disk = data
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
+        on_disk.update(self._entries)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self._path.parent), prefix=self._path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(on_disk, fh)
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._entries = on_disk
+        self._dirty = False

@@ -11,10 +11,14 @@ workload's L2/L3 misses jump at the 125/120 W caps.
 Implementation notes
 --------------------
 Each set is a Python list of tags ordered most-recently-used first.
-LRU with a list is O(ways) per access, which at <= 20 ways is fast
-enough for the sampled traces (hundreds of thousands of accesses) the
-runner feeds it.  A vectorised direct-mapped fast path would not
-preserve associativity effects, which are the point of the study.
+LRU with a list is O(ways) per access, which at <= 20 ways is cheap;
+the batch entry points (:meth:`SetAssociativeCache.access_lines` /
+:meth:`~SetAssociativeCache.access_bytes`) route through the shared
+vectorized kernel in :mod:`repro.mem.lru`, which elides
+predecessor-equal accesses in one NumPy pass and runs only the residual
+accesses through the stateful LRU loop — bit-identical to the scalar
+:meth:`~SetAssociativeCache.access_line` path, which is retained as the
+reference implementation.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import numpy as np
 
 from ..config import CacheGeometry
 from ..errors import ConfigError, SimulationError
+from .lru import lru_access
 
 __all__ = ["SetAssociativeCache", "CacheStats"]
 
@@ -128,42 +133,35 @@ class SetAssociativeCache:
             s.insert(0, tag)
         return True
 
-    def access_bytes(self, byte_addresses: np.ndarray) -> int:
-        """Run a vector of byte addresses through the cache.
+    def access_lines(self, line_addresses: np.ndarray) -> np.ndarray:
+        """Run a vector of line addresses through the cache.
 
-        Returns the number of misses in this batch.  The loop is plain
-        Python by necessity (each access depends on the previous state);
-        hot locals are bound once for speed, per the HPC guide's advice
-        to optimise only measured bottlenecks.
+        Returns the per-access boolean miss mask, bit-identical to
+        calling :meth:`access_line` once per element.  Uses the shared
+        vectorized kernel (:func:`repro.mem.lru.lru_access`).
         """
-        if byte_addresses.ndim != 1:
-            raise SimulationError("address trace must be one-dimensional")
-        shift = self._line_shift
-        mask = self._set_mask
-        tag_shift = self._n_sets.bit_length() - 1
-        sets = self._sets
-        enabled = self._enabled_ways
-        misses = 0
-        n = byte_addresses.shape[0]
-        for a in byte_addresses.tolist():
-            line = a >> shift
-            s = sets[line & mask]
-            tag = line >> tag_shift
-            try:
-                pos = s.index(tag)
-            except ValueError:
-                misses += 1
-                s.insert(0, tag)
-                if len(s) > enabled:
-                    s.pop()
-                continue
-            if pos:
-                s.pop(pos)
-                s.insert(0, tag)
+        miss = lru_access(
+            self._sets,
+            line_addresses,
+            self._set_mask,
+            self._n_sets.bit_length() - 1,
+            self._enabled_ways,
+        )
+        n = int(line_addresses.shape[0])
+        misses = int(miss.sum())
         self.stats.accesses += n
         self.stats.misses += misses
         self.stats.hits += n - misses
-        return misses
+        return miss
+
+    def access_bytes(self, byte_addresses: np.ndarray) -> int:
+        """Run a vector of byte addresses through the cache.
+
+        Returns the number of misses in this batch.
+        """
+        if byte_addresses.ndim != 1:
+            raise SimulationError("address trace must be one-dimensional")
+        return int(self.access_lines(byte_addresses >> self._line_shift).sum())
 
     def flush(self) -> None:
         """Invalidate every line (counters are preserved)."""

@@ -60,12 +60,18 @@ class AccessCounts:
         )
 
     def scaled(self, factor: float) -> "AccessCounts":
-        """Counts scaled by a factor (used to extrapolate samples)."""
+        """Counts scaled by a factor (used to extrapolate samples).
+
+        Each field is rounded to the nearest integer and then clamped to
+        its hierarchical parent, so independent per-field rounding can
+        never produce counts that violate :meth:`validate_nesting`
+        (e.g. ``l3_misses`` one larger than ``l2_misses`` when both
+        round in opposite directions).
+        """
         if factor < 0:
             raise SimulationError("scale factor must be non-negative")
-        return AccessCounts(
-            **{f.name: int(round(getattr(self, f.name) * factor)) for f in fields(self)}
-        )
+        raw = {f.name: int(round(getattr(self, f.name) * factor)) for f in fields(self)}
+        return _nesting_clamped(raw)
 
     @property
     def counter_visible_l2_misses(self) -> int:
@@ -91,6 +97,27 @@ class AccessCounts:
             raise SimulationError("more DTLB misses than data accesses")
         if self.itlb_misses > self.ifetches:
             raise SimulationError("more ITLB misses than fetches")
+
+
+def _nesting_clamped(raw: dict) -> AccessCounts:
+    """Build :class:`AccessCounts` from independently rounded fields,
+    clamping each one to its hierarchical parent so the result always
+    satisfies :meth:`AccessCounts.validate_nesting`."""
+    out = dict(raw)
+    out["l1d_misses"] = min(raw["l1d_misses"], out["data_accesses"])
+    out["l1i_misses"] = min(raw["l1i_misses"], out["ifetches"])
+    out["l2_misses"] = min(raw["l2_misses"], out["l1d_misses"] + out["l1i_misses"])
+    out["l3_misses"] = min(raw["l3_misses"], out["l2_misses"])
+    out["dtlb_misses"] = min(raw["dtlb_misses"], out["data_accesses"])
+    out["itlb_misses"] = min(raw["itlb_misses"], out["ifetches"])
+    if "prefetch_l2_misses" in out:
+        out["prefetch_l2_misses"] = min(
+            raw["prefetch_l2_misses"], out["prefetch_l2_requests"]
+        )
+        out["prefetch_l3_misses"] = min(
+            raw["prefetch_l3_misses"], out["prefetch_l2_misses"]
+        )
+    return AccessCounts(**out)
 
 
 @dataclass(frozen=True)
@@ -123,19 +150,24 @@ class AccessRates:
         )
 
     def counts_for(self, instructions: float) -> AccessCounts:
-        """Extrapolate these rates to a full-run instruction budget."""
+        """Extrapolate these rates to a full-run instruction budget.
+
+        Rounded fields are clamped to their hierarchical parents so the
+        result always satisfies :meth:`AccessCounts.validate_nesting`.
+        """
         if instructions < 0:
             raise SimulationError("instructions must be non-negative")
-        return AccessCounts(
-            data_accesses=int(round(self.data_accesses * instructions)),
-            ifetches=int(round(self.ifetches * instructions)),
-            l1d_misses=int(round(self.l1d_misses * instructions)),
-            l1i_misses=int(round(self.l1i_misses * instructions)),
-            l2_misses=int(round(self.l2_misses * instructions)),
-            l3_misses=int(round(self.l3_misses * instructions)),
-            itlb_misses=int(round(self.itlb_misses * instructions)),
-            dtlb_misses=int(round(self.dtlb_misses * instructions)),
-        )
+        raw = {
+            "data_accesses": int(round(self.data_accesses * instructions)),
+            "ifetches": int(round(self.ifetches * instructions)),
+            "l1d_misses": int(round(self.l1d_misses * instructions)),
+            "l1i_misses": int(round(self.l1i_misses * instructions)),
+            "l2_misses": int(round(self.l2_misses * instructions)),
+            "l3_misses": int(round(self.l3_misses * instructions)),
+            "itlb_misses": int(round(self.itlb_misses * instructions)),
+            "dtlb_misses": int(round(self.dtlb_misses * instructions)),
+        }
+        return _nesting_clamped(raw)
 
 
 class MemoryHierarchy:
@@ -194,7 +226,38 @@ class MemoryHierarchy:
         """Push a data-access trace through DTLB -> L1D -> L2 -> L3.
 
         Returns the counts generated by *this slice only* (component
-        stats accumulate across calls).
+        stats accumulate across calls).  Dispatches to the vectorized
+        kernels unless a prefetcher is attached (the prefetcher reacts
+        to individual demand misses, which forces the per-access path).
+        """
+        if byte_addresses.ndim != 1:
+            raise SimulationError("address trace must be one-dimensional")
+        if self.prefetcher is not None:
+            return self.simulate_data_trace_scalar(byte_addresses)
+        lines = byte_addresses >> self.l1d.line_shift
+        dtlb_miss = self.dtlb.access_vpns(byte_addresses >> self.dtlb.page_shift)
+        l1_miss = self.l1d.access_lines(lines)
+        # Only the miss stream of each level descends to the next; the
+        # levels are independent state machines, so filtering by the
+        # miss mask reproduces the per-access nesting exactly.
+        l2_in = lines[l1_miss]
+        l2_miss = self.l2.access_lines(l2_in)
+        l3_miss = self.l3.access_lines(l2_in[l2_miss])
+        counts = AccessCounts(
+            data_accesses=int(byte_addresses.shape[0]),
+            l1d_misses=int(l1_miss.sum()),
+            l2_misses=int(l2_miss.sum()),
+            l3_misses=int(l3_miss.sum()),
+            dtlb_misses=int(dtlb_miss.sum()),
+        )
+        counts.validate_nesting()
+        return counts
+
+    def simulate_data_trace_scalar(self, byte_addresses: np.ndarray) -> AccessCounts:
+        """Per-access reference implementation of :meth:`simulate_data_trace`.
+
+        Retained as the equivalence oracle for the vectorized path and
+        as the only path that can drive a prefetcher.
         """
         if byte_addresses.ndim != 1:
             raise SimulationError("address trace must be one-dimensional")
@@ -246,6 +309,26 @@ class MemoryHierarchy:
 
     def simulate_ifetch_trace(self, byte_addresses: np.ndarray) -> AccessCounts:
         """Push an instruction-fetch trace through ITLB -> L1I -> L2 -> L3."""
+        if byte_addresses.ndim != 1:
+            raise SimulationError("address trace must be one-dimensional")
+        lines = byte_addresses >> self.l1i.line_shift
+        itlb_miss = self.itlb.access_vpns(byte_addresses >> self.itlb.page_shift)
+        l1_miss = self.l1i.access_lines(lines)
+        l2_in = lines[l1_miss]
+        l2_miss = self.l2.access_lines(l2_in)
+        l3_miss = self.l3.access_lines(l2_in[l2_miss])
+        counts = AccessCounts(
+            ifetches=int(byte_addresses.shape[0]),
+            l1i_misses=int(l1_miss.sum()),
+            l2_misses=int(l2_miss.sum()),
+            l3_misses=int(l3_miss.sum()),
+            itlb_misses=int(itlb_miss.sum()),
+        )
+        counts.validate_nesting()
+        return counts
+
+    def simulate_ifetch_trace_scalar(self, byte_addresses: np.ndarray) -> AccessCounts:
+        """Per-access reference implementation of :meth:`simulate_ifetch_trace`."""
         if byte_addresses.ndim != 1:
             raise SimulationError("address trace must be one-dimensional")
         l1i, l2, l3, itlb = self.l1i, self.l2, self.l3, self.itlb

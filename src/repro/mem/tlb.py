@@ -16,6 +16,7 @@ import numpy as np
 
 from ..config import TlbGeometry
 from ..errors import ConfigError, SimulationError
+from .lru import lru_access
 
 __all__ = ["Tlb", "TlbStats"]
 
@@ -104,36 +105,32 @@ class Tlb:
             s.insert(0, tag)
         return True
 
+    def access_vpns(self, vpns: np.ndarray) -> np.ndarray:
+        """Look up a vector of virtual page numbers.
+
+        Returns the per-access boolean miss mask, bit-identical to
+        calling :meth:`access_page` once per element.  Uses the shared
+        vectorized kernel (:func:`repro.mem.lru.lru_access`).
+        """
+        miss = lru_access(
+            self._sets,
+            vpns,
+            self._set_mask,
+            self._n_sets.bit_length() - 1,
+            self._enabled_ways,
+        )
+        n = int(vpns.shape[0])
+        misses = int(miss.sum())
+        self.stats.accesses += n
+        self.stats.misses += misses
+        self.stats.hits += n - misses
+        return miss
+
     def access_bytes(self, byte_addresses: np.ndarray) -> int:
         """Translate a vector of byte addresses; returns miss count."""
         if byte_addresses.ndim != 1:
             raise SimulationError("address trace must be one-dimensional")
-        shift = self._page_shift
-        mask = self._set_mask
-        tag_shift = self._n_sets.bit_length() - 1
-        sets = self._sets
-        enabled = self._enabled_ways
-        misses = 0
-        n = byte_addresses.shape[0]
-        for a in byte_addresses.tolist():
-            vpn = a >> shift
-            s = sets[vpn & mask]
-            tag = vpn >> tag_shift
-            try:
-                pos = s.index(tag)
-            except ValueError:
-                misses += 1
-                s.insert(0, tag)
-                if len(s) > enabled:
-                    s.pop()
-                continue
-            if pos:
-                s.pop(pos)
-                s.insert(0, tag)
-        self.stats.accesses += n
-        self.stats.misses += misses
-        self.stats.hits += n - misses
-        return misses
+        return int(self.access_vpns(byte_addresses >> self._page_shift).sum())
 
     def flush(self) -> None:
         """Drop every cached translation (counters preserved)."""

@@ -1,0 +1,146 @@
+"""Parallel sweep executor, steady-state fast-forward, and rate cache."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.experiment import PowerCapExperiment
+from repro.core.ratecache import RateCache, rate_key
+from repro.core.runner import NodeRunner
+from repro.mem.reconfig import GatingState
+from repro.workloads.sar import SireRsmWorkload
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+def scaled(workload, factor):
+    workload._spec = dataclasses.replace(
+        workload.spec, total_instructions=workload.spec.total_instructions * factor
+    )
+    return workload
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial_run_for_run(self):
+        def build():
+            return PowerCapExperiment(
+                [scaled(StereoMatchingWorkload(), 0.005),
+                 scaled(SireRsmWorkload(), 0.005)],
+                caps_w=[150.0, 135.0],
+                repetitions=2,
+                slice_accesses=50_000,
+            )
+
+        serial = build().run_all(jobs=1)
+        parallel = build().run_all(jobs=2)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            # AveragedResult is a dataclass: equality is field-by-field
+            # over every run statistic, so this asserts bit-identity.
+            assert serial[name].baseline == parallel[name].baseline
+            assert serial[name].by_cap == parallel[name].by_cap
+
+    def test_run_workload_jobs_matches_serial(self):
+        wl = scaled(StereoMatchingWorkload(), 0.005)
+        a = PowerCapExperiment(
+            [wl], caps_w=[145.0], repetitions=1, slice_accesses=50_000
+        ).run_workload(wl, jobs=2)
+        b = PowerCapExperiment(
+            [wl], caps_w=[145.0], repetitions=1, slice_accesses=50_000
+        ).run_workload(wl)
+        assert a.baseline == b.baseline
+        assert a.by_cap == b.by_cap
+
+
+class TestFastForward:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        # Long enough (in simulated seconds) for the thermal state to
+        # converge while the 120 W command is pinned at the floor, so
+        # the fast-forward actually engages.
+        kwargs = dict(slice_accesses=80_000, record_series=True)
+        wl = scaled(StereoMatchingWorkload(), 0.06)
+        ff = NodeRunner(**kwargs).run(wl, 120.0)
+        stepped = NodeRunner(fast_forward=False, **kwargs).run(wl, 120.0)
+        return ff, stepped
+
+    def test_fast_forward_engages(self, runs):
+        ff, stepped = runs
+        # A single closed-form tail replaces the stretch of quanta after
+        # thermal convergence (~tau * ln(dT/eps) into the run).
+        assert len(stepped.series) - len(ff.series) > 50
+
+    def test_execution_time_identical(self, runs):
+        ff, stepped = runs
+        assert ff.execution_s == pytest.approx(stepped.execution_s, rel=1e-12)
+
+    def test_avg_freq_identical(self, runs):
+        ff, stepped = runs
+        assert ff.avg_freq_mhz == pytest.approx(stepped.avg_freq_mhz, rel=1e-12)
+
+    def test_series_ends_at_same_time(self, runs):
+        ff, stepped = runs
+        assert ff.series[-1][0] == pytest.approx(stepped.series[-1][0], rel=1e-12)
+
+    def test_integral_quantities_close(self, runs):
+        ff, stepped = runs
+        assert ff.energy_j == pytest.approx(stepped.energy_j, rel=1e-3)
+        assert ff.avg_power_w == pytest.approx(stepped.avg_power_w, rel=1e-3)
+
+    def test_integer_counters_identical(self, runs):
+        ff, stepped = runs
+        for key, value in stepped.counters.items():
+            if float(value).is_integer():
+                assert ff.counters[key] == value, key
+
+    def test_short_runs_bit_identical_even_with_ff_enabled(self):
+        # Runs too short to converge thermally never trigger the
+        # fast-forward, so enabling it must change nothing at all.
+        wl = scaled(StereoMatchingWorkload(), 0.01)
+        a = NodeRunner(slice_accesses=50_000).run(wl, 140.0)
+        b = NodeRunner(slice_accesses=50_000, fast_forward=False).run(wl, 140.0)
+        assert a == b
+
+
+class TestRateCache:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rates.json"
+        wl = scaled(StereoMatchingWorkload(), 0.01)
+        warm = NodeRunner(slice_accesses=50_000, rate_cache=path)
+        gating = GatingState.ungated()
+        rates = warm.rates_for(wl, gating)
+        assert path.exists()
+
+        cold = NodeRunner(slice_accesses=50_000, rate_cache=path)
+        assert cold.rates_for(wl, gating) == rates
+        # The hit was served from disk: no trace engine was built.
+        assert not cold._engines
+
+    def test_key_sensitivity(self, tmp_path):
+        wl = scaled(StereoMatchingWorkload(), 0.01)
+        cfg_args = dict(workload=wl, gating=GatingState.ungated())
+        from repro.config import sandy_bridge_config
+        cfg = sandy_bridge_config()
+        base = rate_key(cfg, seed=1, slice_accesses=100, **cfg_args)
+        assert rate_key(cfg, seed=2, slice_accesses=100, **cfg_args) != base
+        assert rate_key(cfg, seed=1, slice_accesses=200, **cfg_args) != base
+        assert rate_key(cfg, seed=1, slice_accesses=100, workload=wl,
+                        gating=GatingState(l2_way_fraction=0.5)) != base
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        path = tmp_path / "rates.json"
+        path.write_text("{not json")
+        cache = RateCache(path)
+        assert len(cache) == 0
+        wl = scaled(StereoMatchingWorkload(), 0.01)
+        runner = NodeRunner(slice_accesses=50_000, rate_cache=cache)
+        runner.rates_for(wl, GatingState.ungated())  # must not raise
+
+    def test_cached_sweep_matches_uncached(self, tmp_path):
+        path = tmp_path / "rates.json"
+        wl = scaled(StereoMatchingWorkload(), 0.005)
+        plain = NodeRunner(slice_accesses=50_000).run(wl, 140.0)
+        NodeRunner(slice_accesses=50_000, rate_cache=path).run(wl, 140.0)
+        cached = NodeRunner(slice_accesses=50_000, rate_cache=path).run(wl, 140.0)
+        assert cached == plain

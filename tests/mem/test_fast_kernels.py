@@ -1,0 +1,203 @@
+"""Vectorized cache/TLB kernels vs the scalar reference.
+
+The fast engine is only admissible because it is *exact*: for any trace
+and any geometry, `access_lines`/`access_vpns` must produce the same
+per-access hit/miss sequence (and the same final LRU state) as the
+one-at-a-time scalar walk.  These tests check that equivalence by
+property, plus the trace-engine and nesting-clamp layers above it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheGeometry, TlbGeometry, sandy_bridge_config
+from repro.errors import SimulationError
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.fastsim import TraceEngine
+from repro.mem.hierarchy import AccessCounts, AccessRates, MemoryHierarchy
+from repro.mem.reconfig import GatingState, ReconfigEngine
+from repro.mem.tlb import Tlb
+from repro.rng import RngStreams
+from repro.workloads.stereo import StereoMatchingWorkload
+
+
+def make_cache(n_sets=16, line=64, ways=2) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheGeometry(
+            name="T",
+            capacity_bytes=n_sets * line * ways,
+            line_bytes=line,
+            ways=ways,
+            hit_latency_ns=1.0,
+            miss_penalty_ns=1.0,
+        )
+    )
+
+
+def make_tlb(entries=64, ways=4) -> Tlb:
+    return Tlb(
+        TlbGeometry(
+            name="T", entries=entries, ways=ways, page_bytes=4096,
+            miss_penalty_ns=30.0,
+        )
+    )
+
+
+geometries = st.tuples(
+    st.sampled_from([2, 4, 16, 64]),   # sets
+    st.sampled_from([1, 2, 4, 8]),     # ways
+)
+
+
+class TestCacheKernel:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        geom=geometries,
+        data=st.lists(st.integers(min_value=0, max_value=255), max_size=300),
+        enabled=st.integers(min_value=1, max_value=8),
+        split=st.integers(min_value=0, max_value=300),
+    )
+    def test_matches_scalar_per_access(self, geom, data, enabled, split):
+        sets, ways = geom
+        enabled = min(enabled, ways)
+        vec = make_cache(n_sets=sets, ways=ways)
+        ref = make_cache(n_sets=sets, ways=ways)
+        vec.set_enabled_ways(enabled)
+        ref.set_enabled_ways(enabled)
+        lines = np.asarray(data, dtype=np.int64)
+        # Split into two batches: state must carry across kernel calls.
+        miss = np.concatenate(
+            [vec.access_lines(lines[:split]), vec.access_lines(lines[split:])]
+        )
+        expected = np.array(
+            [not ref.access_line(int(l)) for l in data], dtype=bool
+        )
+        np.testing.assert_array_equal(miss, expected)
+        assert vec.stats == ref.stats
+        assert vec._sets == ref._sets  # identical final LRU state
+
+    def test_access_bytes_equals_scalar_loop(self):
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 1 << 20, size=2000)
+        vec = make_cache(n_sets=64, ways=4)
+        ref = make_cache(n_sets=64, ways=4)
+        misses = vec.access_bytes(addrs)
+        expected = sum(
+            not ref.access_line(ref.line_address(int(a))) for a in addrs
+        )
+        assert misses == expected
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(SimulationError):
+            make_cache().access_lines(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_trace(self):
+        c = make_cache()
+        assert c.access_lines(np.array([], dtype=np.int64)).shape == (0,)
+        assert c.stats.accesses == 0
+
+
+class TestTlbKernel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ways=st.sampled_from([1, 2, 4, 8]),
+        data=st.lists(st.integers(min_value=0, max_value=127), max_size=200),
+        fraction=st.sampled_from([1.0, 0.5, 0.25]),
+    )
+    def test_matches_scalar_per_access(self, ways, data, fraction):
+        vec = make_tlb(entries=16 * ways, ways=ways)
+        ref = make_tlb(entries=16 * ways, ways=ways)
+        vec.set_enabled_fraction(fraction)
+        ref.set_enabled_fraction(fraction)
+        vpns = np.asarray(data, dtype=np.int64)
+        miss = vec.access_vpns(vpns)
+        expected = np.array(
+            [not ref.access_page(int(v)) for v in data], dtype=bool
+        )
+        np.testing.assert_array_equal(miss, expected)
+        assert vec.stats == ref.stats
+
+
+class TestHierarchyVectorized:
+    @pytest.mark.parametrize("gating", [
+        GatingState.ungated(),
+        GatingState(l2_way_fraction=0.5, l3_way_fraction=0.5,
+                    itlb_fraction=0.5),
+    ])
+    def test_data_trace_matches_scalar(self, gating):
+        cfg = sandy_bridge_config()
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 24, size=5000)
+        fast = MemoryHierarchy(cfg)
+        slow = MemoryHierarchy(cfg)
+        ReconfigEngine(cfg).apply(fast, gating)
+        ReconfigEngine(cfg).apply(slow, gating)
+        assert fast.simulate_data_trace(addrs) == slow.simulate_data_trace_scalar(addrs)
+
+    def test_ifetch_trace_matches_scalar(self):
+        cfg = sandy_bridge_config()
+        rng = np.random.default_rng(4)
+        addrs = np.cumsum(rng.integers(0, 32, size=5000)) % (1 << 22)
+        fast = MemoryHierarchy(cfg)
+        slow = MemoryHierarchy(cfg)
+        assert fast.simulate_ifetch_trace(addrs) == slow.simulate_ifetch_trace_scalar(addrs)
+
+
+class TestTraceEngine:
+    def test_counts_match_gated_replay(self):
+        cfg = sandy_bridge_config()
+        wl = StereoMatchingWorkload()
+        sl = wl.build_slice(RngStreams(11).fresh("slice:t"), 40_000)
+        engine = TraceEngine(cfg, sl)
+        gatings = [
+            GatingState.ungated(),
+            GatingState(l2_way_fraction=0.5, l3_way_fraction=0.5,
+                        itlb_fraction=0.125),
+            GatingState(l2_way_fraction=0.25, l3_way_fraction=0.25,
+                        itlb_fraction=0.0625),
+        ]
+        d_warm, d_meas, i_warm, i_meas = sl.split_warmup()
+        for gating in gatings:
+            hierarchy = MemoryHierarchy(cfg)
+            ReconfigEngine(cfg).apply(hierarchy, gating)
+            if len(sl.preload_addresses):
+                hierarchy.simulate_data_trace(sl.preload_addresses)
+            hierarchy.simulate_slice(d_warm, i_warm)
+            expected = hierarchy.simulate_slice(d_meas, i_meas)
+            assert engine.counts(gating) == expected, gating
+
+    def test_memoizes_across_equivalent_gatings(self):
+        cfg = sandy_bridge_config()
+        wl = StereoMatchingWorkload()
+        sl = wl.build_slice(RngStreams(11).fresh("slice:t"), 20_000)
+        engine = TraceEngine(cfg, sl)
+        g = GatingState(l2_way_fraction=0.5, l3_way_fraction=0.5,
+                        itlb_fraction=0.125)
+        first = engine.counts(g)
+        # Second call must come from the memo (same object contents).
+        assert engine.counts(g) == first
+
+
+class TestNestingClamp:
+    def _counts(self) -> AccessCounts:
+        return AccessCounts(
+            data_accesses=400, ifetches=1000,
+            l1d_misses=40, l1i_misses=10, l2_misses=25, l3_misses=25,
+            dtlb_misses=3, itlb_misses=2,
+        )
+
+    def test_scaled_preserves_nesting_at_awkward_factors(self):
+        base = self._counts()
+        # Factors engineered so naive rounding would break l3 <= l2.
+        for factor in (0.0613, 0.4999, 1.0 / 3.0, 0.001, 17.77):
+            base.scaled(factor).validate_nesting()
+
+    def test_counts_for_preserves_nesting(self):
+        rates = AccessRates.from_counts(self._counts(), 1000.0)
+        for n in (1, 7, 999, 123_456.78):
+            rates.counts_for(n).validate_nesting()
