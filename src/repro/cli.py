@@ -8,17 +8,21 @@ Subcommands map one-to-one onto the paper's experiments:
 - ``amenability`` — the future-work characterisation (knee, cap range);
 - ``predict``     — predict cap impact from baseline counters alone;
 - ``multicore``   — core-count x cap scaling (future work #1);
-- ``detect``      — identify the active mechanisms at a cap (#2).
+- ``detect``      — identify the active mechanisms at a cap (#2);
+- ``serve``       — the long-lived experiment service (HTTP API, job
+  queue, persistent SQLite result store, ``/metrics``).
 
 All subcommands accept ``--scale`` to shrink the instruction budgets
 (the shape is scale-invariant; see DESIGN.md §5) and ``--seed`` for
-reproducibility.
+reproducibility.  ``sweep`` and ``baseline`` take ``--format json``
+for structured output that round-trips through
+:mod:`repro.core.serialize` (the table stays the default).
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
+import json
 import os
 import sys
 from typing import Sequence
@@ -28,7 +32,7 @@ import numpy as np
 from .config import PAPER_POWER_CAPS_W
 from .core.amenability import characterize_amenability
 from .core.detector import TechniqueDetector
-from .core.experiment import PowerCapExperiment
+from .core.experiment import PowerCapExperiment, validate_caps
 from .core.multicore import MultiCoreRunner
 from .core.predictor import CapImpactPredictor
 from .core.report import (
@@ -37,28 +41,15 @@ from .core.report import (
     render_table2,
 )
 from .core.runner import NodeRunner
+from .core.serialize import experiment_to_dict
+from .errors import ReproError
 from .mem.reconfig import GatingState
 from .rng import DEFAULT_SEED
-from .workloads.sar import SireRsmWorkload
-from .workloads.stereo import StereoMatchingWorkload
+from .workloads import WORKLOAD_REGISTRY as _WORKLOADS
+from .workloads import make_workload as _make_workload
 from .workloads.stride import StrideBenchmark
 
 __all__ = ["main", "build_parser"]
-
-_WORKLOADS = {
-    "stereo": StereoMatchingWorkload,
-    "sire": SireRsmWorkload,
-}
-
-
-def _make_workload(name: str, scale: float):
-    workload = _WORKLOADS[name]()
-    if scale != 1.0:
-        workload._spec = dataclasses.replace(
-            workload.spec,
-            total_instructions=workload.spec.total_instructions * scale,
-        )
-    return workload
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,7 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("baseline", help="Table I: uncapped baselines")
+    baseline = sub.add_parser("baseline", help="Table I: uncapped baselines")
+    baseline.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json round-trips via repro.core.serialize)",
+    )
 
     sweep = sub.add_parser("sweep", help="Table II: the cap sweep")
     sweep.add_argument(
@@ -109,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="caps in Watts (default: the paper's nine)",
     )
     sweep.add_argument("--reps", type=int, default=1)
+    sweep.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json round-trips via repro.core.serialize)",
+    )
 
     stride = sub.add_parser("stride", help="Figures 3/4: stride sweep")
     stride.add_argument(
@@ -168,6 +171,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", choices=sorted(_WORKLOADS), default="sire"
     )
     figures.add_argument("--reps", type=int, default=1)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment service (job queue + HTTP API + metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="sweep worker threads"
+    )
+    serve.add_argument(
+        "--db",
+        default="repro-service.sqlite3",
+        help="SQLite path for the persistent job/result store",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retry budget per job before it is marked FAILED",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
     return parser
 
 
@@ -183,6 +215,12 @@ def _cmd_baseline(args) -> str:
     for name in sorted(_WORKLOADS):
         workload = _make_workload(name, args.scale)
         results.append(experiment.run_workload(workload))
+    if args.format == "json":
+        return json.dumps(
+            {r.workload: experiment_to_dict(r) for r in results},
+            indent=2,
+            sort_keys=True,
+        )
     return render_table1(results)
 
 
@@ -190,12 +228,15 @@ def _cmd_sweep(args) -> str:
     workload = _make_workload(args.workload, args.scale)
     experiment = PowerCapExperiment(
         [workload],
-        caps_w=args.caps,
+        caps_w=validate_caps(args.caps),
         repetitions=args.reps,
         seed=args.seed,
         rate_cache=args.rate_cache,
     )
-    return render_table2(experiment.run_workload(workload, jobs=args.jobs))
+    result = experiment.run_workload(workload, jobs=args.jobs)
+    if args.format == "json":
+        return json.dumps(experiment_to_dict(result), indent=2, sort_keys=True)
+    return render_table2(result)
 
 
 def _cmd_stride(args) -> str:
@@ -369,6 +410,35 @@ def _cmd_figures(args) -> str:
     return line_chart(chart_series, labels, title=title)
 
 
+def _cmd_serve(args) -> str:
+    from .service.api import ExperimentService
+
+    service = ExperimentService(
+        db_path=args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        rate_cache=args.rate_cache,
+        max_attempts=args.max_attempts,
+        verbose=args.verbose,
+    )
+    # Printed (and flushed) before blocking so scripts can scrape the
+    # resolved port when --port 0 asked for an ephemeral one.
+    print(f"repro experiment service listening on {service.url}", flush=True)
+    print(
+        f"  workers={service.scheduler.workers} db={args.db} "
+        f"rate_cache={args.rate_cache or 'off'}",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown(drain=True)
+    return "service stopped (queue drained)"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -381,8 +451,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "multicore": _cmd_multicore,
         "detect": _cmd_detect,
         "figures": _cmd_figures,
+        "serve": _cmd_serve,
     }[args.command]
-    print(handler(args))
+    try:
+        print(handler(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

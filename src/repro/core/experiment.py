@@ -14,20 +14,48 @@ sweep is run-for-run bit-identical to the serial one.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PAPER_POWER_CAPS_W, NodeConfig
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..rng import DEFAULT_SEED
 from ..workloads.base import Workload
 from .metrics import AveragedResult, RunResult
 from .ratecache import RateCache
 from .runner import NodeRunner
 
-__all__ = ["PowerCapExperiment", "ExperimentResult"]
+__all__ = ["PowerCapExperiment", "ExperimentResult", "validate_caps"]
+
+
+def validate_caps(
+    caps_w: Sequence[float], *, allow_empty: bool = False
+) -> List[float]:
+    """Validate a cap sweep; returns the caps as floats.
+
+    An empty sweep is rejected unless ``allow_empty`` (a baseline-only
+    experiment legitimately sweeps no caps); every cap must be a
+    finite positive number of Watts.  Raises
+    :class:`~repro.errors.ConfigError` — previously a bad ``--caps``
+    list produced an empty sweep (or a hung run) silently.
+    """
+    try:
+        caps = [float(c) for c in caps_w]
+    except (TypeError, ValueError):
+        raise ConfigError(f"caps must be numbers, got {list(caps_w)!r}")
+    if not caps and not allow_empty:
+        raise ConfigError(
+            "cap sweep is empty — give at least one power cap in Watts"
+        )
+    for cap in caps:
+        if not math.isfinite(cap) or cap <= 0:
+            raise ConfigError(
+                f"power caps must be finite and > 0 W, got {cap!r}"
+            )
+    return caps
 
 # One NodeRunner per worker process, created by the pool initializer so
 # trace slices and rates are measured once per worker, not once per run.
@@ -101,7 +129,7 @@ class PowerCapExperiment:
         if repetitions < 1:
             raise SimulationError("need at least one repetition")
         self._workloads = list(workloads)
-        self._caps = [float(c) for c in caps_w]
+        self._caps = validate_caps(caps_w, allow_empty=True)
         self._reps = int(repetitions)
         self._config = config
         self._seed = int(seed)

@@ -19,6 +19,15 @@ Keys are ``blake2b`` digests over everything the rates depend on:
 The store is a single JSON file.  Saves are atomic (write-to-temp +
 ``os.replace``) and merge with any entries written concurrently by
 another process, so parallel sweep workers can share one cache file.
+
+The file is bounded: every entry carries a last-used timestamp, and
+:meth:`save` evicts the least-recently-used entries beyond
+``max_entries`` (default :data:`RateCache.DEFAULT_MAX_ENTRIES`, or the
+``REPRO_RATE_CACHE_MAX`` environment variable), so long-lived service
+deployments that sweep many distinct (workload, geometry, gating)
+combinations never grow the cache without bound.  The cache also keeps
+:attr:`hits` / :attr:`misses` counters for telemetry; all public
+methods are thread-safe, so one instance can back a whole worker pool.
 """
 
 from __future__ import annotations
@@ -27,9 +36,11 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..config import NodeConfig
 from ..errors import SimulationError
@@ -70,27 +81,74 @@ def rate_key(
     return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
 
+def _split_entry(value: dict) -> "Tuple[dict, float] | None":
+    """(rates-dict, last-used ts) from either on-disk layout.
+
+    Historical files store the rates dict directly; current files wrap
+    it as ``{"rates": {...}, "ts": <last-used>}``.
+    """
+    if not isinstance(value, dict):
+        return None
+    inner = value.get("rates")
+    if isinstance(inner, dict):
+        try:
+            return inner, float(value.get("ts", 0.0))
+        except (TypeError, ValueError):
+            return inner, 0.0
+    return value, 0.0
+
+
 class RateCache:
     """JSON-file-backed store of :class:`AccessRates` keyed by digest."""
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    #: Default LRU bound on the number of persisted entries.
+    DEFAULT_MAX_ENTRIES = 4096
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_entries: int | None = None,
+    ) -> None:
         self._path = Path(path)
         # Fail before the sweep, not at the post-sweep save.
         if self._path.is_dir():
             raise SimulationError(
                 f"rate cache path is a directory: {self._path}"
             )
+        if max_entries is None:
+            max_entries = int(
+                os.environ.get("REPRO_RATE_CACHE_MAX", self.DEFAULT_MAX_ENTRIES)
+            )
+        if max_entries < 1:
+            raise SimulationError(
+                f"rate cache max_entries must be >= 1, got {max_entries}"
+            )
+        self._max_entries = int(max_entries)
         self._entries: Dict[str, dict] = {}
+        self._stamps: Dict[str, float] = {}
         self._dirty = False
+        self._lock = threading.RLock()
+        #: Lookup telemetry (served-from-cache vs simulated).
+        self.hits = 0
+        self.misses = 0
+        self._last_stamp = 0.0
         self._load()
+        if self._stamps:
+            self._last_stamp = max(self._stamps.values())
 
     @property
     def path(self) -> Path:
         """Location of the backing file."""
         return self._path
 
+    @property
+    def max_entries(self) -> int:
+        """The LRU bound enforced at :meth:`save` time."""
+        return self._max_entries
+
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _load(self) -> None:
         try:
@@ -98,46 +156,93 @@ class RateCache:
                 data = json.load(fh)
         except (FileNotFoundError, json.JSONDecodeError):
             return
-        if isinstance(data, dict):
-            self._entries.update(
-                {k: v for k, v in data.items() if isinstance(v, dict)}
-            )
+        if not isinstance(data, dict):
+            return
+        for key, value in data.items():
+            split = _split_entry(value)
+            if split is None:
+                continue
+            rates, ts = split
+            self._entries[key] = rates
+            self._stamps[key] = ts
 
     def get(self, key: str) -> Optional[AccessRates]:
         """Look one digest up; None on miss or malformed entry."""
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        try:
-            return AccessRates(**{k: float(v) for k, v in entry.items()})
-        except TypeError:
-            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            try:
+                rates = AccessRates(**{k: float(v) for k, v in entry.items()})
+            except TypeError:
+                self.misses += 1
+                return None
+            self._touch(key)
+            self.hits += 1
+            return rates
 
     def put(self, key: str, rates: AccessRates) -> None:
         """Record one result (persisted on the next :meth:`save`)."""
-        self._entries[key] = asdict(rates)
-        self._dirty = True
+        with self._lock:
+            self._entries[key] = asdict(rates)
+            self._touch(key)
+            self._dirty = True
+
+    def _touch(self, key: str) -> None:
+        # Strictly increasing stamps: two touches inside one clock tick
+        # must still order deterministically for LRU eviction.
+        now = time.time()
+        if now <= self._last_stamp:
+            now = self._last_stamp + 1e-6
+        self._last_stamp = now
+        self._stamps[key] = now
 
     def save(self) -> None:
-        """Atomically persist, merging concurrent writers' entries."""
+        """Atomically persist, merging concurrent writers' entries.
+
+        After the merge the least-recently-used entries beyond
+        ``max_entries`` are evicted, so the backing file stays bounded
+        no matter how many distinct sweeps a long-lived process runs.
+        """
+        with self._lock:
+            self._save_locked()
+
+    def _save_locked(self) -> None:
         if not self._dirty:
             return
-        on_disk: Dict[str, dict] = {}
+        entries: Dict[str, dict] = {}
+        stamps: Dict[str, float] = {}
         try:
             with open(self._path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-            if isinstance(data, dict):
-                on_disk = data
         except (FileNotFoundError, json.JSONDecodeError):
-            pass
-        on_disk.update(self._entries)
+            data = None
+        if isinstance(data, dict):
+            for key, value in data.items():
+                split = _split_entry(value)
+                if split is not None:
+                    entries[key], stamps[key] = split
+        entries.update(self._entries)
+        for key, ts in self._stamps.items():
+            stamps[key] = max(ts, stamps.get(key, 0.0))
+        if len(entries) > self._max_entries:
+            keep = sorted(
+                entries, key=lambda k: (stamps.get(k, 0.0), k), reverse=True
+            )[: self._max_entries]
+            entries = {k: entries[k] for k in keep}
+            stamps = {k: stamps.get(k, 0.0) for k in keep}
+        payload = {
+            k: {"rates": v, "ts": stamps.get(k, 0.0)}
+            for k, v in entries.items()
+        }
         self._path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=str(self._path.parent), prefix=self._path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(on_disk, fh)
+                json.dump(payload, fh)
             os.replace(tmp, self._path)
         except BaseException:
             try:
@@ -145,5 +250,6 @@ class RateCache:
             except OSError:
                 pass
             raise
-        self._entries = on_disk
+        self._entries = entries
+        self._stamps = stamps
         self._dirty = False

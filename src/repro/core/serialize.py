@@ -19,6 +19,8 @@ from .experiment import ExperimentResult
 from .metrics import AveragedResult
 
 __all__ = [
+    "averaged_to_dict",
+    "averaged_from_dict",
     "experiment_to_dict",
     "experiment_from_dict",
     "save_experiment",
@@ -26,6 +28,16 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+
+
+def averaged_to_dict(row: AveragedResult) -> dict:
+    """A JSON-ready representation of one averaged table row."""
+    return _averaged_to_dict(row)
+
+
+def averaged_from_dict(data: dict) -> AveragedResult:
+    """Reconstruct one averaged row from its JSON representation."""
+    return _averaged_from_dict(data)
 
 
 def _averaged_to_dict(row: AveragedResult) -> dict:

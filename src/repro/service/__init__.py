@@ -1,0 +1,47 @@
+"""The experiment service layer: submit / schedule / store / observe.
+
+PR 1 made sweeps cheap; this package makes them *operable*.  Instead
+of one-shot CLI invocations whose results live in ad-hoc JSON files,
+a long-lived service accepts sweep jobs over HTTP, schedules them on
+a worker pool (sharing one rate cache across all jobs), persists every
+result durably in SQLite keyed by the spec's content digest (identical
+resubmissions are store hits, never re-simulated), and exposes its
+health and throughput as Prometheus metrics.
+
+- :mod:`.jobs` — the frozen :class:`JobSpec`, job lifecycle states,
+  and the priority queue with retry backoff;
+- :mod:`.scheduler` — the worker pool driving
+  :class:`~repro.core.experiment.PowerCapExperiment`;
+- :mod:`.store` — SQLite persistence for jobs, sweep documents, and
+  per-cap rows;
+- :mod:`.metrics` — dependency-free Prometheus exposition;
+- :mod:`.api` — the stdlib HTTP front end (``repro-powercap serve``).
+"""
+
+from .jobs import Job, JobQueue, JobSpec, JobState, caps_from_range
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+from .scheduler import ExperimentScheduler
+from .store import ResultStore
+from .api import ExperimentService
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "caps_from_range",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "ExperimentScheduler",
+    "ResultStore",
+    "ExperimentService",
+]

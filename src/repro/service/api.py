@@ -1,0 +1,286 @@
+"""HTTP API + metrics exposition for the experiment service.
+
+Stdlib only (:mod:`http.server`); each request runs on its own thread
+(`ThreadingHTTPServer`), with all state shared through the scheduler
+and the SQLite store.  Endpoints:
+
+====================  =====================================================
+``POST /jobs``        submit a sweep (JSON :class:`JobSpec` + ``priority``)
+``GET /jobs``         recent jobs, newest first
+``GET /jobs/{id}``    one job's lifecycle record
+``GET /jobs/{id}/result``  the stored sweep document once DONE
+``DELETE /jobs/{id}`` cancel a still-queued job
+``GET /healthz``      liveness + queue depth
+``GET /metrics``      Prometheus text exposition (version 0.0.4)
+====================  =====================================================
+
+See ``docs/SERVICE.md`` for payloads and the metric name reference.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import os
+
+from ..errors import ConfigError
+from .jobs import JobSpec, JobState
+from .metrics import ServiceMetrics
+from .scheduler import ExperimentScheduler
+from .store import ResultStore
+
+__all__ = ["ExperimentService"]
+
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ExperimentService`."""
+
+    server: "_ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if self.server.service.verbose:
+            super().log_message(fmt, *args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, obj) -> None:
+        self._send(
+            code,
+            json.dumps(obj, sort_keys=True).encode() + b"\n",
+            "application/json",
+        )
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _read_body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self._error(413, "request body too large")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            self._error(400, "empty request body; expected a JSON job spec")
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._error(400, f"invalid JSON: {exc}")
+            return None
+        if not isinstance(data, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return data
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(p for p in path.split("/") if p)
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.server.service
+        parts = self._route()
+        if parts == ("healthz",):
+            self._json(
+                200,
+                {
+                    "status": "ok",
+                    "workers": service.scheduler.workers,
+                    "queue_depth": service.scheduler.queue_depth(),
+                },
+            )
+        elif parts == ("metrics",):
+            self._send(
+                200,
+                service.metrics.render().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif parts == ("jobs",):
+            self._json(
+                200,
+                {"jobs": [j.to_dict() for j in service.scheduler.jobs()]},
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = service.scheduler.get(parts[1])
+            if job is None:
+                self._error(404, f"no such job: {parts[1]}")
+            else:
+                self._json(200, job.to_dict())
+        elif len(parts) == 3 and parts[:1] == ("jobs",) and parts[2] == "result":
+            self._get_result(parts[1])
+        else:
+            self._error(404, f"no such resource: {self.path}")
+
+    def _get_result(self, job_id: str) -> None:
+        service = self.server.service
+        job = service.scheduler.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        if job.state is JobState.FAILED:
+            self._error(410, f"job failed: {job.error}")
+            return
+        if job.state is not JobState.DONE:
+            self._error(
+                409, f"job is {job.state.value}; result not available yet"
+            )
+            return
+        doc = service.store.get_result_dict(job.spec_digest)
+        if doc is None:
+            self._error(500, "job is DONE but its result is missing")
+            return
+        self._json(
+            200,
+            {
+                "id": job.id,
+                "spec_digest": job.spec_digest,
+                "deduplicated": job.deduplicated,
+                "results": doc,
+            },
+        )
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        if self._route() != ("jobs",):
+            self._error(404, f"no such resource: {self.path}")
+            return
+        data = self._read_body()
+        if data is None:
+            return
+        try:
+            priority = int(data.pop("priority", 0))
+            spec = JobSpec.from_dict(data)
+        except ConfigError as exc:
+            self._error(400, str(exc))
+            return
+        except (TypeError, ValueError) as exc:
+            self._error(400, f"bad job spec: {exc}")
+            return
+        job = service.scheduler.submit(spec, priority=priority)
+        self._json(201, job.to_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        service = self.server.service
+        parts = self._route()
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._error(404, f"no such resource: {self.path}")
+            return
+        job = service.scheduler.get(parts[1])
+        if job is None:
+            self._error(404, f"no such job: {parts[1]}")
+            return
+        if service.scheduler.cancel(parts[1]):
+            self._json(200, service.scheduler.get(parts[1]).to_dict())
+        else:
+            self._error(
+                409,
+                f"job is {job.state.value}; only queued jobs can be "
+                "cancelled",
+            )
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "ExperimentService"
+
+
+class ExperimentService:
+    """The long-lived service: store + scheduler + HTTP front end.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`) — the tests and the CI smoke job rely on this.
+    """
+
+    def __init__(
+        self,
+        db_path: "str | os.PathLike",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        rate_cache: "str | os.PathLike | None" = None,
+        max_attempts: int = 3,
+        slice_accesses: int = 320_000,
+        recover: bool = True,
+        verbose: bool = False,
+    ) -> None:
+        self.verbose = bool(verbose)
+        self.store = ResultStore(db_path)
+        self.metrics = ServiceMetrics()
+        self.scheduler = ExperimentScheduler(
+            self.store,
+            workers=workers,
+            rate_cache=rate_cache,
+            metrics=self.metrics,
+            max_attempts=max_attempts,
+            slice_accesses=slice_accesses,
+        )
+        if recover:
+            self.scheduler.recover()
+        self._httpd = _ServiceHTTPServer((host, int(port)), _Handler)
+        self._httpd.service = self
+        self._serve_thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """Bound interface."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolved when 0 was requested)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running API."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, start_workers: bool = True) -> None:
+        """Start workers and serve HTTP on a background thread.
+
+        ``start_workers=False`` brings up the API with an idle
+        scheduler (jobs queue but never run) — useful for tests that
+        need to observe pre-execution states deterministically.
+        """
+        if start_workers:
+            self.scheduler.start()
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-http",
+                daemon=True,
+            )
+            self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        """Start workers and serve HTTP on the calling thread."""
+        self.scheduler.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop HTTP, then the workers (optionally draining the queue)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.scheduler.shutdown(drain=drain, timeout=timeout)

@@ -1,0 +1,293 @@
+"""Scheduler: a thread worker pool draining the job queue.
+
+Each worker pops the highest-priority queued job, builds the paper's
+:class:`~repro.core.experiment.PowerCapExperiment` from the spec, and
+drives ``run_all(jobs=spec.jobs)`` — so a single job can itself fan
+out over processes exactly as the CLI does.  All workers share one
+:class:`~repro.core.ratecache.RateCache`, so distinct jobs over the
+same (workload, geometry, gating) skip trace simulation entirely.
+
+Failure containment: an exception inside a sweep marks the attempt,
+re-queues the job with exponential backoff while attempts remain, and
+moves it to FAILED once the retry budget is spent.  ``shutdown`` can
+drain (finish everything queued) or stop after in-flight jobs.
+
+Dedup: submission and execution both consult the result store by spec
+digest — an identical spec is answered from SQLite, never re-simulated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+import os
+
+from ..core.experiment import ExperimentResult, PowerCapExperiment
+from ..core.ratecache import RateCache
+from ..errors import ReproError
+from ..workloads import make_workload
+from .jobs import Job, JobQueue, JobSpec, JobState
+from .metrics import ServiceMetrics
+from .store import ResultStore
+
+__all__ = ["ExperimentScheduler"]
+
+
+class ExperimentScheduler:
+    """Submit/schedule/store orchestration over a thread worker pool."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        rate_cache: "RateCache | str | os.PathLike | None" = None,
+        metrics: Optional[ServiceMetrics] = None,
+        max_attempts: int = 3,
+        retry_backoff_s: float = 0.5,
+        slice_accesses: int = 320_000,
+    ) -> None:
+        self._store = store
+        self._queue = JobQueue()
+        self._workers = max(1, int(workers))
+        if rate_cache is not None and not isinstance(rate_cache, RateCache):
+            rate_cache = RateCache(rate_cache)
+        self._rate_cache: Optional[RateCache] = rate_cache
+        self.metrics = metrics or ServiceMetrics()
+        self._max_attempts = max(1, int(max_attempts))
+        self._retry_backoff_s = float(retry_backoff_s)
+        self._slice_accesses = int(slice_accesses)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._threads: List[threading.Thread] = []
+        self._running = 0
+        self._idle = threading.Condition(self._lock)
+        self._started = False
+        self.metrics.bind(
+            queue_depth=self._queue.depth,
+            jobs_by_state=self._counts_by_state_float,
+            cache_hits=lambda: float(
+                self._rate_cache.hits if self._rate_cache else 0
+            ),
+            cache_misses=lambda: float(
+                self._rate_cache.misses if self._rate_cache else 0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rate_cache(self) -> Optional[RateCache]:
+        """The shared cross-job rate cache (None when disabled)."""
+        return self._rate_cache
+
+    @property
+    def workers(self) -> int:
+        """Size of the worker pool."""
+        return self._workers
+
+    def queue_depth(self) -> int:
+        """Jobs queued (including retry backoff) and not yet running."""
+        return self._queue.depth()
+
+    def counts_by_state(self) -> Dict[str, int]:
+        """``{state value: count}`` over every job this process knows."""
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        return counts
+
+    def _counts_by_state_float(self) -> Dict[str, float]:
+        return {k: float(v) for k, v in self.counts_by_state().items()}
+
+    def jobs(self) -> List[Job]:
+        """Every job known to this process, newest first."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda j: j.created_at, reverse=True
+            )
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """One job by id — live registry first, then the store."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is not None:
+            return job
+        return self._store.get_job(job_id)
+
+    # ------------------------------------------------------------------
+    # Submission / cancellation
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        priority: int = 0,
+        max_attempts: Optional[int] = None,
+    ) -> Job:
+        """Accept one sweep request; returns its lifecycle record.
+
+        If the result store already holds this spec's digest the job is
+        born DONE (``deduplicated=True``) and never touches the queue.
+        """
+        job = Job(
+            spec=spec,
+            priority=int(priority),
+            max_attempts=max_attempts or self._max_attempts,
+        )
+        self.metrics.jobs_submitted.inc()
+        if self._store.has_result(job.spec_digest):
+            job.state = JobState.DONE
+            job.deduplicated = True
+            job.finished_at = time.time()
+            self.metrics.dedup_hits.inc()
+            self.metrics.jobs_completed.inc()
+        with self._lock:
+            self._jobs[job.id] = job
+        self._store.record_job(job)
+        if job.state is JobState.QUEUED:
+            self._queue.push(job)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a QUEUED job; False if unknown or already beyond QUEUED."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+        self._store.record_job(job)
+        return True
+
+    def recover(self) -> int:
+        """Re-queue jobs a previous process left QUEUED/RUNNING."""
+        recovered = 0
+        for job in self._store.pending_jobs():
+            with self._lock:
+                if job.id in self._jobs:
+                    continue
+                job.state = JobState.QUEUED
+                self._jobs[job.id] = job
+            self._store.record_job(job)
+            self._queue.push(job)
+            recovered += 1
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for i in range(self._workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._queue.depth() > 0 or self._running > 0:
+                wait = 0.1
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    wait = min(wait, remaining)
+                self._idle.wait(wait)
+        return True
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = 60.0
+    ) -> None:
+        """Stop the pool; with ``drain`` finish all queued work first."""
+        if drain:
+            self.drain(timeout)
+        self._queue.close()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        if self._rate_cache is not None:
+            self._rate_cache.save()
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.pop(timeout=0.2)
+            if job is None:
+                if self._queue.closed:
+                    return
+                continue
+            with self._lock:
+                self._running += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._idle:
+                    self._running -= 1
+                    self._idle.notify_all()
+
+    def _run_spec(self, spec: JobSpec) -> Dict[str, ExperimentResult]:
+        workload = make_workload(spec.workload, spec.scale)
+        experiment = PowerCapExperiment(
+            [workload],
+            caps_w=spec.caps_w,
+            repetitions=spec.repetitions,
+            seed=spec.seed,
+            slice_accesses=self._slice_accesses,
+            rate_cache=self._rate_cache,
+        )
+        return experiment.run_all(jobs=spec.jobs)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_at = time.time()
+        job.attempts += 1
+        self._store.record_job(job)
+        t0 = time.perf_counter()
+        try:
+            # A duplicate that queued before its twin finished can be
+            # answered from the store the moment it reaches a worker.
+            if self._store.has_result(job.spec_digest):
+                job.deduplicated = True
+                self.metrics.dedup_hits.inc()
+            else:
+                sweeps = self._run_spec(job.spec)
+                self._store.put_result(job.spec_digest, sweeps)
+            job.state = JobState.DONE
+            job.error = None
+            job.finished_at = time.time()
+            self.metrics.jobs_completed.inc()
+            self.metrics.sweep_seconds.observe(time.perf_counter() - t0)
+        except Exception as exc:  # noqa: BLE001 — worker crash containment
+            job.error = f"{type(exc).__name__}: {exc}"
+            if job.attempts < job.max_attempts and not isinstance(
+                exc, ReproError
+            ):
+                # Transient crash: exponential backoff, back of the line.
+                job.state = JobState.QUEUED
+                self.metrics.job_retries.inc()
+                self._store.record_job(job)
+                self._queue.push(
+                    job,
+                    delay_s=self._retry_backoff_s * 2 ** (job.attempts - 1),
+                )
+                return
+            job.state = JobState.FAILED
+            job.finished_at = time.time()
+            self.metrics.jobs_failed.inc()
+        self._store.record_job(job)

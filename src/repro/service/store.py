@@ -1,0 +1,266 @@
+"""Persistent job and result store backed by stdlib SQLite.
+
+Three tables:
+
+- ``jobs`` — every submission's lifecycle record (spec JSON, state,
+  attempts, timestamps), so a restarted service can recover queued
+  work and answer status queries for past jobs;
+- ``results`` — one row per distinct :meth:`JobSpec.digest
+  <repro.service.jobs.JobSpec.digest>`: the full sweep document
+  (``{workload name: experiment_to_dict(...)}``).  Because the digest
+  covers everything the deterministic engine depends on, resubmitting
+  an identical spec is answered from this table without re-simulation;
+- ``result_rows`` — the same sweeps exploded into per-(workload, cap)
+  rows for cheap tabular queries, keyed by the spec digest and the
+  paper's cap label (``baseline``, ``160`` ... ``120``).
+
+Round-trips reuse :mod:`repro.core.serialize` verbatim — the stored
+JSON is the exact on-disk format ``save_experiment`` writes, so
+results loaded from the store compare equal (dataclass equality, PAPI
+counter dicts included) to the live objects.
+
+Connections are opened per call with a busy timeout, which keeps the
+store safe to use from every scheduler worker and HTTP handler thread
+without a shared-connection lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.experiment import ExperimentResult
+from ..core.serialize import (
+    averaged_to_dict,
+    experiment_from_dict,
+    experiment_to_dict,
+)
+from ..errors import ConfigError
+from .jobs import Job, JobSpec, JobState
+
+__all__ = ["ResultStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id          TEXT PRIMARY KEY,
+    spec_digest TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    priority    INTEGER NOT NULL DEFAULT 0,
+    state       TEXT NOT NULL,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    error       TEXT,
+    created_at  REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL,
+    deduplicated INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state);
+CREATE INDEX IF NOT EXISTS idx_jobs_digest ON jobs (spec_digest);
+
+CREATE TABLE IF NOT EXISTS results (
+    spec_digest TEXT PRIMARY KEY,
+    created_at  REAL NOT NULL,
+    result_json TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS result_rows (
+    spec_digest TEXT NOT NULL,
+    workload    TEXT NOT NULL,
+    cap_label   TEXT NOT NULL,
+    row_json    TEXT NOT NULL,
+    PRIMARY KEY (spec_digest, workload, cap_label)
+);
+"""
+
+
+class ResultStore:
+    """SQLite-backed persistence for jobs and sweep results."""
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self._path = str(path)
+        if Path(self._path).is_dir():
+            raise ConfigError(f"store path is a directory: {self._path}")
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @property
+    def path(self) -> str:
+        """Location of the database file."""
+        return self._path
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self._path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA busy_timeout = 30000")
+        return conn
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def record_job(self, job: Job) -> None:
+        """Insert or update one job's lifecycle record."""
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO jobs (id, spec_digest, spec_json, "
+                "priority, state, attempts, max_attempts, error, created_at, "
+                "started_at, finished_at, deduplicated) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job.id,
+                    job.spec_digest,
+                    json.dumps(job.spec.to_dict(), sort_keys=True),
+                    job.priority,
+                    job.state.value,
+                    job.attempts,
+                    job.max_attempts,
+                    job.error,
+                    job.created_at,
+                    job.started_at,
+                    job.finished_at,
+                    int(job.deduplicated),
+                ),
+            )
+
+    @staticmethod
+    def _job_from_row(row: sqlite3.Row) -> Job:
+        return Job(
+            spec=JobSpec.from_dict(json.loads(row["spec_json"])),
+            id=row["id"],
+            priority=row["priority"],
+            state=JobState(row["state"]),
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            error=row["error"],
+            created_at=row["created_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            deduplicated=bool(row["deduplicated"]),
+        )
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        """One job by id, or None."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return self._job_from_row(row) if row else None
+
+    def list_jobs(self, limit: int = 200) -> List[Job]:
+        """Most recent jobs, newest first."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs ORDER BY created_at DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        return [self._job_from_row(r) for r in rows]
+
+    def counts_by_state(self) -> Dict[str, int]:
+        """``{state value: job count}`` over every recorded job."""
+        counts = {state.value: 0 for state in JobState}
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def pending_jobs(self) -> List[Job]:
+        """QUEUED / RUNNING jobs (for crash recovery at startup)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE state IN (?, ?) "
+                "ORDER BY created_at",
+                (JobState.QUEUED.value, JobState.RUNNING.value),
+            ).fetchall()
+        return [self._job_from_row(r) for r in rows]
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def put_result(
+        self, spec_digest: str, sweeps: Dict[str, ExperimentResult]
+    ) -> None:
+        """Persist one sweep document plus its exploded per-cap rows."""
+        doc = {
+            name: experiment_to_dict(result) for name, result in sweeps.items()
+        }
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(spec_digest, created_at, result_json) VALUES (?, ?, ?)",
+                (spec_digest, time.time(), json.dumps(doc, sort_keys=True)),
+            )
+            conn.execute(
+                "DELETE FROM result_rows WHERE spec_digest = ?", (spec_digest,)
+            )
+            for name, result in sweeps.items():
+                for row in result.rows():
+                    conn.execute(
+                        "INSERT OR REPLACE INTO result_rows "
+                        "(spec_digest, workload, cap_label, row_json) "
+                        "VALUES (?, ?, ?, ?)",
+                        (
+                            spec_digest,
+                            name,
+                            row.cap_label,
+                            json.dumps(averaged_to_dict(row), sort_keys=True),
+                        ),
+                    )
+
+    def has_result(self, spec_digest: str) -> bool:
+        """Whether a sweep for this digest is already stored."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM results WHERE spec_digest = ?", (spec_digest,)
+            ).fetchone()
+        return row is not None
+
+    def get_result_dict(self, spec_digest: str) -> Optional[dict]:
+        """The raw sweep document (JSON-decoded), or None."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT result_json FROM results WHERE spec_digest = ?",
+                (spec_digest,),
+            ).fetchone()
+        return json.loads(row["result_json"]) if row else None
+
+    def get_result(
+        self, spec_digest: str
+    ) -> Optional[Dict[str, ExperimentResult]]:
+        """The stored sweeps as live objects, or None."""
+        doc = self.get_result_dict(spec_digest)
+        if doc is None:
+            return None
+        return {
+            name: experiment_from_dict(data) for name, data in doc.items()
+        }
+
+    def result_rows(self, spec_digest: str) -> List[dict]:
+        """The exploded per-(workload, cap) rows for one digest."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT workload, cap_label, row_json FROM result_rows "
+                "WHERE spec_digest = ? ORDER BY workload, cap_label",
+                (spec_digest,),
+            ).fetchall()
+        return [
+            {
+                "workload": r["workload"],
+                "cap_label": r["cap_label"],
+                "row": json.loads(r["row_json"]),
+            }
+            for r in rows
+        ]
+
+    def result_count(self) -> int:
+        """Number of distinct stored sweep documents."""
+        with self._connect() as conn:
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]

@@ -38,9 +38,57 @@ from .microbench import (
     dram_latency_probe,
 )
 
+import dataclasses
+import math
+
+from ..errors import ConfigError
+
+#: CLI/service names for the paper's two applications.
+WORKLOAD_REGISTRY = {
+    "stereo": StereoMatchingWorkload,
+    "sire": SireRsmWorkload,
+}
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate a registered workload with a scaled instruction budget.
+
+    ``scale`` multiplies the paper-calibrated committed-instruction
+    budget (the shape of every result is scale-invariant; DESIGN.md §5).
+    Rejects unknown names and non-finite / non-positive scales with a
+    :class:`~repro.errors.ConfigError` instead of silently producing a
+    workload whose run loop never terminates (scale <= 0) or explodes
+    (scale = inf/nan).
+    """
+    try:
+        cls = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOAD_REGISTRY)}"
+        ) from None
+    try:
+        scale = float(scale)
+    except (TypeError, ValueError):
+        raise ConfigError(f"workload scale must be a number, got {scale!r}")
+    if not math.isfinite(scale) or scale <= 0:
+        raise ConfigError(
+            f"workload scale must be finite and > 0, got {scale!r}"
+        )
+    workload = cls()
+    if scale != 1.0:
+        workload._spec = dataclasses.replace(
+            workload.spec,
+            total_instructions=workload.spec.total_instructions * scale,
+        )
+    return workload
+
+
 __all__ = [
     "Workload",
     "WorkloadSpec",
+    "WORKLOAD_REGISTRY",
+    "make_workload",
     "SireScene",
     "generate_returns",
     "backproject",

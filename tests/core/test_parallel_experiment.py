@@ -144,3 +144,90 @@ class TestRateCache:
         NodeRunner(slice_accesses=50_000, rate_cache=path).run(wl, 140.0)
         cached = NodeRunner(slice_accesses=50_000, rate_cache=path).run(wl, 140.0)
         assert cached == plain
+
+    def test_hit_miss_counters(self, tmp_path):
+        path = tmp_path / "rates.json"
+        wl = scaled(StereoMatchingWorkload(), 0.01)
+        warm = RateCache(path)
+        NodeRunner(slice_accesses=50_000, rate_cache=warm).run(wl, 140.0)
+        assert warm.misses > 0 and warm.hits == 0
+
+        cold = RateCache(path)
+        NodeRunner(slice_accesses=50_000, rate_cache=cold).run(wl, 140.0)
+        assert cold.hits > 0 and cold.misses == 0
+
+
+def fake_rates(i: float):
+    from dataclasses import fields
+
+    from repro.mem.hierarchy import AccessRates
+
+    return AccessRates(
+        **{f.name: float(i) for f in fields(AccessRates)}
+    )
+
+
+class TestRateCacheLru:
+    """The file is bounded: LRU eviction keeps it under max_entries."""
+
+    def test_repeated_distinct_sweeps_stay_under_cap(self, tmp_path):
+        import json
+
+        path = tmp_path / "rates.json"
+        cap = 5
+        # Many sessions, each adding distinct entries (as distinct
+        # (workload, gating, seed) sweeps would) and saving.
+        for session in range(4):
+            cache = RateCache(path, max_entries=cap)
+            for i in range(4):
+                cache.put(f"key-{session}-{i}", fake_rates(i))
+            cache.save()
+            assert len(cache) <= cap
+        on_disk = json.loads(path.read_text())
+        assert len(on_disk) <= cap
+
+    def test_least_recently_used_evicted_first(self, tmp_path):
+        path = tmp_path / "rates.json"
+        cache = RateCache(path, max_entries=3)
+        for i in range(3):
+            cache.put(f"key-{i}", fake_rates(i))
+        cache.save()
+        # Touch key-0 so key-1 becomes the oldest, then overflow.
+        assert cache.get("key-0") is not None
+        cache.put("key-3", fake_rates(3))
+        cache.save()
+        reloaded = RateCache(path, max_entries=3)
+        assert reloaded.get("key-1") is None
+        assert reloaded.get("key-0") is not None
+        assert reloaded.get("key-3") is not None
+
+    def test_timestamps_persist_in_payload(self, tmp_path):
+        import json
+
+        path = tmp_path / "rates.json"
+        cache = RateCache(path, max_entries=10)
+        cache.put("k", fake_rates(1))
+        cache.save()
+        entry = json.loads(path.read_text())["k"]
+        assert "rates" in entry and entry["ts"] > 0
+
+    def test_legacy_flat_format_still_loads(self, tmp_path):
+        import json
+        from dataclasses import asdict
+
+        path = tmp_path / "rates.json"
+        path.write_text(json.dumps({"old": asdict(fake_rates(2))}))
+        cache = RateCache(path)
+        assert cache.get("old") == fake_rates(2)
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+
+        with _pytest.raises(SimulationError):
+            RateCache(tmp_path / "rates.json", max_entries=0)
+
+    def test_env_var_sets_default_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RATE_CACHE_MAX", "7")
+        assert RateCache(tmp_path / "rates.json").max_entries == 7

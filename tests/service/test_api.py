@@ -1,0 +1,215 @@
+"""HTTP API end-to-end: the acceptance path of the service layer.
+
+Covers: submit -> DONE -> result identical to a direct sweep; dedup on
+resubmission; /healthz; /metrics content; cancellation; error paths.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.experiment import PowerCapExperiment
+from repro.core.serialize import experiment_to_dict
+from repro.service.api import ExperimentService
+from repro.workloads import make_workload
+
+SPEC = {
+    "workload": "stereo",
+    "caps_w": [150.0, 140.0],
+    "repetitions": 1,
+    "scale": 0.001,
+}
+POLL_S = 0.05
+POLL_TRIES = 1200  # 60 s ceiling
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("service")
+    svc = ExperimentService(
+        db_path=tmp / "svc.sqlite3",
+        port=0,
+        workers=2,
+        rate_cache=tmp / "rates.json",
+    )
+    svc.start()
+    yield svc
+    svc.shutdown(drain=False)
+
+
+def request(service, method, path, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        service.url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, resp.read()
+
+
+def request_json(service, method, path, body=None):
+    status, raw = request(service, method, path, body)
+    return status, json.loads(raw)
+
+
+def poll_until_done(service, job_id):
+    import time
+
+    for _ in range(POLL_TRIES):
+        _, job = request_json(service, "GET", f"/jobs/{job_id}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(POLL_S)
+    raise AssertionError(f"job {job_id} never finished: {job}")
+
+
+@pytest.fixture(scope="module")
+def finished_job(service):
+    status, job = request_json(service, "POST", "/jobs", SPEC)
+    assert status == 201
+    assert job["state"] in ("queued", "running", "done")
+    return poll_until_done(service, job["id"])
+
+
+class TestEndToEnd:
+    def test_job_reaches_done(self, finished_job):
+        assert finished_job["state"] == "done"
+        assert finished_job["error"] is None
+        assert finished_job["attempts"] == 1
+
+    def test_result_identical_to_direct_sweep(self, service, finished_job):
+        _, payload = request_json(
+            service, "GET", f"/jobs/{finished_job['id']}/result"
+        )
+        workload = make_workload("stereo", SPEC["scale"])
+        direct = PowerCapExperiment(
+            [workload],
+            caps_w=SPEC["caps_w"],
+            repetitions=SPEC["repetitions"],
+        ).run_workload(workload)
+        assert payload["results"]["StereoMatching"] == json.loads(
+            json.dumps(experiment_to_dict(direct))
+        )
+
+    def test_resubmission_is_a_store_hit(self, service, finished_job):
+        status, twin = request_json(service, "POST", "/jobs", SPEC)
+        assert status == 201
+        assert twin["state"] == "done"
+        assert twin["deduplicated"] is True
+        assert twin["spec_digest"] == finished_job["spec_digest"]
+        _, payload = request_json(
+            service, "GET", f"/jobs/{twin['id']}/result"
+        )
+        assert payload["deduplicated"] is True
+
+    def test_jobs_listing(self, service, finished_job):
+        _, listing = request_json(service, "GET", "/jobs")
+        assert any(j["id"] == finished_job["id"] for j in listing["jobs"])
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, service):
+        status, health = request_json(service, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert isinstance(health["queue_depth"], int)
+
+    def test_metrics_exposition(self, service, finished_job):
+        status, raw = request(service, "GET", "/metrics")
+        assert status == 200
+        text = raw.decode()
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth " in text
+        assert 'repro_jobs{state="done"}' in text
+        assert 'repro_jobs{state="queued"}' in text
+        assert "repro_rate_cache_hits_total" in text
+        assert "repro_rate_cache_misses_total" in text
+        assert "# TYPE repro_sweep_wall_seconds histogram" in text
+        assert "repro_sweep_wall_seconds_count" in text
+        assert "repro_jobs_submitted_total" in text
+
+    def test_rate_cache_counters_move(self, service, finished_job):
+        # The sweep measured at least one gating -> misses > 0.
+        _, raw = request(service, "GET", "/metrics")
+        line = next(
+            l
+            for l in raw.decode().splitlines()
+            if l.startswith("repro_rate_cache_misses_total")
+        )
+        assert float(line.split()[-1]) > 0
+
+
+class TestErrorPaths:
+    def expect_status(self, service, method, path, body, expected):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            request(service, method, path, body)
+        assert err.value.code == expected
+        return json.loads(err.value.read())
+
+    def test_unknown_job_404(self, service):
+        body = self.expect_status(service, "GET", "/jobs/ghost", None, 404)
+        assert "no such job" in body["error"]
+
+    def test_unknown_route_404(self, service):
+        self.expect_status(service, "GET", "/nope", None, 404)
+
+    def test_bad_spec_400(self, service):
+        body = self.expect_status(
+            service, "POST", "/jobs", {"workload": "linpack"}, 400
+        )
+        assert "unknown workload" in body["error"]
+
+    def test_inverted_range_400(self, service):
+        body = self.expect_status(
+            service,
+            "POST",
+            "/jobs",
+            {"workload": "stereo", "cap_max_w": 120, "cap_min_w": 160},
+            400,
+        )
+        assert "inverted cap range" in body["error"]
+
+    def test_invalid_json_400(self, service):
+        req = urllib.request.Request(
+            service.url + "/jobs", data=b"{nope", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_queued_job_result_409_and_cancel(self, tmp_path):
+        # API up, workers idle: the job deterministically stays QUEUED.
+        svc = ExperimentService(
+            db_path=tmp_path / "idle.sqlite3", port=0, workers=1
+        )
+        svc.start(start_workers=False)
+        try:
+            _, job = request_json(svc, "POST", "/jobs", SPEC)
+            assert job["state"] == "queued"
+            body = self.expect_status(
+                svc, "GET", f"/jobs/{job['id']}/result", None, 409
+            )
+            assert "not available" in body["error"]
+            status, cancelled = request_json(
+                svc, "DELETE", f"/jobs/{job['id']}"
+            )
+            assert status == 200
+            assert cancelled["state"] == "cancelled"
+        finally:
+            svc.shutdown(drain=False)
+
+    def test_cancel_unknown_404(self, service):
+        self.expect_status(service, "DELETE", "/jobs/ghost", None, 404)
+
+    def test_cancel_done_job_409(self, service, finished_job):
+        body = self.expect_status(
+            service, "DELETE", f"/jobs/{finished_job['id']}", None, 409
+        )
+        assert "only queued jobs" in body["error"]
