@@ -17,13 +17,17 @@ noise); the interesting numbers are recorded in ``extra_info``.
 
 from __future__ import annotations
 
+import logging
 import time
 
 import numpy as np
 
 from repro.config import PAPER_POWER_CAPS_W, sandy_bridge_config
 from repro.core.experiment import PowerCapExperiment
+from repro.core.runner import NodeRunner
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.logging import ROOT_LOGGER_NAME, configure_logging
+from repro.obs.tracing import set_enabled
 from repro.rng import RngStreams
 from repro.workloads.sar import SireRsmWorkload
 from repro.workloads.stereo import StereoMatchingWorkload
@@ -106,3 +110,47 @@ def test_bench_table2_sweep_wall_clock(benchmark):
     # seconds-scale; 60 s leaves an order of magnitude of headroom for
     # slow CI machines while still catching a fallback to scalar replay.
     assert wall_s < 60.0
+
+
+def test_bench_instrumentation_overhead(benchmark):
+    """Default instrumentation costs < 5% of the run-loop wall clock.
+
+    Compares the shipping configuration (spans on, logging at WARNING,
+    no trace collector — exactly what a library consumer gets) against
+    a true baseline with span bookkeeping globally disabled via
+    ``set_enabled(False)``.  The runner is shared and warmed so the
+    comparison covers only the control loop, where the instrumentation
+    lives — best-of-3 on both sides to shed scheduler noise.
+    """
+    configure_logging(level="warning", json_mode=False)
+    workload = scaled(StereoMatchingWorkload())
+    runner = NodeRunner(slice_accesses=150_000)
+    runner.run(workload)  # warm the per-runner rate memo
+
+    def best_of_3() -> float:
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            runner.run(workload)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    try:
+        set_enabled(False)
+        logging.getLogger(ROOT_LOGGER_NAME).setLevel(logging.CRITICAL)
+        baseline_s = best_of_3()
+    finally:
+        set_enabled(True)
+        configure_logging(level="warning")
+    instrumented_s = best_of_3()
+
+    overhead = instrumented_s / baseline_s - 1.0
+    benchmark.extra_info["baseline_s"] = round(baseline_s, 4)
+    benchmark.extra_info["instrumented_s"] = round(instrumented_s, 4)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    # Keep the fixture satisfied without re-running the heavy path.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert overhead < 0.05, (
+        f"instrumentation overhead {overhead:.1%} exceeds the 5% budget "
+        f"(baseline {baseline_s:.4f}s, instrumented {instrumented_s:.4f}s)"
+    )

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI smoke test for the observability layer.
+
+Runs a tiny CLI sweep with ``--log-json --log-level info --trace-out``
+in a subprocess (exactly what a user types) and asserts the three
+instrumentation products are well-formed:
+
+- **stderr** is valid JSON lines, every record carrying the stable
+  schema keys (``ts``, ``level``, ``logger``, ``event``);
+- **the trace file** parses as Chrome ``trace_event`` JSON with a
+  non-empty ``traceEvents`` list, and the ``sweep`` span accounts for
+  at least 90% of the trace's wall-clock extent;
+- **stdout** is the sweep's JSON result document with a ``provenance``
+  manifest recording seed, config digest, and per-phase seconds —
+  and ``repro-powercap inspect`` renders it.
+
+Exits non-zero on any failure; prints a one-line summary per step so
+CI logs read as a transcript.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA_KEYS = {"ts", "level", "logger", "event"}
+
+
+def run_cli(args: list[str], **kwargs) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        **kwargs,
+    )
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
+    trace_path = tmp / "prof.json"
+    proc = run_cli(
+        [
+            "--log-json",
+            "--log-level",
+            "info",
+            "--trace-out",
+            str(trace_path),
+            "--scale",
+            "0.001",
+            "sweep",
+            "--workload",
+            "stereo",
+            "--caps",
+            "150",
+            "--format",
+            "json",
+        ]
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    print("[obs-smoke] sweep exited 0")
+
+    log_lines = [l for l in proc.stderr.splitlines() if l.strip()]
+    assert log_lines, "no log lines on stderr"
+    for line in log_lines:
+        doc = json.loads(line)  # raises on malformed JSON
+        missing = SCHEMA_KEYS - set(doc)
+        assert not missing, f"log line missing {missing}: {line}"
+    events = [json.loads(l)["event"] for l in log_lines]
+    assert "sweep_done" in events, events
+    print(f"[obs-smoke] {len(log_lines)} JSON log lines, schema stable")
+
+    trace = json.loads(trace_path.read_text())
+    spans = trace["traceEvents"]
+    assert spans, "empty traceEvents"
+    for event in spans:
+        assert event["ph"] == "X" and event["dur"] >= 0.0, event
+    start = min(e["ts"] for e in spans)
+    end = max(e["ts"] + e["dur"] for e in spans)
+    sweep_us = sum(e["dur"] for e in spans if e["name"] == "sweep")
+    coverage = sweep_us / (end - start)
+    assert coverage >= 0.9, f"sweep span covers only {coverage:.0%}"
+    print(
+        f"[obs-smoke] trace has {len(spans)} spans; sweep covers "
+        f"{coverage:.0%} of the {(end - start) / 1e6:.2f}s extent"
+    )
+
+    result = json.loads(proc.stdout)
+    manifest = result["provenance"]
+    for key in ("config_digest", "seed", "phase_seconds", "workload"):
+        assert key in manifest, f"provenance missing {key}"
+    assert manifest["phase_seconds"].get("sweep", 0.0) > 0.0
+    print("[obs-smoke] result document carries a provenance manifest")
+
+    result_path = tmp / "result.json"
+    result_path.write_text(proc.stdout)
+    proc = run_cli(["inspect", str(result_path)])
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "config_digest:" in proc.stdout, proc.stdout
+    print("[obs-smoke] inspect renders the stored manifest")
+
+    print("[obs-smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,14 @@ REQUIRED_METRICS = (
     "repro_rate_cache_misses_total",
     "repro_jobs_submitted_total",
     "repro_sweep_wall_seconds_count",
+    # Engine-level series bridged in from repro.obs.metrics.
+    "repro_engine_runs_total",
+    "repro_engine_quanta_total",
+    "repro_engine_traces_simulated_total",
+    "repro_engine_rate_cache_hits_total",
+    "repro_engine_rate_cache_misses_total",
+    "repro_engine_run_seconds_count",
+    'repro_engine_phase_seconds{phase="run"}',
 )
 
 

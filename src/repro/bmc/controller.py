@@ -29,11 +29,14 @@ from ..arch.pstate import PState
 from ..config import BmcConfig
 from ..errors import CapInfeasibleError
 from ..mem.reconfig import GatingState
+from ..obs.logging import get_logger
 from .escalation import EscalationLadder
 from .sel import SelEventType, SystemEventLog
 from .sensors import PowerSensor
 
 __all__ = ["CapController", "OperatingCommand"]
+
+_log = get_logger("bmc.controller")
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,7 @@ class CapController:
         if cap_w is None:
             if self._cap_w is not None:
                 self.sel.log(self._time_s, SelEventType.CAP_CLEARED)
+                _log.debug("cap_cleared", time_s=self._time_s)
             self._cap_w = None
             self._reset_actuators()
             return
@@ -134,6 +138,7 @@ class CapController:
         self._at_floor_logged = False
         self._over_cap_logged = False
         self.sel.log(self._time_s, SelEventType.CAP_SET, f"{cap_w:.0f} W")
+        _log.debug("cap_set", cap_w=cap_w, strict=strict)
 
     def _reset_actuators(self) -> None:
         self._duty = 1.0
@@ -271,6 +276,7 @@ class CapController:
                 SelEventType.PSTATE_FLOOR_REACHED,
                 "DVFS exhausted at 1200 MHz",
             )
+            _log.debug("pstate_floor_reached", cap_w=cap, time_s=self._time_s)
 
         if measured > cap + cfg.hysteresis_w:
             self._over_count += 1
@@ -291,6 +297,12 @@ class CapController:
                         self._time_s,
                         SelEventType.ESCALATED,
                         f"level {self._ladder.level} ({spec.name})",
+                    )
+                    _log.debug(
+                        "escalated",
+                        level=self._ladder.level,
+                        mechanism=spec.name,
+                        time_s=self._time_s,
                     )
                 else:
                     before = self._duty

@@ -10,13 +10,20 @@ Subcommands map one-to-one onto the paper's experiments:
 - ``multicore``   — core-count x cap scaling (future work #1);
 - ``detect``      — identify the active mechanisms at a cap (#2);
 - ``serve``       — the long-lived experiment service (HTTP API, job
-  queue, persistent SQLite result store, ``/metrics``).
+  queue, persistent SQLite result store, ``/metrics``);
+- ``inspect``     — pretty-print the provenance manifest of a result
+  file or a stored service job.
 
 All subcommands accept ``--scale`` to shrink the instruction budgets
 (the shape is scale-invariant; see DESIGN.md §5) and ``--seed`` for
 reproducibility.  ``sweep`` and ``baseline`` take ``--format json``
 for structured output that round-trips through
 :mod:`repro.core.serialize` (the table stays the default).
+
+Observability flags (global; see docs/OBSERVABILITY.md): ``--log-level``
+and ``--log-json`` configure structured logging on stderr (overriding
+``REPRO_LOG_LEVEL`` / ``REPRO_LOG_JSON``); ``--trace-out PATH`` records
+every engine span and writes a Chrome ``trace_event`` profile on exit.
 """
 
 from __future__ import annotations
@@ -44,12 +51,17 @@ from .core.runner import NodeRunner
 from .core.serialize import experiment_to_dict
 from .errors import ReproError
 from .mem.reconfig import GatingState
+from .obs.logging import configure_logging, get_logger
+from .obs.provenance import render_provenance
+from .obs.tracing import span, start_tracing, stop_tracing
 from .rng import DEFAULT_SEED
 from .workloads import WORKLOAD_REGISTRY as _WORKLOADS
 from .workloads import make_workload as _make_workload
 from .workloads.stride import StrideBenchmark
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.environ.get("REPRO_RATE_CACHE"),
         help="path to a persistent miss-rate cache (JSON); defaults to "
         "the REPRO_RATE_CACHE environment variable",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="structured-log threshold on stderr (overrides "
+        "REPRO_LOG_LEVEL; default warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of human-readable text "
+        "(overrides REPRO_LOG_JSON)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record engine spans and write a Chrome trace_event "
+        "profile (load in chrome://tracing or ui.perfetto.dev)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -199,6 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="show the provenance manifest of a result file or stored job",
+    )
+    inspect.add_argument(
+        "target",
+        help="a result JSON file (from sweep/baseline --format json) or "
+        "a service job id",
+    )
+    inspect.add_argument(
+        "--db",
+        default="repro-service.sqlite3",
+        help="service store to resolve job ids against",
     )
     return parser
 
@@ -439,9 +486,86 @@ def _cmd_serve(args) -> str:
     return "service stopped (queue drained)"
 
 
+def _result_docs(data: dict) -> dict:
+    """``{workload: experiment doc}`` from either result-file layout.
+
+    ``sweep --format json`` writes a single experiment document (it has
+    a ``format_version`` key); ``baseline --format json`` writes a map
+    of workload name to document.
+    """
+    if not isinstance(data, dict):
+        raise ReproError("not a result file: expected a JSON object")
+    if "format_version" in data:
+        return {data.get("workload", "?"): data}
+    docs = {
+        name: doc
+        for name, doc in data.items()
+        if isinstance(doc, dict) and "format_version" in doc
+    }
+    if not docs:
+        raise ReproError(
+            "not a result file: no experiment documents found "
+            "(expected output of sweep/baseline --format json)"
+        )
+    return docs
+
+
+def _cmd_inspect(args) -> str:
+    from pathlib import Path
+
+    target = Path(args.target)
+    if target.is_file():
+        try:
+            data = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReproError(f"cannot read {target}: {exc}") from exc
+        lines = [f"result file {target}"]
+        for name, doc in sorted(_result_docs(data).items()):
+            lines.append(
+                render_provenance(doc.get("provenance"), title=f"{name}:")
+            )
+        return "\n".join(lines)
+    # Not a file: resolve as a job id against the service store.  The
+    # store is opened only if its file already exists — inspect must
+    # never create an empty database as a side effect.
+    from .service.store import ResultStore
+
+    if not Path(args.db).is_file():
+        raise ReproError(
+            f"{args.target!r} is not a result file, and no service store "
+            f"exists at {args.db!r} to resolve it as a job id"
+        )
+    store = ResultStore(args.db)
+    job = store.get_job(args.target)
+    if job is None:
+        raise ReproError(
+            f"{args.target!r} is neither a result file nor a job id "
+            f"in {args.db!r}"
+        )
+    lines = [
+        f"job {job.id}: state={job.state.value} "
+        f"spec_digest={job.spec_digest}"
+    ]
+    doc = store.get_result_dict(job.spec_digest)
+    if doc is None:
+        lines.append("  (no stored result for this job yet)")
+        return "\n".join(lines)
+    for name, exp_doc in sorted(doc.items()):
+        lines.append(
+            render_provenance(exp_doc.get("provenance"), title=f"{name}:")
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    # Flags beat REPRO_LOG_* (configure_logging falls back to the
+    # environment for whichever of the two is not given).
+    configure_logging(
+        level=args.log_level, json_mode=True if args.log_json else None
+    )
+    collector = start_tracing() if args.trace_out else None
     handler = {
         "baseline": _cmd_baseline,
         "sweep": _cmd_sweep,
@@ -452,12 +576,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "detect": _cmd_detect,
         "figures": _cmd_figures,
         "serve": _cmd_serve,
+        "inspect": _cmd_inspect,
     }[args.command]
     try:
-        print(handler(args))
+        with span("cli", command=args.command):
+            print(handler(args))
     except ReproError as exc:
+        _log.error("command_failed", command=args.command, error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if collector is not None:
+            stop_tracing()
+            collector.dump(args.trace_out)
+            _log.info(
+                "trace_written", path=args.trace_out, spans=len(collector)
+            )
     return 0
 
 

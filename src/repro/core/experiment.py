@@ -16,12 +16,16 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PAPER_POWER_CAPS_W, NodeConfig
 from ..errors import ConfigError, SimulationError
+from ..obs.logging import get_logger
+from ..obs.provenance import build_provenance
+from ..obs.tracing import phase_totals, span
 from ..rng import DEFAULT_SEED
 from ..workloads.base import Workload
 from .metrics import AveragedResult, RunResult
@@ -29,6 +33,18 @@ from .ratecache import RateCache
 from .runner import NodeRunner
 
 __all__ = ["PowerCapExperiment", "ExperimentResult", "validate_caps"]
+
+_log = get_logger("core.experiment")
+
+
+def _phase_delta(before: dict, after: dict) -> Dict[str, float]:
+    """Per-span seconds accumulated between two phase snapshots."""
+    delta = {}
+    for name, acc in after.items():
+        seconds = acc["seconds"] - before.get(name, {}).get("seconds", 0.0)
+        if seconds > 0.0:
+            delta[name] = seconds
+    return delta
 
 
 def validate_caps(
@@ -90,6 +106,10 @@ class ExperimentResult:
     workload: str
     baseline: AveragedResult
     by_cap: Dict[float, AveragedResult] = field(default_factory=dict)
+    #: Run provenance manifest (see :mod:`repro.obs.provenance`):
+    #: config digest, workload spec, seed, code version, rate-cache
+    #: stats, and per-phase span seconds.  None for hand-built results.
+    provenance: Optional[dict] = None
 
     def rows(self) -> List[AveragedResult]:
         """Baseline first, then caps from highest to lowest."""
@@ -212,23 +232,77 @@ class PowerCapExperiment:
             result.by_cap[cap] = AveragedResult.from_runs(chunk)
         return result
 
+    def _provenance_for(
+        self, workload: Workload, phase_seconds: Dict[str, float]
+    ) -> dict:
+        return build_provenance(
+            config=self._runner.config,
+            workload=workload,
+            seed=self._seed,
+            caps_w=self._caps,
+            repetitions=self._reps,
+            slice_accesses=self._slice_accesses,
+            rate_cache=self._runner.rate_cache,
+            phase_seconds=phase_seconds,
+        )
+
     def run_workload(self, workload: Workload, jobs: int = 1) -> ExperimentResult:
         """Baseline plus the full cap sweep for one workload.
 
         ``jobs > 1`` fans the (cap, repetition) grid out over a process
         pool; results are bit-identical to the serial sweep because
-        every run draws from its own named RNG streams.
+        every run draws from its own named RNG streams.  The result
+        carries a provenance manifest; with ``jobs > 1`` the per-phase
+        timings in it cover this process only (workers accumulate their
+        own), so attribute parallel sweeps via ``--trace-out`` instead.
         """
-        runs = self._run_tasks(self._tasks_for([workload]), jobs)
-        return self._assemble(workload, runs)
+        tasks = self._tasks_for([workload])
+        _log.info(
+            "sweep_start",
+            workload=workload.name,
+            caps=len(self._caps),
+            repetitions=self._reps,
+            runs=len(tasks),
+            jobs=jobs,
+        )
+        wall0 = time.perf_counter()
+        phases0 = phase_totals()
+        with span("sweep", workload=workload.name, runs=len(tasks), jobs=jobs):
+            runs = self._run_tasks(tasks, jobs)
+            result = self._assemble(workload, runs)
+        result.provenance = self._provenance_for(
+            workload, _phase_delta(phases0, phase_totals())
+        )
+        _log.info(
+            "sweep_done",
+            workload=workload.name,
+            runs=len(tasks),
+            wall_s=round(time.perf_counter() - wall0, 3),
+        )
+        return result
 
     def run_all(self, jobs: int = 1) -> Dict[str, ExperimentResult]:
         """Every workload's sweep, keyed by workload name."""
         if jobs <= 1:
             return {w.name: self.run_workload(w) for w in self._workloads}
-        runs = self._run_tasks(self._tasks_for(self._workloads), jobs)
+        tasks = self._tasks_for(self._workloads)
+        _log.info(
+            "sweep_start",
+            workloads=len(self._workloads),
+            runs=len(tasks),
+            jobs=jobs,
+        )
+        phases0 = phase_totals()
+        with span("sweep", workloads=len(self._workloads), runs=len(tasks),
+                  jobs=jobs):
+            runs = self._run_tasks(tasks, jobs)
+        # One phase delta spans the whole parallel batch; per-workload
+        # attribution needs a trace (`--trace-out`), not the manifest.
+        phase_seconds = _phase_delta(phases0, phase_totals())
         per = (len(self._caps) + 1) * self._reps
-        return {
-            w.name: self._assemble(w, runs[i * per : (i + 1) * per])
-            for i, w in enumerate(self._workloads)
-        }
+        results = {}
+        for i, w in enumerate(self._workloads):
+            result = self._assemble(w, runs[i * per : (i + 1) * per])
+            result.provenance = self._provenance_for(w, phase_seconds)
+            results[w.name] = result
+        return results

@@ -46,9 +46,13 @@ from ..config import NodeConfig
 from ..errors import SimulationError
 from ..mem.hierarchy import AccessRates
 from ..mem.reconfig import GatingState
+from ..obs.logging import get_logger
+from ..obs.metrics import engine_metrics
 from ..workloads.base import Workload
 
 __all__ = ["RateCache"]
+
+_log = get_logger("core.ratecache")
 
 #: Bump when the simulation semantics of the kernels change.
 _SCHEMA_VERSION = 1
@@ -152,15 +156,40 @@ class RateCache:
 
     def _load(self) -> None:
         try:
-            with open(self._path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+            with open(self._path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return
+        try:
+            data = json.loads(raw.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError as exc:
+            # A corrupt (or poisoned) cache file is ignored, never
+            # fatal — but it must be *visible*: log the path and the
+            # content digest so the bad bytes can be identified.
+            _log.warning(
+                "rate_cache_corrupt",
+                path=str(self._path),
+                bytes=len(raw),
+                content_digest=hashlib.blake2b(raw, digest_size=16).hexdigest(),
+                error=str(exc),
+            )
             return
         if not isinstance(data, dict):
+            _log.warning(
+                "rate_cache_malformed",
+                path=str(self._path),
+                content_digest=hashlib.blake2b(raw, digest_size=16).hexdigest(),
+                error=f"expected a JSON object, got {type(data).__name__}",
+            )
             return
         for key, value in data.items():
             split = _split_entry(value)
             if split is None:
+                _log.warning(
+                    "rate_cache_entry_malformed",
+                    path=str(self._path),
+                    digest=key,
+                )
                 continue
             rates, ts = split
             self._entries[key] = rates
@@ -172,14 +201,22 @@ class RateCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                engine_metrics().rate_cache_misses.inc()
                 return None
             try:
                 rates = AccessRates(**{k: float(v) for k, v in entry.items()})
             except TypeError:
                 self.misses += 1
+                engine_metrics().rate_cache_misses.inc()
+                _log.warning(
+                    "rate_cache_entry_malformed",
+                    path=str(self._path),
+                    digest=key,
+                )
                 return None
             self._touch(key)
             self.hits += 1
+            engine_metrics().rate_cache_hits.inc()
             return rates
 
     def put(self, key: str, rates: AccessRates) -> None:
@@ -216,7 +253,15 @@ class RateCache:
         try:
             with open(self._path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            data = None
+        except json.JSONDecodeError as exc:
+            _log.warning(
+                "rate_cache_corrupt",
+                path=str(self._path),
+                error=str(exc),
+                during="save_merge",
+            )
             data = None
         if isinstance(data, dict):
             for key, value in data.items():

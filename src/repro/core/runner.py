@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 import os
+import time
 
 from ..arch.node import Node
 from ..arch.core import CoreTimingModel
@@ -36,6 +37,9 @@ from ..mem.fastsim import TraceEngine
 from ..mem.hierarchy import AccessRates, MemoryHierarchy
 from ..mem.latency import AccessCosts, stall_ns_per_instruction
 from ..mem.reconfig import GatingState, ReconfigEngine
+from ..obs.logging import get_logger
+from ..obs.metrics import engine_metrics
+from ..obs.tracing import span
 from ..perf.counters import CounterBank
 from ..perf.events import PapiEvent
 from ..power.energy import EnergyAccumulator
@@ -47,6 +51,8 @@ from .metrics import RunResult
 from .ratecache import RateCache, rate_key
 
 __all__ = ["NodeRunner"]
+
+_log = get_logger("core.runner")
 
 #: Consecutive identical commands before the long-step / fast-forward
 #: machinery may engage (matches the historical adaptive threshold).
@@ -94,6 +100,11 @@ class NodeRunner:
         """The node configuration all runs use."""
         return self._config
 
+    @property
+    def rate_cache(self) -> "RateCache | None":
+        """The persistent rate cache (None when disabled)."""
+        return self._rate_cache
+
     # ------------------------------------------------------------------
     # Rate measurement (trace-driven cache simulation)
     # ------------------------------------------------------------------
@@ -127,22 +138,39 @@ class NodeRunner:
                 cached = self._rate_cache.get(cache_key)
                 if cached is not None:
                     self._rates[key] = cached
+                    _log.debug(
+                        "rates_cache_hit",
+                        workload=workload.name,
+                        gating=str(gating.config_key()),
+                    )
                     return cached
-            sl = self._slice_for(workload)
-            if self._fast_engine:
-                engine = self._engines.get(workload.name)
-                if engine is None:
-                    engine = TraceEngine(self._config, sl)
-                    self._engines[workload.name] = engine
-                counts = engine.counts(gating)
-            else:
-                hierarchy = MemoryHierarchy(self._config)
-                ReconfigEngine(self._config).apply(hierarchy, gating)
-                d_warm, d_meas, i_warm, i_meas = sl.split_warmup()
-                if len(sl.preload_addresses):
-                    hierarchy.simulate_data_trace(sl.preload_addresses)
-                hierarchy.simulate_slice(d_warm, i_warm)
-                counts = hierarchy.simulate_slice(d_meas, i_meas)
+            with span(
+                "simulate_trace",
+                workload=workload.name,
+                gating=str(gating.config_key()),
+            ):
+                sl = self._slice_for(workload)
+                if self._fast_engine:
+                    engine = self._engines.get(workload.name)
+                    if engine is None:
+                        engine = TraceEngine(self._config, sl)
+                        self._engines[workload.name] = engine
+                    counts = engine.counts(gating)
+                else:
+                    hierarchy = MemoryHierarchy(self._config)
+                    ReconfigEngine(self._config).apply(hierarchy, gating)
+                    d_warm, d_meas, i_warm, i_meas = sl.split_warmup()
+                    if len(sl.preload_addresses):
+                        hierarchy.simulate_data_trace(sl.preload_addresses)
+                    hierarchy.simulate_slice(d_warm, i_warm)
+                    counts = hierarchy.simulate_slice(d_meas, i_meas)
+            engine_metrics().traces_simulated.inc()
+            _log.debug(
+                "trace_simulated",
+                workload=workload.name,
+                gating=str(gating.config_key()),
+                fast_engine=self._fast_engine,
+            )
             self._rates[key] = AccessRates.from_counts(
                 counts, sl.measured_instructions
             )
@@ -161,7 +189,42 @@ class NodeRunner:
         cap_w: float | None = None,
         rep: int = 0,
     ) -> RunResult:
-        """Execute one full run; repetitions differ in their noise draws."""
+        """Execute one full run; repetitions differ in their noise draws.
+
+        Instrumented: the whole run executes inside a ``run`` span, and
+        run counts, control-quantum counts, fast-forward activations,
+        and wall-clock land in :func:`repro.obs.metrics.engine_metrics`.
+        """
+        wall0 = time.perf_counter()
+        with span("run", workload=workload.name, cap_w=cap_w, rep=rep):
+            result, quanta, fast_forwarded = self._run(workload, cap_w, rep)
+        wall_s = time.perf_counter() - wall0
+        metrics = engine_metrics()
+        metrics.runs.inc()
+        metrics.quanta.inc(quanta)
+        if fast_forwarded:
+            metrics.fast_forwards.inc()
+        metrics.run_seconds.observe(wall_s)
+        _log.info(
+            "run_done",
+            workload=workload.name,
+            cap_w=cap_w,
+            rep=rep,
+            sim_s=round(result.execution_s, 6),
+            wall_s=round(wall_s, 6),
+            avg_power_w=round(result.avg_power_w, 3),
+            avg_freq_mhz=round(result.avg_freq_mhz, 1),
+            quanta=quanta,
+            fast_forwarded=fast_forwarded,
+        )
+        return result
+
+    def _run(
+        self,
+        workload: Workload,
+        cap_w: float | None,
+        rep: int,
+    ) -> "Tuple[RunResult, int, bool]":
         cfg = self._config
         tag = f"{workload.name}:cap={cap_w}:rep={rep}"
         node = Node(cfg)
@@ -203,6 +266,8 @@ class NodeRunner:
         # segment collapses into a single closed-form step.
         stable_quanta = 0
         prev_cmd_key = None
+        quanta = 0
+        fast_forwarded = False
         # Per-gating timing inputs (rates and the CPI-stack stall term
         # are frequency/duty independent), and one-slot memos for the
         # derived per-quantum quantities — a stable command makes every
@@ -227,6 +292,7 @@ class NodeRunner:
         dyn_fast = gate_fast = dyn_slow = gate_slow = traffic_w = 0.0
 
         while done < total_instr:
+            quanta += 1
             cmd = controller.update(power, activity=1.0, traffic_bps=0.0)
             cmd_key = (
                 cmd.pstate_fast.index,
@@ -301,6 +367,14 @@ class NodeRunner:
                 instr_now = total_instr - done
                 done = total_instr
                 controller.advance_time(dt - quantum)
+                fast_forwarded = True
+                _log.debug(
+                    "fast_forward",
+                    workload=workload.name,
+                    cap_w=cap_w,
+                    skipped_s=round(dt, 3),
+                    at_quantum=quanta,
+                )
             else:
                 dt = min(step_s, remaining_s)
                 instr_now = dt / spi
@@ -343,7 +417,7 @@ class NodeRunner:
             (e.time_s, e.event.value, e.detail)
             for e in controller.sel.entries()
         )
-        return RunResult(
+        result = RunResult(
             workload=workload.name,
             cap_w=cap_w,
             execution_s=t,
@@ -358,3 +432,4 @@ class NodeRunner:
             series=tuple(series),
             sel_events=sel_events,
         )
+        return result, quanta, fast_forwarded

@@ -83,8 +83,13 @@ def _averaged_from_dict(data: dict) -> AveragedResult:
 
 
 def experiment_to_dict(result: ExperimentResult) -> dict:
-    """A JSON-ready representation of one workload's sweep."""
-    return {
+    """A JSON-ready representation of one workload's sweep.
+
+    The provenance manifest (when the sweep recorded one) travels in a
+    ``provenance`` key; it is optional, so documents written before the
+    instrumentation layer still load.
+    """
+    doc = {
         "format_version": FORMAT_VERSION,
         "workload": result.workload,
         "baseline": _averaged_to_dict(result.baseline),
@@ -93,6 +98,9 @@ def experiment_to_dict(result: ExperimentResult) -> dict:
             for cap, row in result.by_cap.items()
         },
     }
+    if result.provenance is not None:
+        doc["provenance"] = result.provenance
+    return doc
 
 
 def experiment_from_dict(data: dict) -> ExperimentResult:
@@ -106,6 +114,7 @@ def experiment_from_dict(data: dict) -> ExperimentResult:
     result = ExperimentResult(
         workload=data["workload"],
         baseline=_averaged_from_dict(data["baseline"]),
+        provenance=data.get("provenance"),
     )
     for cap_str, row in data.get("by_cap", {}).items():
         result.by_cap[float(cap_str)] = _averaged_from_dict(row)

@@ -34,6 +34,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..config import NodeConfig
+from ..obs.logging import get_logger
 from ..trace.events import TraceSlice
 from .cache import SetAssociativeCache
 from .hierarchy import AccessCounts
@@ -41,6 +42,8 @@ from .reconfig import GatingState, _ways_for
 from .tlb import Tlb
 
 __all__ = ["TraceEngine"]
+
+_log = get_logger("mem.fastsim")
 
 
 def _chunk_sums(mask: np.ndarray, lens: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -92,6 +95,12 @@ class TraceEngine:
             cache = SetAssociativeCache(geom)
             cache.set_enabled_ways(ways)
             memo[ways] = cache.access_lines(lines)
+            _log.debug(
+                "structure_simulated",
+                structure="l1",
+                ways=ways,
+                accesses=len(lines),
+            )
         return memo[ways]
 
     def _tlb_meas_misses(
@@ -142,6 +151,12 @@ class TraceEngine:
             l2.set_enabled_ways(l2_ways)
             l2_mask = l2.access_lines(stream)
             self._l2_memo[key] = (stream[l2_mask], _chunk_sums(l2_mask, lens))
+            _log.debug(
+                "structure_simulated",
+                structure="l2",
+                ways=l2_ways,
+                accesses=len(stream),
+            )
         return self._l2_memo[key]
 
     def _l3_chunks(
@@ -155,6 +170,12 @@ class TraceEngine:
             l3.set_enabled_ways(l3_ways)
             l3_mask = l3.access_lines(l2_miss_stream)
             self._l3_memo[key] = _chunk_sums(l3_mask, l2_chunks)
+            _log.debug(
+                "structure_simulated",
+                structure="l3",
+                ways=l3_ways,
+                accesses=len(l2_miss_stream),
+            )
         return self._l3_memo[key]
 
     def counts(self, gating: GatingState) -> AccessCounts:

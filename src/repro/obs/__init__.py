@@ -1,0 +1,89 @@
+"""Observability: structured logging, span tracing, provenance, metrics.
+
+``repro.obs`` is the stdlib-only instrumentation layer every other
+subsystem threads through (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`.logging` — ``get_logger(name)`` structured loggers with a
+  human or JSON-lines formatter (``REPRO_LOG_LEVEL`` /
+  ``REPRO_LOG_JSON``, or the CLI's ``--log-level`` / ``--log-json``);
+- :mod:`.tracing` — ``span(...)`` context-manager/decorator timing
+  named engine phases into a process-wide accumulator and, when
+  installed, a :class:`TraceCollector` that exports Chrome
+  ``trace_event`` JSON (``--trace-out``);
+- :mod:`.provenance` — manifests tying a stored result to the config
+  digest, workload spec, seed, code version, cache stats, and phase
+  timings that produced it;
+- :mod:`.metrics` — the Prometheus exposition layer (moved here from
+  ``repro.service.metrics``, which re-exports it) plus
+  :func:`engine_metrics`, the simulation-core instrument panel.
+"""
+
+from .logging import (
+    HumanFormatter,
+    JsonFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    logging_configured,
+)
+from .metrics import (
+    Counter,
+    EngineMetrics,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    ServiceMetrics,
+    engine_metrics,
+)
+from .provenance import (
+    PROVENANCE_SCHEMA_VERSION,
+    build_provenance,
+    config_digest,
+    git_describe,
+    render_provenance,
+)
+from .tracing import (
+    TraceCollector,
+    current_collector,
+    current_span_stack,
+    phase_totals,
+    reset_phase_totals,
+    set_enabled,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "logging_configured",
+    "StructuredLogger",
+    "JsonFormatter",
+    "HumanFormatter",
+    "span",
+    "TraceCollector",
+    "start_tracing",
+    "stop_tracing",
+    "current_collector",
+    "current_span_stack",
+    "phase_totals",
+    "reset_phase_totals",
+    "set_enabled",
+    "tracing_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "EngineMetrics",
+    "engine_metrics",
+    "PROVENANCE_SCHEMA_VERSION",
+    "build_provenance",
+    "config_digest",
+    "git_describe",
+    "render_provenance",
+]

@@ -1,0 +1,245 @@
+"""Structured logging for the simulation engine and service.
+
+A thin, dependency-free layer over :mod:`logging` that every repro
+subsystem shares.  Call sites log *events with fields*, not formatted
+strings::
+
+    log = get_logger("core.runner")
+    log.info("run_done", workload="stereo", cap_w=120.0, wall_s=3.2)
+
+and the installed handler renders them either human-readable::
+
+    2026-08-05 12:00:00 INFO    repro.core.runner run_done cap_w=120.0 ...
+
+or as JSON lines (one object per line) with a stable schema — the
+keys ``ts``, ``level``, ``logger`` and ``event`` are always present,
+every keyword argument rides along verbatim::
+
+    {"cap_w": 120.0, "event": "run_done", "level": "info", ...}
+
+Configuration comes from :func:`configure_logging` (the CLI's
+``--log-level`` / ``--log-json``) or from the environment:
+
+- ``REPRO_LOG_LEVEL`` — ``debug`` / ``info`` / ``warning`` / ``error``
+  (default ``warning``, so library use is silent);
+- ``REPRO_LOG_JSON`` — truthy (``1``/``true``/``yes``/``on``) switches
+  the handler to JSON lines.
+
+Records go to ``stderr`` by default so CLI table/JSON output on
+``stdout`` stays machine-parseable.  Everything here is thread-safe:
+handlers are installed once under a lock and stdlib logging serialises
+emission.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+from typing import IO, Optional
+
+__all__ = [
+    "StructuredLogger",
+    "JsonFormatter",
+    "HumanFormatter",
+    "get_logger",
+    "configure_logging",
+    "logging_configured",
+]
+
+#: The root of every repro logger; handlers are installed here only.
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_configure_lock = threading.Lock()
+_configured = False
+
+
+def _env_level() -> int:
+    raw = os.environ.get("REPRO_LOG_LEVEL", "warning").strip().lower()
+    return _LEVELS.get(raw, logging.WARNING)
+
+
+def _env_json() -> bool:
+    return os.environ.get("REPRO_LOG_JSON", "").strip().lower() in _TRUTHY
+
+
+def _coerce_level(level: "int | str") -> int:
+    if isinstance(level, str):
+        try:
+            return _LEVELS[level.strip().lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+            ) from None
+    return int(level)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event + fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a single JSON line."""
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                # Schema keys win over colliding field names.
+                doc.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            doc.setdefault("exc_type", record.exc_info[0].__name__)
+            doc.setdefault("exc", str(record.exc_info[1]))
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``time LEVEL logger event k=v ...`` for terminals."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s %(message)s",
+            datefmt="%Y-%m-%d %H:%M:%S",
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record with fields appended as k=v pairs."""
+        base = super().format(record)
+        fields = getattr(record, "fields", None)
+        if fields:
+            pairs = " ".join(
+                f"{k}={v!r}" if isinstance(v, str) else f"{k}={v}"
+                for k, v in sorted(fields.items())
+            )
+            return f"{base} {pairs}"
+        return base
+
+
+class StructuredLogger:
+    """Event + keyword-field logging facade over one stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        """The underlying stdlib logger's dotted name."""
+        return self._logger.name
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        """The wrapped :class:`logging.Logger` (for level checks)."""
+        return self._logger
+
+    def is_enabled_for(self, level: "int | str") -> bool:
+        """Whether a record at ``level`` would actually be emitted."""
+        return self._logger.isEnabledFor(_coerce_level(level))
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields) -> None:
+        """Emit a DEBUG record for ``event`` with structured fields."""
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit an INFO record for ``event`` with structured fields."""
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit a WARNING record for ``event`` with structured fields."""
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit an ERROR record for ``event`` with structured fields."""
+        self._log(logging.ERROR, event, fields)
+
+    def exception(self, event: str, **fields) -> None:
+        """Emit an ERROR record carrying the active exception info."""
+        if self._logger.isEnabledFor(logging.ERROR):
+            self._logger.log(
+                logging.ERROR, event, exc_info=True, extra={"fields": fields}
+            )
+
+
+def configure_logging(
+    level: "int | str | None" = None,
+    json_mode: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Install (once) the repro log handler and set the level.
+
+    ``level``/``json_mode`` default to ``REPRO_LOG_LEVEL`` /
+    ``REPRO_LOG_JSON``; ``stream`` defaults to ``stderr``.  The call is
+    idempotent — repeated calls adjust level/format without stacking
+    handlers — and ``force=True`` reinstalls the handler (used by tests
+    to redirect the stream).  Returns the configured root logger.
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    with _configure_lock:
+        resolved_level = _env_level() if level is None else _coerce_level(level)
+        resolved_json = _env_json() if json_mode is None else bool(json_mode)
+        formatter: logging.Formatter = (
+            JsonFormatter() if resolved_json else HumanFormatter()
+        )
+        ours = [
+            h
+            for h in root.handlers
+            if getattr(h, "_repro_handler", False)
+        ]
+        if force:
+            for h in ours:
+                root.removeHandler(h)
+            ours = []
+        if not ours:
+            handler = logging.StreamHandler(stream or sys.stderr)
+            handler._repro_handler = True  # type: ignore[attr-defined]
+            root.addHandler(handler)
+            ours = [handler]
+        for h in ours:
+            h.setFormatter(formatter)
+        root.setLevel(resolved_level)
+        # Keep repro records out of any application root handler: this
+        # layer owns its formatting end to end.
+        root.propagate = False
+        _configured = True
+    return root
+
+
+def logging_configured() -> bool:
+    """Whether :func:`configure_logging` has run in this process."""
+    return _configured
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for one subsystem (e.g. ``core.runner``).
+
+    Lazily installs the handler from the environment on first use, so
+    library consumers get ``REPRO_LOG_*`` behaviour without calling
+    :func:`configure_logging` themselves.
+    """
+    if not _configured:
+        configure_logging()
+    if not name.startswith(ROOT_LOGGER_NAME):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))

@@ -1,0 +1,409 @@
+"""Prometheus-style telemetry for the engine and the service.
+
+A tiny, dependency-free metrics layer: counters, gauges (static or
+callback-backed, optionally labelled), and cumulative histograms,
+rendered in the Prometheus text exposition format (version 0.0.4) for
+``GET /metrics``.  All mutation is thread-safe — the scheduler's
+worker pool, the HTTP handler threads, and the simulation engine all
+share these registries.
+
+This module is the home of the primitives that used to live in
+:mod:`repro.service.metrics` (which now re-exports them unchanged),
+plus :class:`EngineMetrics` — a process-wide panel of *simulation
+internals* (runs, control quanta, fast-forward activations, trace
+simulations, rate-cache hits/misses, per-phase seconds) that the
+engine increments directly and the service's ``/metrics`` endpoint
+exposes alongside the queue/job series.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .tracing import phase_totals
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "EngineMetrics",
+    "engine_metrics",
+]
+
+#: (metric name, labels, value)
+Sample = Tuple[str, Dict[str, str], float]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    def esc(v: str) -> str:
+        return str(v).replace("\\", "\\\\").replace('"', '\\"')
+
+    inner = ",".join(f'{k}="{esc(v)}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: a named metric that can emit exposition samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def samples(self) -> List[Sample]:
+        """Current ``(name, labels, value)`` samples for exposition."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def samples(self) -> List[Sample]:
+        """One unlabelled sample holding the current count."""
+        return [(self.name, {}, self.value)]
+
+
+class Gauge(Metric):
+    """Point-in-time value: set directly or computed at scrape time.
+
+    A callback returning a float yields one unlabelled sample; a
+    callback returning a dict yields one sample per key, labelled with
+    ``label_name``.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        callback: Optional[Callable[[], "float | Dict[str, float]"]] = None,
+        label_name: str = "state",
+    ) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+        self._callback = callback
+        self._label_name = label_name
+
+    def set(self, value: float) -> None:
+        """Set the gauge (only meaningful without a callback)."""
+        with self._lock:
+            self._value = float(value)
+
+    def samples(self) -> List[Sample]:
+        """The stored value, or the callback's value(s) at scrape time."""
+        if self._callback is None:
+            with self._lock:
+                return [(self.name, {}, self._value)]
+        value = self._callback()
+        if isinstance(value, dict):
+            return [
+                (self.name, {self._label_name: k}, float(v))
+                for k, v in sorted(value.items())
+            ]
+        return [(self.name, {}, float(value))]
+
+
+class Histogram(Metric):
+    """Cumulative histogram with fixed upper-bound buckets."""
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        self._bounds = tuple(sorted(float(b) for b in buckets))
+        self._counts = [0] * len(self._bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    def samples(self) -> List[Sample]:
+        """Cumulative ``_bucket`` series plus ``_sum`` and ``_count``."""
+        with self._lock:
+            counts, total, s = list(self._counts), self._count, self._sum
+        out: List[Sample] = []
+        # _counts is already cumulative: observe() increments every
+        # bucket whose bound admits the value.
+        for bound, count in zip(self._bounds, counts):
+            out.append(
+                (f"{self.name}_bucket", {"le": _format_value(bound)}, count)
+            )
+        out.append((f"{self.name}_bucket", {"le": "+Inf"}, total))
+        out.append((f"{self.name}_sum", {}, s))
+        out.append((f"{self.name}_count", {}, total))
+        return out
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with a text-format renderer."""
+
+    def __init__(self) -> None:
+        self._metrics: List[Metric] = []
+        self._lock = threading.Lock()
+
+    def register(self, metric: Metric) -> Metric:
+        """Add a metric (names must be unique) and return it."""
+        with self._lock:
+            if any(m.name == metric.name for m in self._metrics):
+                raise ValueError(f"duplicate metric name {metric.name!r}")
+            self._metrics.append(metric)
+        return metric
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = list(self._metrics)
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for name, labels, value in metric.samples():
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+class EngineMetrics:
+    """Simulation-core instrument panel (one per process).
+
+    The engine increments these directly on its cold paths — nothing
+    here runs per control quantum except a batched add at run end:
+
+    - ``repro_engine_runs_total`` — completed :meth:`NodeRunner.run`
+      calls;
+    - ``repro_engine_quanta_total`` — control-loop iterations
+      (controller actuations), added once per finished run;
+    - ``repro_engine_fast_forward_total`` — steady-state fast-forward
+      activations;
+    - ``repro_engine_traces_simulated_total`` — slice simulations that
+      actually ran (rate-cache/memo misses);
+    - ``repro_engine_rate_cache_hits_total`` /
+      ``repro_engine_rate_cache_misses_total`` — persistent rate-cache
+      lookups, process-wide across every :class:`RateCache` instance;
+    - ``repro_engine_run_seconds`` — wall-clock histogram per run;
+    - ``repro_engine_phase_seconds`` — cumulative seconds per span
+      name, scraped live from the tracing phase accumulator.
+
+    Worker *processes* (``jobs > 1`` sweeps) keep their own panels;
+    the exposed values cover the scraped process, which for the
+    service's default thread workers is the whole story.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.runs = reg(
+            Counter("repro_engine_runs_total", "Completed simulation runs")
+        )
+        self.quanta = reg(
+            Counter(
+                "repro_engine_quanta_total",
+                "Control-loop iterations (BMC controller actuations)",
+            )
+        )
+        self.fast_forwards = reg(
+            Counter(
+                "repro_engine_fast_forward_total",
+                "Steady-state fast-forward activations",
+            )
+        )
+        self.traces_simulated = reg(
+            Counter(
+                "repro_engine_traces_simulated_total",
+                "Trace-slice simulations that actually ran (cache misses)",
+            )
+        )
+        self.rate_cache_hits = reg(
+            Counter(
+                "repro_engine_rate_cache_hits_total",
+                "Persistent rate-cache lookups served from cache",
+            )
+        )
+        self.rate_cache_misses = reg(
+            Counter(
+                "repro_engine_rate_cache_misses_total",
+                "Persistent rate-cache lookups that missed",
+            )
+        )
+        self.run_seconds = reg(
+            Histogram(
+                "repro_engine_run_seconds",
+                "Wall-clock seconds per simulation run",
+                buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                         30.0, 60.0),
+            )
+        )
+        self.phase_seconds = reg(
+            Gauge(
+                "repro_engine_phase_seconds",
+                "Cumulative wall-clock seconds per instrumented span",
+                callback=self._phase_seconds,
+                label_name="phase",
+            )
+        )
+
+    @staticmethod
+    def _phase_seconds() -> Dict[str, float]:
+        return {
+            name: acc["seconds"] for name, acc in phase_totals().items()
+        }
+
+    def render(self) -> str:
+        """Text exposition of the engine panel."""
+        return self.registry.render()
+
+
+_engine_metrics_lock = threading.Lock()
+_engine_metrics: "EngineMetrics | None" = None
+
+
+def engine_metrics() -> EngineMetrics:
+    """The process-wide :class:`EngineMetrics` singleton."""
+    global _engine_metrics
+    if _engine_metrics is None:
+        with _engine_metrics_lock:
+            if _engine_metrics is None:
+                _engine_metrics = EngineMetrics()
+    return _engine_metrics
+
+
+class ServiceMetrics:
+    """The experiment service's standard instrument panel.
+
+    Gauges for queue depth, per-state job counts, and rate-cache
+    hit/miss totals are callback-backed — :meth:`bind` wires them to
+    the live scheduler at service start so scrapes always see current
+    values without any bookkeeping on the hot path.
+
+    :meth:`render` appends the process-wide :class:`EngineMetrics`
+    panel, so one ``/metrics`` scrape covers the service *and* the
+    simulation core.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.jobs_submitted = reg(
+            Counter("repro_jobs_submitted_total", "Jobs accepted via submit()")
+        )
+        self.jobs_completed = reg(
+            Counter("repro_jobs_completed_total", "Jobs that reached DONE")
+        )
+        self.jobs_failed = reg(
+            Counter(
+                "repro_jobs_failed_total",
+                "Jobs that exhausted their retry budget",
+            )
+        )
+        self.job_retries = reg(
+            Counter(
+                "repro_job_retries_total",
+                "Worker crashes that re-queued a job with backoff",
+            )
+        )
+        self.dedup_hits = reg(
+            Counter(
+                "repro_store_dedup_hits_total",
+                "Submissions answered from the result store without "
+                "re-simulation",
+            )
+        )
+        self.sweep_seconds = reg(
+            Histogram(
+                "repro_sweep_wall_seconds",
+                "Wall-clock seconds per completed sweep job",
+            )
+        )
+        self._queue_depth = Gauge(
+            "repro_queue_depth", "Jobs queued and not yet running"
+        )
+        self._jobs_by_state = Gauge(
+            "repro_jobs", "Known jobs by lifecycle state", label_name="state"
+        )
+        self._cache_hits = Gauge(
+            "repro_rate_cache_hits_total",
+            "Rate-cache lookups served from the shared cache",
+        )
+        self._cache_misses = Gauge(
+            "repro_rate_cache_misses_total",
+            "Rate-cache lookups that required trace simulation",
+        )
+        for g in (
+            self._queue_depth,
+            self._jobs_by_state,
+            self._cache_hits,
+            self._cache_misses,
+        ):
+            self.registry.register(g)
+
+    def bind(
+        self,
+        queue_depth: Callable[[], float],
+        jobs_by_state: Callable[[], Dict[str, float]],
+        cache_hits: Callable[[], float],
+        cache_misses: Callable[[], float],
+    ) -> None:
+        """Attach the scrape-time callbacks (called once by the scheduler)."""
+        self._queue_depth._callback = queue_depth
+        self._jobs_by_state._callback = jobs_by_state
+        self._cache_hits._callback = cache_hits
+        self._cache_misses._callback = cache_misses
+
+    def render(self) -> str:
+        """Text exposition of the service panel plus the engine panel."""
+        return self.registry.render() + engine_metrics().render()

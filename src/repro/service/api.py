@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import json
 import threading
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 import os
 
 from ..errors import ConfigError
+from ..obs.logging import get_logger
 from .jobs import JobSpec, JobState
 from .metrics import ServiceMetrics
 from .scheduler import ExperimentScheduler
@@ -35,6 +37,8 @@ from .store import ResultStore
 __all__ = ["ExperimentService"]
 
 _MAX_BODY_BYTES = 1 << 20
+
+_log = get_logger("service.api")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -66,7 +70,19 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _error(self, code: int, message: str) -> None:
-        self._json(code, {"error": message})
+        # Every error response carries a request id that is also
+        # logged, so a client-reported failure can be matched to the
+        # server-side record.
+        request_id = uuid.uuid4().hex[:12]
+        _log.warning(
+            "request_error",
+            request_id=request_id,
+            method=self.command,
+            path=self.path,
+            code=code,
+            error=message,
+        )
+        self._json(code, {"error": message, "request_id": request_id})
 
     def _read_body(self) -> Optional[dict]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -270,6 +286,11 @@ class ExperimentService:
                 daemon=True,
             )
             self._serve_thread.start()
+            _log.info(
+                "service_started",
+                url=self.url,
+                workers=self.scheduler.workers,
+            )
 
     def serve_forever(self) -> None:
         """Start workers and serve HTTP on the calling thread."""

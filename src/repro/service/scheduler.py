@@ -27,12 +27,16 @@ import os
 from ..core.experiment import ExperimentResult, PowerCapExperiment
 from ..core.ratecache import RateCache
 from ..errors import ReproError
+from ..obs.logging import get_logger
+from ..obs.tracing import span
 from ..workloads import make_workload
 from .jobs import Job, JobQueue, JobSpec, JobState
 from .metrics import ServiceMetrics
 from .store import ResultStore
 
 __all__ = ["ExperimentScheduler"]
+
+_log = get_logger("service.scheduler")
 
 
 class ExperimentScheduler:
@@ -149,6 +153,14 @@ class ExperimentScheduler:
         with self._lock:
             self._jobs[job.id] = job
         self._store.record_job(job)
+        _log.info(
+            "job_submitted",
+            job_id=job.id,
+            spec_digest=job.spec_digest,
+            workload=spec.workload,
+            priority=job.priority,
+            deduplicated=job.deduplicated,
+        )
         if job.state is JobState.QUEUED:
             self._queue.push(job)
         return job
@@ -176,6 +188,8 @@ class ExperimentScheduler:
             self._store.record_job(job)
             self._queue.push(job)
             recovered += 1
+        if recovered:
+            _log.info("jobs_recovered", count=recovered)
         return recovered
 
     # ------------------------------------------------------------------
@@ -258,6 +272,12 @@ class ExperimentScheduler:
         job.started_at = time.time()
         job.attempts += 1
         self._store.record_job(job)
+        _log.info(
+            "job_started",
+            job_id=job.id,
+            workload=job.spec.workload,
+            attempt=job.attempts,
+        )
         t0 = time.perf_counter()
         try:
             # A duplicate that queued before its twin finished can be
@@ -266,13 +286,20 @@ class ExperimentScheduler:
                 job.deduplicated = True
                 self.metrics.dedup_hits.inc()
             else:
-                sweeps = self._run_spec(job.spec)
+                with span("job", job_id=job.id, workload=job.spec.workload):
+                    sweeps = self._run_spec(job.spec)
                 self._store.put_result(job.spec_digest, sweeps)
             job.state = JobState.DONE
             job.error = None
             job.finished_at = time.time()
             self.metrics.jobs_completed.inc()
             self.metrics.sweep_seconds.observe(time.perf_counter() - t0)
+            _log.info(
+                "job_done",
+                job_id=job.id,
+                deduplicated=job.deduplicated,
+                wall_s=round(time.perf_counter() - t0, 6),
+            )
         except Exception as exc:  # noqa: BLE001 — worker crash containment
             job.error = f"{type(exc).__name__}: {exc}"
             if job.attempts < job.max_attempts and not isinstance(
@@ -282,6 +309,13 @@ class ExperimentScheduler:
                 job.state = JobState.QUEUED
                 self.metrics.job_retries.inc()
                 self._store.record_job(job)
+                _log.warning(
+                    "job_retry",
+                    job_id=job.id,
+                    attempt=job.attempts,
+                    max_attempts=job.max_attempts,
+                    error=job.error,
+                )
                 self._queue.push(
                     job,
                     delay_s=self._retry_backoff_s * 2 ** (job.attempts - 1),
@@ -290,4 +324,10 @@ class ExperimentScheduler:
             job.state = JobState.FAILED
             job.finished_at = time.time()
             self.metrics.jobs_failed.inc()
+            _log.error(
+                "job_failed",
+                job_id=job.id,
+                attempts=job.attempts,
+                error=job.error,
+            )
         self._store.record_job(job)

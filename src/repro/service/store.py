@@ -40,9 +40,13 @@ from ..core.serialize import (
     experiment_to_dict,
 )
 from ..errors import ConfigError
+from ..obs.logging import get_logger
+from ..obs.tracing import span
 from .jobs import Job, JobSpec, JobState
 
 __all__ = ["ResultStore"]
+
+_log = get_logger("service.store")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -189,6 +193,17 @@ class ResultStore:
         self, spec_digest: str, sweeps: Dict[str, ExperimentResult]
     ) -> None:
         """Persist one sweep document plus its exploded per-cap rows."""
+        with span("store_write", spec_digest=spec_digest):
+            self._put_result(spec_digest, sweeps)
+        _log.debug(
+            "result_stored",
+            spec_digest=spec_digest,
+            workloads=sorted(sweeps),
+        )
+
+    def _put_result(
+        self, spec_digest: str, sweeps: Dict[str, ExperimentResult]
+    ) -> None:
         doc = {
             name: experiment_to_dict(result) for name, result in sweeps.items()
         }

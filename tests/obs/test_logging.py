@@ -1,0 +1,152 @@
+"""Structured logging: JSON schema stability, levels, formatters."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    HumanFormatter,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    logging_configured,
+)
+
+#: Keys every JSON log line must carry, in every release.
+SCHEMA_KEYS = {"ts", "level", "logger", "event"}
+
+
+@pytest.fixture
+def json_stream():
+    """Reinstall the repro handler on a buffer in JSON mode."""
+    stream = io.StringIO()
+    configure_logging(level="debug", json_mode=True, stream=stream, force=True)
+    yield stream
+    configure_logging(level="warning", json_mode=False, force=True)
+
+
+@pytest.fixture
+def human_stream():
+    """Reinstall the repro handler on a buffer in human mode."""
+    stream = io.StringIO()
+    configure_logging(
+        level="debug", json_mode=False, stream=stream, force=True
+    )
+    yield stream
+    configure_logging(level="warning", json_mode=False, force=True)
+
+
+def lines(stream: io.StringIO):
+    return [l for l in stream.getvalue().splitlines() if l]
+
+
+class TestJsonSchema:
+    def test_schema_keys_always_present(self, json_stream):
+        get_logger("core.runner").info("run_done")
+        (line,) = lines(json_stream)
+        doc = json.loads(line)
+        assert SCHEMA_KEYS <= set(doc)
+        assert doc["event"] == "run_done"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.core.runner"
+        assert isinstance(doc["ts"], float)
+
+    def test_kwargs_ride_along_verbatim(self, json_stream):
+        get_logger("t").info(
+            "ev", cap_w=120.0, workload="stereo", n=3, ok=True, none=None
+        )
+        doc = json.loads(lines(json_stream)[0])
+        assert doc["cap_w"] == 120.0
+        assert doc["workload"] == "stereo"
+        assert doc["n"] == 3
+        assert doc["ok"] is True
+        assert doc["none"] is None
+
+    def test_schema_keys_win_over_colliding_fields(self, json_stream):
+        get_logger("t").info("real_event", level="fake", logger="fake", ts=0)
+        doc = json.loads(lines(json_stream)[0])
+        assert doc["event"] == "real_event"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.t"
+        assert doc["ts"] != 0
+
+    def test_non_json_values_are_stringified(self, json_stream):
+        get_logger("t").info("ev", path=object())
+        doc = json.loads(lines(json_stream)[0])
+        assert isinstance(doc["path"], str)
+
+    def test_exception_fields(self, json_stream):
+        log = get_logger("t")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("crashed", job_id="j1")
+        doc = json.loads(lines(json_stream)[0])
+        assert doc["exc_type"] == "ValueError"
+        assert doc["exc"] == "boom"
+        assert doc["job_id"] == "j1"
+        assert doc["level"] == "error"
+
+    def test_every_line_parses_independently(self, json_stream):
+        log = get_logger("t")
+        for i in range(5):
+            log.debug("tick", i=i)
+        docs = [json.loads(l) for l in lines(json_stream)]
+        assert [d["i"] for d in docs] == list(range(5))
+
+
+class TestLevels:
+    def test_threshold_filters(self, json_stream):
+        configure_logging(level="warning", json_mode=True)
+        log = get_logger("t")
+        log.debug("hidden")
+        log.info("hidden")
+        log.warning("shown")
+        events = [json.loads(l)["event"] for l in lines(json_stream)]
+        assert events == ["shown"]
+
+    def test_is_enabled_for(self, json_stream):
+        configure_logging(level="info", json_mode=True)
+        log = get_logger("t")
+        assert log.is_enabled_for("info")
+        assert not log.is_enabled_for("debug")
+        assert log.is_enabled_for(logging.ERROR)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+
+class TestConfiguration:
+    def test_idempotent_no_handler_stacking(self, json_stream):
+        for _ in range(3):
+            configure_logging(level="debug", json_mode=True)
+        get_logger("t").info("once")
+        assert len(lines(json_stream)) == 1
+
+    def test_configured_flag(self, json_stream):
+        assert logging_configured()
+
+    def test_get_logger_prefixes_root(self, json_stream):
+        assert get_logger("mem.fastsim").name == "repro.mem.fastsim"
+        assert get_logger("repro.cli").name == "repro.cli"
+
+    def test_human_format_contains_fields(self, human_stream):
+        get_logger("t").warning("cache_corrupt", path="/tmp/x", n=2)
+        (line,) = lines(human_stream)
+        assert "WARNING" in line
+        assert "cache_corrupt" in line
+        assert "path='/tmp/x'" in line
+        assert "n=2" in line
+
+    def test_formatters_standalone(self):
+        record = logging.LogRecord(
+            "repro.t", logging.INFO, __file__, 1, "ev", (), None
+        )
+        record.fields = {"a": 1}
+        assert json.loads(JsonFormatter().format(record))["a"] == 1
+        assert "a=1" in HumanFormatter().format(record)

@@ -93,9 +93,15 @@ class TestEndToEnd:
             caps_w=SPEC["caps_w"],
             repetitions=SPEC["repetitions"],
         ).run_workload(workload)
-        assert payload["results"]["StereoMatching"] == json.loads(
-            json.dumps(experiment_to_dict(direct))
-        )
+        served = dict(payload["results"]["StereoMatching"])
+        expected = json.loads(json.dumps(experiment_to_dict(direct)))
+        # Provenance records *this* production (timestamps, phase
+        # seconds, cache stats), so it legitimately differs between the
+        # two sweeps; the engine output must still be bit-identical.
+        assert served.pop("provenance")["seed"] == expected.pop(
+            "provenance"
+        )["seed"]
+        assert served == expected
 
     def test_resubmission_is_a_store_hit(self, service, finished_job):
         status, twin = request_json(service, "POST", "/jobs", SPEC)

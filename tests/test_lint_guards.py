@@ -1,0 +1,37 @@
+"""Source-tree lint guards enforced as tests.
+
+The observability layer only pays off if subsystems actually route
+their output through it — a stray ``print()`` in library code bypasses
+the level/format machinery and corrupts machine-readable stdout.  CLI
+entry points are the one sanctioned home for ``print`` (their stdout
+*is* the product).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules whose job is writing to stdout.
+PRINT_ALLOWED = {"cli.py", "__main__.py"}
+
+_PRINT = re.compile(r"(?<![\w.])print\(")
+
+
+def test_no_bare_print_outside_cli_modules():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in PRINT_ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            code = line.split("#", 1)[0]
+            if _PRINT.search(code):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "bare print() in library code — use repro.obs.logging instead:\n"
+        + "\n".join(offenders)
+    )

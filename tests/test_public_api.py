@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.perf",
     "repro.core",
+    "repro.obs",
 ]
 
 
