@@ -2,20 +2,26 @@
 """CI smoke test for the observability layer.
 
 Runs a tiny CLI sweep with ``--log-json --log-level info --trace-out``
-in a subprocess (exactly what a user types) and asserts the three
+in a subprocess (exactly what a user types) and asserts the
 instrumentation products are well-formed:
 
 - **stderr** is valid JSON lines, every record carrying the stable
   schema keys (``ts``, ``level``, ``logger``, ``event``);
-- **the trace file** parses as Chrome ``trace_event`` JSON with a
-  non-empty ``traceEvents`` list, and the ``sweep`` span accounts for
-  at least 90% of the trace's wall-clock extent;
+- **the trace file** parses as Chrome ``trace_event`` JSON whose
+  complete (``"ph": "X"``) spans account for at least 90% of the
+  trace's wall-clock extent via the ``sweep`` span, and whose
+  telemetry counter (``"ph": "C"``) events carry channel values;
 - **stdout** is the sweep's JSON result document with a ``provenance``
   manifest recording seed, config digest, and per-phase seconds —
-  and ``repro-powercap inspect`` renders it.
+  and ``repro-powercap inspect`` renders it;
+- **the service timeline API**: a tiny job driven to DONE over HTTP
+  serves ``GET /jobs/<id>/timeseries`` with non-empty, monotonic
+  timestamps and both power and frequency channels.
 
-Exits non-zero on any failure; prints a one-line summary per step so
-CI logs read as a transcript.
+The trace and the served timeline JSON are copied into
+``$REPRO_SMOKE_ARTIFACT_DIR`` (when set) so CI can upload them as
+workflow artifacts.  Exits non-zero on any failure; prints a one-line
+summary per step so CI logs read as a transcript.
 
 Usage::
 
@@ -29,6 +35,8 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.request
 from pathlib import Path
 
 SCHEMA_KEYS = {"ts", "level", "logger", "event"}
@@ -45,6 +53,79 @@ def run_cli(args: list[str], **kwargs) -> subprocess.CompletedProcess:
         env=env,
         **kwargs,
     )
+
+
+def http(method: str, url: str, body: dict | None = None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.read()
+
+
+def check_timeline_api(tmp: Path) -> Path:
+    """Drive a job to DONE and validate ``GET /jobs/<id>/timeseries``."""
+    from repro.service.api import ExperimentService
+
+    service = ExperimentService(
+        db_path=tmp / "smoke.sqlite3",
+        port=0,
+        workers=1,
+        rate_cache=tmp / "rates.json",
+    )
+    service.start()
+    try:
+        spec = {
+            "workload": "stereo",
+            "caps_w": [150.0, 120.0],
+            "repetitions": 1,
+            "scale": 0.001,
+        }
+        job = json.loads(http("POST", service.url + "/jobs", spec))
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            job = json.loads(http("GET", f"{service.url}/jobs/{job['id']}"))
+            if job["state"] in ("done", "failed"):
+                break
+            time.sleep(0.2)
+        assert job["state"] == "done", f"job did not finish: {job}"
+
+        raw = http("GET", f"{service.url}/jobs/{job['id']}/timeseries")
+        payload = json.loads(raw)
+        entry = payload["timeseries"]["StereoMatching"]
+        rows = [entry["baseline"], *entry["by_cap"].values()]
+        assert entry["by_cap"], "no per-cap timelines served"
+        for row in rows:
+            channels = row["timeline"]["channels"]
+            assert "power_w" in channels, sorted(channels)
+            assert "freq_mhz" in channels, sorted(channels)
+            ts = channels["power_w"]["t"]
+            assert ts, "empty power_w timestamps"
+            assert ts == sorted(ts), "timestamps not monotonic"
+        print(
+            f"[obs-smoke] /jobs/<id>/timeseries serves {len(rows)} "
+            "timelines with monotonic power+frequency samples"
+        )
+        timeline_path = tmp / "timeline.json"
+        timeline_path.write_bytes(raw)
+        return timeline_path
+    finally:
+        service.shutdown(drain=False)
+
+
+def export_artifacts(paths: list[Path]) -> None:
+    artifact_dir = os.environ.get("REPRO_SMOKE_ARTIFACT_DIR")
+    if not artifact_dir:
+        return
+    dest = Path(artifact_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    for path in paths:
+        (dest / path.name).write_bytes(path.read_bytes())
+    print(f"[obs-smoke] exported {len(paths)} artifact(s) to {dest}")
 
 
 def main() -> int:
@@ -82,10 +163,14 @@ def main() -> int:
     print(f"[obs-smoke] {len(log_lines)} JSON log lines, schema stable")
 
     trace = json.loads(trace_path.read_text())
-    spans = trace["traceEvents"]
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
     assert spans, "empty traceEvents"
+    assert len(spans) + len(counters) == len(trace["traceEvents"]), (
+        "unexpected event phase in trace"
+    )
     for event in spans:
-        assert event["ph"] == "X" and event["dur"] >= 0.0, event
+        assert event["dur"] >= 0.0, event
     start = min(e["ts"] for e in spans)
     end = max(e["ts"] + e["dur"] for e in spans)
     sweep_us = sum(e["dur"] for e in spans if e["name"] == "sweep")
@@ -94,6 +179,15 @@ def main() -> int:
     print(
         f"[obs-smoke] trace has {len(spans)} spans; sweep covers "
         f"{coverage:.0%} of the {(end - start) / 1e6:.2f}s extent"
+    )
+    assert counters, "no telemetry counter events in trace"
+    for event in counters:
+        assert event["args"], event
+    names = {e["name"] for e in counters}
+    assert "telemetry:power_w" in names, sorted(names)
+    print(
+        f"[obs-smoke] trace has {len(counters)} counter events on "
+        f"{len(names)} telemetry tracks"
     )
 
     result = json.loads(proc.stdout)
@@ -109,6 +203,15 @@ def main() -> int:
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert "config_digest:" in proc.stdout, proc.stdout
     print("[obs-smoke] inspect renders the stored manifest")
+
+    proc = run_cli(["timeline", str(result_path), "--ascii",
+                    "--channel", "power_w"])
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "power_w |" in proc.stdout, proc.stdout
+    print("[obs-smoke] timeline --ascii renders the stored timeline")
+
+    timeline_path = check_timeline_api(tmp)
+    export_artifacts([trace_path, timeline_path])
 
     print("[obs-smoke] PASS")
     return 0

@@ -11,8 +11,10 @@ Subcommands map one-to-one onto the paper's experiments:
 - ``detect``      — identify the active mechanisms at a cap (#2);
 - ``serve``       — the long-lived experiment service (HTTP API, job
   queue, persistent SQLite result store, ``/metrics``);
-- ``inspect``     — pretty-print the provenance manifest of a result
-  file or a stored service job.
+- ``inspect``     — show the provenance manifest of a result file or a
+  stored service job (``--format json`` for machine-readable output);
+- ``timeline``    — render the telemetry timelines recorded during a
+  sweep (summaries, ``--ascii`` sparklines, or ``--csv``).
 
 All subcommands accept ``--scale`` to shrink the instruction budgets
 (the shape is scale-invariant; see DESIGN.md §5) and ``--seed`` for
@@ -23,7 +25,10 @@ for structured output that round-trips through
 Observability flags (global; see docs/OBSERVABILITY.md): ``--log-level``
 and ``--log-json`` configure structured logging on stderr (overriding
 ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_JSON``); ``--trace-out PATH`` records
-every engine span and writes a Chrome ``trace_event`` profile on exit.
+every engine span — plus telemetry counter tracks — and writes a Chrome
+``trace_event`` profile on exit; ``--telemetry-period`` /
+``--no-telemetry`` control in-run telemetry sampling (overriding
+``REPRO_TELEMETRY_PERIOD`` / ``REPRO_TELEMETRY``).
 """
 
 from __future__ import annotations
@@ -48,11 +53,12 @@ from .core.report import (
     render_table2,
 )
 from .core.runner import NodeRunner
-from .core.serialize import experiment_to_dict
+from .core.serialize import experiment_to_dict, extract_timelines
 from .errors import ReproError
 from .mem.reconfig import GatingState
 from .obs.logging import configure_logging, get_logger
 from .obs.provenance import render_provenance
+from .obs.timeseries import TelemetryConfig, timeline_from_dict
 from .obs.tracing import span, start_tracing, stop_tracing
 from .rng import DEFAULT_SEED
 from .workloads import WORKLOAD_REGISTRY as _WORKLOADS
@@ -115,6 +121,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record engine spans and write a Chrome trace_event "
         "profile (load in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--telemetry-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated seconds per telemetry timeline sample "
+        "(overrides REPRO_TELEMETRY_PERIOD; default 0.25)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable in-run telemetry timelines (simulation results "
+        "are bit-identical either way)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -247,6 +267,51 @@ def build_parser() -> argparse.ArgumentParser:
         default="repro-service.sqlite3",
         help="service store to resolve job ids against",
     )
+    inspect.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json gives machine-readable provenance "
+        "plus timeline summaries)",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="render the telemetry timelines of a result file or stored "
+        "job",
+    )
+    timeline.add_argument(
+        "target",
+        help="a result JSON file (from sweep/baseline --format json) or "
+        "a service job id",
+    )
+    timeline.add_argument(
+        "--db",
+        default="repro-service.sqlite3",
+        help="service store to resolve job ids against",
+    )
+    timeline.add_argument(
+        "--channel",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="channel to include (repeatable; default: all channels)",
+    )
+    timeline.add_argument(
+        "--cap",
+        default=None,
+        help="only the timeline at this cap in Watts, or 'baseline'",
+    )
+    timeline.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV rows (workload,cap,channel,t_s,dt_s,mean,min,max)",
+    )
+    timeline.add_argument(
+        "--ascii",
+        action="store_true",
+        help="render ASCII sparkline charts instead of summaries",
+    )
     return parser
 
 
@@ -257,6 +322,7 @@ def _cmd_baseline(args) -> str:
         repetitions=1,
         seed=args.seed,
         rate_cache=args.rate_cache,
+        telemetry=args.telemetry,
     )
     results = []
     for name in sorted(_WORKLOADS):
@@ -279,6 +345,7 @@ def _cmd_sweep(args) -> str:
         repetitions=args.reps,
         seed=args.seed,
         rate_cache=args.rate_cache,
+        telemetry=args.telemetry,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     if args.format == "json":
@@ -312,6 +379,7 @@ def _cmd_amenability(args) -> str:
         repetitions=args.reps,
         seed=args.seed,
         rate_cache=args.rate_cache,
+        telemetry=args.telemetry,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     report = characterize_amenability(result, tolerance_slowdown=args.tolerance)
@@ -441,6 +509,7 @@ def _cmd_figures(args) -> str:
         repetitions=args.reps,
         seed=args.seed,
         rate_cache=args.rate_cache,
+        telemetry=args.telemetry,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     if args.workload == "sire":
@@ -510,51 +579,127 @@ def _result_docs(data: dict) -> dict:
     return docs
 
 
-def _cmd_inspect(args) -> str:
+def _load_target_docs(target: str, db: str):
+    """Resolve ``target`` as a result file or a stored job id.
+
+    Returns ``(header, docs)`` where ``header`` describes the source
+    and ``docs`` is a ``{workload: experiment doc}`` map — or ``None``
+    when the target is a job that has not stored a result yet.  The
+    store is opened only if its file already exists; read-only commands
+    must never create an empty database as a side effect.
+    """
     from pathlib import Path
 
-    target = Path(args.target)
-    if target.is_file():
+    path = Path(target)
+    if path.is_file():
         try:
-            data = json.loads(target.read_text())
+            data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ReproError(f"cannot read {target}: {exc}") from exc
-        lines = [f"result file {target}"]
-        for name, doc in sorted(_result_docs(data).items()):
-            lines.append(
-                render_provenance(doc.get("provenance"), title=f"{name}:")
-            )
-        return "\n".join(lines)
-    # Not a file: resolve as a job id against the service store.  The
-    # store is opened only if its file already exists — inspect must
-    # never create an empty database as a side effect.
+            raise ReproError(f"cannot read {path}: {exc}") from exc
+        return f"result file {path}", _result_docs(data)
     from .service.store import ResultStore
 
-    if not Path(args.db).is_file():
+    if not Path(db).is_file():
         raise ReproError(
-            f"{args.target!r} is not a result file, and no service store "
-            f"exists at {args.db!r} to resolve it as a job id"
+            f"{target!r} is not a result file, and no service store "
+            f"exists at {db!r} to resolve it as a job id"
         )
-    store = ResultStore(args.db)
-    job = store.get_job(args.target)
+    store = ResultStore(db)
+    job = store.get_job(target)
     if job is None:
         raise ReproError(
-            f"{args.target!r} is neither a result file nor a job id "
-            f"in {args.db!r}"
+            f"{target!r} is neither a result file nor a job id in {db!r}"
         )
-    lines = [
+    header = (
         f"job {job.id}: state={job.state.value} "
         f"spec_digest={job.spec_digest}"
-    ]
-    doc = store.get_result_dict(job.spec_digest)
-    if doc is None:
+    )
+    return header, store.get_result_dict(job.spec_digest)
+
+
+def _cmd_inspect(args) -> str:
+    header, docs = _load_target_docs(args.target, args.db)
+    if args.format == "json":
+        out = {}
+        for name, doc in sorted((docs or {}).items()):
+            timelines = {}
+            rows = {"baseline": doc.get("baseline") or {}}
+            rows.update(doc.get("by_cap") or {})
+            for label, row in rows.items():
+                tl_doc = row.get("timeline")
+                if tl_doc is not None:
+                    timelines[label] = timeline_from_dict(tl_doc).summary()
+            out[name] = {
+                "provenance": doc.get("provenance"),
+                "timelines": timelines,
+            }
+        return json.dumps(out, indent=2, sort_keys=True)
+    lines = [header]
+    if docs is None:
         lines.append("  (no stored result for this job yet)")
         return "\n".join(lines)
-    for name, exp_doc in sorted(doc.items()):
+    for name, doc in sorted(docs.items()):
         lines.append(
-            render_provenance(exp_doc.get("provenance"), title=f"{name}:")
+            render_provenance(doc.get("provenance"), title=f"{name}:")
         )
     return "\n".join(lines)
+
+
+def _cmd_timeline(args) -> str:
+    from .core.ascii_plot import timeline_chart
+
+    _, docs = _load_target_docs(args.target, args.db)
+    if docs is None:
+        raise ReproError(
+            f"job {args.target!r} has no stored result yet"
+        )
+    timelines = extract_timelines(docs, args.channel)
+    if args.cap is not None:
+        if args.cap == "baseline":
+            timelines = [t for t in timelines if t.cap_w is None]
+        else:
+            try:
+                cap = float(args.cap)
+            except ValueError:
+                raise ReproError(
+                    f"--cap must be a number of Watts or 'baseline', "
+                    f"not {args.cap!r}"
+                ) from None
+            timelines = [t for t in timelines if t.cap_w == cap]
+    if not timelines:
+        raise ReproError(
+            "no matching telemetry timelines "
+            "(did the sweep run with telemetry disabled, or is --cap "
+            "outside the swept caps?)"
+        )
+    if args.csv:
+        lines = ["workload,cap,channel,t_s,dt_s,mean,min,max"]
+        for timeline in timelines:
+            lines.extend(timeline.to_csv().splitlines()[1:])
+        return "\n".join(lines)
+    if args.ascii:
+        return "\n\n".join(timeline_chart(t) for t in timelines)
+    lines = []
+    for timeline in timelines:
+        label = (
+            "uncapped" if timeline.cap_w is None
+            else f"{timeline.cap_w:g} W cap"
+        )
+        lines.append(
+            f"{timeline.workload} @ {label} — "
+            f"{timeline.duration_s():.1f} simulated s, "
+            f"period {timeline.period_s:g} s, {timeline.reps} rep(s)"
+        )
+        name_w = max(len(n) for n in timeline.names())
+        for name in timeline.names():
+            s = timeline.channel(name).summary()
+            lines.append(
+                f"  {name:>{name_w}}  {s['points']:>4} pts  "
+                f"min {s['min']:>12.6g}  mean {s['mean']:>12.6g}  "
+                f"max {s['max']:>12.6g}  {s['unit']}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -565,6 +710,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     configure_logging(
         level=args.log_level, json_mode=True if args.log_json else None
     )
+    # Resolve the global telemetry flags into the TelemetryConfig (or
+    # None = read REPRO_TELEMETRY*) that experiment commands thread
+    # through to their runners.
+    if args.no_telemetry:
+        args.telemetry = TelemetryConfig.resolve(False)
+    elif args.telemetry_period is not None:
+        base = TelemetryConfig.from_env()
+        args.telemetry = TelemetryConfig(
+            enabled=base.enabled,
+            period_s=args.telemetry_period,
+            capacity=base.capacity,
+        )
+    else:
+        args.telemetry = None
     collector = start_tracing() if args.trace_out else None
     handler = {
         "baseline": _cmd_baseline,
@@ -577,6 +736,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _cmd_figures,
         "serve": _cmd_serve,
         "inspect": _cmd_inspect,
+        "timeline": _cmd_timeline,
     }[args.command]
     try:
         with span("cli", command=args.command):

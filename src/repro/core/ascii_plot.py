@@ -15,10 +15,80 @@ from typing import Dict, Mapping, Sequence
 
 from ..errors import SimulationError
 
-__all__ = ["line_chart", "log_scatter_chart"]
+__all__ = ["line_chart", "log_scatter_chart", "sparkline", "timeline_chart"]
 
 #: Marker characters assigned to series in order.
 MARKERS = "o+x*#@%&"
+
+#: Density ramp for sparklines, lightest to densest (pure ASCII).
+SPARK_RAMP = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: "float | None" = None,
+    hi: "float | None" = None,
+) -> str:
+    """One character per value, density-mapped onto ``[lo, hi]``.
+
+    Bounds default to the data's own min/max; a flat series renders as
+    a run of mid-ramp characters.
+    """
+    if not values:
+        raise SimulationError("need at least one value")
+    values = [float(v) for v in values]
+    lo = min(values) if lo is None else float(lo)
+    hi = max(values) if hi is None else float(hi)
+    span = hi - lo
+    top = len(SPARK_RAMP) - 1
+    # A span within float rounding of the values' magnitude is flat —
+    # without this, resampling noise in the last digit fills the ramp.
+    if span <= 1e-9 * max(abs(lo), abs(hi), 1.0):
+        return SPARK_RAMP[top // 2] * len(values)
+    chars = []
+    for v in values:
+        frac = (v - lo) / span
+        chars.append(SPARK_RAMP[int(round(min(1.0, max(0.0, frac)) * top))])
+    return "".join(chars)
+
+
+def timeline_chart(timeline, channels: "Sequence[str] | None" = None,
+                   width: int = 64) -> str:
+    """Sparkline rows for a telemetry timeline's channels.
+
+    ``timeline`` is a :class:`repro.obs.timeseries.RunTimeline` (duck-
+    typed: anything with ``names``/``channel``/``duration_s`` and
+    resamplable channels works).  Each channel is resampled onto
+    ``width`` uniform bins over the run and rendered with its own
+    min/mean/max annotations.
+    """
+    if width < 8:
+        raise SimulationError("chart width must be at least 8 columns")
+    names = list(channels) if channels else timeline.names()
+    if not names:
+        raise SimulationError("timeline has no channels to render")
+    end = timeline.duration_s()
+    label_w = max(len(n) for n in names)
+    lines = [
+        f"{timeline.workload} @ "
+        f"{'uncapped' if timeline.cap_w is None else f'{timeline.cap_w:g} W'}"
+        f" — {end:.1f} simulated s, {timeline.reps} rep(s)"
+    ]
+    for name in names:
+        ch = timeline.channel(name)
+        pts = ch.resample(width, end)
+        if not pts:
+            lines.append(f"{name:>{label_w}} | (empty)")
+            continue
+        spark = sparkline([p.mean for p in pts])
+        unit = f" {ch.unit}" if ch.unit else ""
+        lines.append(
+            f"{name:>{label_w}} |{spark}| "
+            f"min {ch.vmin():.6g}  mean {ch.time_weighted_mean():.6g}  "
+            f"max {ch.vmax():.6g}{unit}"
+        )
+    lines.append(f"{'':>{label_w}}  0 s{'':{max(0, width - 12)}}{end:.1f} s")
+    return "\n".join(lines)
 
 
 def line_chart(

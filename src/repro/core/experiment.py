@@ -23,8 +23,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PAPER_POWER_CAPS_W, NodeConfig
 from ..errors import ConfigError, SimulationError
+from ..obs.detect import scan_experiment
 from ..obs.logging import get_logger
 from ..obs.provenance import build_provenance
+from ..obs.timeseries import TelemetryConfig
 from ..obs.tracing import phase_totals, span
 from ..rng import DEFAULT_SEED
 from ..workloads.base import Workload
@@ -83,6 +85,7 @@ def _pool_init(
     seed: int,
     slice_accesses: int,
     rate_cache_path: "str | None",
+    telemetry: "TelemetryConfig | None" = None,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = NodeRunner(
@@ -90,6 +93,7 @@ def _pool_init(
         seed=seed,
         slice_accesses=slice_accesses,
         rate_cache=rate_cache_path,
+        telemetry=telemetry,
     )
 
 
@@ -143,6 +147,7 @@ class PowerCapExperiment:
         config: NodeConfig | None = None,
         slice_accesses: int = 320_000,
         rate_cache: "RateCache | str | os.PathLike | None" = None,
+        telemetry: "TelemetryConfig | bool | None" = None,
     ) -> None:
         if not workloads:
             raise SimulationError("need at least one workload")
@@ -165,6 +170,7 @@ class PowerCapExperiment:
             seed=seed,
             slice_accesses=slice_accesses,
             rate_cache=rate_cache,
+            telemetry=telemetry,
         )
 
     @property
@@ -212,6 +218,7 @@ class PowerCapExperiment:
                 self._seed,
                 self._slice_accesses,
                 self._rate_cache_path,
+                self._runner.telemetry,
             ),
         ) as pool:
             # map() preserves task order, so reassembly below does not
@@ -246,6 +253,21 @@ class PowerCapExperiment:
             phase_seconds=phase_seconds,
         )
 
+    def _annotate_phenomena(self, result: ExperimentResult) -> None:
+        """Scan the sweep's timelines and annotate provenance.
+
+        Detections (frequency-floor pinning, cap overshoot/settling,
+        energy-knee onset) are logged, counted in the telemetry metrics
+        panel, and recorded under ``provenance["phenomena"]`` so they
+        travel with the result through serialize/store/API.
+        """
+        floor_mhz = self._runner.config.pstates.f_min_mhz
+        detections = scan_experiment(result, floor_mhz)
+        if result.provenance is not None:
+            result.provenance["phenomena"] = [
+                d.to_dict() for d in detections
+            ]
+
     def run_workload(self, workload: Workload, jobs: int = 1) -> ExperimentResult:
         """Baseline plus the full cap sweep for one workload.
 
@@ -273,6 +295,7 @@ class PowerCapExperiment:
         result.provenance = self._provenance_for(
             workload, _phase_delta(phases0, phase_totals())
         )
+        self._annotate_phenomena(result)
         _log.info(
             "sweep_done",
             workload=workload.name,
@@ -304,5 +327,6 @@ class PowerCapExperiment:
         for i, w in enumerate(self._workloads):
             result = self._assemble(w, runs[i * per : (i + 1) * per])
             result.provenance = self._provenance_for(w, phase_seconds)
+            self._annotate_phenomena(result)
             results[w.name] = result
         return results

@@ -8,12 +8,13 @@ the nearest integer.  These types carry exactly that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.timeseries import RunTimeline
 from ..perf.events import PapiEvent
 
 __all__ = ["RunResult", "AveragedResult", "percent_diff"]
@@ -46,6 +47,10 @@ class RunResult:
     #: The BMC's System Event Log trail for this run:
     #: (time_s, event_name, detail) tuples, oldest first.
     sel_events: tuple = ()
+    #: Sampled in-run telemetry (see :mod:`repro.obs.timeseries`);
+    #: None when telemetry is disabled.  Excluded from equality so
+    #: results with and without timelines still compare by their numbers.
+    timeline: Optional[RunTimeline] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.execution_s <= 0:
@@ -80,6 +85,9 @@ class AveragedResult:
     max_escalation_level: int
     min_duty: float
     execution_s_std: float = 0.0
+    #: Rep-merged telemetry timeline (channel-wise average across the
+    #: repetitions that recorded one); None when telemetry was off.
+    timeline: Optional[RunTimeline] = field(default=None, compare=False)
 
     @classmethod
     def from_runs(cls, runs: Sequence[RunResult]) -> "AveragedResult":
@@ -93,6 +101,8 @@ class AveragedResult:
         counters = {
             e: float(np.mean([r.counters[e] for r in runs])) for e in events
         }
+        timelines = [r.timeline for r in runs if r.timeline is not None]
+        timeline = RunTimeline.merge(timelines) if timelines else None
         return cls(
             workload=first.workload,
             cap_w=first.cap_w,
@@ -111,6 +121,7 @@ class AveragedResult:
             max_escalation_level=max(r.max_escalation_level for r in runs),
             min_duty=min(r.min_duty for r in runs),
             execution_s_std=float(np.std([r.execution_s for r in runs])),
+            timeline=timeline,
         )
 
     @property

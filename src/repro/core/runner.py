@@ -38,8 +38,9 @@ from ..mem.hierarchy import AccessRates, MemoryHierarchy
 from ..mem.latency import AccessCosts, stall_ns_per_instruction
 from ..mem.reconfig import GatingState, ReconfigEngine
 from ..obs.logging import get_logger
-from ..obs.metrics import engine_metrics
-from ..obs.tracing import span
+from ..obs.metrics import engine_metrics, telemetry_metrics
+from ..obs.timeseries import TelemetryConfig, TelemetrySampler
+from ..obs.tracing import current_collector, span
 from ..perf.counters import CounterBank
 from ..perf.events import PapiEvent
 from ..power.energy import EnergyAccumulator
@@ -79,6 +80,7 @@ class NodeRunner:
         fast_engine: bool = True,
         fast_forward: bool = True,
         rate_cache: "RateCache | str | os.PathLike | None" = None,
+        telemetry: "TelemetryConfig | bool | None" = None,
     ) -> None:
         self._config = config or sandy_bridge_config()
         self._seed = int(seed)
@@ -91,6 +93,7 @@ class NodeRunner:
         if rate_cache is not None and not isinstance(rate_cache, RateCache):
             rate_cache = RateCache(rate_cache)
         self._rate_cache: RateCache | None = rate_cache
+        self._telemetry = TelemetryConfig.resolve(telemetry)
         self._slices: Dict[str, TraceSlice] = {}
         self._engines: Dict[str, TraceEngine] = {}
         self._rates: Dict[Tuple[str, tuple], AccessRates] = {}
@@ -104,6 +107,11 @@ class NodeRunner:
     def rate_cache(self) -> "RateCache | None":
         """The persistent rate cache (None when disabled)."""
         return self._rate_cache
+
+    @property
+    def telemetry(self) -> TelemetryConfig:
+        """The in-run telemetry sampling configuration."""
+        return self._telemetry
 
     # ------------------------------------------------------------------
     # Rate measurement (trace-driven cache simulation)
@@ -199,6 +207,21 @@ class NodeRunner:
         with span("run", workload=workload.name, cap_w=cap_w, rep=rep):
             result, quanta, fast_forwarded = self._run(workload, cap_w, rep)
         wall_s = time.perf_counter() - wall0
+        collector = current_collector()
+        if collector is not None and result.timeline is not None:
+            # Telemetry channels ride the trace as counter tracks: each
+            # sample's *simulated* time maps proportionally onto the
+            # run's wall-clock interval, so counter curves line up with
+            # the run's span in chrome://tracing / Perfetto.
+            scale = wall_s / result.execution_s if result.execution_s else 0.0
+            for channel, t_s, value in result.timeline.counter_samples(
+                max_points=48
+            ):
+                collector.add_counter(
+                    f"telemetry:{channel}",
+                    wall0 + t_s * scale,
+                    {channel: value},
+                )
         metrics = engine_metrics()
         metrics.runs.inc()
         metrics.quanta.inc(quanta)
@@ -247,6 +270,16 @@ class NodeRunner:
         instr_by_gating: Dict[tuple, float] = {}
         gating_by_key: Dict[tuple, GatingState] = {}
         series = []
+        # In-run telemetry: pure observation (no RNG, no model state), so
+        # results are bit-identical with the sampler on or off.  A fast-
+        # forwarded remainder arrives as one wide sample — timelines stay
+        # gap-free and the power channel's integral matches the energy path.
+        sampler = (
+            TelemetrySampler(self._telemetry)
+            if self._telemetry.enabled
+            else None
+        )
+        mpki_by_gating: Dict[tuple, tuple] = {}
 
         # Initial condition: one quantum at P0, unthrottled, ungated.
         gating = GatingState.ungated()
@@ -386,6 +419,35 @@ class NodeRunner:
             max_escalation = max(max_escalation, cmd.escalation_level)
             min_duty = min(min_duty, cmd.duty)
 
+            if sampler is not None:
+                mpki = mpki_by_gating.get(key)
+                if mpki is None:
+                    mpki = mpki_by_gating[key] = (
+                        (rates.l1d_misses + rates.l1i_misses) * 1e3,
+                        rates.l2_misses * 1e3,
+                        rates.l3_misses * 1e3,
+                        rates.dtlb_misses * 1e3,
+                        rates.itlb_misses * 1e3,
+                    )
+                sampler.record(
+                    dt,
+                    {
+                        "power_w": power,
+                        "freq_mhz": freq / 1e6,
+                        "pstate": cmd.alpha * cmd.pstate_fast.index
+                        + (1.0 - cmd.alpha) * cmd.pstate_slow.index,
+                        "duty": cmd.duty,
+                        # Duty modulation forces the core out of C0 for
+                        # the halted fraction of each quantum.
+                        "c0_frac": cmd.duty,
+                        "temp_c": temp,
+                        "l1_mpki": mpki[0],
+                        "l2_mpki": mpki[1],
+                        "l3_mpki": mpki[2],
+                        "dtlb_mpki": mpki[3],
+                        "itlb_mpki": mpki[4],
+                    },
+                )
             thermal.step(power, dt)
             meter.advance(t, dt, lambda _t, p=power: p)
             energy.add(power, dt)
@@ -412,6 +474,11 @@ class NodeRunner:
         bank.add(PapiEvent.PAPI_TOT_IIS, total_instr * speculation)
         bank.add(PapiEvent.PAPI_TOT_CYC, cycles)
 
+        timeline = None
+        if sampler is not None:
+            timeline = sampler.finish(workload.name, cap_w)
+            telemetry_metrics().observe_run(sampler, timeline)
+
         avg_power = meter.average_power_w() if meter.readings else energy.average_power_w()
         sel_events = tuple(
             (e.time_s, e.event.value, e.detail)
@@ -431,5 +498,6 @@ class NodeRunner:
             min_duty=min_duty,
             series=tuple(series),
             sel_events=sel_events,
+            timeline=timeline,
         )
         return result, quanta, fast_forwarded

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Union
 
 from ..errors import SimulationError
+from ..obs.timeseries import RunTimeline, timeline_from_dict, timeline_to_dict
 from ..perf.events import PapiEvent
 from .experiment import ExperimentResult
 from .metrics import AveragedResult
@@ -23,6 +24,7 @@ __all__ = [
     "averaged_from_dict",
     "experiment_to_dict",
     "experiment_from_dict",
+    "extract_timelines",
     "save_experiment",
     "load_experiment",
 ]
@@ -41,7 +43,7 @@ def averaged_from_dict(data: dict) -> AveragedResult:
 
 
 def _averaged_to_dict(row: AveragedResult) -> dict:
-    return {
+    doc = {
         "workload": row.workload,
         "cap_w": row.cap_w,
         "n_runs": row.n_runs,
@@ -56,6 +58,12 @@ def _averaged_to_dict(row: AveragedResult) -> dict:
         "min_duty": row.min_duty,
         "execution_s_std": row.execution_s_std,
     }
+    # The telemetry timeline is optional (absent when sampling is off),
+    # so documents written either way stay loadable by either reader —
+    # format_version 1 is unchanged.
+    if row.timeline is not None:
+        doc["timeline"] = timeline_to_dict(row.timeline)
+    return doc
 
 
 def _averaged_from_dict(data: dict) -> AveragedResult:
@@ -77,6 +85,11 @@ def _averaged_from_dict(data: dict) -> AveragedResult:
             max_escalation_level=int(data["max_escalation_level"]),
             min_duty=float(data["min_duty"]),
             execution_s_std=float(data.get("execution_s_std", 0.0)),
+            timeline=(
+                timeline_from_dict(data["timeline"])
+                if data.get("timeline") is not None
+                else None
+            ),
         )
     except (KeyError, ValueError) as exc:
         raise SimulationError(f"malformed result row: {exc}") from exc
@@ -119,6 +132,49 @@ def experiment_from_dict(data: dict) -> ExperimentResult:
     for cap_str, row in data.get("by_cap", {}).items():
         result.by_cap[float(cap_str)] = _averaged_from_dict(row)
     return result
+
+
+def extract_timelines(
+    doc: dict, channels: "list[str] | None" = None
+) -> "list[RunTimeline]":
+    """Every telemetry timeline in a result document.
+
+    ``doc`` is either one sweep document (``format_version`` present)
+    or a ``{workload: sweep document}`` map (the ``baseline --format
+    json`` and service-store layouts).  Timelines come back baseline
+    first, then caps highest to lowest, per workload.  With
+    ``channels`` each timeline is restricted to the named channels;
+    unknown names raise :class:`~repro.errors.SimulationError`.
+    """
+    sweep_docs = [doc] if "format_version" in doc else list(doc.values())
+    out: "list[RunTimeline]" = []
+    for sweep in sweep_docs:
+        if not isinstance(sweep, dict):
+            continue
+        rows = [sweep.get("baseline") or {}]
+        by_cap = sweep.get("by_cap") or {}
+        rows.extend(
+            by_cap[k] for k in sorted(by_cap, key=float, reverse=True)
+        )
+        for row in rows:
+            tl_doc = row.get("timeline")
+            if tl_doc is None:
+                continue
+            timeline = timeline_from_dict(tl_doc)
+            if channels:
+                missing = [
+                    c for c in channels if c not in timeline.channels
+                ]
+                if missing:
+                    raise SimulationError(
+                        f"unknown channel(s) {missing}; available: "
+                        f"{sorted(timeline.channels)}"
+                    )
+                timeline.channels = {
+                    c: timeline.channels[c] for c in channels
+                }
+            out.append(timeline)
+    return out
 
 
 def save_experiment(result: ExperimentResult, path: Union[str, Path]) -> None:

@@ -15,8 +15,25 @@ subsystem threads through (see ``docs/OBSERVABILITY.md``):
   timings that produced it;
 - :mod:`.metrics` — the Prometheus exposition layer (moved here from
   ``repro.service.metrics``, which re-exports it) plus
-  :func:`engine_metrics`, the simulation-core instrument panel.
+  :func:`engine_metrics`, the simulation-core instrument panel, and
+  :func:`telemetry_metrics`, the in-run telemetry panel;
+- :mod:`.timeseries` — bounded, downsampling in-run telemetry: the
+  :class:`SeriesChannel` ring, :class:`RunTimeline`, and the
+  :class:`TelemetrySampler` the runner feeds each control step
+  (``--telemetry-period`` / ``REPRO_TELEMETRY_*``);
+- :mod:`.detect` — phenomenon detectors scanning timelines for the
+  paper's frequency-floor pinning, cap overshoot/settling, and
+  energy-knee onset.
 """
+
+from .detect import (
+    Detection,
+    detect_cap_overshoot,
+    detect_energy_knee,
+    detect_frequency_floor,
+    scan_experiment,
+    scan_timeline,
+)
 
 from .logging import (
     HumanFormatter,
@@ -34,7 +51,9 @@ from .metrics import (
     Metric,
     MetricsRegistry,
     ServiceMetrics,
+    TelemetryMetrics,
     engine_metrics,
+    telemetry_metrics,
 )
 from .provenance import (
     PROVENANCE_SCHEMA_VERSION,
@@ -42,6 +61,16 @@ from .provenance import (
     config_digest,
     git_describe,
     render_provenance,
+)
+from .timeseries import (
+    TIMELINE_SCHEMA_VERSION,
+    RunTimeline,
+    SeriesChannel,
+    SeriesPoint,
+    TelemetryConfig,
+    TelemetrySampler,
+    timeline_from_dict,
+    timeline_to_dict,
 )
 from .tracing import (
     TraceCollector,
@@ -81,6 +110,22 @@ __all__ = [
     "ServiceMetrics",
     "EngineMetrics",
     "engine_metrics",
+    "TelemetryMetrics",
+    "telemetry_metrics",
+    "TIMELINE_SCHEMA_VERSION",
+    "SeriesPoint",
+    "SeriesChannel",
+    "RunTimeline",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "timeline_to_dict",
+    "timeline_from_dict",
+    "Detection",
+    "detect_frequency_floor",
+    "detect_cap_overshoot",
+    "detect_energy_knee",
+    "scan_timeline",
+    "scan_experiment",
     "PROVENANCE_SCHEMA_VERSION",
     "build_provenance",
     "config_digest",

@@ -33,6 +33,8 @@ __all__ = [
     "ServiceMetrics",
     "EngineMetrics",
     "engine_metrics",
+    "TelemetryMetrics",
+    "telemetry_metrics",
 ]
 
 #: (metric name, labels, value)
@@ -322,6 +324,109 @@ def engine_metrics() -> EngineMetrics:
     return _engine_metrics
 
 
+class TelemetryMetrics:
+    """In-run telemetry instrument panel (one per process).
+
+    The sampler is pure bookkeeping on the hot path; these series are
+    incremented **in batch, once per finished run** (and once per
+    detector scan), never per control quantum:
+
+    - ``repro_telemetry_runs_total`` — runs that recorded a timeline;
+    - ``repro_telemetry_samples_total`` — raw sampler ``record`` calls
+      folded into buckets;
+    - ``repro_telemetry_points_total`` — timeline points held at run
+      end (post-decimation);
+    - ``repro_telemetry_decimations_total`` — 2× ring decimation
+      passes across all channels;
+    - ``repro_telemetry_channels`` — channels in the most recent
+      timeline;
+    - ``repro_telemetry_detections_total{phenomenon=...}`` — detector
+      hits by phenomenon name (``freq_floor``, ``cap_overshoot``,
+      ``energy_knee``).
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.runs = reg(
+            Counter(
+                "repro_telemetry_runs_total",
+                "Runs that recorded a telemetry timeline",
+            )
+        )
+        self.samples = reg(
+            Counter(
+                "repro_telemetry_samples_total",
+                "Raw telemetry sampler record() calls",
+            )
+        )
+        self.points = reg(
+            Counter(
+                "repro_telemetry_points_total",
+                "Timeline points held at run end (post-decimation)",
+            )
+        )
+        self.decimations = reg(
+            Counter(
+                "repro_telemetry_decimations_total",
+                "2x ring decimation passes across all channels",
+            )
+        )
+        self.channels = reg(
+            Gauge(
+                "repro_telemetry_channels",
+                "Channels recorded in the most recent timeline",
+            )
+        )
+        self._detections_lock = threading.Lock()
+        self._detections: Dict[str, float] = {}
+        self.detections = reg(
+            Gauge(
+                "repro_telemetry_detections_total",
+                "Detector hits by phenomenon",
+                callback=self._detection_counts,
+                label_name="phenomenon",
+            )
+        )
+
+    def _detection_counts(self) -> Dict[str, float]:
+        with self._detections_lock:
+            return dict(self._detections)
+
+    def observe_run(self, sampler, timeline) -> None:
+        """Batch-record one finished run's sampler + timeline stats."""
+        self.runs.inc()
+        self.samples.inc(sampler.samples)
+        channels = list(timeline.channels.values())
+        self.points.inc(sum(len(c) for c in channels))
+        self.decimations.inc(sum(c.decimations for c in channels))
+        self.channels.set(len(channels))
+
+    def observe_detections(self, phenomena: "Sequence[str]") -> None:
+        """Count detector hits, labelled by phenomenon name."""
+        with self._detections_lock:
+            for name in phenomena:
+                self._detections[name] = self._detections.get(name, 0.0) + 1.0
+
+    def render(self) -> str:
+        """Text exposition of the telemetry panel."""
+        return self.registry.render()
+
+
+_telemetry_metrics_lock = threading.Lock()
+_telemetry_metrics: "TelemetryMetrics | None" = None
+
+
+def telemetry_metrics() -> TelemetryMetrics:
+    """The process-wide :class:`TelemetryMetrics` singleton."""
+    global _telemetry_metrics
+    if _telemetry_metrics is None:
+        with _telemetry_metrics_lock:
+            if _telemetry_metrics is None:
+                _telemetry_metrics = TelemetryMetrics()
+    return _telemetry_metrics
+
+
 class ServiceMetrics:
     """The experiment service's standard instrument panel.
 
@@ -405,5 +510,9 @@ class ServiceMetrics:
         self._cache_misses._callback = cache_misses
 
     def render(self) -> str:
-        """Text exposition of the service panel plus the engine panel."""
-        return self.registry.render() + engine_metrics().render()
+        """Text exposition: service + engine + telemetry panels."""
+        return (
+            self.registry.render()
+            + engine_metrics().render()
+            + telemetry_metrics().render()
+        )

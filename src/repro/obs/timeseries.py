@@ -1,0 +1,599 @@
+"""In-run telemetry timelines: bounded, downsampling time-series.
+
+The paper's evidence chain is time-resolved measurement — a Watts Up!
+meter sampling wall power, average core frequency, and PAPI counters
+per run.  Aggregates (PR 3's provenance manifests) cannot show the
+phenomena *inside* a run: the 1,200 MHz frequency floor at caps
+≤ 130 W, the DCM control loop's overshoot and settling, the energy
+knee.  This module records those time series without unbounded memory
+and without perturbing the simulation:
+
+- :class:`SeriesChannel` — a fixed-capacity recorder of
+  duration-weighted interval samples.  When full it decimates 2×
+  (adjacent intervals merge into one, duration-weighted, min/max
+  preserved), so a channel covers an arbitrarily long run at steadily
+  coarser resolution while its time integral stays exact.
+- :class:`RunTimeline` — the named channels of one run plus metadata,
+  with JSON/CSV round-trips and rep merging.
+- :class:`TelemetrySampler` — aggregates the runner's per-quantum
+  state onto a configurable simulated-time period.  A steady-state
+  fast-forwarded interval arrives as one long constant sample, so
+  timelines have **no gaps** across fast-forwards and the power
+  channel's integral still matches the scalar energy path.
+- :class:`TelemetryConfig` — the knobs (`REPRO_TELEMETRY`,
+  `REPRO_TELEMETRY_PERIOD`, `REPRO_TELEMETRY_CAPACITY`, or the CLI's
+  ``--telemetry-period`` / ``--no-telemetry``).
+
+Telemetry is pure observation: it draws no random numbers and touches
+no model state, so results are bit-identical with sampling on or off.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+__all__ = [
+    "TIMELINE_SCHEMA_VERSION",
+    "SeriesPoint",
+    "SeriesChannel",
+    "RunTimeline",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "timeline_to_dict",
+    "timeline_from_dict",
+]
+
+TIMELINE_SCHEMA_VERSION = 1
+
+#: Channels every run records, with their units (insertion order is
+#: the presentation order everywhere downstream).
+STANDARD_CHANNELS: Dict[str, str] = {
+    "power_w": "W",
+    "freq_mhz": "MHz",
+    "pstate": "index",
+    "duty": "fraction",
+    "c0_frac": "fraction",
+    "temp_c": "degC",
+    "l1_mpki": "misses/kinstr",
+    "l2_mpki": "misses/kinstr",
+    "l3_mpki": "misses/kinstr",
+    "dtlb_mpki": "misses/kinstr",
+    "itlb_mpki": "misses/kinstr",
+}
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+
+def _sig(value: float) -> float:
+    """Round to 8 significant digits for compact, stable JSON."""
+    return float(f"{float(value):.8g}")
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One duration-weighted interval sample of a channel."""
+
+    t_s: float
+    dt_s: float
+    mean: float
+    vmin: float
+    vmax: float
+
+    @property
+    def end_s(self) -> float:
+        """The instant this interval's coverage ends."""
+        return self.t_s + self.dt_s
+
+
+class SeriesChannel:
+    """Bounded time series of duration-weighted interval samples.
+
+    ``add`` appends an interval ``[t_s, t_s + dt_s)`` during which the
+    value averaged ``mean`` (bounded by ``vmin``/``vmax``).  Once
+    ``capacity`` points accumulate, adjacent pairs merge (duration-
+    weighted mean, min of mins, max of maxes) — memory stays bounded,
+    coverage stays gap-free, and ``integral()`` is preserved exactly up
+    to float associativity.
+    """
+
+    __slots__ = ("name", "unit", "capacity", "_points", "decimations")
+
+    def __init__(self, name: str, unit: str = "", capacity: int = 256) -> None:
+        if capacity < 8:
+            raise SimulationError("channel capacity must be at least 8")
+        self.name = name
+        self.unit = unit
+        self.capacity = int(capacity)
+        self._points: List[SeriesPoint] = []
+        self.decimations = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def add(
+        self,
+        t_s: float,
+        dt_s: float,
+        mean: float,
+        vmin: Optional[float] = None,
+        vmax: Optional[float] = None,
+    ) -> None:
+        """Append one interval sample (decimating 2× when full)."""
+        if dt_s < 0:
+            raise SimulationError("sample duration must be non-negative")
+        vmin = mean if vmin is None else vmin
+        vmax = mean if vmax is None else vmax
+        if len(self._points) >= self.capacity:
+            self._decimate()
+        self._points.append(
+            SeriesPoint(float(t_s), float(dt_s), float(mean), float(vmin),
+                        float(vmax))
+        )
+
+    def _decimate(self) -> None:
+        pts = self._points
+        merged: List[SeriesPoint] = []
+        for i in range(0, len(pts) - 1, 2):
+            merged.append(_merge_pair(pts[i], pts[i + 1]))
+        if len(pts) % 2:
+            merged.append(pts[-1])
+        self._points = merged
+        self.decimations += 1
+
+    def points(self) -> List[SeriesPoint]:
+        """A snapshot of the current points, oldest first."""
+        return list(self._points)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def duration_s(self) -> float:
+        """Total covered simulated time."""
+        return sum(p.dt_s for p in self._points)
+
+    def integral(self) -> float:
+        """``sum(mean * dt)`` — for the power channel, Joules."""
+        return sum(p.mean * p.dt_s for p in self._points)
+
+    def time_weighted_mean(self) -> float:
+        """Duration-weighted mean over the whole channel."""
+        total = self.duration_s()
+        if total <= 0:
+            raise SimulationError(f"channel {self.name!r} covers no time")
+        return self.integral() / total
+
+    def vmin(self) -> float:
+        """Smallest value observed (pre-decimation minima survive)."""
+        if not self._points:
+            raise SimulationError(f"channel {self.name!r} is empty")
+        return min(p.vmin for p in self._points)
+
+    def vmax(self) -> float:
+        """Largest value observed (pre-decimation maxima survive)."""
+        if not self._points:
+            raise SimulationError(f"channel {self.name!r} is empty")
+        return max(p.vmax for p in self._points)
+
+    def summary(self) -> dict:
+        """JSON-ready headline statistics for this channel."""
+        if not self._points:
+            return {"points": 0}
+        return {
+            "points": len(self._points),
+            "unit": self.unit,
+            "t0_s": _sig(self._points[0].t_s),
+            "t1_s": _sig(self._points[-1].end_s),
+            "min": _sig(self.vmin()),
+            "mean": _sig(self.time_weighted_mean()),
+            "max": _sig(self.vmax()),
+            "decimations": self.decimations,
+        }
+
+    # ------------------------------------------------------------------
+    # Resampling and merging
+    # ------------------------------------------------------------------
+
+    def resample(self, n: int, t1_s: Optional[float] = None) -> List[SeriesPoint]:
+        """Project onto ``n`` uniform bins over ``[0, t1_s]``.
+
+        Bin means are coverage-weighted from the overlapping intervals
+        (integral-preserving); bins with no coverage carry the nearest
+        preceding value so renderings stay gap-free.
+        """
+        if n <= 0:
+            raise SimulationError("resample bin count must be positive")
+        if not self._points:
+            return []
+        end = float(t1_s) if t1_s is not None else self._points[-1].end_s
+        if end <= 0:
+            return []
+        width = end / n
+        wsum = [0.0] * n
+        cover = [0.0] * n
+        mins = [None] * n
+        maxs = [None] * n
+        for p in self._points:
+            if p.dt_s <= 0:
+                continue
+            lo = max(0, min(n - 1, int(p.t_s / width)))
+            hi = max(0, min(n - 1, int((p.end_s - 1e-12) / width)))
+            for b in range(lo, hi + 1):
+                b0, b1 = b * width, (b + 1) * width
+                overlap = min(p.end_s, b1) - max(p.t_s, b0)
+                if overlap <= 0:
+                    continue
+                wsum[b] += p.mean * overlap
+                cover[b] += overlap
+                mins[b] = p.vmin if mins[b] is None else min(mins[b], p.vmin)
+                maxs[b] = p.vmax if maxs[b] is None else max(maxs[b], p.vmax)
+        out: List[SeriesPoint] = []
+        last = self._points[0].mean
+        for b in range(n):
+            if cover[b] > 0:
+                mean = wsum[b] / cover[b]
+                last = mean
+                out.append(
+                    SeriesPoint(b * width, width, mean, mins[b], maxs[b])
+                )
+            else:
+                out.append(SeriesPoint(b * width, width, last, last, last))
+        return out
+
+    @classmethod
+    def merge(cls, channels: "Sequence[SeriesChannel]") -> "SeriesChannel":
+        """Average several recordings of the same channel (rep merge).
+
+        Channels are projected onto a common uniform grid spanning the
+        longest recording and averaged bin-wise; ``vmin``/``vmax``
+        envelope every contributor.
+        """
+        channels = [c for c in channels if len(c)]
+        if not channels:
+            raise SimulationError("cannot merge zero non-empty channels")
+        if len({c.name for c in channels}) != 1:
+            raise SimulationError("merge mixes differently named channels")
+        first = channels[0]
+        if len(channels) == 1:
+            out = cls(first.name, first.unit, first.capacity)
+            out._points = first.points()
+            out.decimations = first.decimations
+            return out
+        end = max(c._points[-1].end_s for c in channels)
+        n = min(max(len(c) for c in channels), first.capacity)
+        grids = [c.resample(n, end) for c in channels]
+        out = cls(first.name, first.unit, first.capacity)
+        for b in range(n):
+            pts = [g[b] for g in grids]
+            out.add(
+                pts[0].t_s,
+                pts[0].dt_s,
+                sum(p.mean for p in pts) / len(pts),
+                min(p.vmin for p in pts),
+                max(p.vmax for p in pts),
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialisation (columnar, compact)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Columnar JSON-ready representation."""
+        return {
+            "unit": self.unit,
+            "capacity": self.capacity,
+            "decimations": self.decimations,
+            "t": [_sig(p.t_s) for p in self._points],
+            "dt": [_sig(p.dt_s) for p in self._points],
+            "mean": [_sig(p.mean) for p in self._points],
+            "min": [_sig(p.vmin) for p in self._points],
+            "max": [_sig(p.vmax) for p in self._points],
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "SeriesChannel":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            out = cls(name, data.get("unit", ""), int(data.get("capacity", 256)))
+            out.decimations = int(data.get("decimations", 0))
+            cols = (data["t"], data["dt"], data["mean"], data["min"], data["max"])
+            if len({len(c) for c in cols}) != 1:
+                raise SimulationError(
+                    f"channel {name!r} has ragged columns"
+                )
+            out._points = [
+                SeriesPoint(float(t), float(dt), float(m), float(lo), float(hi))
+                for t, dt, m, lo, hi in zip(*cols)
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed channel {name!r}: {exc}") from exc
+        return out
+
+
+def _merge_pair(a: SeriesPoint, b: SeriesPoint) -> SeriesPoint:
+    dt = a.dt_s + b.dt_s
+    if dt <= 0:
+        mean = (a.mean + b.mean) / 2.0
+    else:
+        mean = (a.mean * a.dt_s + b.mean * b.dt_s) / dt
+    return SeriesPoint(
+        a.t_s, dt, mean, min(a.vmin, b.vmin), max(a.vmax, b.vmax)
+    )
+
+
+@dataclass
+class RunTimeline:
+    """All sampled channels of one run (or a rep-merged average)."""
+
+    workload: str
+    cap_w: Optional[float]
+    period_s: float
+    channels: Dict[str, SeriesChannel] = field(default_factory=dict)
+    #: How many repetitions were merged into this timeline (1 = raw).
+    reps: int = 1
+
+    @property
+    def cap_label(self) -> str:
+        """Row label: the cap in watts, or 'baseline'."""
+        return "baseline" if self.cap_w is None else f"{self.cap_w:.0f}"
+
+    def channel(self, name: str) -> SeriesChannel:
+        """One channel by name."""
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise SimulationError(
+                f"timeline has no channel {name!r}; available: "
+                f"{sorted(self.channels)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Channel names in recording order."""
+        return list(self.channels)
+
+    def duration_s(self) -> float:
+        """Covered simulated time (the longest channel's coverage)."""
+        return max((c.duration_s() for c in self.channels.values()), default=0.0)
+
+    def summary(self) -> dict:
+        """JSON-ready per-channel headline statistics."""
+        return {
+            "workload": self.workload,
+            "cap_w": self.cap_w,
+            "reps": self.reps,
+            "period_s": _sig(self.period_s),
+            "duration_s": _sig(self.duration_s()),
+            "channels": {n: c.summary() for n, c in self.channels.items()},
+        }
+
+    @classmethod
+    def merge(cls, timelines: "Sequence[RunTimeline]") -> "RunTimeline":
+        """Average repetition timelines channel-by-channel."""
+        timelines = list(timelines)
+        if not timelines:
+            raise SimulationError("cannot merge zero timelines")
+        first = timelines[0]
+        if len(timelines) == 1:
+            return first
+        out = cls(
+            workload=first.workload,
+            cap_w=first.cap_w,
+            period_s=first.period_s,
+            reps=sum(t.reps for t in timelines),
+        )
+        for name in first.channels:
+            members = [
+                t.channels[name] for t in timelines if name in t.channels
+            ]
+            out.channels[name] = SeriesChannel.merge(members)
+        return out
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+
+    def to_csv(self, channels: Optional[Iterable[str]] = None) -> str:
+        """CSV rows: ``workload,cap,channel,t_s,dt_s,mean,min,max``."""
+        names = list(channels) if channels is not None else self.names()
+        lines = ["workload,cap,channel,t_s,dt_s,mean,min,max"]
+        for name in names:
+            ch = self.channel(name)
+            for p in ch.points():
+                lines.append(
+                    f"{self.workload},{self.cap_label},{name},"
+                    f"{_sig(p.t_s):g},{_sig(p.dt_s):g},{_sig(p.mean):g},"
+                    f"{_sig(p.vmin):g},{_sig(p.vmax):g}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def counter_samples(
+        self, max_points: int = 120
+    ) -> List[Tuple[str, float, float]]:
+        """``(channel, t_s, value)`` triples for trace counter export.
+
+        Channels longer than ``max_points`` are resampled so a sweep's
+        trace file stays small.
+        """
+        out: List[Tuple[str, float, float]] = []
+        for name, ch in self.channels.items():
+            pts = ch.points()
+            if len(pts) > max_points:
+                pts = ch.resample(max_points)
+            out.extend((name, p.t_s, p.mean) for p in pts)
+        return out
+
+
+def timeline_to_dict(timeline: RunTimeline) -> dict:
+    """JSON-ready representation of one timeline."""
+    return {
+        "schema": TIMELINE_SCHEMA_VERSION,
+        "workload": timeline.workload,
+        "cap_w": timeline.cap_w,
+        "reps": timeline.reps,
+        "period_s": _sig(timeline.period_s),
+        "channels": {
+            name: ch.to_dict() for name, ch in timeline.channels.items()
+        },
+    }
+
+
+def timeline_from_dict(data: dict) -> RunTimeline:
+    """Inverse of :func:`timeline_to_dict`."""
+    try:
+        schema = int(data.get("schema", 0))
+        if schema != TIMELINE_SCHEMA_VERSION:
+            raise SimulationError(
+                f"unsupported timeline schema {schema!r} "
+                f"(expected {TIMELINE_SCHEMA_VERSION})"
+            )
+        timeline = RunTimeline(
+            workload=data["workload"],
+            cap_w=None if data["cap_w"] is None else float(data["cap_w"]),
+            period_s=float(data["period_s"]),
+            reps=int(data.get("reps", 1)),
+        )
+        for name, ch in data.get("channels", {}).items():
+            timeline.channels[name] = SeriesChannel.from_dict(name, ch)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"malformed timeline: {exc}") from exc
+    return timeline
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Sampling knobs for in-run telemetry (picklable, frozen)."""
+
+    enabled: bool = True
+    #: Target simulated seconds per timeline point (aggregation bucket).
+    period_s: float = 0.25
+    #: Ring capacity per channel before 2× decimation.
+    capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise SimulationError("telemetry period must be positive")
+        if self.capacity < 8:
+            raise SimulationError("telemetry capacity must be at least 8")
+
+    @classmethod
+    def from_env(cls) -> "TelemetryConfig":
+        """Build from ``REPRO_TELEMETRY*`` (defaults when unset)."""
+        raw = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+        enabled = raw not in _FALSY if raw else True
+        period = float(os.environ.get("REPRO_TELEMETRY_PERIOD", 0.25) or 0.25)
+        capacity = int(os.environ.get("REPRO_TELEMETRY_CAPACITY", 256) or 256)
+        return cls(enabled=enabled, period_s=period, capacity=capacity)
+
+    @classmethod
+    def resolve(
+        cls, telemetry: "TelemetryConfig | bool | None"
+    ) -> "TelemetryConfig":
+        """Normalise the ``telemetry`` argument runners accept.
+
+        ``None`` reads the environment; ``True``/``False`` force the
+        default config on or off; a config passes through unchanged.
+        """
+        if telemetry is None:
+            return cls.from_env()
+        if telemetry is True:
+            return cls()
+        if telemetry is False:
+            return cls(enabled=False)
+        return telemetry
+
+
+class TelemetrySampler:
+    """Aggregates per-quantum engine state onto the sampling period.
+
+    The runner calls :meth:`record` once per control step with the
+    step's duration and channel values; contributions accumulate
+    (duration-weighted) into the current bucket, which flushes into the
+    channels once ``period_s`` of simulated time has elapsed.  A single
+    long step — the steady-state fast-forward — flushes immediately as
+    one wide interval, so coverage is continuous across fast-forwarded
+    time and ``power_w``'s integral equals the scalar energy integral.
+
+    Pure bookkeeping: no RNG, no model state, O(channels) per step.
+    """
+
+    def __init__(
+        self,
+        config: TelemetryConfig,
+        channels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._cfg = config
+        names = dict(channels if channels is not None else STANDARD_CHANNELS)
+        self._channels: Dict[str, SeriesChannel] = {
+            name: SeriesChannel(name, unit, config.capacity)
+            for name, unit in names.items()
+        }
+        self._bucket_t0 = 0.0
+        self._elapsed = 0.0
+        self._samples = 0
+        # Per-channel bucket accumulators: [weighted sum, min, max].
+        self._acc: Dict[str, List[float]] = {}
+
+    @property
+    def config(self) -> TelemetryConfig:
+        """The sampling knobs in force."""
+        return self._cfg
+
+    @property
+    def samples(self) -> int:
+        """Raw :meth:`record` calls so far."""
+        return self._samples
+
+    def record(self, dt_s: float, values: Mapping[str, float]) -> None:
+        """Fold one control step's state into the current bucket."""
+        if dt_s < 0:
+            raise SimulationError("step duration must be non-negative")
+        self._samples += 1
+        acc = self._acc
+        for name, value in values.items():
+            slot = acc.get(name)
+            if slot is None:
+                acc[name] = [value * dt_s, value, value]
+            else:
+                slot[0] += value * dt_s
+                if value < slot[1]:
+                    slot[1] = value
+                if value > slot[2]:
+                    slot[2] = value
+        self._elapsed += dt_s
+        if self._elapsed >= self._cfg.period_s:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._elapsed <= 0:
+            return
+        dt = self._elapsed
+        t0 = self._bucket_t0
+        for name, slot in self._acc.items():
+            channel = self._channels.get(name)
+            if channel is None:
+                channel = self._channels[name] = SeriesChannel(
+                    name, "", self._cfg.capacity
+                )
+            channel.add(t0, dt, slot[0] / dt, slot[1], slot[2])
+        self._acc = {}
+        self._bucket_t0 = t0 + dt
+        self._elapsed = 0.0
+
+    def finish(
+        self, workload: str, cap_w: Optional[float]
+    ) -> RunTimeline:
+        """Flush the tail bucket and assemble the run's timeline."""
+        self._flush()
+        timeline = RunTimeline(
+            workload=workload, cap_w=cap_w, period_s=self._cfg.period_s
+        )
+        for name, channel in self._channels.items():
+            if len(channel):
+                timeline.channels[name] = channel
+        return timeline

@@ -111,6 +111,7 @@ class TraceCollector:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._events: List[dict] = []
+        self._counters: List[dict] = []
 
     def __len__(self) -> int:
         with self._lock:
@@ -139,9 +140,34 @@ class TraceCollector:
             self._events.append(event)
 
     def events(self) -> List[dict]:
-        """A snapshot copy of every recorded event."""
+        """A snapshot copy of every recorded span event."""
         with self._lock:
             return list(self._events)
+
+    def add_counter(
+        self, name: str, ts: float, values: Dict[str, float]
+    ) -> None:
+        """Record one counter sample (telemetry channel values).
+
+        ``ts`` is seconds on the ``perf_counter`` clock (same clock as
+        span events).  Counters are kept separate from span events so
+        :meth:`span_totals` and :meth:`events` are unaffected; they
+        surface as Chrome ``"ph": "C"`` counter-track events in
+        :meth:`chrome_trace`.
+        """
+        record = {
+            "name": name,
+            "ts": ts,
+            "tid": threading.get_ident(),
+            "values": {k: float(v) for k, v in values.items()},
+        }
+        with self._lock:
+            self._counters.append(record)
+
+    def counter_events(self) -> List[dict]:
+        """A snapshot copy of every recorded counter sample."""
+        with self._lock:
+            return list(self._counters)
 
     def span_totals(self) -> Dict[str, float]:
         """Total seconds per span name across all recorded events."""
@@ -158,7 +184,10 @@ class TraceCollector:
         ``chrome://tracing`` or https://ui.perfetto.dev.
         """
         events = self.events()
-        origin = min((e["ts"] for e in events), default=0.0)
+        counters = self.counter_events()
+        origin = min(
+            (e["ts"] for e in events + counters), default=0.0
+        )
         pid = os.getpid()
         trace_events = []
         for event in events:
@@ -177,6 +206,18 @@ class TraceCollector:
                     "dur": event["dur"] * 1e6,
                     "cat": "repro",
                     "args": args,
+                }
+            )
+        for counter in counters:
+            trace_events.append(
+                {
+                    "name": counter["name"],
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": counter["tid"],
+                    "ts": (counter["ts"] - origin) * 1e6,
+                    "cat": "repro.telemetry",
+                    "args": counter["values"],
                 }
             )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

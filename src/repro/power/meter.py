@@ -77,16 +77,34 @@ class WattsUpMeter:
         simulated time; it is evaluated at each sample instant in
         ``[start_s, start_s + duration_s)`` that falls on the sampling
         grid, and once at the interval midpoint for energy integration.
+
+        A steady-state fast-forward arrives as one long slice; every
+        grid instant inside it is still sampled (with one vectorised
+        noise draw — the Generator's stream is identical to per-sample
+        scalar draws, so the log is bit-for-bit the same as stepping
+        through the slice quantum by quantum), leaving no gap wider
+        than the sampling period anywhere in the log.
         """
         duration_s = require_non_negative(duration_s, "duration_s")
         if duration_s == 0.0:
             return
         end_s = start_s + duration_s
+        times = []
         while self._next_sample_s < end_s:
             t = self._next_sample_s
             if t >= start_s:
-                self.sample_now(t, power_of_time(t))
+                times.append(t)
             self._next_sample_s += self._cfg.sample_period_s
+        if times:
+            noise = self._rng.normal(
+                0.0, self._cfg.noise_sigma_w, size=len(times)
+            )
+            res = self._cfg.resolution_w
+            for t, n in zip(times, noise):
+                quantised = round((power_of_time(t) + float(n)) / res) * res
+                self._readings.append(
+                    MeterReading(time_s=float(t), power_w=float(max(0.0, quantised)))
+                )
         # Midpoint rule for the energy integral of this slice.
         self._energy_j += power_of_time(start_s + duration_s / 2.0) * duration_s
 
@@ -101,6 +119,20 @@ class WattsUpMeter:
         if not self._readings:
             raise SimulationError("meter has no samples")
         return float(max(r.power_w for r in self._readings))
+
+    def max_sample_gap_s(self) -> float:
+        """Widest spacing between consecutive samples (gap audit).
+
+        On an uninterrupted run this equals the sampling period even
+        across steady-state fast-forwards; anything wider means a
+        stretch of the run left no trace in the log.
+        """
+        if not self._readings:
+            raise SimulationError("meter has no samples")
+        gap = self._readings[0].time_s
+        for prev, cur in zip(self._readings, self._readings[1:]):
+            gap = max(gap, cur.time_s - prev.time_s)
+        return float(gap)
 
     def reset(self) -> None:
         """Clear samples and the energy integral."""

@@ -9,6 +9,8 @@ and the SQLite store.  Endpoints:
 ``GET /jobs``         recent jobs, newest first
 ``GET /jobs/{id}``    one job's lifecycle record
 ``GET /jobs/{id}/result``  the stored sweep document once DONE
+``GET /jobs/{id}/timeseries``  the sweep's telemetry timelines
+                      (``?channel=...`` repeatable, ``?format=csv``)
 ``DELETE /jobs/{id}`` cancel a still-queued job
 ``GET /healthz``      liveness + queue depth
 ``GET /metrics``      Prometheus text exposition (version 0.0.4)
@@ -24,11 +26,14 @@ import threading
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
 import os
 
-from ..errors import ConfigError
+from ..core.serialize import extract_timelines
+from ..errors import ConfigError, SimulationError
 from ..obs.logging import get_logger
+from ..obs.timeseries import timeline_to_dict
 from .jobs import JobSpec, JobState
 from .metrics import ServiceMetrics
 from .scheduler import ExperimentScheduler
@@ -142,27 +147,41 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, job.to_dict())
         elif len(parts) == 3 and parts[:1] == ("jobs",) and parts[2] == "result":
             self._get_result(parts[1])
+        elif (
+            len(parts) == 3
+            and parts[:1] == ("jobs",)
+            and parts[2] == "timeseries"
+        ):
+            self._get_timeseries(parts[1])
         else:
             self._error(404, f"no such resource: {self.path}")
 
-    def _get_result(self, job_id: str) -> None:
+    def _load_result(self, job_id: str):
+        """The job + stored sweep doc, or None after sending an error."""
         service = self.server.service
         job = service.scheduler.get(job_id)
         if job is None:
             self._error(404, f"no such job: {job_id}")
-            return
+            return None
         if job.state is JobState.FAILED:
             self._error(410, f"job failed: {job.error}")
-            return
+            return None
         if job.state is not JobState.DONE:
             self._error(
                 409, f"job is {job.state.value}; result not available yet"
             )
-            return
+            return None
         doc = service.store.get_result_dict(job.spec_digest)
         if doc is None:
             self._error(500, "job is DONE but its result is missing")
+            return None
+        return job, doc
+
+    def _get_result(self, job_id: str) -> None:
+        loaded = self._load_result(job_id)
+        if loaded is None:
             return
+        job, doc = loaded
         self._json(
             200,
             {
@@ -170,6 +189,69 @@ class _Handler(BaseHTTPRequestHandler):
                 "spec_digest": job.spec_digest,
                 "deduplicated": job.deduplicated,
                 "results": doc,
+            },
+        )
+
+    def _get_timeseries(self, job_id: str) -> None:
+        """The job's telemetry timelines: JSON by default, CSV on request.
+
+        Query parameters: ``channel`` (repeatable; restricts every
+        timeline to the named channels) and ``format`` (``json`` |
+        ``csv``).  The JSON document carries, per workload, the
+        baseline timeline plus one per cap, each with its summary.
+        """
+        loaded = self._load_result(job_id)
+        if loaded is None:
+            return
+        job, doc = loaded
+        query = parse_qs(urlparse(self.path).query)
+        channels = query.get("channel") or None
+        fmt = (query.get("format") or ["json"])[0].lower()
+        if fmt not in ("json", "csv"):
+            self._error(400, f"unknown format {fmt!r} (json or csv)")
+            return
+        try:
+            timelines = extract_timelines(doc, channels)
+        except SimulationError as exc:
+            self._error(400, str(exc))
+            return
+        if not timelines:
+            self._error(
+                404,
+                "result carries no telemetry timelines "
+                "(sweep ran with telemetry disabled)",
+            )
+            return
+        if fmt == "csv":
+            lines = ["workload,cap,channel,t_s,dt_s,mean,min,max"]
+            for timeline in timelines:
+                body = timeline.to_csv(
+                    channels if channels is not None else None
+                )
+                lines.extend(body.splitlines()[1:])
+            self._send(
+                200, ("\n".join(lines) + "\n").encode(), "text/csv"
+            )
+            return
+        by_workload: dict = {}
+        for timeline in timelines:
+            entry = by_workload.setdefault(
+                timeline.workload, {"baseline": None, "by_cap": {}}
+            )
+            payload = {
+                "timeline": timeline_to_dict(timeline),
+                "summary": timeline.summary(),
+            }
+            if timeline.cap_w is None:
+                entry["baseline"] = payload
+            else:
+                entry["by_cap"][f"{timeline.cap_w:g}"] = payload
+        self._json(
+            200,
+            {
+                "id": job.id,
+                "spec_digest": job.spec_digest,
+                "timeseries": by_workload,
             },
         )
 

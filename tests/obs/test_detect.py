@@ -1,0 +1,118 @@
+"""Phenomenon detectors: frequency floor, cap overshoot, energy knee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.detect import (
+    detect_cap_overshoot,
+    detect_energy_knee,
+    detect_frequency_floor,
+    scan_timeline,
+)
+from repro.obs.timeseries import RunTimeline, SeriesChannel
+
+FLOOR = 1200.0
+
+
+def timeline_with(name, values, cap=130.0, dt=1.0) -> RunTimeline:
+    tl = RunTimeline(workload="w", cap_w=cap, period_s=dt)
+    ch = SeriesChannel(name, capacity=max(8, len(values)))
+    for i, v in enumerate(values):
+        ch.add(i * dt, dt, v)
+    tl.channels[name] = ch
+    return tl
+
+
+class TestFrequencyFloor:
+    def test_pinned_run_flagged(self):
+        tl = timeline_with("freq_mhz", [1200.0] * 20)
+        det = detect_frequency_floor(tl, FLOOR)
+        assert det is not None
+        assert det.phenomenon == "freq_floor"
+        assert det.detail["pinned_fraction"] == pytest.approx(1.0)
+
+    def test_high_frequency_run_not_flagged(self):
+        tl = timeline_with("freq_mhz", [2300.0] * 20)
+        assert detect_frequency_floor(tl, FLOOR) is None
+
+    def test_partial_pinning_below_threshold_not_flagged(self):
+        values = [1200.0] * 5 + [2700.0] * 15  # 25% pinned < 60%
+        tl = timeline_with("freq_mhz", values)
+        assert detect_frequency_floor(tl, FLOOR) is None
+
+    def test_mostly_pinned_flagged(self):
+        values = [1200.0] * 15 + [2700.0] * 5
+        det = detect_frequency_floor(timeline_with("freq_mhz", values), FLOOR)
+        assert det is not None
+        assert det.detail["pinned_fraction"] == pytest.approx(0.75)
+
+    def test_missing_channel_ignored(self):
+        tl = timeline_with("power_w", [120.0] * 5)
+        assert detect_frequency_floor(tl, FLOOR) is None
+
+    def test_none_timeline_ignored(self):
+        assert detect_frequency_floor(None, FLOOR) is None
+
+
+class TestCapOvershoot:
+    def test_overshoot_with_settling(self):
+        # Over-cap start, then settled: the paper's control-loop shape.
+        values = [140.0, 135.0, 131.5, 129.0, 128.5, 129.5, 129.0]
+        tl = timeline_with("power_w", values, cap=130.0)
+        det = detect_cap_overshoot(tl)
+        assert det is not None
+        assert det.detail["peak_w"] == pytest.approx(140.0)
+        assert det.detail["overshoot_w"] == pytest.approx(10.0)
+        assert det.detail["settling_s"] == pytest.approx(3.0)  # end of 131.5
+
+    def test_within_tolerance_not_flagged(self):
+        tl = timeline_with("power_w", [130.5, 129.8, 130.2], cap=130.0)
+        assert detect_cap_overshoot(tl) is None
+
+    def test_uncapped_run_not_flagged(self):
+        tl = timeline_with("power_w", [150.0] * 5, cap=None)
+        assert detect_cap_overshoot(tl) is None
+
+
+class TestEnergyKnee:
+    def test_knee_found(self):
+        # Flat near the top, rising steeply below 135 W (Figure 1 shape).
+        energy = {160.0: 100.0, 150.0: 99.0, 140.0: 100.5,
+                  135.0: 108.0, 130.0: 130.0, 120.0: 290.0}
+        det = detect_energy_knee("w", energy)
+        assert det is not None
+        assert det.detail["knee_cap_w"] == 135.0
+        assert det.detail["min_energy_j"] == pytest.approx(99.0)
+
+    def test_flat_sweep_has_no_knee(self):
+        energy = {c: 100.0 for c in (160.0, 150.0, 140.0, 130.0)}
+        assert detect_energy_knee("w", energy) is None
+
+    def test_too_few_caps(self):
+        assert detect_energy_knee("w", {160.0: 1.0, 120.0: 2.0}) is None
+
+    def test_transient_rise_not_a_knee(self):
+        # A bump that recovers is measurement noise, not the knee.
+        energy = {160.0: 110.0, 150.0: 100.0, 140.0: 100.5,
+                  130.0: 100.2, 120.0: 100.1}
+        assert detect_energy_knee("w", energy) is None
+
+
+class TestScanTimeline:
+    def test_collects_both_run_detections(self):
+        tl = timeline_with("freq_mhz", [1200.0] * 10, cap=120.0)
+        power = SeriesChannel("power_w", capacity=16)
+        for i, v in enumerate([126.0, 124.0, 120.4, 120.2]):
+            power.add(i * 1.0, 1.0, v)
+        tl.channels["power_w"] = power
+        names = {d.phenomenon for d in scan_timeline(tl, FLOOR)}
+        assert names == {"freq_floor", "cap_overshoot"}
+
+    def test_to_dict_is_json_ready(self):
+        tl = timeline_with("freq_mhz", [1200.0] * 4, cap=120.0)
+        (det,) = scan_timeline(tl, FLOOR)
+        doc = det.to_dict()
+        assert doc["phenomenon"] == "freq_floor"
+        assert doc["cap_w"] == 120.0
+        assert isinstance(doc["detail"], dict)

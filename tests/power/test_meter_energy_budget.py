@@ -69,6 +69,57 @@ class TestMeter:
         assert m.max_power_w() == pytest.approx(130.0, abs=0.1)
 
 
+class TestMeterFastForwardCoverage:
+    """The sample log must cover fast-forwarded time with no gaps."""
+
+    def test_grid_covered_across_fast_forward(self):
+        m = make_meter()
+        m.advance(0.0, 2.0, lambda t: 150.0)
+        m.advance(2.0, 60.0, lambda t: 120.0)  # steady-state fast-forward
+        m.advance(62.0, 2.0, lambda t: 130.0)
+        assert len(m.readings) == 64
+        assert m.max_sample_gap_s() == pytest.approx(1.0)
+
+    def test_max_gap_requires_samples(self):
+        with pytest.raises(SimulationError):
+            make_meter().max_sample_gap_s()
+
+    def test_vectorized_draws_match_per_quantum_stream(self):
+        # One advance() over a long slice must consume the rng exactly
+        # as stepping through it quantum by quantum would — the sample
+        # log is bit-identical either way.
+        cfg = MeterConfig(sample_period_s=1.0, noise_sigma_w=0.5)
+        a = WattsUpMeter(cfg, np.random.default_rng(3))
+        a.advance(0.0, 50.0, lambda t: 140.0)
+        b = WattsUpMeter(cfg, np.random.default_rng(3))
+        for i in range(1000):
+            b.advance(i * 0.05, 0.05, lambda t: 140.0)
+        assert a.readings == b.readings
+
+    def test_meter_average_tracks_energy_within_noise(self):
+        # Constant power, noisy sampling: the log's mean may differ
+        # from the energy-integral average only by sampling noise
+        # (~4 sigma / sqrt(N)) plus half the quantisation step.
+        sigma, n = 0.35, 400
+        m = make_meter(noise=sigma)
+        m.advance(0.0, float(n), lambda t: 151.3)
+        energy_avg = m.energy_j / float(n)
+        bound = 4.0 * sigma / np.sqrt(n) + m.config.resolution_w / 2.0
+        assert abs(m.average_power_w() - energy_avg) <= bound
+
+    def test_runner_meter_average_agrees_with_energy_integral(self):
+        # End-to-end regression: in a capped run (which fast-forwards
+        # its steady state) the meter-derived average power must agree
+        # with energy / time to well within the meter's noise floor.
+        from repro.core.runner import NodeRunner
+        from repro.workloads import make_workload
+
+        runner = NodeRunner(seed=0, slice_accesses=100_000)
+        result = runner.run(make_workload("stereo", 0.02), cap_w=130.0)
+        energy_avg = result.energy_j / result.execution_s
+        assert result.avg_power_w == pytest.approx(energy_avg, abs=1.0)
+
+
 class TestEnergyAccumulator:
     def test_power_times_time(self):
         e = EnergyAccumulator()

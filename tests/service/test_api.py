@@ -119,6 +119,72 @@ class TestEndToEnd:
         assert any(j["id"] == finished_job["id"] for j in listing["jobs"])
 
 
+class TestTimeseriesEndpoint:
+    def test_json_timelines_for_every_cap(self, service, finished_job):
+        status, payload = request_json(
+            service, "GET", f"/jobs/{finished_job['id']}/timeseries"
+        )
+        assert status == 200
+        assert payload["id"] == finished_job["id"]
+        entry = payload["timeseries"]["StereoMatching"]
+        assert entry["baseline"] is not None
+        assert set(entry["by_cap"]) == {"150", "140"}
+        for cap_entry in [entry["baseline"], *entry["by_cap"].values()]:
+            channels = cap_entry["timeline"]["channels"]
+            assert "power_w" in channels and "freq_mhz" in channels
+            ts = channels["power_w"]["t"]
+            assert len(ts) > 0
+            assert ts == sorted(ts)  # monotonic timestamps
+            assert cap_entry["summary"]["channels"]["power_w"]["points"] > 0
+
+    def test_channel_filter(self, service, finished_job):
+        _, payload = request_json(
+            service,
+            "GET",
+            f"/jobs/{finished_job['id']}/timeseries?channel=power_w",
+        )
+        entry = payload["timeseries"]["StereoMatching"]
+        assert list(entry["baseline"]["timeline"]["channels"]) == ["power_w"]
+
+    def test_csv_format(self, service, finished_job):
+        status, raw = request(
+            service,
+            "GET",
+            f"/jobs/{finished_job['id']}/timeseries?format=csv"
+            "&channel=power_w&channel=freq_mhz",
+        )
+        assert status == 200
+        lines = raw.decode().strip().splitlines()
+        assert lines[0] == "workload,cap,channel,t_s,dt_s,mean,min,max"
+        assert len(lines) > 3
+        assert any(",baseline,power_w," in l for l in lines[1:])
+        assert any(",140,freq_mhz," in l for l in lines[1:])
+
+    def test_unknown_channel_400(self, service, finished_job):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            request(
+                service,
+                "GET",
+                f"/jobs/{finished_job['id']}/timeseries?channel=bogus",
+            )
+        assert err.value.code == 400
+        assert "unknown channel" in json.loads(err.value.read())["error"]
+
+    def test_unknown_format_400(self, service, finished_job):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            request(
+                service,
+                "GET",
+                f"/jobs/{finished_job['id']}/timeseries?format=xml",
+            )
+        assert err.value.code == 400
+
+    def test_unknown_job_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            request(service, "GET", "/jobs/ghost/timeseries")
+        assert err.value.code == 404
+
+
 class TestHealthAndMetrics:
     def test_healthz(self, service):
         status, health = request_json(service, "GET", "/healthz")
@@ -140,6 +206,10 @@ class TestHealthAndMetrics:
         assert "# TYPE repro_sweep_wall_seconds histogram" in text
         assert "repro_sweep_wall_seconds_count" in text
         assert "repro_jobs_submitted_total" in text
+        # Telemetry series ride along in the same exposition; the
+        # finished sweep recorded at least one timeline.
+        assert "repro_telemetry_runs_total" in text
+        assert "repro_telemetry_samples_total" in text
 
     def test_rate_cache_counters_move(self, service, finished_job):
         # The sweep measured at least one gating -> misses > 0.

@@ -160,6 +160,63 @@ class TestInterleave:
             assert len(merged) == rounds * (wa + wb)
 
 
+class TestDeterminismAndRoundTrip:
+    """Fixed seed => identical traces; events round-trip losslessly."""
+
+    def test_slice_build_deterministic_under_fixed_seed(self):
+        from repro.rng import RngStreams
+        from repro.workloads.stereo import StereoMatchingWorkload
+
+        a = StereoMatchingWorkload().build_slice(
+            RngStreams(7).fresh("trace:test"), 20_000
+        )
+        b = StereoMatchingWorkload().build_slice(
+            RngStreams(7).fresh("trace:test"), 20_000
+        )
+        assert np.array_equal(a.data_addresses, b.data_addresses)
+        assert np.array_equal(a.ifetch_addresses, b.ifetch_addresses)
+        assert a.instructions == b.instructions
+
+    def test_different_seeds_differ(self):
+        from repro.rng import RngStreams
+        from repro.workloads.stereo import StereoMatchingWorkload
+
+        a = StereoMatchingWorkload().build_slice(
+            RngStreams(7).fresh("trace:test"), 20_000
+        )
+        b = StereoMatchingWorkload().build_slice(
+            RngStreams(8).fresh("trace:test"), 20_000
+        )
+        assert not np.array_equal(a.data_addresses, b.data_addresses)
+
+    def test_sample_slice_is_pure_and_honours_target_length(self):
+        a = np.arange(50_000, dtype=np.int64)
+        s1 = sample_slice(a, 4000, n_windows=8)
+        s2 = sample_slice(a, 4000, n_windows=8)
+        assert np.array_equal(s1, s2)
+        assert len(s1) == 4000
+
+    def test_recorded_addresses_round_trip_through_trace_slice(self):
+        rec = TraceRecorder()
+        arr = TracedArray(np.arange(64, dtype=np.int64), rec, name="a")
+        for i in (3, 9, 27, 11, 5):
+            _ = arr[i]
+        sl = TraceSlice(
+            data_addresses=rec.addresses(),
+            ifetch_addresses=np.arange(4, dtype=np.int64) * 64,
+            instructions=100.0,
+            warmup_fraction=0.2,
+        )
+        dw, dm, iw, im = sl.split_warmup()
+        assert np.array_equal(
+            np.concatenate([dw, dm]), rec.addresses()
+        )
+        assert np.array_equal(
+            np.concatenate([iw, im]), sl.ifetch_addresses
+        )
+        assert sl.measured_instructions == pytest.approx(80.0)
+
+
 class TestTraceSlice:
     def test_split_warmup(self):
         sl = TraceSlice(
