@@ -36,6 +36,11 @@ class ThermalModel:
         """Current node temperature (deg C)."""
         return self._temp_c
 
+    @property
+    def idle_power_w(self) -> float:
+        """Power at or below which the node sits at ambient."""
+        return self._idle_power_w
+
     def steady_state_c(self, power_w: float) -> float:
         """Equilibrium temperature at constant power."""
         excess = max(0.0, require_non_negative(power_w, "power_w") - self._idle_power_w)
@@ -54,6 +59,16 @@ class ThermalModel:
         decay = math.exp(-dt_s / self._config.tau_s)
         self._temp_c = target + (self._temp_c - target) * decay
         return self._temp_c
+
+    def set_temperature(self, temperature_c: float) -> None:
+        """Install an externally evolved temperature.
+
+        Used by the block-step kernel, which advances the identical
+        one-pole recurrence in local variables and commits the final
+        temperature here; the value must come from the same arithmetic
+        :meth:`step` performs or bit-identity is lost.
+        """
+        self._temp_c = float(temperature_c)
 
     def reset(self, temperature_c: float | None = None) -> None:
         """Reset to ambient (or a supplied temperature)."""

@@ -167,6 +167,51 @@ class CapController:
         )
         return self._node.pstates.dither_fraction_from_powers(powers, target_w)
 
+    def block_state(self) -> tuple:
+        """Snapshot for the block-step kernel (repro.core.blockstep).
+
+        The kernel replays :meth:`update` in local variables over a
+        stretch of quanta during which no side effect it does not model
+        occurs (it breaks back to the scalar path one quantum before
+        any of those).  Duty-only throttle steps *are* modelled — the
+        kernel logs their SEL entries itself — so the state it evolves
+        is the clock, the two patience counters, and the duty cycle,
+        which :meth:`commit_block` installs.
+        """
+        return (
+            self._time_s,
+            self._over_count,
+            self._under_count,
+            self._at_floor_logged,
+            self._over_cap_logged,
+            self._duty,
+            self._ladder.level,
+            self._ladder.at_top,
+            self._ladder.power_saving_w(),
+            self._esc_patience,
+            self._deesc_patience,
+            self._busy_cores,
+        )
+
+    def commit_block(
+        self,
+        time_s: float,
+        over_count: int,
+        under_count: int,
+        duty: float | None = None,
+    ) -> None:
+        """Install counter state evolved by the block-step kernel.
+
+        ``duty`` carries any in-block duty-only throttle steps; the
+        kernel already logged their SEL entries with scalar-identical
+        timestamps and details.
+        """
+        self._time_s = time_s
+        self._over_count = over_count
+        self._under_count = under_count
+        if duty is not None:
+            self._duty = duty
+
     def advance_time(self, dt_s: float) -> None:
         """Advance the SEL clock without running a control quantum.
 

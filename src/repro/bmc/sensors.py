@@ -77,6 +77,33 @@ class PowerSensor:
             self._filtered += self._alpha * (noisy - self._filtered)
         return self._filtered
 
+    # ------------------------------------------------------------------
+    # Block-step kernel support (see repro.core.blockstep).  A Generator
+    # draws ``normal(size=n)`` from exactly the stream positions that n
+    # scalar draws would consume, so the kernel can pre-draw a chunk of
+    # noise, simulate ahead, and rewind to the number of samples that
+    # actually committed — the stream stays bit-identical to scalar
+    # per-quantum sampling.
+    # ------------------------------------------------------------------
+
+    def noise_block(self, n: int):
+        """Draw ``n`` noise samples from the sensor's stream at once."""
+        return self._rng.normal(0.0, self._sigma, size=n)
+
+    def rng_state(self):
+        """Snapshot of the underlying bit generator's state."""
+        return self._rng.bit_generator.state
+
+    def rewind(self, state, consumed: int) -> None:
+        """Restore ``state`` and re-consume exactly ``consumed`` draws."""
+        self._rng.bit_generator.state = state
+        if consumed:
+            self._rng.normal(0.0, self._sigma, size=consumed)
+
+    def commit_block(self, filtered: float) -> None:
+        """Install the filter value evolved by the block-step kernel."""
+        self._filtered = filtered
+
     def reset(self) -> None:
         """Forget the filter state."""
         self._filtered = None

@@ -136,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable in-run telemetry timelines (simulation results "
         "are bit-identical either way)",
     )
+    parser.add_argument(
+        "--no-block-step",
+        action="store_true",
+        help="evaluate the control loop quantum by quantum instead of "
+        "with the block-step kernel (overrides REPRO_BLOCK_STEP; "
+        "results are bit-identical either way — see "
+        "docs/PERFORMANCE.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     baseline = sub.add_parser("baseline", help="Table I: uncapped baselines")
@@ -323,6 +331,7 @@ def _cmd_baseline(args) -> str:
         seed=args.seed,
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
+        block_step=args.block_step,
     )
     results = []
     for name in sorted(_WORKLOADS):
@@ -346,6 +355,7 @@ def _cmd_sweep(args) -> str:
         seed=args.seed,
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
+        block_step=args.block_step,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     if args.format == "json":
@@ -380,6 +390,7 @@ def _cmd_amenability(args) -> str:
         seed=args.seed,
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
+        block_step=args.block_step,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     report = characterize_amenability(result, tolerance_slowdown=args.tolerance)
@@ -407,7 +418,10 @@ def _cmd_amenability(args) -> str:
 def _cmd_predict(args) -> str:
     workload = _make_workload(args.workload, args.scale)
     runner = NodeRunner(
-        seed=args.seed, slice_accesses=200_000, rate_cache=args.rate_cache
+        seed=args.seed,
+        slice_accesses=200_000,
+        rate_cache=args.rate_cache,
+        block_step=args.block_step,
     )
     rates = runner.rates_for(workload, GatingState.ungated())
     predictor = CapImpactPredictor(runner.config)
@@ -510,6 +524,7 @@ def _cmd_figures(args) -> str:
         seed=args.seed,
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
+        block_step=args.block_step,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     if args.workload == "sire":
@@ -724,6 +739,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     else:
         args.telemetry = None
+    # --no-block-step forces the scalar control loop; otherwise leave
+    # the runner to its default (REPRO_BLOCK_STEP, else on).
+    args.block_step = False if args.no_block_step else None
     collector = start_tracing() if args.trace_out else None
     handler = {
         "baseline": _cmd_baseline,

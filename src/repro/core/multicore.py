@@ -202,12 +202,14 @@ class MultiCoreRunner:
             max_escalation = max(max_escalation, cmd.escalation_level)
             min_duty = min(min_duty, cmd.duty)
             node.thermal.step(power, dt)
-            meter.advance(t, dt, lambda _t, p=power: p)
+            meter.advance_const(t, dt, power)
             energy.add(power, dt)
             t += dt
 
         avg_power = (
-            meter.average_power_w() if meter.readings else energy.average_power_w()
+            meter.average_power_w()
+            if meter.sample_count
+            else energy.average_power_w()
         )
         return MultiCoreResult(
             workload=workload.name,

@@ -32,12 +32,14 @@ methods are thread-safe, so one instance can back a whole worker pool.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
 import tempfile
 import threading
 import time
+import weakref
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -139,6 +141,17 @@ class RateCache:
         self._load()
         if self._stamps:
             self._last_stamp = max(self._stamps.values())
+        # Saves are batched (put() only marks dirty); a weakly-bound
+        # atexit hook flushes anything still pending if the process
+        # exits before the owning runner/experiment/scheduler does.
+        ref = weakref.ref(self)
+
+        def _flush_at_exit() -> None:
+            cache = ref()
+            if cache is not None:
+                cache.close()
+
+        atexit.register(_flush_at_exit)
 
     @property
     def path(self) -> Path:
@@ -235,8 +248,31 @@ class RateCache:
         self._last_stamp = now
         self._stamps[key] = now
 
+    def close(self) -> None:
+        """Flush pending entries; safe to call repeatedly.
+
+        Unlike :meth:`save` this never raises: at interpreter exit the
+        backing directory may already be gone (tests park caches in
+        ``TemporaryDirectory``), and losing the flush is preferable to
+        failing teardown.
+        """
+        try:
+            self.save()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RateCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def save(self) -> None:
         """Atomically persist, merging concurrent writers' entries.
+
+        A no-op unless :meth:`put` recorded something since the last
+        save — callers flush at run/sweep boundaries without write
+        amplification.
 
         After the merge the least-recently-used entries beyond
         ``max_entries`` are evicted, so the backing file stays bounded

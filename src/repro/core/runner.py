@@ -48,6 +48,7 @@ from ..power.meter import WattsUpMeter
 from ..rng import DEFAULT_SEED, RngStreams
 from ..trace.events import TraceSlice
 from ..workloads.base import Workload
+from .blockstep import BlockStepKernel
 from .metrics import RunResult
 from .ratecache import RateCache, rate_key
 
@@ -81,6 +82,7 @@ class NodeRunner:
         fast_forward: bool = True,
         rate_cache: "RateCache | str | os.PathLike | None" = None,
         telemetry: "TelemetryConfig | bool | None" = None,
+        block_step: bool | None = None,
     ) -> None:
         self._config = config or sandy_bridge_config()
         self._seed = int(seed)
@@ -94,6 +96,13 @@ class NodeRunner:
             rate_cache = RateCache(rate_cache)
         self._rate_cache: RateCache | None = rate_cache
         self._telemetry = TelemetryConfig.resolve(telemetry)
+        # Block-stepped stable segments (bit-identical; see blockstep.py).
+        # Default on; ``False`` / ``REPRO_BLOCK_STEP=0`` restores the
+        # pure scalar loop.
+        if block_step is None:
+            env = os.environ.get("REPRO_BLOCK_STEP", "").strip().lower()
+            block_step = env not in ("0", "false", "no", "off")
+        self._block_step = bool(block_step)
         self._slices: Dict[str, TraceSlice] = {}
         self._engines: Dict[str, TraceEngine] = {}
         self._rates: Dict[Tuple[str, tuple], AccessRates] = {}
@@ -112,6 +121,11 @@ class NodeRunner:
     def telemetry(self) -> TelemetryConfig:
         """The in-run telemetry sampling configuration."""
         return self._telemetry
+
+    @property
+    def block_step(self) -> bool:
+        """Whether stable segments run through the block-step kernel."""
+        return self._block_step
 
     # ------------------------------------------------------------------
     # Rate measurement (trace-driven cache simulation)
@@ -183,8 +197,10 @@ class NodeRunner:
                 counts, sl.measured_instructions
             )
             if self._rate_cache is not None:
+                # Batched: put() marks the cache dirty; run()/the sweep
+                # flushes once at the boundary instead of rewriting the
+                # JSON file after every measurement.
                 self._rate_cache.put(cache_key, self._rates[key])
-                self._rate_cache.save()
         return self._rates[key]
 
     # ------------------------------------------------------------------
@@ -205,7 +221,11 @@ class NodeRunner:
         """
         wall0 = time.perf_counter()
         with span("run", workload=workload.name, cap_w=cap_w, rep=rep):
-            result, quanta, fast_forwarded = self._run(workload, cap_w, rep)
+            result, quanta, fast_forwarded, block_steps, block_quanta = (
+                self._run(workload, cap_w, rep)
+            )
+        if self._rate_cache is not None:
+            self._rate_cache.save()
         wall_s = time.perf_counter() - wall0
         collector = current_collector()
         if collector is not None and result.timeline is not None:
@@ -227,6 +247,9 @@ class NodeRunner:
         metrics.quanta.inc(quanta)
         if fast_forwarded:
             metrics.fast_forwards.inc()
+        if block_steps:
+            metrics.block_steps.inc(block_steps)
+            metrics.block_quanta.inc(block_quanta)
         metrics.run_seconds.observe(wall_s)
         _log.info(
             "run_done",
@@ -239,6 +262,8 @@ class NodeRunner:
             avg_freq_mhz=round(result.avg_freq_mhz, 1),
             quanta=quanta,
             fast_forwarded=fast_forwarded,
+            block_steps=block_steps,
+            block_quanta=block_quanta,
         )
         return result
 
@@ -247,7 +272,7 @@ class NodeRunner:
         workload: Workload,
         cap_w: float | None,
         rep: int,
-    ) -> "Tuple[RunResult, int, bool]":
+    ) -> "Tuple[RunResult, int, bool, int, int]":
         cfg = self._config
         tag = f"{workload.name}:cap={cap_w}:rep={rep}"
         node = Node(cfg)
@@ -323,8 +348,82 @@ class NodeRunner:
         w_per_gbs = cfg.dram.active_w_per_gbs
         pw_sig = None
         dyn_fast = gate_fast = dyn_slow = gate_slow = traffic_w = 0.0
+        # Block-step kernel: retires stretches of stable command in
+        # bulk, bit-identically (see blockstep.py).  At least one scalar
+        # quantum always executes between kernel calls — the entry gate
+        # below only opens at ``quanta >= block_after`` and every kernel
+        # attempt pushes ``block_after`` past the current count — so the
+        # one-slot memos (spi/traffic/traffic_w) the kernel seeds from
+        # are always valid for ``prev_cmd_key``.
+        kernel = None
+        if self._block_step:
+            kernel = BlockStepKernel(
+                controller=controller,
+                sensor=sensor,
+                meter=meter,
+                energy=energy,
+                thermal=thermal,
+                model=model,
+                pstates=node.pstates,
+                cfg=cfg,
+                sampler=sampler,
+                series=series if record_series else None,
+                total_instr=total_instr,
+                max_sim_seconds=self._max_sim_seconds,
+                fast_forward=fast_forward,
+                stable_threshold=_STABLE_QUANTA,
+                eps_pinned=_FF_TEMP_EPS_PINNED_C,
+                eps_dither=_FF_TEMP_EPS_DITHER_C,
+            )
+        block_after = 1
+        block_steps = 0
+        block_quanta = 0
+        key = None
+        stall_ns = 0.0
+        freq = 0.0
 
         while done < total_instr:
+            if kernel is not None and quanta >= block_after:
+                adv = kernel.advance(
+                    power=power,
+                    t=t,
+                    done=done,
+                    freq_time=freq_time,
+                    cycles=cycles,
+                    stable_quanta=stable_quanta,
+                    prev_cmd_key=prev_cmd_key,
+                    stall_ns=stall_ns,
+                    l3_misses=rates.l3_misses,
+                    freq=freq,
+                    spi=spi,
+                    traffic=traffic,
+                    traffic_w=traffic_w,
+                    mpki=mpki_by_gating.get(key),
+                    instr_seg=instr_by_gating.get(key, 0.0),
+                )
+                if kernel.disabled:
+                    kernel = None
+                elif adv is not None:
+                    (bn, power, t, done, freq_time, cycles, stable_quanta,
+                     fi, si, ra, bduty, seg) = adv
+                    quanta += bn
+                    block_steps += 1
+                    block_quanta += bn
+                    prev_cmd_key = (
+                        fi, si, ra, bduty, prev_cmd_key[4]
+                    )
+                    # Duty is non-increasing inside a block (restores
+                    # are boundaries), so the committed duty is the
+                    # block's minimum.
+                    if bduty < min_duty:
+                        min_duty = bduty
+                    instr_by_gating[key] = seg
+                    # The command's frequency may have drifted in-block
+                    # (dither alpha tracks leakage): the boundary
+                    # quantum below recomputes the memoized quantities.
+                    spi_sig = None
+                    pw_sig = None
+                block_after = quanta + 1
             quanta += 1
             cmd = controller.update(power, activity=1.0, traffic_bps=0.0)
             cmd_key = (
@@ -449,7 +548,7 @@ class NodeRunner:
                     },
                 )
             thermal.step(power, dt)
-            meter.advance(t, dt, lambda _t, p=power: p)
+            meter.advance_const(t, dt, power)
             energy.add(power, dt)
             t += dt
             if record_series:
@@ -479,7 +578,11 @@ class NodeRunner:
             timeline = sampler.finish(workload.name, cap_w)
             telemetry_metrics().observe_run(sampler, timeline)
 
-        avg_power = meter.average_power_w() if meter.readings else energy.average_power_w()
+        avg_power = (
+            meter.average_power_w()
+            if meter.sample_count
+            else energy.average_power_w()
+        )
         sel_events = tuple(
             (e.time_s, e.event.value, e.detail)
             for e in controller.sel.entries()
@@ -500,4 +603,4 @@ class NodeRunner:
             sel_events=sel_events,
             timeline=timeline,
         )
-        return result, quanta, fast_forwarded
+        return result, quanta, fast_forwarded, block_steps, block_quanta

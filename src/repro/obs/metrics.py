@@ -232,6 +232,9 @@ class EngineMetrics:
       (controller actuations), added once per finished run;
     - ``repro_engine_fast_forward_total`` — steady-state fast-forward
       activations;
+    - ``repro_engine_block_steps_total`` /
+      ``repro_engine_block_quanta_total`` — stable segments retired by
+      the block-step kernel, and the quanta inside them;
     - ``repro_engine_traces_simulated_total`` — slice simulations that
       actually ran (rate-cache/memo misses);
     - ``repro_engine_rate_cache_hits_total`` /
@@ -262,6 +265,18 @@ class EngineMetrics:
             Counter(
                 "repro_engine_fast_forward_total",
                 "Steady-state fast-forward activations",
+            )
+        )
+        self.block_steps = reg(
+            Counter(
+                "repro_engine_block_steps_total",
+                "Stable-segment blocks retired by the block-step kernel",
+            )
+        )
+        self.block_quanta = reg(
+            Counter(
+                "repro_engine_block_quanta_total",
+                "Control quanta retired inside block-step kernel blocks",
             )
         )
         self.traces_simulated = reg(

@@ -32,7 +32,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import SimulationError
 
@@ -74,9 +83,14 @@ def _sig(value: float) -> float:
     return float(f"{float(value):.8g}")
 
 
-@dataclass(frozen=True)
-class SeriesPoint:
-    """One duration-weighted interval sample of a channel."""
+class SeriesPoint(NamedTuple):
+    """One duration-weighted interval sample of a channel.
+
+    A NamedTuple rather than a frozen dataclass: the engine constructs
+    one per flushed telemetry bucket inside the run loop, and tuple
+    construction is several times cheaper while keeping the field API,
+    immutability, and value-equality semantics unchanged.
+    """
 
     t_s: float
     dt_s: float
@@ -134,6 +148,24 @@ class SeriesChannel:
             SeriesPoint(float(t_s), float(dt_s), float(mean), float(vmin),
                         float(vmax))
         )
+
+    def add_block(self, points: "List[SeriesPoint]") -> None:
+        """Append pre-built points exactly as sequential :meth:`add` calls.
+
+        The block-step kernel builds its flushed buckets as
+        :class:`SeriesPoint` tuples (already-float fields, non-negative
+        durations) and lands them here in one call per channel.  Below
+        capacity that is a plain ``extend``; otherwise each point is
+        appended individually so 2× decimation fires at the same moments
+        a sequence of :meth:`add` calls would fire it.
+        """
+        if len(self._points) + len(points) <= self.capacity:
+            self._points.extend(points)
+            return
+        for p in points:
+            if len(self._points) >= self.capacity:
+                self._decimate()
+            self._points.append(p)
 
     def _decimate(self) -> None:
         pts = self._points
@@ -548,6 +580,45 @@ class TelemetrySampler:
     def samples(self) -> int:
         """Raw :meth:`record` calls so far."""
         return self._samples
+
+    def block_state(self) -> tuple:
+        """``(bucket_t0, elapsed, acc)`` snapshot for the kernel.
+
+        ``acc`` is the live per-channel accumulator dict (each slot is
+        ``[weighted sum, min, max]``); the block-step kernel seeds its
+        local bucket folds from it and installs the evolved state with
+        :meth:`commit_block`.
+        """
+        return self._bucket_t0, self._elapsed, self._acc
+
+    def block_channel(self, name: str) -> SeriesChannel:
+        """The channel ``name`` flushes into (created like ``_flush``)."""
+        channel = self._channels.get(name)
+        if channel is None:
+            channel = self._channels[name] = SeriesChannel(
+                name, "", self._cfg.capacity
+            )
+        return channel
+
+    def commit_block(
+        self,
+        samples: int,
+        bucket_t0: float,
+        elapsed: float,
+        acc: Dict[str, List[float]],
+    ) -> None:
+        """Install bucket state evolved by the block-step kernel.
+
+        The kernel performs the same per-quantum folds :meth:`record`
+        does (and flushes full buckets into the channels itself via
+        :meth:`block_channel`); this commits the sample count and the
+        partial tail bucket exactly as the scalar path would have left
+        them.
+        """
+        self._samples += samples
+        self._bucket_t0 = bucket_t0
+        self._elapsed = elapsed
+        self._acc = acc
 
     def record(self, dt_s: float, values: Mapping[str, float]) -> None:
         """Fold one control step's state into the current bucket."""

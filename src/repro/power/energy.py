@@ -35,6 +35,23 @@ class EnergyAccumulator:
         self._elapsed_s += duration_s
         self._segments.append((power_w, duration_s))
 
+    def add_block(
+        self,
+        segments: List[Tuple[float, float]],
+        energy_j: float,
+        elapsed_s: float,
+    ) -> None:
+        """Commit segments pre-folded by the block-step kernel.
+
+        ``energy_j`` / ``elapsed_s`` must be the sequential left-folds
+        of ``segments`` continued from the current totals (the same
+        ``+=`` chain :meth:`add` performs), and every power/duration
+        non-negative — the kernel guarantees both.
+        """
+        self._segments.extend(segments)
+        self._energy_j = energy_j
+        self._elapsed_s = elapsed_s
+
     @property
     def energy_j(self) -> float:
         """Total energy so far (Joules)."""

@@ -10,8 +10,7 @@ produced the paper's "Average Node Power Consumption" columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, NamedTuple, Tuple
 
 import numpy as np
 
@@ -22,9 +21,14 @@ from ..units import require_non_negative
 __all__ = ["WattsUpMeter", "MeterReading"]
 
 
-@dataclass(frozen=True)
-class MeterReading:
-    """One meter sample."""
+class MeterReading(NamedTuple):
+    """One meter sample.
+
+    A ``NamedTuple`` rather than a frozen dataclass: a steady-state
+    fast-forward materialises thousands of grid samples in one call,
+    and tuple construction is several times cheaper while keeping the
+    field API, immutability, and value equality unchanged.
+    """
 
     time_s: float
     power_w: float
@@ -40,7 +44,12 @@ class WattsUpMeter:
     ) -> None:
         self._cfg = config
         self._rng = rng
-        self._readings: List[MeterReading] = []
+        # Parallel lists rather than a list of MeterReading: the hot
+        # paths extend these at C speed from ``tolist()`` output, and
+        # reading objects materialise only when ``readings`` is asked
+        # for (rarely — once per run at most).
+        self._times: List[float] = []
+        self._powers: List[float] = []
         self._next_sample_s = 0.0
         self._energy_j = 0.0
 
@@ -52,12 +61,25 @@ class WattsUpMeter:
     @property
     def readings(self) -> List[MeterReading]:
         """All samples taken so far."""
-        return list(self._readings)
+        return [
+            MeterReading(t, p)
+            for t, p in zip(self._times, self._powers)
+        ]
+
+    @property
+    def sample_count(self) -> int:
+        """How many samples the log holds (cheaper than ``readings``)."""
+        return len(self._times)
 
     @property
     def energy_j(self) -> float:
         """Energy integrated from the (noiseless) power trace."""
         return self._energy_j
+
+    @property
+    def next_sample_s(self) -> float:
+        """The next sampling-grid instant (block-step kernel support)."""
+        return self._next_sample_s
 
     def sample_now(self, time_s: float, true_power_w: float) -> MeterReading:
         """Take one sample immediately (noise + quantisation applied)."""
@@ -65,7 +87,8 @@ class WattsUpMeter:
         res = self._cfg.resolution_w
         quantised = round(noisy / res) * res
         reading = MeterReading(time_s=float(time_s), power_w=float(max(0.0, quantised)))
-        self._readings.append(reading)
+        self._times.append(reading.time_s)
+        self._powers.append(reading.power_w)
         return reading
 
     def advance(
@@ -102,23 +125,103 @@ class WattsUpMeter:
             res = self._cfg.resolution_w
             for t, n in zip(times, noise):
                 quantised = round((power_of_time(t) + float(n)) / res) * res
-                self._readings.append(
-                    MeterReading(time_s=float(t), power_w=float(max(0.0, quantised)))
-                )
+                self._times.append(float(t))
+                self._powers.append(float(max(0.0, quantised)))
         # Midpoint rule for the energy integral of this slice.
         self._energy_j += power_of_time(start_s + duration_s / 2.0) * duration_s
 
+    def advance_const(
+        self, start_s: float, duration_s: float, power_w: float
+    ) -> None:
+        """:meth:`advance` for a constant-power slice (the runner's case).
+
+        Same grid walk, same RNG consumption, same per-sample quantise/
+        clamp arithmetic as :meth:`advance` with a constant
+        ``power_of_time`` — but the quantisation chain is vectorised
+        (``round`` is round-half-even in both numpy and Python, and the
+        integer-by-resolution product is exact either way), which is
+        what makes the fast-forward tail's thousands of samples cheap.
+        """
+        duration_s = require_non_negative(duration_s, "duration_s")
+        if duration_s == 0.0:
+            return
+        end_s = start_s + duration_s
+        period = self._cfg.sample_period_s
+        nxt = self._next_sample_s
+        times = []
+        while nxt < end_s:
+            if nxt >= start_s:
+                times.append(nxt)
+            nxt += period
+        self._next_sample_s = nxt
+        if times:
+            noise = self._rng.normal(
+                0.0, self._cfg.noise_sigma_w, size=len(times)
+            )
+            res = self._cfg.resolution_w
+            powers = np.maximum(
+                0.0, np.round((power_w + noise) / res) * res
+            ).tolist()
+            self._times.extend(times)
+            self._powers.extend(powers)
+        self._energy_j += power_w * duration_s
+
+    def advance_block(
+        self,
+        samples: "List[Tuple[float, float]]",
+        next_sample_s: float,
+        energy_j: float,
+    ) -> None:
+        """Commit a block-step kernel's worth of meter activity.
+
+        ``samples`` is the ``(grid time, true power)`` list the kernel
+        collected by walking the sampling grid exactly as :meth:`advance`
+        does, one quantum at a time; ``next_sample_s`` and ``energy_j``
+        are the folded grid cursor and energy integral.  One vectorised
+        noise draw covers every sample — the Generator's stream is
+        bit-identical to the per-quantum scalar draws (the same property
+        the fast-forward path of :meth:`advance` relies on).
+        """
+        if samples:
+            noise = self._rng.normal(
+                0.0, self._cfg.noise_sigma_w, size=len(samples)
+            )
+            res = self._cfg.resolution_w
+            if len(samples) < 8:
+                # Short blocks carry a handful of samples at most;
+                # scalar round/clamp (same half-even rounding, same
+                # exact integer-by-resolution product) skips the numpy
+                # array round-trip overhead.  The noise draw above is
+                # unchanged either way, so the RNG stream is too.
+                ap_t = self._times.append
+                ap_p = self._powers.append
+                for (t, p), nz in zip(samples, noise.tolist()):
+                    q = round((p + nz) / res) * res
+                    ap_t(t)
+                    ap_p(q if q > 0.0 else 0.0)
+            else:
+                powers = np.maximum(
+                    0.0,
+                    np.round(
+                        (np.array([p for _, p in samples]) + noise) / res
+                    ) * res,
+                ).tolist()
+                self._times.extend(t for t, _ in samples)
+                self._powers.extend(powers)
+        self._next_sample_s = next_sample_s
+        self._energy_j = energy_j
+
     def average_power_w(self) -> float:
         """Mean of all samples — the paper's reported average power."""
-        if not self._readings:
+        if not self._powers:
             raise SimulationError("meter has no samples to average")
-        return float(np.mean([r.power_w for r in self._readings]))
+        return float(np.mean(self._powers))
 
     def max_power_w(self) -> float:
         """Peak sampled power."""
-        if not self._readings:
+        if not self._powers:
             raise SimulationError("meter has no samples")
-        return float(max(r.power_w for r in self._readings))
+        return float(max(self._powers))
 
     def max_sample_gap_s(self) -> float:
         """Widest spacing between consecutive samples (gap audit).
@@ -127,15 +230,17 @@ class WattsUpMeter:
         across steady-state fast-forwards; anything wider means a
         stretch of the run left no trace in the log.
         """
-        if not self._readings:
+        if not self._times:
             raise SimulationError("meter has no samples")
-        gap = self._readings[0].time_s
-        for prev, cur in zip(self._readings, self._readings[1:]):
-            gap = max(gap, cur.time_s - prev.time_s)
+        times = self._times
+        gap = times[0]
+        for prev, cur in zip(times, times[1:]):
+            gap = max(gap, cur - prev)
         return float(gap)
 
     def reset(self) -> None:
         """Clear samples and the energy integral."""
-        self._readings.clear()
+        self._times.clear()
+        self._powers.clear()
         self._next_sample_s = 0.0
         self._energy_j = 0.0

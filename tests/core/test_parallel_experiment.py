@@ -110,6 +110,11 @@ class TestRateCache:
         warm = NodeRunner(slice_accesses=50_000, rate_cache=path)
         gating = GatingState.ungated()
         rates = warm.rates_for(wl, gating)
+        # Writes are batched: the miss marks the cache dirty, and the
+        # file lands on flush (run boundary / save / close), not on
+        # every put.
+        assert not path.exists()
+        warm.rate_cache.save()
         assert path.exists()
 
         cold = NodeRunner(slice_accesses=50_000, rate_cache=path)
