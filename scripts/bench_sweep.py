@@ -5,7 +5,9 @@ Measures the three numbers docs/PERFORMANCE.md commits to:
 
 - **sweep wall-clock** — the full Table II experiment (both paper
   workloads, all nine caps plus the uncapped baseline) at ``--jobs 1``
-  and ``--jobs 4``, with runs/s for each;
+  (per-run and batch-engine paths) and ``--jobs 4``, with runs/s for
+  each and the ``effective_jobs`` each sweep actually used after the
+  single-core / tiny-chunk fallbacks;
 - **single-run speedup** — one 120 W Stereo run through the scalar
   loop versus the block-step kernel, interleaved best-of-N so the two
   paths see the same thermal/cache conditions of the host;
@@ -21,10 +23,22 @@ Modes::
 ``BENCH_sweep.json``: it fails (exit 1) when the jobs=1 sweep
 wall-clock regresses by more than ``--tolerance`` (default 20 %), or
 when the machine-independent ratios degrade — single-run speedup
-below ``--min-speedup`` or kernel engagement below
-``--min-engagement``.  The ratio guards are the portable part of the
-contract (wall-clock shifts with host hardware; the speedup and
-engagement of a deterministic simulation do not).
+below ``--min-speedup``, kernel engagement below
+``--min-engagement``, or the batched jobs=1 sweep slower than
+``--min-batch-ratio`` of the per-run one.  The ratio guards are the
+portable part of the contract (wall-clock shifts with host hardware;
+the speedup and engagement of a deterministic simulation do not).
+
+The parallel guard is gated on the host: on a >= 4-core runner the
+jobs=4 sweep must reach ``--min-parallel-speedup`` (default 2.0x) over
+jobs=1; on a single-core host the pool falls back to in-process
+execution by design, so the guard is *skipped with a warning* instead
+of failing (``effective_jobs`` in the artifact records the fallback).
+
+Schema 2 artifacts add ``effective_jobs`` per sweep plus
+``batch_runs_per_s`` and ``chunk_overhead_ms``; ``--check`` still
+reads schema-1 baselines (the shared fields are compared, the new
+ones skipped).
 """
 
 from __future__ import annotations
@@ -48,7 +62,7 @@ from repro.core.runner import NodeRunner  # noqa: E402
 from repro.workloads.sar import SireRsmWorkload  # noqa: E402
 from repro.workloads.stereo import StereoMatchingWorkload  # noqa: E402
 
-SCHEMA = 1
+SCHEMA = 2
 DEFAULT_OUT = REPO / "BENCH_sweep.json"
 
 
@@ -60,7 +74,7 @@ def _scaled(workload, scale):
     return workload
 
 
-def _bench_sweep(jobs, args, rate_cache):
+def _bench_sweep(jobs, args, rate_cache, batch=None):
     """Wall-clock one full Table II sweep at the given worker count."""
     experiment = PowerCapExperiment(
         [
@@ -71,6 +85,7 @@ def _bench_sweep(jobs, args, rate_cache):
         repetitions=args.repetitions,
         slice_accesses=args.slice_accesses,
         rate_cache=rate_cache,
+        batch=batch,
     )
     runs = len(experiment._workloads) * (len(PAPER_POWER_CAPS_W) + 1)
     runs *= args.repetitions
@@ -81,6 +96,8 @@ def _bench_sweep(jobs, args, rate_cache):
         wall = min(wall, time.perf_counter() - t0)
     return {
         "jobs": jobs,
+        "effective_jobs": experiment.last_effective_jobs,
+        "batch": batch if batch is not None else True,
         "runs": runs,
         "wall_s": round(wall, 3),
         "runs_per_s": round(runs / wall, 3),
@@ -131,9 +148,14 @@ def measure(args):
         # --rate-cache across repeated sweeps).
         cache = os.path.join(tmp, "rates.json")
         _bench_sweep(1, args, cache)
-        jobs1 = _bench_sweep(1, args, cache)
+        jobs1 = _bench_sweep(1, args, cache, batch=False)
+        jobs1_batch = _bench_sweep(1, args, cache, batch=True)
         jobs4 = _bench_sweep(4, args, cache)
     single = _bench_single_run(args)
+    # Dispatch overhead the chunked pool pays beyond ideal scaling of
+    # the batched serial sweep (0 when the pool fell back in-process).
+    ideal = jobs1_batch["wall_s"] / max(1, jobs4["effective_jobs"])
+    chunk_overhead_ms = round(max(0.0, jobs4["wall_s"] - ideal) * 1e3, 1)
     return {
         "schema": SCHEMA,
         "benchmark": "table2-sweep",
@@ -151,10 +173,13 @@ def measure(args):
         },
         "sweep": {
             "jobs1": jobs1,
+            "jobs1_batch": jobs1_batch,
             "jobs4": jobs4,
             "parallel_speedup": round(
                 jobs1["wall_s"] / jobs4["wall_s"], 2
             ),
+            "batch_runs_per_s": jobs1_batch["runs_per_s"],
+            "chunk_overhead_ms": chunk_overhead_ms,
         },
         "single_run_120w": single,
     }
@@ -185,12 +210,42 @@ def check(doc, baseline, args):
             f"kernel engagement {engagement:.1%} below the "
             f"{args.min_engagement:.0%} floor"
         )
-    if (os.cpu_count() or 1) > 1:
+    # Batched jobs=1 must stay within --min-batch-ratio of the per-run
+    # path (the engine's contract is "never meaningfully slower"; the
+    # big wins come from warm workers on multi-core hosts).
+    ratio = (
+        doc["sweep"]["batch_runs_per_s"]
+        / doc["sweep"]["jobs1"]["runs_per_s"]
+    )
+    if ratio < args.min_batch_ratio:
+        failures.append(
+            f"batched sweep at {ratio:.2f}x of the per-run sweep, "
+            f"below the {args.min_batch_ratio:.2f}x floor"
+        )
+    # Parallel guard, gated on the host: fan-out cannot help a
+    # single-core runner (the pool falls back in-process by design),
+    # so skip with a warning there instead of failing.
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        speedup = doc["sweep"]["parallel_speedup"]
+        if speedup < args.min_parallel_speedup:
+            failures.append(
+                f"parallel speedup {speedup:.2f}x at jobs=4 below the "
+                f"{args.min_parallel_speedup:.1f}x floor on a "
+                f"{cpus}-CPU host"
+            )
+    elif cpus > 1:
         if doc["sweep"]["jobs4"]["wall_s"] >= doc["sweep"]["jobs1"]["wall_s"]:
             failures.append(
                 "jobs=4 sweep is not faster than jobs=1 on a "
-                f"{os.cpu_count()}-CPU host"
+                f"{cpus}-CPU host"
             )
+    else:
+        print(
+            "SKIP: single-core host "
+            f"(effective_jobs={doc['sweep']['jobs4']['effective_jobs']}) "
+            "— parallel speedup guard not applicable"
+        )
     return failures
 
 
@@ -231,6 +286,25 @@ def main(argv=None):
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-engagement", type=float, default=0.75)
+    parser.add_argument(
+        "--min-batch-ratio",
+        type=float,
+        default=0.75,
+        help="floor on batched/per-run jobs=1 throughput (default 0.75)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=2.0,
+        help="jobs=4 speedup floor, enforced on >=4-core hosts only",
+    )
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="also write the measured document here (any mode; CI "
+        "uploads this without touching the committed baseline)",
+    )
     args = parser.parse_args(argv)
 
     doc = measure(args)
@@ -239,9 +313,13 @@ def main(argv=None):
     print(
         f"sweep jobs=1: {sweep['jobs1']['wall_s']:.2f}s "
         f"({sweep['jobs1']['runs_per_s']:.2f} runs/s)  "
+        f"batched: {sweep['jobs1_batch']['wall_s']:.2f}s "
+        f"({sweep['batch_runs_per_s']:.2f} runs/s)  "
         f"jobs=4: {sweep['jobs4']['wall_s']:.2f}s "
-        f"({sweep['jobs4']['runs_per_s']:.2f} runs/s)  "
-        f"parallel x{sweep['parallel_speedup']:.2f}"
+        f"({sweep['jobs4']['runs_per_s']:.2f} runs/s, "
+        f"effective {sweep['jobs4']['effective_jobs']})  "
+        f"parallel x{sweep['parallel_speedup']:.2f}  "
+        f"chunk overhead {sweep['chunk_overhead_ms']:.1f} ms"
     )
     print(
         f"single 120 W Stereo: scalar {single['scalar_ms']:.2f} ms, "
@@ -251,11 +329,23 @@ def main(argv=None):
         f"{single['block_steps']} blocks)"
     )
 
+    if args.artifact is not None:
+        args.artifact.parent.mkdir(parents=True, exist_ok=True)
+        args.artifact.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote artifact {args.artifact}")
+
     if args.check:
         if not args.baseline.exists():
             print(f"FAIL: no committed baseline at {args.baseline}")
             return 1
         baseline = json.loads(args.baseline.read_text())
+        if baseline.get("schema", 1) != SCHEMA:
+            print(
+                f"note: baseline schema {baseline.get('schema', 1)} vs "
+                f"current {SCHEMA} — comparing shared fields only"
+            )
         failures = check(doc, baseline, args)
         for failure in failures:
             print(f"FAIL: {failure}")

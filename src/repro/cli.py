@@ -144,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical either way — see "
         "docs/PERFORMANCE.md)",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="run sweep tasks strictly one at a time instead of "
+        "marching stable segments of many runs as one numpy batch "
+        "(overrides REPRO_BATCH; results are bit-identical either "
+        "way — see docs/PERFORMANCE.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     baseline = sub.add_parser("baseline", help="Table I: uncapped baselines")
@@ -332,6 +340,7 @@ def _cmd_baseline(args) -> str:
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
         block_step=args.block_step,
+        batch=args.batch,
     )
     results = []
     for name in sorted(_WORKLOADS):
@@ -356,6 +365,7 @@ def _cmd_sweep(args) -> str:
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
         block_step=args.block_step,
+        batch=args.batch,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     if args.format == "json":
@@ -391,6 +401,7 @@ def _cmd_amenability(args) -> str:
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
         block_step=args.block_step,
+        batch=args.batch,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     report = characterize_amenability(result, tolerance_slowdown=args.tolerance)
@@ -525,6 +536,7 @@ def _cmd_figures(args) -> str:
         rate_cache=args.rate_cache,
         telemetry=args.telemetry,
         block_step=args.block_step,
+        batch=args.batch,
     )
     result = experiment.run_workload(workload, jobs=args.jobs)
     if args.workload == "sire":
@@ -552,6 +564,7 @@ def _cmd_serve(args) -> str:
         rate_cache=args.rate_cache,
         max_attempts=args.max_attempts,
         verbose=args.verbose,
+        batch=args.batch,
     )
     # Printed (and flushed) before blocking so scripts can scrape the
     # resolved port when --port 0 asked for an ephemeral one.
@@ -742,6 +755,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     # --no-block-step forces the scalar control loop; otherwise leave
     # the runner to its default (REPRO_BLOCK_STEP, else on).
     args.block_step = False if args.no_block_step else None
+    # --no-batch likewise forces per-run sweep execution; otherwise the
+    # experiment resolves REPRO_BATCH (default on).
+    args.batch = False if args.no_batch else None
     collector = start_tracing() if args.trace_out else None
     handler = {
         "baseline": _cmd_baseline,

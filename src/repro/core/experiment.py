@@ -28,8 +28,10 @@ from ..obs.logging import get_logger
 from ..obs.provenance import build_provenance
 from ..obs.timeseries import TelemetryConfig
 from ..obs.tracing import phase_totals, span
+from ..obs.metrics import engine_metrics
 from ..rng import DEFAULT_SEED
 from ..workloads.base import Workload
+from .batchstep import batch_enabled, run_sweep
 from .metrics import AveragedResult, RunResult
 from .ratecache import RateCache
 from .runner import NodeRunner
@@ -125,6 +127,23 @@ def _pool_run(task: "Tuple[Workload, Optional[float], int]") -> RunResult:
     return _WORKER_RUNNER.run(workload, cap_w, rep=rep)
 
 
+def _pool_run_chunk(
+    payload: "Tuple[List[Tuple[Workload, Optional[float], int]], bool | None]",
+) -> List[RunResult]:
+    """One warm worker's share of a sweep: a whole task chunk.
+
+    The worker's persistent :class:`NodeRunner` (created once by
+    ``_pool_init``) carries its measured rates, trace slices, and rate
+    cache across every run of the chunk, and the chunk goes through
+    :func:`repro.core.batchstep.run_sweep` so stable segments of the
+    chunk's runs march as one numpy batch.  Results come back in chunk
+    order; the parent reassembles them by original task index.
+    """
+    tasks, batch = payload
+    assert _WORKER_RUNNER is not None
+    return run_sweep(_WORKER_RUNNER, tasks, batch=batch)
+
+
 @dataclass
 class ExperimentResult:
     """All averaged rows for one workload: baseline + each cap."""
@@ -171,12 +190,20 @@ class PowerCapExperiment:
         rate_cache: "RateCache | str | os.PathLike | None" = None,
         telemetry: "TelemetryConfig | bool | None" = None,
         block_step: bool | None = None,
+        batch: bool | None = None,
     ) -> None:
         if not workloads:
             raise SimulationError("need at least one workload")
         if repetitions < 1:
             raise SimulationError("need at least one repetition")
         self._workloads = list(workloads)
+        self._batch = batch
+        #: Worker count the last ``_run_tasks`` actually used, after
+        #: the single-core / tiny-chunk fallbacks (bench provenance).
+        self.last_effective_jobs: int = 1
+        #: How the last ``_run_tasks`` executed (jobs, batch-engine
+        #: engagement, warm-worker reuse) — recorded into provenance.
+        self.last_execution: "dict | None" = None
         self._caps = validate_caps(caps_w, allow_empty=True)
         self._reps = int(repetitions)
         self._config = config
@@ -217,28 +244,91 @@ class PowerCapExperiment:
             for rep in range(self._reps)
         ]
 
+    def _effective_jobs(self, jobs: int, n_tasks: int) -> int:
+        """Worker count after the in-process fallbacks.
+
+        A single-core host gains nothing from process fan-out (the seed
+        benchmark's jobs=4 "regression" was exactly this), and a chunk
+        of fewer than two runs per worker cannot amortize the spawn and
+        warm-up cost it pays for.  Both cases fall back toward
+        in-process execution, with a logged warning so sweep provenance
+        explains the effective parallelism.
+        """
+        jobs = max(1, int(jobs))
+        if jobs <= 1:
+            return 1
+        if os.environ.get("REPRO_POOL_FORCE", "") == "1":
+            return jobs
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            _log.warning(
+                "pool_fallback",
+                reason="single_core",
+                cpu_count=cpus,
+                requested_jobs=jobs,
+            )
+            return 1
+        fit = max(1, min(jobs, n_tasks // 2))
+        if fit < jobs:
+            _log.warning(
+                "pool_shrunk",
+                reason="tiny_chunks",
+                runs=n_tasks,
+                requested_jobs=jobs,
+                effective_jobs=fit,
+            )
+        return fit
+
     def _run_tasks(
         self,
         tasks: Sequence[Tuple[Workload, Optional[float], int]],
         jobs: int,
     ) -> List[RunResult]:
+        requested = max(1, int(jobs))
+        jobs = self._effective_jobs(jobs, len(tasks))
+        self.last_effective_jobs = jobs
+        metrics = engine_metrics()
+        counters0 = (
+            metrics.batch_runs.value,
+            metrics.batch_quanta.value,
+        )
+
+        def _record_execution(worker_reuse: int) -> None:
+            # With jobs > 1 the batch counters accumulate inside the
+            # workers; the parent-side deltas then read 0 by design.
+            self.last_execution = {
+                "requested_jobs": requested,
+                "effective_jobs": jobs,
+                "batch": batch_enabled(self._batch),
+                "batch_runs": int(metrics.batch_runs.value - counters0[0]),
+                "batch_quanta": int(
+                    metrics.batch_quanta.value - counters0[1]
+                ),
+                "worker_reuse": worker_reuse,
+            }
+
         if jobs <= 1:
-            return [
-                self._runner.run(w, cap, rep=rep) for (w, cap, rep) in tasks
-            ]
-        # Skew-aware submission order: a sweep's wall clock is set by
-        # whichever worker drains the slowest tail, and the knee-cap
-        # runs are an order of magnitude longer than baselines.  Sorting
+            results = run_sweep(self._runner, tasks, batch=self._batch)
+            _record_execution(0)
+            return results
+        # Skew-aware chunking: a sweep's wall clock is set by whichever
+        # worker drains the slowest tail, and the knee-cap runs are an
+        # order of magnitude longer than baselines.  Sorting
         # longest-expected-first (stable, so equal ranks keep task
-        # order) keeps the expensive runs spread across workers instead
-        # of stranded behind a queue of cheap ones.
+        # order) and dealing round-robin gives every worker one chunk
+        # of near-equal expected cost — and a whole chunk per worker is
+        # what lets the warm runner and the batch engine amortize
+        # across runs instead of paying per-task future overhead.
         order = sorted(
             range(len(tasks)),
             key=lambda i: _cost_rank(tasks[i][1]),
             reverse=True,
         )
+        chunks = [order[k::jobs] for k in range(jobs)]
+        chunks = [c for c in chunks if c]
+        batch = batch_enabled(self._batch)
         with ProcessPoolExecutor(
-            max_workers=jobs,
+            max_workers=len(chunks),
             initializer=_pool_init,
             initargs=(
                 self._config,
@@ -249,13 +339,19 @@ class PowerCapExperiment:
                 self._runner.block_step,
             ),
         ) as pool:
-            # One task per future (chunksize-1 semantics): map()'s
-            # chunking can strand several knee-cap runs on one worker
-            # while the rest of the pool idles.  Reassembly is by
-            # original task index, so the result list is identical to
-            # the serial loop's, run for run.
-            futures = {i: pool.submit(_pool_run, tasks[i]) for i in order}
-            return [futures[i].result() for i in range(len(tasks))]
+            futures = [
+                pool.submit(_pool_run_chunk, ([tasks[i] for i in c], batch))
+                for c in chunks
+            ]
+            results: List[Optional[RunResult]] = [None] * len(tasks)
+            for chunk, future in zip(chunks, futures):
+                for i, res in zip(chunk, future.result()):
+                    results[i] = res
+        # Every run beyond each chunk's first was served by a worker
+        # whose runner was already warm (rates measured, slices built).
+        metrics.worker_reuse.inc(len(tasks) - len(chunks))
+        _record_execution(len(tasks) - len(chunks))
+        return results  # type: ignore[return-value]
 
     def _assemble(
         self, workload: Workload, runs: List[RunResult]
@@ -282,6 +378,7 @@ class PowerCapExperiment:
             slice_accesses=self._slice_accesses,
             rate_cache=self._runner.rate_cache,
             phase_seconds=phase_seconds,
+            execution=self.last_execution,
         )
 
     def _annotate_phenomena(self, result: ExperimentResult) -> None:

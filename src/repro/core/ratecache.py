@@ -20,6 +20,15 @@ The store is a single JSON file.  Saves are atomic (write-to-temp +
 ``os.replace``) and merge with any entries written concurrently by
 another process, so parallel sweep workers can share one cache file.
 
+Writers batch their saves (:meth:`put` only marks the cache dirty;
+:meth:`save` flushes at run/sweep boundaries), and every flush is a
+single atomic ``os.replace`` — so a concurrent reader never observes a
+partially written file.  Readers that only want to *observe* a shared
+cache (dashboards, benchmarks, inspection tooling) open it with
+``mode="ro"``: a read-only snapshot of the file at open time that can
+never dirty or rewrite the backing store, with :meth:`reload` to adopt
+whatever a concurrent writer has flushed since.
+
 The file is bounded: every entry carries a last-used timestamp, and
 :meth:`save` evicts the least-recently-used entries beyond
 ``max_entries`` (default :data:`RateCache.DEFAULT_MAX_ENTRIES`, or the
@@ -114,7 +123,13 @@ class RateCache:
         self,
         path: str | os.PathLike,
         max_entries: int | None = None,
+        mode: str = "rw",
     ) -> None:
+        if mode not in ("rw", "ro"):
+            raise SimulationError(
+                f"rate cache mode must be 'rw' or 'ro', got {mode!r}"
+            )
+        self._mode = mode
         self._path = Path(path)
         # Fail before the sweep, not at the post-sweep save.
         if self._path.is_dir():
@@ -141,6 +156,8 @@ class RateCache:
         self._load()
         if self._stamps:
             self._last_stamp = max(self._stamps.values())
+        if self._mode == "ro":
+            return  # snapshots never flush — nothing to hook at exit
         # Saves are batched (put() only marks dirty); a weakly-bound
         # atexit hook flushes anything still pending if the process
         # exits before the owning runner/experiment/scheduler does.
@@ -163,16 +180,29 @@ class RateCache:
         """The LRU bound enforced at :meth:`save` time."""
         return self._max_entries
 
+    @property
+    def mode(self) -> str:
+        """``"rw"`` (writer, default) or ``"ro"`` (snapshot reader)."""
+        return self._mode
+
+    @property
+    def readonly(self) -> bool:
+        """True for ``mode="ro"`` snapshot instances."""
+        return self._mode == "ro"
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def _load(self) -> None:
+    def _read_disk(
+        self,
+    ) -> "Tuple[Dict[str, dict], Dict[str, float]] | None":
+        """Parse the backing file; None when missing or unusable."""
         try:
             with open(self._path, "rb") as fh:
                 raw = fh.read()
         except FileNotFoundError:
-            return
+            return None
         try:
             data = json.loads(raw.decode("utf-8", errors="replace"))
         except json.JSONDecodeError as exc:
@@ -186,7 +216,7 @@ class RateCache:
                 content_digest=hashlib.blake2b(raw, digest_size=16).hexdigest(),
                 error=str(exc),
             )
-            return
+            return None
         if not isinstance(data, dict):
             _log.warning(
                 "rate_cache_malformed",
@@ -194,7 +224,9 @@ class RateCache:
                 content_digest=hashlib.blake2b(raw, digest_size=16).hexdigest(),
                 error=f"expected a JSON object, got {type(data).__name__}",
             )
-            return
+            return None
+        entries: Dict[str, dict] = {}
+        stamps: Dict[str, float] = {}
         for key, value in data.items():
             split = _split_entry(value)
             if split is None:
@@ -204,9 +236,39 @@ class RateCache:
                     digest=key,
                 )
                 continue
-            rates, ts = split
-            self._entries[key] = rates
-            self._stamps[key] = ts
+            entries[key], stamps[key] = split
+        return entries, stamps
+
+    def _load(self) -> None:
+        disk = self._read_disk()
+        if disk is not None:
+            self._entries, self._stamps = disk
+
+    def reload(self) -> int:
+        """Re-read the backing file, adopting concurrent flushes.
+
+        Because writers flush with a single atomic ``os.replace``, a
+        reloading reader sees either the previous complete file or the
+        new complete file — never a torn write.  Read-only snapshots
+        replace their view wholesale; ``rw`` instances merge the disk
+        state *under* their own entries (local puts win until the next
+        :meth:`save`).  Returns the number of entries now visible.
+        """
+        with self._lock:
+            disk = self._read_disk()
+            if disk is not None:
+                entries, stamps = disk
+                if self._mode == "rw":
+                    entries.update(self._entries)
+                    for key, ts in self._stamps.items():
+                        stamps[key] = max(ts, stamps.get(key, 0.0))
+                self._entries = entries
+                self._stamps = stamps
+                if stamps:
+                    self._last_stamp = max(
+                        self._last_stamp, max(stamps.values())
+                    )
+            return len(self._entries)
 
     def get(self, key: str) -> Optional[AccessRates]:
         """Look one digest up; None on miss or malformed entry."""
@@ -234,6 +296,10 @@ class RateCache:
 
     def put(self, key: str, rates: AccessRates) -> None:
         """Record one result (persisted on the next :meth:`save`)."""
+        if self._mode == "ro":
+            raise SimulationError(
+                f"rate cache opened read-only: {self._path}"
+            )
         with self._lock:
             self._entries[key] = asdict(rates)
             self._touch(key)
@@ -277,7 +343,11 @@ class RateCache:
         After the merge the least-recently-used entries beyond
         ``max_entries`` are evicted, so the backing file stays bounded
         no matter how many distinct sweeps a long-lived process runs.
+
+        Read-only snapshots never write: a no-op in ``mode="ro"``.
         """
+        if self._mode == "ro":
+            return
         with self._lock:
             self._save_locked()
 

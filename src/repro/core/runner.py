@@ -52,7 +52,7 @@ from .blockstep import BlockStepKernel
 from .metrics import RunResult
 from .ratecache import RateCache, rate_key
 
-__all__ = ["NodeRunner"]
+__all__ = ["NodeRunner", "RunState"]
 
 _log = get_logger("core.runner")
 
@@ -273,47 +273,84 @@ class NodeRunner:
         cap_w: float | None,
         rep: int,
     ) -> "Tuple[RunResult, int, bool, int, int]":
-        cfg = self._config
-        tag = f"{workload.name}:cap={cap_w}:rep={rep}"
-        node = Node(cfg)
-        sensor = PowerSensor(self._streams.fresh(f"bmc-sensor:{tag}"))
-        controller = CapController(node, sensor)
-        controller.set_cap(cap_w)
-        meter = WattsUpMeter(cfg.meter, self._streams.fresh(f"meter:{tag}"))
-        energy = EnergyAccumulator()
-        core = CoreTimingModel(cfg.base_cpi)
-        quantum = cfg.bmc.control_quantum_s
+        state = RunState(self, workload, cap_w, rep)
+        while not state.finished:
+            state.try_kernel()
+            state.step_quantum()
+        return state.finish()
 
-        total_instr = workload.spec.total_instructions
-        done = 0.0
-        t = 0.0
-        freq_time = 0.0
-        cycles = 0.0
-        max_escalation = 0
-        min_duty = 1.0
+
+class RunState:
+    """All live state of one in-flight run, steppable from outside.
+
+    The historical ``NodeRunner._run`` held its entire loop in local
+    variables; this class is a verbatim move of that code — the setup
+    section into ``__init__``, the kernel gate into :meth:`try_kernel`,
+    one scalar control quantum into :meth:`step_quantum`, and the result
+    assembly into :meth:`finish` — so results stay bit-identical.  The
+    split exists so an external driver can interleave *many* runs:
+    :mod:`repro.core.batchstep` parks runs at batch-eligible points
+    (pinned command, long-step stable, fresh telemetry bucket) and
+    advances them as one numpy batch with one axis per run.
+    """
+
+    def __init__(
+        self,
+        runner: "NodeRunner",
+        workload: Workload,
+        cap_w: float | None,
+        rep: int,
+    ) -> None:
+        self.runner = runner
+        self.workload = workload
+        self.cap_w = cap_w
+        self.rep = rep
+        cfg = runner._config
+        self.cfg = cfg
+        tag = f"{workload.name}:cap={cap_w}:rep={rep}"
+        self.tag = tag
+        node = Node(cfg)
+        self.node = node
+        self.sensor = PowerSensor(runner._streams.fresh(f"bmc-sensor:{tag}"))
+        self.controller = CapController(node, self.sensor)
+        self.controller.set_cap(cap_w)
+        self.meter = WattsUpMeter(
+            cfg.meter, runner._streams.fresh(f"meter:{tag}")
+        )
+        self.energy = EnergyAccumulator()
+        self.core = CoreTimingModel(cfg.base_cpi)
+        self.quantum = cfg.bmc.control_quantum_s
+
+        self.total_instr = workload.spec.total_instructions
+        self.done = 0.0
+        self.t = 0.0
+        self.freq_time = 0.0
+        self.cycles = 0.0
+        self.max_escalation = 0
+        self.min_duty = 1.0
         # Instructions executed per gating config, for counter scaling.
-        instr_by_gating: Dict[tuple, float] = {}
-        gating_by_key: Dict[tuple, GatingState] = {}
-        series = []
+        self.instr_by_gating: Dict[tuple, float] = {}
+        self.gating_by_key: Dict[tuple, GatingState] = {}
+        self.series: list = []
         # In-run telemetry: pure observation (no RNG, no model state), so
         # results are bit-identical with the sampler on or off.  A fast-
         # forwarded remainder arrives as one wide sample — timelines stay
         # gap-free and the power channel's integral matches the energy path.
-        sampler = (
-            TelemetrySampler(self._telemetry)
-            if self._telemetry.enabled
+        self.sampler = (
+            TelemetrySampler(runner._telemetry)
+            if runner._telemetry.enabled
             else None
         )
-        mpki_by_gating: Dict[tuple, tuple] = {}
+        self.mpki_by_gating: Dict[tuple, tuple] = {}
 
         # Initial condition: one quantum at P0, unthrottled, ungated.
-        gating = GatingState.ungated()
-        rates = self.rates_for(workload, gating)
-        power = node.power_w(dram_traffic_bps=0.0)
-        model = node.power_model
-        thermal = node.thermal
-        record_series = self._record_series
-        fast_forward = self._fast_forward
+        self.gating = GatingState.ungated()
+        self.rates = runner.rates_for(workload, self.gating)
+        self.power = node.power_w(dram_traffic_bps=0.0)
+        self.model = node.power_model
+        self.thermal = node.thermal
+        self.record_series = runner._record_series
+        self.fast_forward = runner._fast_forward
         # Adaptive stepping: once the controller's command has been
         # stable for a while (e.g. duty pinned at its minimum during a
         # 120 W run), quanta are lengthened 10x — the dynamics are in
@@ -322,285 +359,394 @@ class NodeRunner:
         # the command is provably frozen (controller quiescent) and the
         # thermal state has converged, the whole remaining stable
         # segment collapses into a single closed-form step.
-        stable_quanta = 0
-        prev_cmd_key = None
-        quanta = 0
-        fast_forwarded = False
+        self.stable_quanta = 0
+        self.prev_cmd_key: "tuple | None" = None
+        self.quanta = 0
+        self.fast_forwarded = False
         # Per-gating timing inputs (rates and the CPI-stack stall term
         # are frequency/duty independent), and one-slot memos for the
         # derived per-quantum quantities — a stable command makes every
         # iteration of the hot loop a pure dictionary-free replay.
-        gate_cache: Dict[tuple, tuple] = {}
-        spi_sig = None
-        spi = instr_rate = traffic = 0.0
+        self.gate_cache: Dict[tuple, tuple] = {}
+        self.spi_sig = None
+        self.spi = self.instr_rate = self.traffic = 0.0
         # Constants of the power decomposition (DESIGN.md §5) hoisted so
         # the per-quantum blend needs only the two commanded P-states.
         # Arithmetic below follows PowerBreakdown.total_w term by term,
         # in the same association order, so the blend is bit-identical
         # to power_of_pstate with busy_cores=1 / activity=1.
         pcfg = cfg.power
-        platform_plus_bg = pcfg.platform_floor_w + cfg.dram.background_w
-        uncore_w = pcfg.uncore_active_w
-        ceff = pcfg.core_ceff_f
-        act = 1.0 * pcfg.busy_activity
-        halt_residual = pcfg.halt_residual_fraction
-        bw_gbs = cfg.dram.bandwidth_gbs
-        w_per_gbs = cfg.dram.active_w_per_gbs
-        pw_sig = None
-        dyn_fast = gate_fast = dyn_slow = gate_slow = traffic_w = 0.0
+        self.platform_plus_bg = pcfg.platform_floor_w + cfg.dram.background_w
+        self.uncore_w = pcfg.uncore_active_w
+        self.ceff = pcfg.core_ceff_f
+        self.act = 1.0 * pcfg.busy_activity
+        self.halt_residual = pcfg.halt_residual_fraction
+        self.bw_gbs = cfg.dram.bandwidth_gbs
+        self.w_per_gbs = cfg.dram.active_w_per_gbs
+        self.pw_sig = None
+        self.dyn_fast = self.gate_fast = 0.0
+        self.dyn_slow = self.gate_slow = self.traffic_w = 0.0
         # Block-step kernel: retires stretches of stable command in
         # bulk, bit-identically (see blockstep.py).  At least one scalar
         # quantum always executes between kernel calls — the entry gate
-        # below only opens at ``quanta >= block_after`` and every kernel
-        # attempt pushes ``block_after`` past the current count — so the
-        # one-slot memos (spi/traffic/traffic_w) the kernel seeds from
-        # are always valid for ``prev_cmd_key``.
-        kernel = None
-        if self._block_step:
-            kernel = BlockStepKernel(
-                controller=controller,
-                sensor=sensor,
-                meter=meter,
-                energy=energy,
-                thermal=thermal,
-                model=model,
+        # in ``try_kernel`` only opens at ``quanta >= block_after`` and
+        # every kernel attempt pushes ``block_after`` past the current
+        # count — so the one-slot memos (spi/traffic/traffic_w) the
+        # kernel seeds from are always valid for ``prev_cmd_key``.
+        self.kernel = None
+        if runner._block_step:
+            self.kernel = BlockStepKernel(
+                controller=self.controller,
+                sensor=self.sensor,
+                meter=self.meter,
+                energy=self.energy,
+                thermal=self.thermal,
+                model=self.model,
                 pstates=node.pstates,
                 cfg=cfg,
-                sampler=sampler,
-                series=series if record_series else None,
-                total_instr=total_instr,
-                max_sim_seconds=self._max_sim_seconds,
-                fast_forward=fast_forward,
+                sampler=self.sampler,
+                series=self.series if self.record_series else None,
+                total_instr=self.total_instr,
+                max_sim_seconds=runner._max_sim_seconds,
+                fast_forward=self.fast_forward,
                 stable_threshold=_STABLE_QUANTA,
                 eps_pinned=_FF_TEMP_EPS_PINNED_C,
                 eps_dither=_FF_TEMP_EPS_DITHER_C,
             )
-        block_after = 1
-        block_steps = 0
-        block_quanta = 0
-        key = None
-        stall_ns = 0.0
-        freq = 0.0
+        self.block_after = 1
+        self.block_steps = 0
+        self.block_quanta = 0
+        self.batch_steps = 0
+        self.batch_quanta = 0
+        self.key = None
+        self.stall_ns = 0.0
+        self.freq = 0.0
+        self.max_sim_seconds = runner._max_sim_seconds
 
-        while done < total_instr:
-            if kernel is not None and quanta >= block_after:
-                adv = kernel.advance(
-                    power=power,
-                    t=t,
-                    done=done,
-                    freq_time=freq_time,
-                    cycles=cycles,
-                    stable_quanta=stable_quanta,
-                    prev_cmd_key=prev_cmd_key,
-                    stall_ns=stall_ns,
-                    l3_misses=rates.l3_misses,
-                    freq=freq,
-                    spi=spi,
-                    traffic=traffic,
-                    traffic_w=traffic_w,
-                    mpki=mpki_by_gating.get(key),
-                    instr_seg=instr_by_gating.get(key, 0.0),
-                )
-                if kernel.disabled:
-                    kernel = None
-                elif adv is not None:
-                    (bn, power, t, done, freq_time, cycles, stable_quanta,
-                     fi, si, ra, bduty, seg) = adv
-                    quanta += bn
-                    block_steps += 1
-                    block_quanta += bn
-                    prev_cmd_key = (
-                        fi, si, ra, bduty, prev_cmd_key[4]
-                    )
-                    # Duty is non-increasing inside a block (restores
-                    # are boundaries), so the committed duty is the
-                    # block's minimum.
-                    if bduty < min_duty:
-                        min_duty = bduty
-                    instr_by_gating[key] = seg
-                    # The command's frequency may have drifted in-block
-                    # (dither alpha tracks leakage): the boundary
-                    # quantum below recomputes the memoized quantities.
-                    spi_sig = None
-                    pw_sig = None
-                block_after = quanta + 1
-            quanta += 1
-            cmd = controller.update(power, activity=1.0, traffic_bps=0.0)
-            cmd_key = (
-                cmd.pstate_fast.index,
-                cmd.pstate_slow.index,
-                round(cmd.alpha, 2),
-                cmd.duty,
-                cmd.escalation_level,
+    @property
+    def finished(self) -> bool:
+        """Whether the instruction budget has retired."""
+        return not self.done < self.total_instr
+
+    def try_kernel(self, stop_batchable: bool = False) -> None:
+        """The block-step kernel gate (one iteration's worth).
+
+        With ``stop_batchable`` the kernel additionally exits at the
+        first batch-eligible committed state (see
+        :meth:`batch_eligible`), leaving the stable pinned tail for the
+        multi-run batch engine instead of consuming it per-run.
+        """
+        kernel = self.kernel
+        if kernel is None or self.quanta < self.block_after:
+            return
+        adv = kernel.advance(
+            power=self.power,
+            t=self.t,
+            done=self.done,
+            freq_time=self.freq_time,
+            cycles=self.cycles,
+            stable_quanta=self.stable_quanta,
+            prev_cmd_key=self.prev_cmd_key,
+            stall_ns=self.stall_ns,
+            l3_misses=self.rates.l3_misses,
+            freq=self.freq,
+            spi=self.spi,
+            traffic=self.traffic,
+            traffic_w=self.traffic_w,
+            mpki=self.mpki_by_gating.get(self.key),
+            instr_seg=self.instr_by_gating.get(self.key, 0.0),
+            stop_batchable=stop_batchable,
+        )
+        if kernel.disabled:
+            self.kernel = None
+        elif adv is not None:
+            (bn, self.power, self.t, self.done, self.freq_time,
+             self.cycles, self.stable_quanta, fi, si, ra, bduty,
+             seg) = adv
+            self.quanta += bn
+            self.block_steps += 1
+            self.block_quanta += bn
+            self.prev_cmd_key = (
+                fi, si, ra, bduty, self.prev_cmd_key[4]
             )
-            stable_quanta = stable_quanta + 1 if cmd_key == prev_cmd_key else 0
-            prev_cmd_key = cmd_key
-            step_s = quantum * (10.0 if stable_quanta > _STABLE_QUANTA else 1.0)
-            if cmd.gating != gating:
-                gating = cmd.gating
-            key = gating.config_key()
-            cached = gate_cache.get(key)
-            if cached is None:
-                seg_rates = self.rates_for(workload, gating)
-                costs = AccessCosts.from_config(cfg, gating)
-                cached = (seg_rates, stall_ns_per_instruction(seg_rates, costs))
-                gate_cache[key] = cached
-            rates, stall_ns = cached
-            freq = cmd.effective_freq_hz
-            sig = (key, freq, cmd.duty)
-            if sig != spi_sig:
-                spi = core.seconds_per_instruction(freq, stall_ns, cmd.duty)
-                instr_rate = 1.0 / spi
-                traffic = rates.l3_misses * instr_rate * cfg.l3.line_bytes
-                spi_sig = sig
+            # Duty is non-increasing inside a block (restores
+            # are boundaries), so the committed duty is the
+            # block's minimum.
+            if bduty < self.min_duty:
+                self.min_duty = bduty
+            self.instr_by_gating[self.key] = seg
+            # The command's frequency may have drifted in-block
+            # (dither alpha tracks leakage): the boundary
+            # quantum recomputes the memoized quantities.
+            self.spi_sig = None
+            self.pw_sig = None
+        self.block_after = self.quanta + 1
 
-            # True node power this quantum: dither-blended P-states.
-            # Only leakage depends on the (moving) temperature; the rest
-            # of each state's power changes when the command or traffic
-            # does, so it is memoized on that signature.
-            temp = thermal.temperature_c
-            sig = (cmd_key[0], cmd_key[1], cmd.duty, cmd.gating_saving_w, traffic)
-            if sig != pw_sig:
-                duty_scale = halt_residual + (1.0 - halt_residual) * cmd.duty
-                traffic_w = min(traffic / 1e9, bw_gbs) * w_per_gbs
-                saving = cmd.gating_saving_w
-                st = cmd.pstate_fast
-                dyn_fast = (ceff * st.freq_hz * st.voltage_v**2 * act) * duty_scale
-                gate_fast = min(saving, uncore_w + dyn_fast)
-                st = cmd.pstate_slow
-                dyn_slow = (ceff * st.freq_hz * st.voltage_v**2 * act) * duty_scale
-                gate_slow = min(saving, uncore_w + dyn_slow)
-                pw_sig = sig
-            base = platform_plus_bg + model.leakage_w(temp) + uncore_w
-            power = cmd.alpha * (base + dyn_fast + traffic_w - gate_fast) + (
-                1.0 - cmd.alpha
-            ) * (base + dyn_slow + traffic_w - gate_slow)
+    def step_quantum(self) -> None:
+        """One scalar control quantum — the historical loop body."""
+        controller = self.controller
+        cfg = self.cfg
+        self.quanta += 1
+        power = self.power
+        cmd = controller.update(power, activity=1.0, traffic_bps=0.0)
+        cmd_key = (
+            cmd.pstate_fast.index,
+            cmd.pstate_slow.index,
+            round(cmd.alpha, 2),
+            cmd.duty,
+            cmd.escalation_level,
+        )
+        self.stable_quanta = (
+            self.stable_quanta + 1 if cmd_key == self.prev_cmd_key else 0
+        )
+        self.prev_cmd_key = cmd_key
+        step_s = self.quantum * (
+            10.0 if self.stable_quanta > _STABLE_QUANTA else 1.0
+        )
+        if cmd.gating != self.gating:
+            self.gating = cmd.gating
+        key = self.gating.config_key()
+        self.key = key
+        cached = self.gate_cache.get(key)
+        if cached is None:
+            seg_rates = self.runner.rates_for(self.workload, self.gating)
+            costs = AccessCosts.from_config(cfg, self.gating)
+            cached = (seg_rates, stall_ns_per_instruction(seg_rates, costs))
+            self.gate_cache[key] = cached
+        rates, stall_ns = cached
+        self.rates = rates
+        self.stall_ns = stall_ns
+        freq = cmd.effective_freq_hz
+        self.freq = freq
+        sig = (key, freq, cmd.duty)
+        if sig != self.spi_sig:
+            self.spi = self.core.seconds_per_instruction(
+                freq, stall_ns, cmd.duty
+            )
+            self.instr_rate = 1.0 / self.spi
+            self.traffic = rates.l3_misses * self.instr_rate * cfg.l3.line_bytes
+            self.spi_sig = sig
+        spi = self.spi
 
-            remaining_s = (total_instr - done) * spi
-            if (
-                fast_forward
-                and stable_quanta > _STABLE_QUANTA
-                and remaining_s > step_s
-                and t + remaining_s <= self._max_sim_seconds
-                and abs(temp - thermal.steady_state_c(power))
-                <= (
-                    _FF_TEMP_EPS_PINNED_C
-                    if cmd.pstate_fast.index == cmd.pstate_slow.index
-                    else _FF_TEMP_EPS_DITHER_C
-                )
-                and controller.is_quiescent(power)
-            ):
-                # Steady-state fast-forward: the command is frozen (no
-                # plausible sensor reading can move an actuator) and the
-                # node is thermally converged, so every remaining
-                # quantum would replay this one.  Retire the rest of the
-                # instruction budget in a single exact step.
-                dt = remaining_s
-                instr_now = total_instr - done
-                done = total_instr
-                controller.advance_time(dt - quantum)
-                fast_forwarded = True
-                _log.debug(
-                    "fast_forward",
-                    workload=workload.name,
-                    cap_w=cap_w,
-                    skipped_s=round(dt, 3),
-                    at_quantum=quanta,
-                )
-            else:
-                dt = min(step_s, remaining_s)
-                instr_now = dt / spi
-                done += instr_now
-            instr_by_gating[key] = instr_by_gating.get(key, 0.0) + instr_now
-            gating_by_key[key] = gating
-            freq_time += freq * dt
-            cycles += freq * dt * cmd.duty
-            max_escalation = max(max_escalation, cmd.escalation_level)
-            min_duty = min(min_duty, cmd.duty)
+        # True node power this quantum: dither-blended P-states.
+        # Only leakage depends on the (moving) temperature; the rest
+        # of each state's power changes when the command or traffic
+        # does, so it is memoized on that signature.
+        thermal = self.thermal
+        temp = thermal.temperature_c
+        sig = (cmd_key[0], cmd_key[1], cmd.duty, cmd.gating_saving_w, self.traffic)
+        if sig != self.pw_sig:
+            halt_residual = self.halt_residual
+            duty_scale = halt_residual + (1.0 - halt_residual) * cmd.duty
+            self.traffic_w = (
+                min(self.traffic / 1e9, self.bw_gbs) * self.w_per_gbs
+            )
+            saving = cmd.gating_saving_w
+            ceff = self.ceff
+            act = self.act
+            uncore_w = self.uncore_w
+            st = cmd.pstate_fast
+            self.dyn_fast = (
+                ceff * st.freq_hz * st.voltage_v**2 * act
+            ) * duty_scale
+            self.gate_fast = min(saving, uncore_w + self.dyn_fast)
+            st = cmd.pstate_slow
+            self.dyn_slow = (
+                ceff * st.freq_hz * st.voltage_v**2 * act
+            ) * duty_scale
+            self.gate_slow = min(saving, uncore_w + self.dyn_slow)
+            self.pw_sig = sig
+        base = self.platform_plus_bg + self.model.leakage_w(temp) + self.uncore_w
+        traffic_w = self.traffic_w
+        power = cmd.alpha * (
+            base + self.dyn_fast + traffic_w - self.gate_fast
+        ) + (1.0 - cmd.alpha) * (
+            base + self.dyn_slow + traffic_w - self.gate_slow
+        )
+        self.power = power
 
-            if sampler is not None:
-                mpki = mpki_by_gating.get(key)
-                if mpki is None:
-                    mpki = mpki_by_gating[key] = (
-                        (rates.l1d_misses + rates.l1i_misses) * 1e3,
-                        rates.l2_misses * 1e3,
-                        rates.l3_misses * 1e3,
-                        rates.dtlb_misses * 1e3,
-                        rates.itlb_misses * 1e3,
-                    )
-                sampler.record(
-                    dt,
-                    {
-                        "power_w": power,
-                        "freq_mhz": freq / 1e6,
-                        "pstate": cmd.alpha * cmd.pstate_fast.index
-                        + (1.0 - cmd.alpha) * cmd.pstate_slow.index,
-                        "duty": cmd.duty,
-                        # Duty modulation forces the core out of C0 for
-                        # the halted fraction of each quantum.
-                        "c0_frac": cmd.duty,
-                        "temp_c": temp,
-                        "l1_mpki": mpki[0],
-                        "l2_mpki": mpki[1],
-                        "l3_mpki": mpki[2],
-                        "dtlb_mpki": mpki[3],
-                        "itlb_mpki": mpki[4],
-                    },
-                )
-            thermal.step(power, dt)
-            meter.advance_const(t, dt, power)
-            energy.add(power, dt)
-            t += dt
-            if record_series:
-                series.append((t, power, freq / 1e6, cmd.duty))
-            if t > self._max_sim_seconds:
-                raise SimulationError(
-                    f"run exceeded {self._max_sim_seconds:.0f} simulated "
-                    f"seconds ({done:.3g}/{total_instr:.3g} instructions) — "
-                    "check the cap against the node's achievable floor"
-                )
+        total_instr = self.total_instr
+        remaining_s = (total_instr - self.done) * spi
+        if (
+            self.fast_forward
+            and self.stable_quanta > _STABLE_QUANTA
+            and remaining_s > step_s
+            and self.t + remaining_s <= self.max_sim_seconds
+            and abs(temp - thermal.steady_state_c(power))
+            <= (
+                _FF_TEMP_EPS_PINNED_C
+                if cmd.pstate_fast.index == cmd.pstate_slow.index
+                else _FF_TEMP_EPS_DITHER_C
+            )
+            and controller.is_quiescent(power)
+        ):
+            # Steady-state fast-forward: the command is frozen (no
+            # plausible sensor reading can move an actuator) and the
+            # node is thermally converged, so every remaining
+            # quantum would replay this one.  Retire the rest of the
+            # instruction budget in a single exact step.
+            dt = remaining_s
+            instr_now = total_instr - self.done
+            self.done = total_instr
+            controller.advance_time(dt - self.quantum)
+            self.fast_forwarded = True
+            _log.debug(
+                "fast_forward",
+                workload=self.workload.name,
+                cap_w=self.cap_w,
+                skipped_s=round(dt, 3),
+                at_quantum=self.quanta,
+            )
+        else:
+            dt = min(step_s, remaining_s)
+            instr_now = dt / spi
+            self.done += instr_now
+        self.instr_by_gating[key] = (
+            self.instr_by_gating.get(key, 0.0) + instr_now
+        )
+        self.gating_by_key[key] = self.gating
+        self.freq_time += freq * dt
+        self.cycles += freq * dt * cmd.duty
+        self.max_escalation = max(self.max_escalation, cmd.escalation_level)
+        self.min_duty = min(self.min_duty, cmd.duty)
 
-        # ------------------------------------------------------------------
-        # Assemble counters scaled to the full run.
-        # ------------------------------------------------------------------
+        sampler = self.sampler
+        if sampler is not None:
+            mpki = self.mpki_by_gating.get(key)
+            if mpki is None:
+                mpki = self.mpki_by_gating[key] = (
+                    (rates.l1d_misses + rates.l1i_misses) * 1e3,
+                    rates.l2_misses * 1e3,
+                    rates.l3_misses * 1e3,
+                    rates.dtlb_misses * 1e3,
+                    rates.itlb_misses * 1e3,
+                )
+            sampler.record(
+                dt,
+                {
+                    "power_w": power,
+                    "freq_mhz": freq / 1e6,
+                    "pstate": cmd.alpha * cmd.pstate_fast.index
+                    + (1.0 - cmd.alpha) * cmd.pstate_slow.index,
+                    "duty": cmd.duty,
+                    # Duty modulation forces the core out of C0 for
+                    # the halted fraction of each quantum.
+                    "c0_frac": cmd.duty,
+                    "temp_c": temp,
+                    "l1_mpki": mpki[0],
+                    "l2_mpki": mpki[1],
+                    "l3_mpki": mpki[2],
+                    "dtlb_mpki": mpki[3],
+                    "itlb_mpki": mpki[4],
+                },
+            )
+        thermal.step(power, dt)
+        self.meter.advance_const(self.t, dt, power)
+        self.energy.add(power, dt)
+        self.t += dt
+        if self.record_series:
+            self.series.append((self.t, power, freq / 1e6, cmd.duty))
+        if self.t > self.max_sim_seconds:
+            raise SimulationError(
+                f"run exceeded {self.max_sim_seconds:.0f} simulated "
+                f"seconds ({self.done:.3g}/{total_instr:.3g} instructions) — "
+                "check the cap against the node's achievable floor"
+            )
+
+    def batch_eligible(self) -> bool:
+        """Whether the multi-run batch engine can take over right now.
+
+        True only at a state from which the per-run kernel's next block
+        would be a *pinned long-step march*: the committed command is
+        non-dithering (``fi == si``, rounded alpha exactly 1.0), the
+        stability counter has the 10x step engaged, the controller's
+        committed duty/level agree with the key, a floor-pinned command
+        has already logged its SEL entry, and the telemetry bucket (if
+        sampling) is empty with every long-step quantum flushing its own
+        bucket.  Everything else — dithering caps, escalation walks,
+        partial buckets — stays with the per-run kernel.
+        """
+        kernel = self.kernel
+        if kernel is None or kernel.disabled:
+            return False
+        if self.quanta < self.block_after or self.finished:
+            return False
+        pk = self.prev_cmd_key
+        if pk is None:
+            return False
+        fi, si, ra, duty, level = pk
+        if fi != si or ra != 1.0:
+            return False
+        if self.stable_quanta <= kernel._stable_thr:
+            return False
+        if self.sampler is not None:
+            if kernel._q10 < kernel._t_period:
+                return False
+            _bt0, el, _acc = self.sampler.block_state()
+            if el > 0.0:
+                return False
+        (ctime, oc, uc, floor_logged, over_logged, cduty, clevel,
+         at_top, saving, esc_pat, deesc_pat, busy) = (
+            self.controller.block_state()
+        )
+        if cduty != duty or clevel != level:
+            return False
+        if self.cap_w is None:
+            # The kernel's uncapped precondition: P0, unthrottled.
+            return (fi, si, ra, duty, level) == (0, 0, 1.0, 1.0, 0)
+        if fi == kernel._n_states - 1 and not floor_logged:
+            # The first floor quantum's SEL entry is a scalar-path side
+            # effect; the march would drop out immediately.
+            return False
+        return True
+
+    def finish(self) -> "Tuple[RunResult, int, bool, int, int]":
+        """Assemble counters scaled to the full run, and the result."""
         bank = CounterBank()
-        for key, n_instr in instr_by_gating.items():
-            seg_rates = self.rates_for(workload, gating_by_key[key])
+        total_instr = self.total_instr
+        for key, n_instr in self.instr_by_gating.items():
+            seg_rates = self.runner.rates_for(
+                self.workload, self.gating_by_key[key]
+            )
             bank.add_access_counts(seg_rates.counts_for(n_instr))
-        spec_rng = self._streams.fresh(f"speculation:{tag}")
+        spec_rng = self.runner._streams.fresh(f"speculation:{self.tag}")
         speculation = CoreTimingModel.speculation_factor(spec_rng)
         bank.add(PapiEvent.PAPI_TOT_INS, total_instr)
         bank.add(PapiEvent.PAPI_TOT_IIS, total_instr * speculation)
-        bank.add(PapiEvent.PAPI_TOT_CYC, cycles)
+        bank.add(PapiEvent.PAPI_TOT_CYC, self.cycles)
 
         timeline = None
-        if sampler is not None:
-            timeline = sampler.finish(workload.name, cap_w)
-            telemetry_metrics().observe_run(sampler, timeline)
+        if self.sampler is not None:
+            timeline = self.sampler.finish(self.workload.name, self.cap_w)
+            telemetry_metrics().observe_run(self.sampler, timeline)
 
+        meter = self.meter
         avg_power = (
             meter.average_power_w()
             if meter.sample_count
-            else energy.average_power_w()
+            else self.energy.average_power_w()
         )
         sel_events = tuple(
             (e.time_s, e.event.value, e.detail)
-            for e in controller.sel.entries()
+            for e in self.controller.sel.entries()
         )
         result = RunResult(
-            workload=workload.name,
-            cap_w=cap_w,
-            execution_s=t,
+            workload=self.workload.name,
+            cap_w=self.cap_w,
+            execution_s=self.t,
             avg_power_w=avg_power,
-            energy_j=energy.energy_j,
-            avg_freq_mhz=freq_time / t / 1e6,
+            energy_j=self.energy.energy_j,
+            avg_freq_mhz=self.freq_time / self.t / 1e6,
             counters=dict(bank.snapshot()),
             committed_instructions=total_instr,
             executed_instructions=total_instr * speculation,
-            max_escalation_level=max_escalation,
-            min_duty=min_duty,
-            series=tuple(series),
+            max_escalation_level=self.max_escalation,
+            min_duty=self.min_duty,
+            series=tuple(self.series),
             sel_events=sel_events,
             timeline=timeline,
         )
-        return result, quanta, fast_forwarded, block_steps, block_quanta
+        return (
+            result, self.quanta, self.fast_forwarded,
+            self.block_steps, self.block_quanta,
+        )

@@ -8,6 +8,9 @@ needed to reproduce (or distrust) the numbers:
 - the experiment seed, caps, repetitions, and slice length,
 - the package version and (best-effort) ``git describe`` of the code,
 - rate-cache identity and hit/miss counters at sweep end,
+- how the sweep actually executed (effective worker count after the
+  single-core fallback, batch-engine engagement counters, warm-worker
+  reuse),
 - cumulative per-phase span seconds (from :mod:`repro.obs.tracing`)
   spent producing this result.
 
@@ -78,6 +81,7 @@ def build_provenance(
     slice_accesses: int,
     rate_cache=None,
     phase_seconds: Optional[Dict[str, float]] = None,
+    execution: Optional[dict] = None,
 ) -> dict:
     """Assemble one result's provenance manifest (JSON-ready dict)."""
     from .. import __version__
@@ -96,6 +100,7 @@ def build_provenance(
         "repetitions": int(repetitions),
         "slice_accesses": int(slice_accesses),
         "rate_cache": None,
+        "execution": dict(execution) if execution else None,
         "phase_seconds": {
             k: round(float(v), 6) for k, v in (phase_seconds or {}).items()
         },

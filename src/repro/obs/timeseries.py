@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+
+import numpy as np
 from typing import (
     Dict,
     Iterable,
@@ -231,6 +233,72 @@ class SeriesChannel:
     # Resampling and merging
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _ramp(span: np.ndarray) -> np.ndarray:
+        """``[0..span[0]-1, 0..span[1]-1, ...]`` as one flat array."""
+        total = int(span.sum())
+        offsets = np.repeat(np.cumsum(span) - span, span)
+        return np.arange(total) - offsets
+
+    def _resample_columns(self, n: int, end: float):
+        """``(means, mins, maxs, covered)`` arrays for ``n`` uniform bins.
+
+        Vectorised projection onto the grid.  Bit-identical to the
+        historical per-point Python loop: per-(point, bin) contributions
+        are expanded in point order and accumulated with unbuffered
+        ``np.add.at``, so each bin's weighted sum folds in exactly the
+        order the scalar ``wsum[b] += mean * overlap`` statements did.
+        Empty bins carry the nearest preceding mean (seeded from the
+        first point) so renderings stay gap-free.
+        """
+        pts = self._points
+        width = end / n
+        m = len(pts)
+        t = np.fromiter((p.t_s for p in pts), np.float64, count=m)
+        dt = np.fromiter((p.dt_s for p in pts), np.float64, count=m)
+        mean = np.fromiter((p.mean for p in pts), np.float64, count=m)
+        vmin = np.fromiter((p.vmin for p in pts), np.float64, count=m)
+        vmax = np.fromiter((p.vmax for p in pts), np.float64, count=m)
+        live = dt > 0
+        t, dt, mean, vmin, vmax = (
+            t[live], dt[live], mean[live], vmin[live], vmax[live]
+        )
+        end_pts = t + dt
+        lo = np.clip((t / width).astype(np.int64), 0, n - 1)
+        hi = np.clip(((end_pts - 1e-12) / width).astype(np.int64), 0, n - 1)
+        span = hi - lo + 1
+        # One row per (point, bin) pair, in point order.
+        bins = np.repeat(lo, span) + self._ramp(span)
+        idx = np.repeat(np.arange(len(t)), span)
+        b0 = bins * width
+        b1 = (bins + 1) * width
+        overlap = np.minimum(end_pts[idx], b1) - np.maximum(t[idx], b0)
+        keep = overlap > 0
+        bins, idx, overlap = bins[keep], idx[keep], overlap[keep]
+        wsum = np.zeros(n)
+        cover = np.zeros(n)
+        mins = np.full(n, np.inf)
+        maxs = np.full(n, -np.inf)
+        np.add.at(wsum, bins, mean[idx] * overlap)
+        np.add.at(cover, bins, overlap)
+        np.minimum.at(mins, bins, vmin[idx])
+        np.maximum.at(maxs, bins, vmax[idx])
+        covered = cover > 0
+        means = np.empty(n)
+        np.divide(wsum, cover, out=means, where=covered)
+        # Gap fill: each uncovered bin repeats the previous covered mean.
+        if not covered.all():
+            seed = self._points[0].mean
+            filled = np.where(covered, means, np.nan)
+            carry = np.concatenate(([seed], filled))
+            order = np.maximum.accumulate(
+                np.where(np.isnan(carry), 0, np.arange(n + 1))
+            )
+            means = carry[order][1:]
+            mins = np.where(covered, mins, means)
+            maxs = np.where(covered, maxs, means)
+        return means, mins, maxs, covered
+
     def resample(self, n: int, t1_s: Optional[float] = None) -> List[SeriesPoint]:
         """Project onto ``n`` uniform bins over ``[0, t1_s]``.
 
@@ -246,36 +314,11 @@ class SeriesChannel:
         if end <= 0:
             return []
         width = end / n
-        wsum = [0.0] * n
-        cover = [0.0] * n
-        mins = [None] * n
-        maxs = [None] * n
-        for p in self._points:
-            if p.dt_s <= 0:
-                continue
-            lo = max(0, min(n - 1, int(p.t_s / width)))
-            hi = max(0, min(n - 1, int((p.end_s - 1e-12) / width)))
-            for b in range(lo, hi + 1):
-                b0, b1 = b * width, (b + 1) * width
-                overlap = min(p.end_s, b1) - max(p.t_s, b0)
-                if overlap <= 0:
-                    continue
-                wsum[b] += p.mean * overlap
-                cover[b] += overlap
-                mins[b] = p.vmin if mins[b] is None else min(mins[b], p.vmin)
-                maxs[b] = p.vmax if maxs[b] is None else max(maxs[b], p.vmax)
-        out: List[SeriesPoint] = []
-        last = self._points[0].mean
-        for b in range(n):
-            if cover[b] > 0:
-                mean = wsum[b] / cover[b]
-                last = mean
-                out.append(
-                    SeriesPoint(b * width, width, mean, mins[b], maxs[b])
-                )
-            else:
-                out.append(SeriesPoint(b * width, width, last, last, last))
-        return out
+        means, mins, maxs, _ = self._resample_columns(n, end)
+        return [
+            SeriesPoint(b * width, width, means[b], mins[b], maxs[b])
+            for b in range(n)
+        ]
 
     @classmethod
     def merge(cls, channels: "Sequence[SeriesChannel]") -> "SeriesChannel":
@@ -283,7 +326,9 @@ class SeriesChannel:
 
         Channels are projected onto a common uniform grid spanning the
         longest recording and averaged bin-wise; ``vmin``/``vmax``
-        envelope every contributor.
+        envelope every contributor.  The grids fold as arrays, in
+        channel order, so the result is bit-identical to the historical
+        per-bin ``sum(...) / len`` loop.
         """
         channels = [c for c in channels if len(c)]
         if not channels:
@@ -298,17 +343,21 @@ class SeriesChannel:
             return out
         end = max(c._points[-1].end_s for c in channels)
         n = min(max(len(c) for c in channels), first.capacity)
-        grids = [c.resample(n, end) for c in channels]
+        width = end / n
+        grids = [c._resample_columns(n, end) for c in channels]
+        # Same association order as ``sum(p.mean for p in pts)``: the
+        # builtin starts at 0 and folds left-to-right over channels.
+        acc = 0.0 + grids[0][0]
+        mins = grids[0][1].copy()
+        maxs = grids[0][2].copy()
+        for means_g, mins_g, maxs_g, _ in grids[1:]:
+            acc = acc + means_g
+            np.minimum(mins, mins_g, out=mins)
+            np.maximum(maxs, maxs_g, out=maxs)
+        means = acc / len(grids)
         out = cls(first.name, first.unit, first.capacity)
         for b in range(n):
-            pts = [g[b] for g in grids]
-            out.add(
-                pts[0].t_s,
-                pts[0].dt_s,
-                sum(p.mean for p in pts) / len(pts),
-                min(p.vmin for p in pts),
-                max(p.vmax for p in pts),
-            )
+            out.add(b * width, width, means[b], mins[b], maxs[b])
         return out
 
     # ------------------------------------------------------------------

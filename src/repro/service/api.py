@@ -319,6 +319,7 @@ class ExperimentService:
         slice_accesses: int = 320_000,
         recover: bool = True,
         verbose: bool = False,
+        batch: "bool | None" = None,
     ) -> None:
         self.verbose = bool(verbose)
         self.store = ResultStore(db_path)
@@ -330,6 +331,7 @@ class ExperimentService:
             metrics=self.metrics,
             max_attempts=max_attempts,
             slice_accesses=slice_accesses,
+            batch=batch,
         )
         if recover:
             self.scheduler.recover()

@@ -172,6 +172,88 @@ def fake_rates(i: float):
     )
 
 
+class TestRateCacheReadOnly:
+    """mode="ro" snapshots: observe a shared cache, never write it."""
+
+    def test_snapshot_serves_hits_but_rejects_writes(self, tmp_path):
+        from repro.errors import SimulationError
+
+        path = tmp_path / "rates.json"
+        writer = RateCache(path)
+        writer.put("key-a", fake_rates(1))
+        writer.save()
+
+        reader = RateCache(path, mode="ro")
+        assert reader.readonly and reader.mode == "ro"
+        assert reader.get("key-a") == fake_rates(1)
+        assert reader.hits == 1
+        with pytest.raises(SimulationError):
+            reader.put("key-b", fake_rates(2))
+        before = path.read_bytes()
+        reader.save()  # no-op, never touches the file
+        reader.close()
+        assert path.read_bytes() == before
+
+    def test_missing_file_snapshot_is_empty(self, tmp_path):
+        reader = RateCache(tmp_path / "absent.json", mode="ro")
+        assert len(reader) == 0
+        assert reader.get("key-a") is None
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            RateCache(tmp_path / "rates.json", mode="append")
+
+    def test_batched_flush_survives_concurrent_snapshots(self, tmp_path):
+        """Readers see complete flushes only, in flush order.
+
+        put() is batched (dirty-marking, no I/O), so a concurrent
+        reader must not observe an entry until the writer's save() —
+        and each save is one atomic replace, so a reload between
+        flushes yields either the old or the new complete view.
+        """
+        import json
+
+        path = tmp_path / "rates.json"
+        writer = RateCache(path)
+        writer.put("key-a", fake_rates(1))
+        writer.save()
+
+        reader = RateCache(path, mode="ro")
+        assert reader.get("key-a") is not None
+
+        # A put that has not been flushed is invisible to snapshots,
+        # even after a reload: flush batching is what the reader sees.
+        writer.put("key-b", fake_rates(2))
+        reader.reload()
+        assert reader.get("key-b") is None
+
+        # After the flush a reload adopts the complete new view, and
+        # the on-disk bytes parse at every step (atomic replace).
+        writer.save()
+        assert set(json.loads(path.read_text())) == {"key-a", "key-b"}
+        assert reader.reload() == 2
+        assert reader.get("key-b") == fake_rates(2)
+        assert reader.get("key-a") == fake_rates(1)
+
+    def test_rw_reload_keeps_local_unsaved_puts(self, tmp_path):
+        path = tmp_path / "rates.json"
+        first = RateCache(path)
+        first.put("key-a", fake_rates(1))
+        first.save()
+
+        second = RateCache(path)
+        second.put("key-b", fake_rates(2))  # unsaved
+        first.put("key-c", fake_rates(3))
+        first.save()
+        # reload merges the concurrent flush *under* local state.
+        second.reload()
+        assert second.get("key-a") is not None
+        assert second.get("key-c") is not None
+        assert second.get("key-b") == fake_rates(2)
+
+
 class TestRateCacheLru:
     """The file is bounded: LRU eviction keeps it under max_entries."""
 
