@@ -100,6 +100,41 @@ def main() -> None:
     for alert in dcm.alerts.all():
         print(f"    [{alert.severity.value}] {alert.node_id}: {alert.message}")
 
+    fleet_comparison()
+
+
+def fleet_comparison() -> None:
+    """Run the same rack through ``repro.fleet`` and compare.
+
+    The serial stack above is the ground truth; the vectorized fleet
+    engine must make identical rebalance decisions and program identical
+    caps on the same topology and demand schedule (the parity contract,
+    see docs/FLEET.md).  At six nodes both take microseconds — the fleet
+    path matters because the *same arrays* scale to 10^5 nodes.
+    """
+    import numpy as np
+
+    from repro.fleet import NodeClass, parity_topology, run_parity
+    from repro.fleet.report import format_parity_table
+
+    print("\n== Serial DCM stack vs repro.fleet (same rack, same demand) ==")
+    rack_node = NodeClass(name="rack-node", min_cap_w=115.0, max_cap_w=165.0)
+    topo = parity_topology(N_NODES, node_classes=(rack_node,))
+    # The same varying workloads as above: node i demands 148 + 2.5i W,
+    # then node5's batch job ends and node2 ramps up.
+    demand = 148.0 + 2.5 * np.arange(N_NODES)
+    schedule = np.tile(demand, (12, 1))
+    schedule[6:, 5] = 118.0
+    schedule[6:, 2] = 163.0
+    parity = run_parity(
+        topo,
+        demand_w_by_tick=schedule,
+        budget_w=RACK_BUDGET_W,
+        strategy=DivisionStrategy.PROPORTIONAL,
+        rebalance_threshold_w=5.0,
+    )
+    print(format_parity_table(parity))
+
 
 if __name__ == "__main__":
     main()

@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Fleet-scale engine benchmark -> BENCH_fleet.json, with a CI guard.
+
+Measures the scaling number docs/FLEET.md commits to: sustained
+node-steps/s of :class:`repro.fleet.engine.FleetEngine` at 1k, 10k and
+100k nodes (diurnal traffic, hierarchical PROPORTIONAL division every
+5 ticks, telemetry off so the timing covers the control loop and not
+the recorder).
+
+Modes::
+
+    PYTHONPATH=src python scripts/bench_fleet.py            # write BENCH_fleet.json
+    PYTHONPATH=src python scripts/bench_fleet.py --check    # CI regression guard
+
+``--check`` re-measures and compares against the committed
+``BENCH_fleet.json``: it fails (exit 1) when any size's node-steps/s
+drops by more than ``--tolerance`` (default 20 %) below the committed
+number, or when the 100k-node fleet falls below the absolute
+``--min-node-steps`` floor (default 1e6 node-steps/s — the subsystem's
+"simulated datacenter in real time" contract; wall-clock shifts with
+host hardware, which is what the relative tolerance absorbs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.dcm.group import DivisionStrategy  # noqa: E402
+from repro.fleet import DiurnalTraffic, FleetEngine, FleetTopology  # noqa: E402
+
+SCHEMA = 1
+DEFAULT_OUT = REPO / "BENCH_fleet.json"
+SIZES = (1_000, 10_000, 100_000)
+
+
+def _topology(n_nodes):
+    """A plausible grid for n_nodes: 32-node racks, 8 racks per row."""
+    racks = max(1, n_nodes // 32)
+    rows = max(1, racks // 8)
+    racks_per_row = racks // rows
+    return FleetTopology.build(
+        rows=rows, racks_per_row=racks_per_row, nodes_per_rack=32
+    )
+
+
+def _bench_size(n_nodes, args):
+    """Best-of-2 node-steps/s for one fleet size."""
+    topo = _topology(n_nodes)
+    n = topo.n_nodes
+    ticks = max(10, args.node_steps_target // n)
+    wall = float("inf")
+    for _ in range(2):
+        engine = FleetEngine(
+            topo,
+            DiurnalTraffic(),
+            budget_w=0.8 * float(topo.max_cap_w.sum()),
+            strategy=DivisionStrategy.PROPORTIONAL,
+            rebalance_every=5,
+            telemetry=False,
+        )
+        t0 = time.perf_counter()
+        engine.run(float(ticks))
+        wall = min(wall, time.perf_counter() - t0)
+    node_steps = n * ticks
+    return {
+        "nodes": n,
+        "rows": topo.n_rows,
+        "racks": topo.n_racks,
+        "ticks": ticks,
+        "node_steps": node_steps,
+        "wall_s": round(wall, 4),
+        "node_steps_per_s": round(node_steps / wall, 1),
+    }
+
+
+def measure(args):
+    sizes = [_bench_size(n, args) for n in SIZES]
+    return {
+        "schema": SCHEMA,
+        "benchmark": "fleet-scale",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "parameters": {
+            "node_steps_target": args.node_steps_target,
+            "strategy": "proportional",
+            "rebalance_every": 5,
+            "traffic": "diurnal",
+        },
+        "sizes": {str(s["nodes"]): s for s in sizes},
+    }
+
+
+def check(doc, baseline, args):
+    """Return a list of failure strings (empty = guard passes)."""
+    failures = []
+    for key, size in sorted(doc["sizes"].items(), key=lambda kv: int(kv[0])):
+        rate = size["node_steps_per_s"]
+        base = baseline["sizes"].get(key)
+        if base is not None:
+            floor = base["node_steps_per_s"] * (1.0 - args.tolerance)
+            if rate < floor:
+                failures.append(
+                    f"{key} nodes: {rate:,.0f} node-steps/s regressed below "
+                    f"{floor:,.0f} (committed "
+                    f"{base['node_steps_per_s']:,.0f}, "
+                    f"tolerance {args.tolerance:.0%})"
+                )
+    largest = doc["sizes"][str(max(int(k) for k in doc["sizes"]))]
+    if largest["node_steps_per_s"] < args.min_node_steps:
+        failures.append(
+            f"{largest['nodes']} nodes: "
+            f"{largest['node_steps_per_s']:,.0f} node-steps/s below the "
+            f"absolute {args.min_node_steps:,.0f} floor"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline and exit non-zero "
+        "on regression (does not rewrite the baseline)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"artifact path (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="committed baseline for --check",
+    )
+    parser.add_argument(
+        "--node-steps-target",
+        type=int,
+        default=4_000_000,
+        help="node-steps per timed size (sets the tick count; "
+        "default 4,000,000)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional node-steps/s regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-node-steps",
+        type=float,
+        default=1_000_000.0,
+        help="absolute node-steps/s floor at the largest size "
+        "(default 1e6)",
+    )
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="also write the measured document here (any mode; CI "
+        "uploads this without touching the committed baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = measure(args)
+    for key, size in sorted(doc["sizes"].items(), key=lambda kv: int(kv[0])):
+        print(
+            f"{size['nodes']:>7,} nodes ({size['racks']:>4} racks): "
+            f"{size['ticks']:>5} ticks in {size['wall_s']:.3f}s -> "
+            f"{size['node_steps_per_s']:>13,.0f} node-steps/s"
+        )
+
+    if args.artifact is not None:
+        args.artifact.parent.mkdir(parents=True, exist_ok=True)
+        args.artifact.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote artifact {args.artifact}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"FAIL: no committed baseline at {args.baseline}")
+            return 1
+        baseline = json.loads(args.baseline.read_text())
+        failures = check(doc, baseline, args)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print(f"OK: within {args.tolerance:.0%} of the committed baseline")
+        return 0
+
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

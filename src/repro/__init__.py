@@ -65,6 +65,12 @@ from .core import (
     figure2_series,
 )
 from .dcm import DataCenterManager, NodeGroup, StaticCapPolicy
+from .fleet import (
+    FleetEngine,
+    FleetTopology,
+    NodeClass,
+    run_parity,
+)
 from .perf import PapiEvent, PapiSession, CounterBank
 from .power import PowerBudget, BATTERY, GENERATOR
 from .workloads import (
@@ -108,6 +114,10 @@ __all__ = [
     "DataCenterManager",
     "NodeGroup",
     "StaticCapPolicy",
+    "FleetEngine",
+    "FleetTopology",
+    "NodeClass",
+    "run_parity",
     "PapiEvent",
     "PapiSession",
     "CounterBank",

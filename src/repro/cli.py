@@ -9,6 +9,8 @@ Subcommands map one-to-one onto the paper's experiments:
 - ``predict``     — predict cap impact from baseline counters alone;
 - ``multicore``   — core-count x cap scaling (future work #1);
 - ``detect``      — identify the active mechanisms at a cap (#2);
+- ``fleet``       — vectorized fleet-scale DCM simulation (budget
+  tree, traffic model, throughput/SLO attainment; docs/FLEET.md);
 - ``serve``       — the long-lived experiment service (HTTP API, job
   queue, persistent SQLite result store, ``/metrics``);
 - ``inspect``     — show the provenance manifest of a result file or a
@@ -239,6 +241,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", choices=sorted(_WORKLOADS), default="sire"
     )
     figures.add_argument("--reps", type=int, default=1)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="vectorized fleet-scale DCM simulation (see docs/FLEET.md)",
+    )
+    fleet.add_argument(
+        "--rows", type=int, default=2, help="datacenter rows"
+    )
+    fleet.add_argument(
+        "--racks-per-row", type=int, default=4, help="racks per row"
+    )
+    fleet.add_argument(
+        "--nodes-per-rack", type=int, default=32, help="nodes per rack"
+    )
+    fleet.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="JSON topology spec (rows/racks_per_row/nodes_per_rack/"
+        "node_classes); overrides the shape flags",
+    )
+    fleet.add_argument(
+        "--traffic",
+        default="diurnal",
+        help="traffic model: flat, diurnal, bursty, or a JSON object "
+        "with a 'type' key and model knobs",
+    )
+    fleet.add_argument(
+        "--budget-frac",
+        type=float,
+        default=0.8,
+        help="fleet budget as a fraction of the sum of max caps "
+        "(ignored when --budget-w is given)",
+    )
+    fleet.add_argument(
+        "--budget-w",
+        type=float,
+        default=None,
+        help="absolute fleet budget in Watts",
+    )
+    fleet.add_argument(
+        "--strategy",
+        choices=("equal", "proportional", "priority"),
+        default="proportional",
+        help="division strategy at every budget-tree level",
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=300.0, help="simulated seconds"
+    )
+    fleet.add_argument(
+        "--dt", type=float, default=1.0, help="control tick in seconds"
+    )
+    fleet.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=5,
+        help="budget-tree re-division cadence in ticks",
+    )
+    fleet.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="rebalance hysteresis threshold in Watts",
+    )
+    fleet.add_argument(
+        "--escalation",
+        action="store_true",
+        help="enable cascading cap escalation on group budget breaches",
+    )
+    fleet.add_argument(
+        "--parity",
+        action="store_true",
+        help="also run the small-fleet parity check against the serial "
+        "DCM stack and print the comparison table",
+    )
+    fleet.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json emits the full run document)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -553,6 +636,63 @@ def _cmd_figures(args) -> str:
     return line_chart(chart_series, labels, title=title)
 
 
+def _cmd_fleet(args) -> str:
+    from .dcm.group import DivisionStrategy
+    from .fleet import (
+        EscalationConfig,
+        FleetEngine,
+        FleetTopology,
+        format_fleet_summary,
+        format_parity_table,
+        make_traffic,
+        run_parity,
+    )
+
+    if args.spec is not None:
+        try:
+            spec = json.loads(open(args.spec).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read topology spec: {exc}") from exc
+        topology = FleetTopology.from_spec(spec)
+    else:
+        topology = FleetTopology.build(
+            rows=args.rows,
+            racks_per_row=args.racks_per_row,
+            nodes_per_rack=args.nodes_per_rack,
+        )
+    traffic_arg = args.traffic.strip()
+    traffic_spec = (
+        json.loads(traffic_arg) if traffic_arg.startswith("{") else traffic_arg
+    )
+    budget_w = (
+        args.budget_w
+        if args.budget_w is not None
+        else args.budget_frac * float(topology.max_cap_w.sum())
+    )
+    engine = FleetEngine(
+        topology,
+        make_traffic(traffic_spec),
+        budget_w=budget_w,
+        strategy=DivisionStrategy(args.strategy),
+        dt_s=args.dt,
+        rebalance_every=args.rebalance_every,
+        rebalance_threshold_w=args.threshold,
+        escalation=EscalationConfig() if args.escalation else None,
+        seed=args.seed,
+    )
+    result = engine.run(args.duration)
+    parity = run_parity(strategy=DivisionStrategy(args.strategy)) if args.parity else None
+    if args.format == "json":
+        doc = result.to_dict()
+        if parity is not None:
+            doc["parity"] = parity.to_dict()
+        return json.dumps(doc, indent=2, sort_keys=True)
+    out = format_fleet_summary(result)
+    if parity is not None:
+        out += "\n" + format_parity_table(parity)
+    return out
+
+
 def _cmd_serve(args) -> str:
     from .service.api import ExperimentService
 
@@ -768,6 +908,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "multicore": _cmd_multicore,
         "detect": _cmd_detect,
         "figures": _cmd_figures,
+        "fleet": _cmd_fleet,
         "serve": _cmd_serve,
         "inspect": _cmd_inspect,
         "timeline": _cmd_timeline,

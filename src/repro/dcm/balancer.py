@@ -69,7 +69,13 @@ class GroupBalancer:
         """Recompute the division and apply it if it moved enough.
 
         The first tick always applies.  Later ticks apply only when at
-        least one node's cap would move by more than the threshold.
+        least one node's cap would move by *strictly more* than the
+        threshold: a cap delta exactly equal to
+        ``rebalance_threshold_w`` does **not** trigger a rebalance (the
+        comparison is ``max_delta > threshold``), so a threshold of 0
+        means "rebalance on any movement" and the boundary case is
+        deliberately quiet.  ``tests/dcm/test_balancer.py`` pins this
+        semantics; :mod:`repro.fleet.engine` implements the same rule.
         """
         wanted = self._group.divide(self._strategy)
         if self._applied_caps is None:

@@ -1,0 +1,97 @@
+"""Budget-division semantics shared by the serial and fleet paths.
+
+:func:`divide_budget` is the *single source of truth* for how a group
+power budget becomes per-member caps under each
+:class:`~repro.dcm.group.DivisionStrategy`.  The serial path
+(:meth:`NodeGroup.divide <repro.dcm.group.NodeGroup.divide>`) calls it
+member-by-member with Python floats; the vectorized fleet path
+(:mod:`repro.fleet.division`) implements the same arithmetic with numpy
+arrays and is pinned against this reference by
+``tests/fleet/test_division.py`` — so the two implementations cannot
+drift without a tier-1 failure.
+
+Semantics (shared contract)
+---------------------------
+- **EQUAL** — every member is offered ``budget / n``, then clamped to
+  its ``[min_cap_w, max_cap_w]`` range.
+- **PROPORTIONAL** — member *i* is offered
+  ``budget * demand_i / sum(demands)``, then clamped.
+- **PRIORITY** — every member starts at its minimum; the remaining
+  budget is granted in ``(priority descending, member order)`` order,
+  each member receiving up to ``min(demand, max_cap) - min_cap``.
+
+The sum of EQUAL/PRIORITY caps never exceeds the budget when the
+budget covers the minima; PROPORTIONAL caps can exceed a member's
+share only through the ``min_cap_w`` clamp (same as an infeasible
+budget, where every strategy returns at least the minima and the
+caller checks :meth:`NodeGroup.feasible`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+from ..errors import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .group import DivisionStrategy
+
+__all__ = ["DEFAULT_MIN_CAP_W", "DEFAULT_MAX_CAP_W", "divide_budget"]
+
+#: Default per-node clamp range, calibrated to the paper's single-node
+#: geometry (idle ≈ 110 W, peak ≈ 200 W).  Groups and fleet node
+#: classes may override both per member.
+DEFAULT_MIN_CAP_W = 110.0
+DEFAULT_MAX_CAP_W = 200.0
+
+
+def divide_budget(
+    budget_w: float,
+    strategy: "DivisionStrategy",
+    demands_w: Sequence[float],
+    min_caps_w: Sequence[float],
+    max_caps_w: Sequence[float],
+    priorities: Sequence[int],
+) -> List[float]:
+    """Divide ``budget_w`` into per-member caps (reference semantics).
+
+    All sequences are parallel and in *member order* (the serial path
+    uses node-id order; the fleet path uses node-index order).  Returns
+    the caps in the same order.  PRIORITY ties are broken by member
+    order (earlier members first), matching the serial path's stable
+    sort over id-ordered members.
+    """
+    n = len(demands_w)
+    if n == 0:
+        raise PolicyError("cannot divide a budget among zero members")
+    if not (len(min_caps_w) == len(max_caps_w) == len(priorities) == n):
+        raise PolicyError("division inputs must be parallel sequences")
+    # Imported here (not at module top) to avoid a cycle: group.py
+    # imports divide_budget at module load.
+    from .group import DivisionStrategy
+
+    if strategy is DivisionStrategy.EQUAL:
+        share = budget_w / n
+        return [
+            min(max(share, lo), hi) for lo, hi in zip(min_caps_w, max_caps_w)
+        ]
+    if strategy is DivisionStrategy.PROPORTIONAL:
+        total = sum(demands_w)
+        caps = []
+        for demand, lo, hi in zip(demands_w, min_caps_w, max_caps_w):
+            share = budget_w * demand / total
+            caps.append(min(max(share, lo), hi))
+        return caps
+    if strategy is DivisionStrategy.PRIORITY:
+        caps = list(min_caps_w)
+        remaining = budget_w - sum(caps)
+        order = sorted(range(n), key=lambda i: -priorities[i])
+        for i in order:
+            if remaining <= 0:
+                break
+            want = min(demands_w[i], max_caps_w[i]) - caps[i]
+            grant = min(max(want, 0.0), remaining)
+            caps[i] += grant
+            remaining -= grant
+        return caps
+    raise PolicyError(f"unknown strategy {strategy!r}")

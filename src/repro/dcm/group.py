@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import PolicyError
+from .division import DEFAULT_MAX_CAP_W, DEFAULT_MIN_CAP_W, divide_budget
 from .manager import DataCenterManager
 
 __all__ = ["DivisionStrategy", "NodeGroup"]
@@ -34,25 +35,41 @@ class DivisionStrategy(Enum):
 class _Member:
     node_id: str
     priority: int = 1
-    #: Per-node clamp range for sensible caps.
-    min_cap_w: float = 110.0
-    max_cap_w: float = 200.0
+    #: Per-node clamp range for sensible caps (defaults are the paper's
+    #: single-node geometry, via :mod:`repro.dcm.division`).
+    min_cap_w: float = DEFAULT_MIN_CAP_W
+    max_cap_w: float = DEFAULT_MAX_CAP_W
 
 
 class NodeGroup:
-    """A set of managed nodes sharing one power budget."""
+    """A set of managed nodes sharing one power budget.
+
+    ``default_min_cap_w`` / ``default_max_cap_w`` set the clamp range
+    members get when :meth:`add_member` is not given explicit bounds;
+    they default to the paper's single-node geometry
+    (:data:`~repro.dcm.division.DEFAULT_MIN_CAP_W` /
+    :data:`~repro.dcm.division.DEFAULT_MAX_CAP_W`) so existing
+    call sites behave exactly as before.
+    """
 
     def __init__(
         self,
         manager: DataCenterManager,
         name: str,
         budget_w: float,
+        *,
+        default_min_cap_w: float = DEFAULT_MIN_CAP_W,
+        default_max_cap_w: float = DEFAULT_MAX_CAP_W,
     ) -> None:
         if budget_w <= 0:
             raise PolicyError("group budget must be positive")
+        if not 0 < default_min_cap_w <= default_max_cap_w:
+            raise PolicyError("need 0 < default_min_cap_w <= default_max_cap_w")
         self._manager = manager
         self.name = name
         self.budget_w = float(budget_w)
+        self.default_min_cap_w = float(default_min_cap_w)
+        self.default_max_cap_w = float(default_max_cap_w)
         self._members: Dict[str, _Member] = {}
 
     def add_member(
@@ -60,15 +77,23 @@ class NodeGroup:
         node_id: str,
         *,
         priority: int = 1,
-        min_cap_w: float = 110.0,
-        max_cap_w: float = 200.0,
+        min_cap_w: Optional[float] = None,
+        max_cap_w: Optional[float] = None,
     ) -> None:
-        """Add a managed node to the group."""
+        """Add a managed node to the group.
+
+        ``min_cap_w`` / ``max_cap_w`` default to the group's
+        ``default_min_cap_w`` / ``default_max_cap_w``.
+        """
         self._manager.node(node_id)  # validates registration
         if node_id in self._members:
             raise PolicyError(f"node {node_id!r} already in group {self.name!r}")
         if priority < 1:
             raise PolicyError("priority must be >= 1")
+        if min_cap_w is None:
+            min_cap_w = self.default_min_cap_w
+        if max_cap_w is None:
+            max_cap_w = self.default_max_cap_w
         if not 0 < min_cap_w <= max_cap_w:
             raise PolicyError("need 0 < min_cap_w <= max_cap_w")
         self._members[node_id] = _Member(
@@ -103,32 +128,16 @@ class NodeGroup:
         if not self._members:
             raise PolicyError(f"group {self.name!r} has no members")
         members = [self._members[nid] for nid in sorted(self._members)]
-        if strategy is DivisionStrategy.EQUAL:
-            share = self.budget_w / len(members)
-            return {
-                m.node_id: min(max(share, m.min_cap_w), m.max_cap_w) for m in members
-            }
-        if strategy is DivisionStrategy.PROPORTIONAL:
-            demands = self._demands()
-            total = sum(demands.values())
-            caps = {}
-            for m in members:
-                share = self.budget_w * demands[m.node_id] / total
-                caps[m.node_id] = min(max(share, m.min_cap_w), m.max_cap_w)
-            return caps
-        if strategy is DivisionStrategy.PRIORITY:
-            demands = self._demands()
-            caps = {m.node_id: m.min_cap_w for m in members}
-            remaining = self.budget_w - sum(caps.values())
-            for m in sorted(members, key=lambda m: -m.priority):
-                if remaining <= 0:
-                    break
-                want = min(demands[m.node_id], m.max_cap_w) - caps[m.node_id]
-                grant = min(max(want, 0.0), remaining)
-                caps[m.node_id] += grant
-                remaining -= grant
-            return caps
-        raise PolicyError(f"unknown strategy {strategy!r}")
+        demands = self._demands()
+        caps = divide_budget(
+            self.budget_w,
+            strategy,
+            [demands[m.node_id] for m in members],
+            [m.min_cap_w for m in members],
+            [m.max_cap_w for m in members],
+            [m.priority for m in members],
+        )
+        return {m.node_id: cap for m, cap in zip(members, caps)}
 
     def feasible(self) -> bool:
         """Whether the budget covers every member's minimum cap."""

@@ -1,0 +1,51 @@
+"""repro.fleet: vectorized fleet-scale DCM simulation.
+
+The serial stack (:mod:`repro.dcm`) manages one node per Python object
+over simulated IPMI — faithful, but it tops out at rack scale.  This
+package simulates the *datacenter* the paper's product was sold into:
+per-node state lives in flat numpy arrays (10^5–10^6 nodes), a
+hierarchical budget tree (node -> rack -> row -> datacenter) divides
+power with the exact :class:`~repro.dcm.group.DivisionStrategy`
+semantics, traffic models drive demand, and throughput / SLO
+attainment come out per run.  A tier-1 parity contract
+(:mod:`repro.fleet.parity`) pins small fleets against the serial stack
+so the two paths cannot drift.  See docs/FLEET.md.
+"""
+
+from .division import divide_groups, group_reduce
+from .engine import EscalationConfig, FleetEngine, FleetRebalance, FleetResult
+from .parity import CAP_TOLERANCE_W, ParityResult, parity_topology, run_parity
+from .report import format_fleet_summary, format_parity_table
+from .topology import DEFAULT_NODE_CLASS, FleetTopology, NodeClass
+from .traffic import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    FlatTraffic,
+    ReplayTraffic,
+    TrafficModel,
+    make_traffic,
+)
+
+__all__ = [
+    "BurstyTraffic",
+    "CAP_TOLERANCE_W",
+    "DEFAULT_NODE_CLASS",
+    "DiurnalTraffic",
+    "EscalationConfig",
+    "FlatTraffic",
+    "FleetEngine",
+    "FleetRebalance",
+    "FleetResult",
+    "FleetTopology",
+    "NodeClass",
+    "ParityResult",
+    "ReplayTraffic",
+    "TrafficModel",
+    "divide_groups",
+    "format_fleet_summary",
+    "format_parity_table",
+    "group_reduce",
+    "make_traffic",
+    "parity_topology",
+    "run_parity",
+]

@@ -1,0 +1,288 @@
+"""The parity contract: fleet engine vs the serial DCM stack.
+
+:func:`run_parity` steps the *same* small topology (one row, one rack,
+up to ~8 nodes) and the *same* per-tick demand schedule through two
+implementations:
+
+- the **serial** path — real :class:`~repro.arch.node.Node` +
+  :class:`~repro.bmc.bmc.Bmc` objects on a lossless simulated LAN,
+  polled by :class:`~repro.dcm.manager.DataCenterManager` and
+  rebalanced by a :class:`~repro.dcm.balancer.GroupBalancer`;
+- the **fleet** path — :class:`~repro.fleet.engine.FleetEngine` with
+  :class:`~repro.fleet.traffic.ReplayTraffic` playing back the
+  identical schedule.
+
+Both sides see int-rounded cumulative-average power readings, divide
+with the shared :mod:`repro.dcm.division` semantics, compare unrounded
+targets under the same strict-``>`` hysteresis, and program int-rounded
+caps — so the contract is tight:
+
+- rebalance **decisions** (applied / skipped) and their **times** must
+  match exactly;
+- applied **caps** and polled **readings** must agree within
+  ``CAP_TOLERANCE_W`` (they are integer Watts on both sides; the
+  tolerance only absorbs float-summation association differences in
+  the unrounded division arithmetic).
+
+The contract holds for *feasible* budgets — ``sum(min_cap) <= budget
+<= sum(max_cap)`` — where the budget tree's row/rack levels are exact
+pass-throughs of a single flat group.  ``tests/fleet/test_parity.py``
+enforces all of this in tier 1; docs/FLEET.md documents it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.node import Node
+from ..bmc.bmc import Bmc
+from ..config import sandy_bridge_config
+from ..dcm.balancer import GroupBalancer
+from ..dcm.group import DivisionStrategy, NodeGroup
+from ..dcm.manager import DataCenterManager
+from ..dcm.policy import StaticCapPolicy
+from ..errors import ConfigError
+from ..ipmi.transport import LanTransport
+from ..rng import DEFAULT_SEED, RngStreams
+from .engine import FleetEngine
+from .topology import DEFAULT_NODE_CLASS, FleetTopology, NodeClass
+from .traffic import ReplayTraffic
+
+__all__ = ["CAP_TOLERANCE_W", "ParityResult", "parity_topology", "run_parity"]
+
+#: Documented cap/reading tolerance: both sides program integer Watts,
+#: so any disagreement beyond float-sum association noise is a bug.
+CAP_TOLERANCE_W = 1e-6
+
+
+@dataclass(frozen=True)
+class ParityResult:
+    """Outcome of one serial-vs-fleet parity run."""
+
+    n_nodes: int
+    ticks: int
+    strategy: str
+    #: Largest |serial - fleet| applied cap over all (tick, node) where
+    #: both sides had armed caps.
+    max_cap_delta_w: float
+    #: Largest |serial - fleet| polled power reading.
+    max_reading_delta_w: float
+    #: True when every tick's armed/unarmed state matched per node.
+    armed_states_match: bool
+    #: (time_s, applied) per rebalance decision, serial side.
+    serial_decisions: Tuple[Tuple[float, bool], ...]
+    #: (time_s, applied) per rebalance decision, fleet side.
+    fleet_decisions: Tuple[Tuple[float, bool], ...]
+    #: [ticks, nodes] applied caps per side (inf = unarmed).
+    serial_caps_w: np.ndarray
+    fleet_caps_w: np.ndarray
+
+    @property
+    def decisions_match(self) -> bool:
+        """Whether rebalance times and applied flags agree exactly."""
+        return self.serial_decisions == self.fleet_decisions
+
+    def ok(self, tolerance_w: float = CAP_TOLERANCE_W) -> bool:
+        """The whole contract: decisions exact, values within tolerance."""
+        return (
+            self.decisions_match
+            and self.armed_states_match
+            and self.max_cap_delta_w <= tolerance_w
+            and self.max_reading_delta_w <= tolerance_w
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (for the CLI / example comparison table)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "ticks": self.ticks,
+            "strategy": self.strategy,
+            "max_cap_delta_w": self.max_cap_delta_w,
+            "max_reading_delta_w": self.max_reading_delta_w,
+            "decisions_match": self.decisions_match,
+            "armed_states_match": self.armed_states_match,
+            "rebalances_applied_serial": sum(
+                1 for _, a in self.serial_decisions if a
+            ),
+            "rebalances_applied_fleet": sum(
+                1 for _, a in self.fleet_decisions if a
+            ),
+            "tolerance_w": CAP_TOLERANCE_W,
+            "ok": self.ok(),
+        }
+
+
+def parity_topology(
+    n_nodes: int,
+    node_classes: "Tuple[NodeClass, ...]" = (DEFAULT_NODE_CLASS,),
+) -> FleetTopology:
+    """A one-row, one-rack fleet — the shape the serial path can mirror."""
+    if not 1 <= n_nodes <= 64:
+        raise ConfigError("parity topologies are small: 1..64 nodes")
+    return FleetTopology.build(
+        rows=1,
+        racks_per_row=1,
+        nodes_per_rack=n_nodes,
+        node_classes=node_classes,
+    )
+
+
+def _random_demand(
+    topology: FleetTopology, ticks: int, seed: int
+) -> np.ndarray:
+    """A [ticks, nodes] demand schedule inside every node's range."""
+    rng = RngStreams(seed=seed).stream("fleet-parity-demand")
+    u = rng.random((ticks, topology.n_nodes))
+    return topology.idle_w + u * (topology.busy_w - topology.idle_w)
+
+
+def _run_serial(
+    topology: FleetTopology,
+    demand_w: np.ndarray,
+    budget_w: float,
+    strategy: DivisionStrategy,
+    threshold_w: float,
+    dt_s: float,
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[float, bool]]]:
+    """The reference loop: Nodes + BMCs + DCM + NodeGroup + balancer.
+
+    Per tick, in the same order as :meth:`FleetEngine.step`: serve
+    ``min(demand, armed cap)``, feed it to the BMC statistics, poll
+    via :meth:`DataCenterManager.tick`, then let the balancer decide.
+    After an applied rebalance each node's policy is pinned to its
+    programmed cap so the manager's own policy pass is a no-op (the
+    balancer, not a schedule, owns the caps here).
+    """
+    n = topology.n_nodes
+    ticks = len(demand_w)
+    lan = LanTransport(
+        np.random.default_rng(0),
+        drop_probability=0.0,
+        corruption_probability=0.0,
+    )
+    dcm = DataCenterManager(lan)
+    config = sandy_bridge_config()
+    bmcs: List[Bmc] = []
+    ids: List[str] = []
+    for i in range(n):
+        addr = f"10.9.{i // 250}.{i % 250 + 1}"
+        node_id = f"n{i:03d}"
+        bmcs.append(
+            Bmc(
+                Node(config),
+                np.random.default_rng(1000 + i),
+                lan_address=addr,
+                transport=lan,
+            )
+        )
+        ids.append(node_id)
+        dcm.register_node(node_id, addr)
+    group = NodeGroup(dcm, "fleet-parity", budget_w)
+    for i, node_id in enumerate(ids):
+        group.add_member(
+            node_id,
+            priority=int(topology.priority[i]),
+            min_cap_w=float(topology.min_cap_w[i]),
+            max_cap_w=float(topology.max_cap_w[i]),
+        )
+    balancer = GroupBalancer(group, strategy, rebalance_threshold_w=threshold_w)
+
+    armed = np.full(n, np.inf)
+    caps_t = np.empty((ticks, n))
+    readings_t = np.empty((ticks, n))
+    decisions: List[Tuple[float, bool]] = []
+    for k in range(ticks):
+        t = k * dt_s
+        power = np.minimum(demand_w[k], armed)
+        for i, bmc in enumerate(bmcs):
+            bmc.record_power(float(power[i]), dt_s)
+        dcm.tick(t)
+        record = balancer.tick(t)
+        if record.applied:
+            for i, node_id in enumerate(ids):
+                cap = dcm.node(node_id).applied_cap_w
+                dcm.set_policy(node_id, StaticCapPolicy(cap))
+                armed[i] = cap
+        decisions.append((t, record.applied))
+        caps_t[k] = armed
+        readings_t[k] = [dcm.node(node_id).history[-1][1] for node_id in ids]
+    return caps_t, readings_t, decisions
+
+
+def run_parity(
+    topology: Optional[FleetTopology] = None,
+    *,
+    ticks: int = 24,
+    budget_w: float = 780.0,
+    strategy: DivisionStrategy = DivisionStrategy.PROPORTIONAL,
+    rebalance_threshold_w: float = 5.0,
+    dt_s: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    demand_w_by_tick: Optional[np.ndarray] = None,
+) -> ParityResult:
+    """Run both paths on one schedule and diff them.
+
+    ``topology`` defaults to six paper-class nodes in one rack (the
+    shape of ``examples/datacenter_group_cap.py``); ``demand_w_by_tick``
+    defaults to a seeded uniform schedule inside each node's range.
+    """
+    topo = topology if topology is not None else parity_topology(6)
+    if topo.n_rows != 1 or topo.n_racks != 1:
+        raise ConfigError("parity needs a one-row, one-rack topology")
+    demand = (
+        np.asarray(demand_w_by_tick, dtype=np.float64)
+        if demand_w_by_tick is not None
+        else _random_demand(topo, ticks, seed)
+    )
+    if demand.ndim != 2 or demand.shape[1] != topo.n_nodes:
+        raise ConfigError("demand schedule must be [ticks, n_nodes]")
+    ticks = len(demand)
+
+    serial_caps, serial_readings, serial_decisions = _run_serial(
+        topo, demand, budget_w, strategy, rebalance_threshold_w, dt_s
+    )
+
+    engine = FleetEngine(
+        topo,
+        ReplayTraffic(demand),
+        budget_w=budget_w,
+        strategy=strategy,
+        dt_s=dt_s,
+        rebalance_every=1,
+        rebalance_threshold_w=rebalance_threshold_w,
+        seed=seed,
+        telemetry=False,
+        record_trajectory=True,
+    )
+    result = engine.run(ticks * dt_s)
+    assert result.trajectory is not None
+    fleet_caps = np.stack(result.trajectory["applied_w"])
+    fleet_readings = np.stack(result.trajectory["reading_w"])
+    fleet_decisions = [(r.time_s, r.applied) for r in result.rebalances]
+
+    serial_armed = np.isfinite(serial_caps)
+    fleet_armed = np.isfinite(fleet_caps)
+    states_match = bool(np.array_equal(serial_armed, fleet_armed))
+    both = serial_armed & fleet_armed
+    max_cap_delta = (
+        float(np.max(np.abs(serial_caps[both] - fleet_caps[both])))
+        if both.any()
+        else 0.0
+    )
+    max_reading_delta = float(np.max(np.abs(serial_readings - fleet_readings)))
+
+    return ParityResult(
+        n_nodes=topo.n_nodes,
+        ticks=ticks,
+        strategy=strategy.value,
+        max_cap_delta_w=max_cap_delta,
+        max_reading_delta_w=max_reading_delta,
+        armed_states_match=states_match,
+        serial_decisions=tuple(serial_decisions),
+        fleet_decisions=tuple(fleet_decisions),
+        serial_caps_w=serial_caps,
+        fleet_caps_w=fleet_caps,
+    )

@@ -1,0 +1,111 @@
+"""Human-readable rendering of fleet runs and parity checks.
+
+Pure string builders (no I/O) shared by ``repro-powercap fleet`` and
+``examples/datacenter_group_cap.py`` — the CLI decides where the text
+goes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .engine import FleetResult
+from .parity import ParityResult
+
+__all__ = ["format_fleet_summary", "format_parity_table"]
+
+
+def _rule(width: int = 66) -> str:
+    return "-" * width
+
+
+def format_fleet_summary(result: FleetResult) -> str:
+    """A terminal-width panel summarizing one fleet run."""
+    s = result.summary
+    lines: List[str] = []
+    lines.append(_rule())
+    lines.append(
+        f"fleet: {s['nodes']} nodes / {s['racks']} racks / "
+        f"{s['rows']} rows | strategy={result.params['strategy']} "
+        f"budget={s['budget_w']:.0f} W"
+    )
+    lines.append(_rule())
+    lines.append(
+        f"  {s['ticks']} ticks x {result.dt_s:g} s "
+        f"({s['node_steps']:,} node-steps"
+        + (
+            f", {s['node_steps_per_s']:,.0f} node-steps/s"
+            if s["node_steps_per_s"]
+            else ""
+        )
+        + ")"
+    )
+    lines.append(
+        f"  energy served {s['served_wh']:,.1f} Wh of "
+        f"{s['demand_wh']:,.1f} Wh demanded "
+        f"(throughput attainment {s['throughput_attainment']:.4f})"
+    )
+    lines.append(
+        f"  SLO attainment {s['slo_attainment']:.4f} | worst node debt "
+        f"{s['worst_node_debt_wh']:.3f} Wh"
+    )
+    lines.append(
+        f"  rebalances {s['rebalances_applied']}/"
+        f"{s['rebalances_evaluated']} applied | escalations "
+        + ", ".join(
+            f"{k}={v}" for k, v in s["escalations"].items()
+        )
+    )
+    for name in (
+        "fleet_power_w",
+        "fleet_demand_w",
+        "fleet_shortfall_w",
+        "slo_attainment",
+        "latency_inflation",
+    ):
+        channel = result.timelines.get(name)
+        if channel is None or len(channel) == 0:
+            continue
+        lines.append(
+            f"  {name:>20s}: mean {channel.time_weighted_mean():10.2f}  "
+            f"min {channel.vmin():10.2f}  max {channel.vmax():10.2f}"
+        )
+    lines.append(_rule())
+    return "\n".join(lines)
+
+
+def format_parity_table(parity: ParityResult) -> str:
+    """Serial-vs-fleet comparison table for one parity run."""
+    doc = parity.to_dict()
+    lines: List[str] = []
+    lines.append(_rule())
+    lines.append(
+        f"parity: serial DCM stack vs repro.fleet | "
+        f"{doc['n_nodes']} nodes x {doc['ticks']} ticks, "
+        f"strategy={doc['strategy']}"
+    )
+    lines.append(_rule())
+    lines.append(f"  {'':28s}{'serial':>12s}{'fleet':>12s}")
+    lines.append(
+        f"  {'rebalances applied':28s}"
+        f"{doc['rebalances_applied_serial']:>12d}"
+        f"{doc['rebalances_applied_fleet']:>12d}"
+    )
+    lines.append(
+        f"  {'decision times/flags':28s}"
+        + f"{'match' if doc['decisions_match'] else 'MISMATCH':>24s}"
+    )
+    lines.append(
+        f"  {'max cap delta (W)':28s}"
+        + f"{doc['max_cap_delta_w']:>24.3e}"
+    )
+    lines.append(
+        f"  {'max reading delta (W)':28s}"
+        + f"{doc['max_reading_delta_w']:>24.3e}"
+    )
+    lines.append(
+        f"  {'contract (tol %.0e W)' % doc['tolerance_w']:28s}"
+        + f"{'OK' if doc['ok'] else 'VIOLATED':>24s}"
+    )
+    lines.append(_rule())
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Fleet topology: the node -> rack -> row -> datacenter tree as arrays.
+
+A :class:`FleetTopology` is the static structure of a simulated
+datacenter.  Unlike :class:`~repro.dcm.group.NodeGroup` (per-node
+Python objects over simulated IPMI), the fleet keeps every per-node
+attribute in a flat numpy array, ordered so that each rack's nodes are
+contiguous and each row's racks are contiguous — CSR-style pointer
+arrays (``rack_ptr``, ``row_ptr``) delimit the groups, so group
+reductions are single ``np.add.reduceat`` calls and fleet size scales
+with array length, not object count.
+
+Node attributes come from :class:`NodeClass` templates (idle/busy draw,
+cap clamp range, priority), so heterogeneous fleets interleave classes
+without per-node objects.  :meth:`FleetTopology.build` constructs a
+regular ``rows x racks x nodes`` grid; :meth:`FleetTopology.from_spec`
+reads the same shape from a JSON-ready dict (the CLI's ``--spec``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dcm.division import DEFAULT_MAX_CAP_W, DEFAULT_MIN_CAP_W
+from ..errors import ConfigError
+
+__all__ = ["NodeClass", "FleetTopology", "DEFAULT_NODE_CLASS"]
+
+
+@dataclass(frozen=True)
+class NodeClass:
+    """A template for a population of identical nodes.
+
+    ``idle_w`` / ``busy_w`` bound the node's demand range (utilization
+    0 and 1); ``min_cap_w`` / ``max_cap_w`` clamp the caps a budget
+    division may assign, exactly like a
+    :class:`~repro.dcm.group.NodeGroup` member's range.
+    """
+
+    name: str = "paper-node"
+    idle_w: float = 110.0
+    busy_w: float = 200.0
+    min_cap_w: float = DEFAULT_MIN_CAP_W
+    max_cap_w: float = DEFAULT_MAX_CAP_W
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.idle_w <= self.busy_w:
+            raise ConfigError(f"{self.name}: need 0 < idle_w <= busy_w")
+        if not 0 < self.min_cap_w <= self.max_cap_w:
+            raise ConfigError(f"{self.name}: need 0 < min_cap_w <= max_cap_w")
+        if self.priority < 1:
+            raise ConfigError(f"{self.name}: priority must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via ``from_dict``)."""
+        return {
+            "name": self.name,
+            "idle_w": self.idle_w,
+            "busy_w": self.busy_w,
+            "min_cap_w": self.min_cap_w,
+            "max_cap_w": self.max_cap_w,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "NodeClass":
+        """Rebuild a class from :meth:`to_dict` output."""
+        try:
+            return cls(**dict(doc))
+        except TypeError as exc:
+            raise ConfigError(f"bad node class spec: {exc}") from exc
+
+
+#: The paper's node, fleet-sized: idle ~110 W, peak ~200 W.
+DEFAULT_NODE_CLASS = NodeClass()
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """The immutable structure of a fleet (arrays, not objects).
+
+    Nodes are indexed ``0..n_nodes-1`` in rack order: rack ``r`` owns
+    nodes ``rack_ptr[r]:rack_ptr[r+1]``, row ``w`` owns racks
+    ``row_ptr[w]:row_ptr[w+1]``.  Per-node attribute arrays are
+    parallel to that index.
+    """
+
+    rack_ptr: np.ndarray  #: int64[n_racks + 1] node offsets per rack
+    row_ptr: np.ndarray  #: int64[n_rows + 1] rack offsets per row
+    idle_w: np.ndarray  #: float64[n_nodes]
+    busy_w: np.ndarray  #: float64[n_nodes]
+    min_cap_w: np.ndarray  #: float64[n_nodes]
+    max_cap_w: np.ndarray  #: float64[n_nodes]
+    priority: np.ndarray  #: int64[n_nodes]
+    node_classes: Tuple[NodeClass, ...] = (DEFAULT_NODE_CLASS,)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return int(self.rack_ptr[-1])
+
+    @property
+    def n_racks(self) -> int:
+        """Total rack count."""
+        return len(self.rack_ptr) - 1
+
+    @property
+    def n_rows(self) -> int:
+        """Total row count."""
+        return len(self.row_ptr) - 1
+
+    @property
+    def rack_of_node(self) -> np.ndarray:
+        """int64[n_nodes]: owning rack index per node."""
+        return np.repeat(
+            np.arange(self.n_racks, dtype=np.int64), np.diff(self.rack_ptr)
+        )
+
+    @property
+    def row_of_rack(self) -> np.ndarray:
+        """int64[n_racks]: owning row index per rack."""
+        return np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.row_ptr)
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed topology."""
+        if self.n_nodes < 1 or self.n_racks < 1 or self.n_rows < 1:
+            raise ConfigError("fleet needs at least one node/rack/row")
+        if int(self.row_ptr[-1]) != self.n_racks:
+            raise ConfigError("row_ptr does not cover every rack")
+        for name in ("idle_w", "busy_w", "min_cap_w", "max_cap_w", "priority"):
+            if len(getattr(self, name)) != self.n_nodes:
+                raise ConfigError(f"{name} is not parallel to the node index")
+        if np.any(np.diff(self.rack_ptr) < 1) or np.any(np.diff(self.row_ptr) < 1):
+            raise ConfigError("empty racks/rows are not allowed")
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        rows: int,
+        racks_per_row: int,
+        nodes_per_rack: int,
+        node_classes: Sequence[NodeClass] = (DEFAULT_NODE_CLASS,),
+    ) -> "FleetTopology":
+        """Construct a regular grid, interleaving ``node_classes``.
+
+        Node ``i`` gets class ``node_classes[i % len(node_classes)]``,
+        so a heterogeneous fleet mixes classes evenly across racks.
+        """
+        if rows < 1 or racks_per_row < 1 or nodes_per_rack < 1:
+            raise ConfigError("rows/racks_per_row/nodes_per_rack must be >= 1")
+        if not node_classes:
+            raise ConfigError("need at least one node class")
+        n_racks = rows * racks_per_row
+        n = n_racks * nodes_per_rack
+        rack_ptr = np.arange(n_racks + 1, dtype=np.int64) * nodes_per_rack
+        row_ptr = np.arange(rows + 1, dtype=np.int64) * racks_per_row
+        classes = tuple(node_classes)
+        k = len(classes)
+        class_of_node = np.arange(n, dtype=np.int64) % k
+        pick = lambda attr: np.array(  # noqa: E731 - tiny local gather
+            [getattr(c, attr) for c in classes], dtype=np.float64
+        )[class_of_node]
+        topo = cls(
+            rack_ptr=rack_ptr,
+            row_ptr=row_ptr,
+            idle_w=pick("idle_w"),
+            busy_w=pick("busy_w"),
+            min_cap_w=pick("min_cap_w"),
+            max_cap_w=pick("max_cap_w"),
+            priority=np.array(
+                [c.priority for c in classes], dtype=np.int64
+            )[class_of_node],
+            node_classes=classes,
+        )
+        topo.validate()
+        return topo
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "FleetTopology":
+        """Build from a JSON-ready dict (the CLI ``--spec`` layout).
+
+        Expected keys: ``rows``, ``racks_per_row``, ``nodes_per_rack``,
+        and optionally ``node_classes`` (a list of
+        :meth:`NodeClass.to_dict` docs).
+        """
+        try:
+            rows = int(spec["rows"])
+            racks_per_row = int(spec["racks_per_row"])
+            nodes_per_rack = int(spec["nodes_per_rack"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                "topology spec needs integer rows/racks_per_row/"
+                f"nodes_per_rack ({exc})"
+            ) from exc
+        classes = [
+            NodeClass.from_dict(doc) for doc in spec.get("node_classes", [])
+        ] or [DEFAULT_NODE_CLASS]
+        return cls.build(
+            rows=rows,
+            racks_per_row=racks_per_row,
+            nodes_per_rack=nodes_per_rack,
+            node_classes=classes,
+        )
+
+    def to_dict(self) -> dict:
+        """Summary dict for provenance/serialisation (not array dumps)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_racks": self.n_racks,
+            "n_rows": self.n_rows,
+            "node_classes": [c.to_dict() for c in self.node_classes],
+        }

@@ -1,0 +1,286 @@
+"""Vectorized traffic models driving per-node power demand.
+
+The paper frames capping as most valuable "when the workload is
+unpredictable in terms of its power consumption" (Section IV-C); at
+fleet scale the unpredictability is the *population's* demand process.
+These models produce, per control tick, one demand sample per node —
+a whole-fleet numpy array, never a per-node Python loop — using the
+same three shapes :mod:`repro.workloads.bursty` gives a single node:
+
+- :class:`FlatTraffic` — constant utilization plus Gaussian wobble
+  (the steady half of a :class:`~repro.workloads.bursty.PhaseSpec`);
+- :class:`DiurnalTraffic` — a day/night sinusoid with per-node phase
+  jitter, the classic datacenter load curve;
+- :class:`BurstyTraffic` — a two-state (idle/burst) Markov process per
+  node, the vectorized analogue of
+  :class:`~repro.workloads.bursty.BurstyWorkload`'s exponential phase
+  machine (per-tick geometric transitions have the same mean
+  durations);
+- :class:`ReplayTraffic` — plays back an explicit ``[ticks, nodes]``
+  demand array (the parity harness feeds the same schedule to the
+  serial and fleet paths).
+
+A model is bound to a topology once (:meth:`TrafficModel.bind`), then
+queried per tick; utilization in ``[0, 1]`` maps affinely onto each
+node's ``[idle_w, busy_w]`` range.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .topology import FleetTopology
+
+__all__ = [
+    "TrafficModel",
+    "FlatTraffic",
+    "DiurnalTraffic",
+    "BurstyTraffic",
+    "ReplayTraffic",
+    "make_traffic",
+]
+
+
+class TrafficModel(ABC):
+    """Base class: per-tick fleet-wide demand in Watts."""
+
+    def bind(self, topology: FleetTopology, rng: np.random.Generator) -> None:
+        """Attach the topology and RNG stream (called once by the engine)."""
+        self._topology = topology
+        self._rng = rng
+        self._span_w = topology.busy_w - topology.idle_w
+
+    def _to_watts(self, utilization: np.ndarray) -> np.ndarray:
+        """Map utilization in [0, 1] onto each node's demand range."""
+        u = np.clip(utilization, 0.0, 1.0)
+        return self._topology.idle_w + u * self._span_w
+
+    @abstractmethod
+    def demand_w(self, step: int, t_s: float) -> np.ndarray:
+        """Demand array (Watts, one entry per node) for tick ``step``."""
+
+    def describe(self) -> dict:
+        """JSON-ready description for provenance."""
+        return {"type": type(self).__name__}
+
+
+class FlatTraffic(TrafficModel):
+    """Constant target utilization with Gaussian per-tick wobble."""
+
+    def __init__(
+        self, utilization: float = 0.7, noise_sigma: float = 0.03
+    ) -> None:
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigError("utilization must be within [0, 1]")
+        if noise_sigma < 0:
+            raise ConfigError("noise_sigma must be non-negative")
+        self.utilization = float(utilization)
+        self.noise_sigma = float(noise_sigma)
+
+    def demand_w(self, step: int, t_s: float) -> np.ndarray:
+        """Utilization ``u + N(0, sigma)`` per node, mapped to Watts."""
+        n = self._topology.n_nodes
+        u = self.utilization + (
+            self._rng.normal(0.0, self.noise_sigma, n)
+            if self.noise_sigma else 0.0
+        )
+        return self._to_watts(u)
+
+    def describe(self) -> dict:
+        """Type plus the two knobs."""
+        return {
+            "type": "flat",
+            "utilization": self.utilization,
+            "noise_sigma": self.noise_sigma,
+        }
+
+
+class DiurnalTraffic(TrafficModel):
+    """A day/night sinusoid with per-node phase jitter.
+
+    Utilization swings between ``low`` and ``high`` over ``period_s``
+    (default 24 simulated hours).  Each node gets a fixed random phase
+    offset up to ``jitter_frac`` of the period, so the fleet's peak is
+    realistically smeared rather than perfectly synchronised.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.25,
+        high: float = 0.9,
+        period_s: float = 86_400.0,
+        jitter_frac: float = 0.05,
+        noise_sigma: float = 0.02,
+    ) -> None:
+        if not 0.0 <= low <= high <= 1.0:
+            raise ConfigError("need 0 <= low <= high <= 1")
+        if period_s <= 0:
+            raise ConfigError("period_s must be positive")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise ConfigError("jitter_frac must be within [0, 1]")
+        self.low = float(low)
+        self.high = float(high)
+        self.period_s = float(period_s)
+        self.jitter_frac = float(jitter_frac)
+        self.noise_sigma = float(noise_sigma)
+
+    def bind(self, topology: FleetTopology, rng: np.random.Generator) -> None:
+        """Bind and draw each node's fixed phase offset."""
+        super().bind(topology, rng)
+        self._phase = rng.uniform(
+            0.0, 2.0 * np.pi * self.jitter_frac, topology.n_nodes
+        )
+
+    def demand_w(self, step: int, t_s: float) -> np.ndarray:
+        """The sinusoid sampled at ``t_s`` with per-node phase/noise."""
+        mid = 0.5 * (self.high + self.low)
+        amp = 0.5 * (self.high - self.low)
+        theta = 2.0 * np.pi * t_s / self.period_s + self._phase
+        u = mid - amp * np.cos(theta)
+        if self.noise_sigma:
+            u = u + self._rng.normal(0.0, self.noise_sigma, len(u))
+        return self._to_watts(u)
+
+    def describe(self) -> dict:
+        """Type plus the sinusoid parameters."""
+        return {
+            "type": "diurnal",
+            "low": self.low,
+            "high": self.high,
+            "period_s": self.period_s,
+            "jitter_frac": self.jitter_frac,
+            "noise_sigma": self.noise_sigma,
+        }
+
+
+class BurstyTraffic(TrafficModel):
+    """Per-node two-state Markov (idle/burst) demand.
+
+    The vectorized analogue of
+    :class:`~repro.workloads.bursty.BurstyWorkload`: each node
+    alternates idle phases (utilization ``idle_util``) and bursts
+    (``burst_util``) whose durations are geometrically distributed per
+    tick with the given means — the discrete-time version of the
+    single-node model's exponential phases.
+    """
+
+    def __init__(
+        self,
+        mean_burst_s: float = 120.0,
+        mean_idle_s: float = 240.0,
+        burst_util: float = 0.95,
+        idle_util: float = 0.1,
+        noise_sigma: float = 0.02,
+    ) -> None:
+        if mean_burst_s <= 0 or mean_idle_s <= 0:
+            raise ConfigError("phase means must be positive")
+        if not 0.0 <= idle_util <= burst_util <= 1.0:
+            raise ConfigError("need 0 <= idle_util <= burst_util <= 1")
+        self.mean_burst_s = float(mean_burst_s)
+        self.mean_idle_s = float(mean_idle_s)
+        self.burst_util = float(burst_util)
+        self.idle_util = float(idle_util)
+        self.noise_sigma = float(noise_sigma)
+
+    def bind(self, topology: FleetTopology, rng: np.random.Generator) -> None:
+        """Bind and start each node in a phase matching the duty cycle."""
+        super().bind(topology, rng)
+        p_burst = self.mean_burst_s / (self.mean_burst_s + self.mean_idle_s)
+        self._bursting = rng.random(topology.n_nodes) < p_burst
+
+    def demand_w(self, step: int, t_s: float) -> np.ndarray:
+        """Advance every node's phase machine one tick and emit demand.
+
+        The first call (step 0) emits the initial states; transitions
+        happen on subsequent calls using the tick spacing implied by
+        ``t_s`` differences (the engine calls with a fixed ``dt``).
+        """
+        if step > 0:
+            dt = t_s - self._last_t
+            flips = self._rng.random(len(self._bursting))
+            end_burst = self._bursting & (flips < dt / self.mean_burst_s)
+            start_burst = ~self._bursting & (flips < dt / self.mean_idle_s)
+            self._bursting = (self._bursting & ~end_burst) | start_burst
+        self._last_t = t_s
+        u = np.where(self._bursting, self.burst_util, self.idle_util)
+        if self.noise_sigma:
+            u = u + self._rng.normal(0.0, self.noise_sigma, len(u))
+        return self._to_watts(u)
+
+    def describe(self) -> dict:
+        """Type plus the phase-machine parameters."""
+        return {
+            "type": "bursty",
+            "mean_burst_s": self.mean_burst_s,
+            "mean_idle_s": self.mean_idle_s,
+            "burst_util": self.burst_util,
+            "idle_util": self.idle_util,
+            "noise_sigma": self.noise_sigma,
+        }
+
+
+class ReplayTraffic(TrafficModel):
+    """Plays back an explicit ``[ticks, nodes]`` demand array.
+
+    The parity harness uses this to feed byte-for-byte the same demand
+    schedule to the serial :class:`~repro.dcm.manager.DataCenterManager`
+    loop and the fleet engine.  Steps beyond the last row repeat it.
+    """
+
+    def __init__(self, demand_w_by_tick: np.ndarray) -> None:
+        arr = np.asarray(demand_w_by_tick, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[0] < 1:
+            raise ConfigError("replay demand must be a [ticks, nodes] array")
+        self._demand = arr
+
+    def bind(self, topology: FleetTopology, rng: np.random.Generator) -> None:
+        """Bind; the replay array must match the topology's node count."""
+        super().bind(topology, rng)
+        if self._demand.shape[1] != topology.n_nodes:
+            raise ConfigError(
+                f"replay demand has {self._demand.shape[1]} nodes, "
+                f"topology has {topology.n_nodes}"
+            )
+
+    def demand_w(self, step: int, t_s: float) -> np.ndarray:
+        """The recorded row for ``step`` (last row repeats past the end)."""
+        return self._demand[min(step, len(self._demand) - 1)]
+
+    def describe(self) -> dict:
+        """Type plus the replay shape."""
+        return {"type": "replay", "ticks": int(self._demand.shape[0])}
+
+
+_TRAFFIC_TYPES = {
+    "flat": FlatTraffic,
+    "diurnal": DiurnalTraffic,
+    "bursty": BurstyTraffic,
+}
+
+
+def make_traffic(spec: "str | Mapping") -> TrafficModel:
+    """Build a traffic model from a name or a JSON-ready dict.
+
+    A bare string picks a model with default knobs; a dict must carry
+    ``type`` plus that model's constructor arguments.
+    """
+    if isinstance(spec, str):
+        doc: dict = {"type": spec}
+    else:
+        doc = dict(spec)
+    kind = doc.pop("type", None)
+    try:
+        factory = _TRAFFIC_TYPES[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown traffic model {kind!r} "
+            f"(choose from {sorted(_TRAFFIC_TYPES)})"
+        ) from None
+    try:
+        return factory(**doc)
+    except TypeError as exc:
+        raise ConfigError(f"bad traffic spec for {kind!r}: {exc}") from exc

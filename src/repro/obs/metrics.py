@@ -35,6 +35,8 @@ __all__ = [
     "engine_metrics",
     "TelemetryMetrics",
     "telemetry_metrics",
+    "FleetMetrics",
+    "fleet_metrics",
 ]
 
 #: (metric name, labels, value)
@@ -465,6 +467,76 @@ def telemetry_metrics() -> TelemetryMetrics:
     return _telemetry_metrics
 
 
+class FleetMetrics:
+    """Fleet-simulation instrument panel (one per process).
+
+    :class:`~repro.fleet.engine.FleetEngine` adds to these **once per
+    finished run** — never per tick — so the panel costs nothing on
+    the vectorized hot path:
+
+    - ``repro_fleet_runs_total`` — completed fleet runs;
+    - ``repro_fleet_steps_total`` — fleet control ticks simulated;
+    - ``repro_fleet_node_steps_total`` — node-steps (ticks x nodes),
+      the unit ``scripts/bench_fleet.py`` rates;
+    - ``repro_fleet_rebalances_total`` — budget-tree re-divisions that
+      actually moved caps;
+    - ``repro_fleet_escalations_total`` — cascading cap escalations
+      across all tree levels;
+    - ``repro_fleet_nodes`` — node count of the most recent run.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.runs = reg(
+            Counter("repro_fleet_runs_total", "Completed fleet runs")
+        )
+        self.steps = reg(
+            Counter(
+                "repro_fleet_steps_total", "Fleet control ticks simulated"
+            )
+        )
+        self.node_steps = reg(
+            Counter(
+                "repro_fleet_node_steps_total",
+                "Node-steps simulated (ticks x nodes)",
+            )
+        )
+        self.rebalances = reg(
+            Counter(
+                "repro_fleet_rebalances_total",
+                "Budget-tree re-divisions that moved caps",
+            )
+        )
+        self.escalations = reg(
+            Counter(
+                "repro_fleet_escalations_total",
+                "Cascading cap escalations across all tree levels",
+            )
+        )
+        self.nodes = reg(
+            Gauge("repro_fleet_nodes", "Node count of the most recent run")
+        )
+
+    def render(self) -> str:
+        """Text exposition of the fleet panel."""
+        return self.registry.render()
+
+
+_fleet_metrics_lock = threading.Lock()
+_fleet_metrics: "FleetMetrics | None" = None
+
+
+def fleet_metrics() -> FleetMetrics:
+    """The process-wide :class:`FleetMetrics` singleton."""
+    global _fleet_metrics
+    if _fleet_metrics is None:
+        with _fleet_metrics_lock:
+            if _fleet_metrics is None:
+                _fleet_metrics = FleetMetrics()
+    return _fleet_metrics
+
+
 class ServiceMetrics:
     """The experiment service's standard instrument panel.
 
@@ -548,9 +620,10 @@ class ServiceMetrics:
         self._cache_misses._callback = cache_misses
 
     def render(self) -> str:
-        """Text exposition: service + engine + telemetry panels."""
+        """Text exposition: service + engine + telemetry + fleet panels."""
         return (
             self.registry.render()
             + engine_metrics().render()
             + telemetry_metrics().render()
+            + fleet_metrics().render()
         )

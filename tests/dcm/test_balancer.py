@@ -102,3 +102,74 @@ class TestBalancer:
         _, _, group = rig
         with pytest.raises(PolicyError):
             GroupBalancer(group, rebalance_threshold_w=-1.0)
+
+
+class TestHysteresisBoundary:
+    """The documented boundary semantics: delta == threshold is quiet.
+
+    The comparison is strictly ``max_delta > threshold`` (see
+    :meth:`GroupBalancer.tick`); a cap movement of exactly the
+    threshold must NOT reprogram the BMCs, and the hysteresis reference
+    stays the last *applied* division.
+    """
+
+    def test_delta_exactly_at_threshold_does_not_trigger(self, rig, monkeypatch):
+        _, _, group = rig
+        balancer = GroupBalancer(group, rebalance_threshold_w=5.0)
+        base = {name: 140.0 for name in group.member_ids()}
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(base))
+        assert balancer.tick(0.0).applied  # first tick always applies
+
+        moved = dict(base)
+        moved["n0"] = 145.0  # delta == threshold, exactly
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(moved))
+        record = balancer.tick(1.0)
+        assert record.max_delta_w == 5.0
+        assert not record.applied
+        assert balancer.rebalance_count == 1
+
+    def test_delta_just_above_threshold_triggers(self, rig, monkeypatch):
+        _, _, group = rig
+        balancer = GroupBalancer(group, rebalance_threshold_w=5.0)
+        base = {name: 140.0 for name in group.member_ids()}
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(base))
+        balancer.tick(0.0)
+
+        moved = dict(base)
+        moved["n0"] = 145.0 + 1e-9
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(moved))
+        record = balancer.tick(1.0)
+        assert record.applied
+        assert balancer.rebalance_count == 2
+
+    def test_reference_is_last_applied_division(self, rig, monkeypatch):
+        _, _, group = rig
+        balancer = GroupBalancer(group, rebalance_threshold_w=5.0)
+        base = {name: 140.0 for name in group.member_ids()}
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(base))
+        balancer.tick(0.0)
+
+        # Two quiet ticks drifting by the threshold each: deltas are
+        # measured against the applied 140 W, not the previous wanted,
+        # so the second drift (total 6 W from the reference) fires.
+        for t, cap in ((1.0, 145.0), (2.0, 146.0)):
+            moved = dict(base)
+            moved["n0"] = cap
+            monkeypatch.setattr(group, "divide", lambda strategy, m=moved: dict(m))
+            record = balancer.tick(t)
+        assert record.applied
+        assert record.max_delta_w == pytest.approx(6.0)
+        assert balancer.rebalance_count == 2
+
+    def test_threshold_zero_fires_on_any_movement(self, rig, monkeypatch):
+        _, _, group = rig
+        balancer = GroupBalancer(group, rebalance_threshold_w=0.0)
+        base = {name: 140.0 for name in group.member_ids()}
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(base))
+        balancer.tick(0.0)
+        record = balancer.tick(1.0)
+        assert not record.applied  # identical caps: delta 0 is quiet
+        moved = dict(base)
+        moved["n1"] = 140.0 + 1e-9
+        monkeypatch.setattr(group, "divide", lambda strategy: dict(moved))
+        assert balancer.tick(2.0).applied

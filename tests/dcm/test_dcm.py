@@ -231,6 +231,38 @@ class TestNodeGroup:
         with pytest.raises(PolicyError):
             group.divide(DivisionStrategy.EQUAL)
 
+    def test_member_clamps_default_to_group_defaults(self, datacenter):
+        from repro.dcm.division import DEFAULT_MAX_CAP_W, DEFAULT_MIN_CAP_W
+
+        dcm, _, _ = datacenter
+        group = NodeGroup(dcm, "rack", budget_w=400.0)
+        group.add_member("node0")
+        member = group._members["node0"]
+        assert member.min_cap_w == DEFAULT_MIN_CAP_W
+        assert member.max_cap_w == DEFAULT_MAX_CAP_W
+        assert group.default_min_cap_w == DEFAULT_MIN_CAP_W
+        assert group.default_max_cap_w == DEFAULT_MAX_CAP_W
+
+    def test_custom_group_defaults_flow_to_members(self, datacenter):
+        dcm, _, _ = datacenter
+        group = NodeGroup(
+            dcm, "rack", budget_w=900.0,
+            default_min_cap_w=120.0, default_max_cap_w=180.0,
+        )
+        group.add_member("node0")  # inherits the group defaults
+        group.add_member("node1", min_cap_w=100.0, max_cap_w=250.0)
+        caps = group.divide(DivisionStrategy.EQUAL)
+        assert caps["node0"] == 180.0  # clamped to the group default
+        assert caps["node1"] == 250.0  # explicit bounds win
+
+    def test_group_default_validation(self, datacenter):
+        dcm, _, _ = datacenter
+        with pytest.raises(PolicyError):
+            NodeGroup(dcm, "rack", budget_w=400.0,
+                      default_min_cap_w=200.0, default_max_cap_w=150.0)
+        with pytest.raises(PolicyError):
+            NodeGroup(dcm, "rack", budget_w=400.0, default_min_cap_w=0.0)
+
 
 class TestAlertLog:
     def test_subscribe(self):

@@ -1,0 +1,1 @@
+"""Tests for the vectorized fleet-scale DCM simulation."""

@@ -1,0 +1,86 @@
+"""The ``repro-powercap fleet`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.rows == 2
+        assert args.strategy == "proportional"
+        assert args.traffic == "diurnal"
+        assert not args.escalation
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--strategy", "greedy"])
+
+
+class TestCommand:
+    def test_summary_table(self, capsys):
+        code = main(
+            ["fleet", "--rows", "1", "--racks-per-row", "2",
+             "--nodes-per-rack", "4", "--duration", "20",
+             "--traffic", "flat"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet: 8 nodes / 2 racks / 1 rows" in out
+        assert "SLO attainment" in out
+        assert "node-steps" in out
+
+    def test_json_document(self, capsys):
+        code = main(
+            ["fleet", "--rows", "1", "--racks-per-row", "1",
+             "--nodes-per-rack", "4", "--duration", "10",
+             "--traffic", '{"type": "flat", "utilization": 0.5}',
+             "--format", "json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["summary"]["nodes"] == 4
+        assert doc["params"]["traffic"]["utilization"] == 0.5
+        assert doc["provenance"]["engine"] == "repro.fleet"
+
+    def test_parity_flag_appends_table(self, capsys):
+        code = main(
+            ["fleet", "--rows", "1", "--racks-per-row", "1",
+             "--nodes-per-rack", "4", "--duration", "5",
+             "--traffic", "flat", "--parity"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parity: serial DCM stack vs repro.fleet" in out
+        assert "OK" in out
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "topo.json"
+        spec.write_text(json.dumps(
+            {"rows": 1, "racks_per_row": 1, "nodes_per_rack": 3}
+        ))
+        code = main(
+            ["fleet", "--spec", str(spec), "--duration", "5",
+             "--traffic", "flat"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet: 3 nodes" in out
+
+    def test_bad_spec_is_a_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "broken.json"
+        spec.write_text("{not json")
+        code = main(["fleet", "--spec", str(spec)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_traffic_is_a_clean_error(self, capsys):
+        code = main(["fleet", "--traffic", "lognormal", "--duration", "5"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

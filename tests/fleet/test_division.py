@@ -1,0 +1,135 @@
+"""Vectorized division pinned against the scalar reference.
+
+:func:`repro.fleet.division.divide_groups` must produce exactly what
+:func:`repro.dcm.division.divide_budget` produces group by group —
+these property tests run randomized instances of every strategy so the
+two implementations cannot drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dcm.division import divide_budget
+from repro.dcm.group import DivisionStrategy
+from repro.errors import PolicyError
+from repro.fleet.division import divide_groups, group_reduce, priority_fill_order
+
+
+def random_instance(rng, n_groups):
+    """Random budgets + member arrays with CSR group pointers."""
+    counts = rng.integers(1, 9, n_groups)
+    group_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    n = int(group_ptr[-1])
+    mins = rng.uniform(80.0, 120.0, n)
+    maxs = mins + rng.uniform(10.0, 90.0, n)
+    demands = rng.uniform(70.0, 230.0, n)
+    priorities = rng.integers(1, 6, n).astype(np.int64)
+    sum_mins = group_reduce(mins, group_ptr)
+    sum_maxs = group_reduce(maxs, group_ptr)
+    # Budgets spanning infeasible to over-provisioned.
+    budgets = rng.uniform(0.8 * sum_mins, 1.2 * sum_maxs)
+    return budgets, demands, mins, maxs, priorities, group_ptr
+
+
+def scalar_reference(budgets, strategy, demands, mins, maxs, priorities,
+                     group_ptr):
+    """Per-group calls into the scalar reference, re-flattened."""
+    out = np.empty_like(demands)
+    for g in range(len(budgets)):
+        lo, hi = group_ptr[g], group_ptr[g + 1]
+        out[lo:hi] = divide_budget(
+            float(budgets[g]),
+            strategy,
+            list(demands[lo:hi]),
+            list(mins[lo:hi]),
+            list(maxs[lo:hi]),
+            list(priorities[lo:hi]),
+        )
+    return out
+
+
+class TestDivideGroups:
+    @pytest.mark.parametrize("strategy", list(DivisionStrategy))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scalar_reference(self, strategy, seed):
+        rng = np.random.default_rng(seed)
+        budgets, demands, mins, maxs, prios, ptr = random_instance(rng, 12)
+        vec = divide_groups(budgets, strategy, demands, mins, maxs, prios, ptr)
+        ref = scalar_reference(budgets, strategy, demands, mins, maxs, prios,
+                               ptr)
+        np.testing.assert_allclose(vec, ref, rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("strategy", list(DivisionStrategy))
+    def test_single_group_single_member(self, strategy):
+        caps = divide_groups(
+            np.array([500.0]),
+            strategy,
+            np.array([150.0]),
+            np.array([110.0]),
+            np.array([200.0]),
+            np.array([1]),
+            np.array([0, 1], dtype=np.int64),
+        )
+        ref = divide_budget(500.0, strategy, [150.0], [110.0], [200.0], [1])
+        assert caps[0] == pytest.approx(ref[0])
+
+    def test_priority_precomputed_order_matches(self):
+        rng = np.random.default_rng(7)
+        budgets, demands, mins, maxs, prios, ptr = random_instance(rng, 8)
+        order = priority_fill_order(prios, ptr)
+        lazy = divide_groups(
+            budgets, DivisionStrategy.PRIORITY, demands, mins, maxs, prios,
+            ptr,
+        )
+        eager = divide_groups(
+            budgets, DivisionStrategy.PRIORITY, demands, mins, maxs, prios,
+            ptr, priority_order=order,
+        )
+        np.testing.assert_array_equal(lazy, eager)
+
+    def test_priority_fill_order_is_stable_within_ties(self):
+        prios = np.array([2, 2, 5, 1], dtype=np.int64)
+        ptr = np.array([0, 4], dtype=np.int64)
+        order = priority_fill_order(prios, ptr)
+        # Highest priority first; equal priorities keep index order.
+        assert list(order) == [2, 0, 1, 3]
+
+    def test_caps_clamped_and_budget_respected(self):
+        rng = np.random.default_rng(11)
+        for strategy in DivisionStrategy:
+            budgets, demands, mins, maxs, prios, ptr = random_instance(rng, 6)
+            sum_mins = group_reduce(mins, ptr)
+            budgets = np.maximum(budgets, sum_mins)  # feasible only
+            caps = divide_groups(
+                budgets, strategy, demands, mins, maxs, prios, ptr
+            )
+            assert np.all(caps >= mins - 1e-9)
+            assert np.all(caps <= maxs + 1e-9)
+            # The budget bounds the group sum except where a member's
+            # share was clamped *up* to its minimum (the scalar
+            # semantics allow that corner; parity matters more than
+            # strict conservation here).
+            counts = np.diff(ptr)
+            at_min = np.isclose(caps, mins)
+            group_has_min = np.add.reduceat(at_min, ptr[:-1]) > 0
+            over = group_reduce(caps, ptr) > budgets + 1e-6
+            assert np.all(~over | group_has_min)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PolicyError):
+            divide_groups(
+                np.array([100.0]),
+                DivisionStrategy.EQUAL,
+                np.array([]),
+                np.array([]),
+                np.array([]),
+                np.array([], dtype=np.int64),
+                np.array([0, 0], dtype=np.int64),
+            )
+
+    def test_group_reduce(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        ptr = np.array([0, 2, 5], dtype=np.int64)
+        np.testing.assert_array_equal(group_reduce(values, ptr), [3.0, 12.0])

@@ -1,0 +1,106 @@
+"""The tier-1 parity contract: repro.fleet vs the serial DCM stack.
+
+A small fleet stepped through :class:`~repro.fleet.engine.FleetEngine`
+must reproduce the :class:`~repro.dcm.manager.DataCenterManager` +
+:class:`~repro.dcm.group.NodeGroup` +
+:class:`~repro.dcm.balancer.GroupBalancer` loop on the same demand
+schedule: identical rebalance decisions and times, caps and readings
+within :data:`~repro.fleet.parity.CAP_TOLERANCE_W` (see docs/FLEET.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dcm.group import DivisionStrategy
+from repro.errors import ConfigError
+from repro.fleet import (
+    CAP_TOLERANCE_W,
+    FleetTopology,
+    NodeClass,
+    parity_topology,
+    run_parity,
+)
+
+
+class TestParityContract:
+    @pytest.mark.parametrize("strategy", list(DivisionStrategy))
+    def test_all_strategies_match(self, strategy):
+        result = run_parity(strategy=strategy, ticks=24)
+        assert result.decisions_match, (
+            f"{strategy}: {result.serial_decisions} != "
+            f"{result.fleet_decisions}"
+        )
+        assert result.armed_states_match
+        assert result.max_cap_delta_w <= CAP_TOLERANCE_W
+        assert result.max_reading_delta_w <= CAP_TOLERANCE_W
+        assert result.ok()
+
+    def test_eight_nodes_heterogeneous_priorities(self):
+        classes = (
+            NodeClass(name="hi", priority=3),
+            NodeClass(name="lo", priority=1),
+        )
+        topo = parity_topology(8, node_classes=classes)
+        result = run_parity(
+            topo,
+            strategy=DivisionStrategy.PRIORITY,
+            budget_w=1100.0,
+            ticks=20,
+        )
+        assert result.ok()
+
+    def test_heterogeneous_clamp_ranges(self):
+        classes = (
+            NodeClass(name="narrow", min_cap_w=130.0, max_cap_w=170.0),
+            NodeClass(name="wide"),
+        )
+        topo = parity_topology(6, node_classes=classes)
+        result = run_parity(
+            topo,
+            strategy=DivisionStrategy.PROPORTIONAL,
+            budget_w=840.0,
+            ticks=20,
+        )
+        assert result.ok()
+
+    def test_tight_threshold_more_rebalances_still_match(self):
+        result = run_parity(
+            strategy=DivisionStrategy.PROPORTIONAL,
+            rebalance_threshold_w=0.0,
+            ticks=16,
+        )
+        applied = sum(1 for _, a in result.fleet_decisions if a)
+        assert applied > 1  # threshold 0 reprograms on any movement
+        assert result.ok()
+
+    def test_explicit_demand_schedule(self):
+        topo = parity_topology(4)
+        schedule = np.tile(
+            np.array([[120.0, 150.0, 180.0, 195.0]]), (12, 1)
+        )
+        schedule[6:] = schedule[6:, ::-1]  # demand flips mid-run
+        result = run_parity(
+            topo,
+            demand_w_by_tick=schedule,
+            strategy=DivisionStrategy.PROPORTIONAL,
+            budget_w=600.0,
+        )
+        assert result.ok()
+        applied = sum(1 for _, a in result.fleet_decisions if a)
+        assert applied >= 2  # the flip forces a real reallocation
+
+    def test_multi_rack_topology_rejected(self):
+        topo = FleetTopology.build(rows=1, racks_per_row=2,
+                                   nodes_per_rack=2)
+        with pytest.raises(ConfigError):
+            run_parity(topo)
+
+    def test_report_document(self):
+        doc = run_parity(ticks=8).to_dict()
+        assert doc["ok"] is True
+        assert doc["tolerance_w"] == CAP_TOLERANCE_W
+        assert doc["rebalances_applied_serial"] == doc[
+            "rebalances_applied_fleet"
+        ]

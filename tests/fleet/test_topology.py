@@ -1,0 +1,78 @@
+"""Fleet topology construction and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import DEFAULT_NODE_CLASS, FleetTopology, NodeClass
+
+
+class TestNodeClass:
+    def test_defaults_are_the_paper_node(self):
+        assert DEFAULT_NODE_CLASS.idle_w == 110.0
+        assert DEFAULT_NODE_CLASS.busy_w == 200.0
+        assert DEFAULT_NODE_CLASS.min_cap_w == 110.0
+        assert DEFAULT_NODE_CLASS.max_cap_w == 200.0
+
+    def test_round_trip(self):
+        original = NodeClass(name="gpu", idle_w=150, busy_w=450,
+                             min_cap_w=160, max_cap_w=400, priority=3)
+        assert NodeClass.from_dict(original.to_dict()) == original
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NodeClass(idle_w=200, busy_w=100)
+        with pytest.raises(ConfigError):
+            NodeClass(min_cap_w=0)
+        with pytest.raises(ConfigError):
+            NodeClass(priority=0)
+        with pytest.raises(ConfigError):
+            NodeClass.from_dict({"bogus_key": 1})
+
+
+class TestFleetTopology:
+    def test_build_shapes(self):
+        topo = FleetTopology.build(rows=3, racks_per_row=4, nodes_per_rack=5)
+        assert topo.n_rows == 3
+        assert topo.n_racks == 12
+        assert topo.n_nodes == 60
+        assert topo.rack_ptr[-1] == 60
+        assert topo.row_ptr[-1] == 12
+        assert len(topo.rack_of_node) == 60
+        assert len(topo.row_of_rack) == 12
+
+    def test_class_interleaving(self):
+        small = NodeClass(name="small", busy_w=150.0, max_cap_w=150.0)
+        big = NodeClass(name="big", idle_w=150.0, busy_w=400.0,
+                        min_cap_w=150.0, max_cap_w=400.0)
+        topo = FleetTopology.build(
+            rows=1, racks_per_row=1, nodes_per_rack=6,
+            node_classes=(small, big),
+        )
+        np.testing.assert_array_equal(
+            topo.busy_w, [150.0, 400.0] * 3
+        )
+
+    def test_from_spec_round_trip(self):
+        spec = {
+            "rows": 2,
+            "racks_per_row": 3,
+            "nodes_per_rack": 4,
+            "node_classes": [NodeClass(name="x").to_dict()],
+        }
+        topo = FleetTopology.from_spec(spec)
+        assert topo.n_nodes == 24
+        assert topo.to_dict()["node_classes"][0]["name"] == "x"
+
+    def test_from_spec_missing_keys(self):
+        with pytest.raises(ConfigError):
+            FleetTopology.from_spec({"rows": 2})
+
+    def test_build_rejects_degenerate_shapes(self):
+        with pytest.raises(ConfigError):
+            FleetTopology.build(rows=0, racks_per_row=1, nodes_per_rack=1)
+        with pytest.raises(ConfigError):
+            FleetTopology.build(rows=1, racks_per_row=1, nodes_per_rack=1,
+                                node_classes=())

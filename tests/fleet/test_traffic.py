@@ -1,0 +1,130 @@
+"""Traffic models: bounds, shapes, determinism, factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    FlatTraffic,
+    FleetTopology,
+    ReplayTraffic,
+    make_traffic,
+)
+
+
+@pytest.fixture
+def topo():
+    return FleetTopology.build(rows=1, racks_per_row=2, nodes_per_rack=50)
+
+
+def bound_model(model, topo, seed=1):
+    model.bind(topo, np.random.default_rng(seed))
+    return model
+
+
+class TestFlat:
+    def test_mean_tracks_utilization(self, topo):
+        model = bound_model(FlatTraffic(utilization=0.5, noise_sigma=0.0),
+                            topo)
+        demand = model.demand_w(0, 0.0)
+        assert demand.shape == (topo.n_nodes,)
+        np.testing.assert_allclose(demand, 155.0)
+
+    def test_noise_stays_in_node_range(self, topo):
+        model = bound_model(FlatTraffic(utilization=0.9, noise_sigma=0.5),
+                            topo)
+        for step in range(5):
+            demand = model.demand_w(step, float(step))
+            assert np.all(demand >= topo.idle_w - 1e-9)
+            assert np.all(demand <= topo.busy_w + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FlatTraffic(utilization=1.5)
+
+
+class TestDiurnal:
+    def test_trough_and_peak(self, topo):
+        model = bound_model(
+            DiurnalTraffic(low=0.2, high=0.8, period_s=100.0,
+                           jitter_frac=0.0, noise_sigma=0.0),
+            topo,
+        )
+        trough = model.demand_w(0, 0.0).mean()
+        peak = model.demand_w(50, 50.0).mean()
+        assert trough == pytest.approx(110.0 + 0.2 * 90.0, abs=0.5)
+        assert peak == pytest.approx(110.0 + 0.8 * 90.0, abs=0.5)
+
+    def test_jitter_desynchronises_nodes(self, topo):
+        model = bound_model(
+            DiurnalTraffic(jitter_frac=0.5, noise_sigma=0.0), topo
+        )
+        demand = model.demand_w(0, 0.0)
+        assert demand.std() > 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DiurnalTraffic(low=0.9, high=0.2)
+
+
+class TestBursty:
+    def test_duty_cycle_matches_phase_means(self, topo):
+        model = bound_model(
+            BurstyTraffic(mean_burst_s=30.0, mean_idle_s=90.0,
+                          noise_sigma=0.0),
+            topo,
+        )
+        fractions = []
+        for step in range(400):
+            demand = model.demand_w(step, float(step))
+            fractions.append(np.mean(demand > 150.0))
+        # Expected burst fraction 30/(30+90) = 0.25.
+        assert np.mean(fractions) == pytest.approx(0.25, abs=0.06)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BurstyTraffic(mean_burst_s=0.0)
+
+
+class TestReplay:
+    def test_plays_back_and_repeats_last_row(self, topo):
+        schedule = np.full((2, topo.n_nodes), 120.0)
+        schedule[1] = 180.0
+        model = bound_model(ReplayTraffic(schedule), topo)
+        np.testing.assert_allclose(model.demand_w(0, 0.0), 120.0)
+        np.testing.assert_allclose(model.demand_w(1, 1.0), 180.0)
+        np.testing.assert_allclose(model.demand_w(9, 9.0), 180.0)
+
+    def test_shape_checked_at_bind(self, topo):
+        model = ReplayTraffic(np.full((3, 7), 150.0))
+        with pytest.raises(ConfigError):
+            model.bind(topo, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            ReplayTraffic(np.array([1.0, 2.0]))
+
+
+class TestFactory:
+    def test_bare_names(self):
+        assert isinstance(make_traffic("flat"), FlatTraffic)
+        assert isinstance(make_traffic("diurnal"), DiurnalTraffic)
+        assert isinstance(make_traffic("bursty"), BurstyTraffic)
+
+    def test_dict_spec_with_knobs(self):
+        model = make_traffic({"type": "flat", "utilization": 0.3})
+        assert model.utilization == 0.3
+
+    def test_unknown_type_and_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            make_traffic("lognormal")
+        with pytest.raises(ConfigError):
+            make_traffic({"type": "flat", "bogus": 1})
+
+    def test_describe_round_trips_through_factory(self):
+        model = make_traffic({"type": "bursty", "mean_burst_s": 12.0})
+        desc = model.describe()
+        again = make_traffic(desc)
+        assert again.mean_burst_s == 12.0

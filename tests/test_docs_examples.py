@@ -88,6 +88,40 @@ class TestApiDoc:
                         )
 
 
+class TestGroupCapExample:
+    """examples/datacenter_group_cap.py runs both stacks and they agree."""
+
+    @pytest.fixture(scope="class")
+    def example_output(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "examples" / "datacenter_group_cap.py")],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO / "src")},
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_serial_sections_present(self, example_output):
+        assert "== Equal division ==" in example_output
+        assert "== Closed-loop rebalancing" in example_output
+
+    def test_fleet_comparison_table(self, example_output):
+        assert "Serial DCM stack vs repro.fleet" in example_output
+        assert "parity: serial DCM stack vs repro.fleet" in example_output
+        assert "max cap delta" in example_output
+
+    def test_parity_contract_holds(self, example_output):
+        # The table's verdict row — the example must never ship with a
+        # violated contract.
+        assert "OK" in example_output
+        assert "VIOLATED" not in example_output
+
+
 class TestDesignDoc:
     def test_design_mentions_every_subpackage(self):
         design = (REPO / "DESIGN.md").read_text()

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.ipmi",
     "repro.bmc",
     "repro.dcm",
+    "repro.fleet",
     "repro.trace",
     "repro.workloads",
     "repro.perf",
