@@ -205,6 +205,137 @@ def test_bench_telemetry_overhead(benchmark):
     )
 
 
+def test_bench_observability_overhead(benchmark):
+    """Profiler + live streaming cost < 5% of a full run together.
+
+    The live observability plane is two always-optional attachments:
+    the 97 Hz sampling profiler and the event-bus publish path that
+    feeds SSE subscribers.  Both are advertised as safe to leave on in
+    production, so their *combined* cost is guarded the same way as
+    telemetry: the warmed control-loop delta (best-of-7 per side, with
+    a real subscriber attached so every flush actually publishes)
+    divided by the cold single-run wall clock.
+    """
+    from repro.obs.profile import ProfileConfig, SamplingProfiler
+    from repro.obs.stream import event_bus, stream_context
+
+    configure_logging(level="warning", json_mode=False)
+    workload = scaled(StereoMatchingWorkload())
+
+    t0 = time.perf_counter()
+    NodeRunner(slice_accesses=300_000, telemetry=False).run(workload)
+    cold_run_s = time.perf_counter() - t0
+
+    runner = NodeRunner(slice_accesses=300_000, telemetry=TelemetryConfig())
+    runner.run(workload)  # warm the per-runner rate memo
+
+    def best_of_7(run_once) -> float:
+        best = float("inf")
+        for _ in range(7):
+            t0 = time.perf_counter()
+            run_once()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    plain_s = best_of_7(lambda: runner.run(workload))
+
+    bus = event_bus()
+    sub = bus.subscribe("bench:obs", queue_size=4096)
+    profiler = SamplingProfiler(ProfileConfig()).start()
+    try:
+
+        def observed_once():
+            with stream_context("bench:obs"):
+                runner.run(workload)
+            while sub.get(timeout=0.0) is not None:
+                pass  # drain between runs, like an SSE reader thread
+
+        observed_s = best_of_7(observed_once)
+    finally:
+        report = profiler.stop()
+        bus.unsubscribe(sub)
+
+    delta_s = max(0.0, observed_s - plain_s)
+    overhead = delta_s / cold_run_s
+    benchmark.extra_info["cold_run_s"] = round(cold_run_s, 4)
+    benchmark.extra_info["obs_delta_s"] = round(delta_s, 5)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    benchmark.extra_info["profile_samples"] = report.samples
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sub.dropped == 0  # the queue was sized to lose nothing
+    assert overhead < 0.05, (
+        f"profiler+streaming overhead {overhead:.1%} exceeds the 5% "
+        f"budget (delta {delta_s * 1e3:.2f} ms on a {cold_run_s:.3f} s run)"
+    )
+
+
+def test_bench_fleet_health_overhead(benchmark):
+    """Health rollups cost < 10% of the fleet engine's node-steps/s.
+
+    The BENCH_fleet baseline runs with telemetry off; health rollups
+    are the one observability feature meant to be turnable-on at fleet
+    scale, so their cost is guarded against that same configuration:
+    the identical topology/traffic stepped with ``health=True`` must
+    retain >= 90% of the bare engine's node-steps/s.
+
+    Shared runners make back-to-back throughput numbers noisy, so the
+    two configurations are stepped in *interleaved blocks* of ~25 ms:
+    ambient load bursts land on both sides nearly equally and cancel
+    in the ratio.  The collector is paused while timing (the side
+    that allocates more otherwise pays for collecting the whole
+    session's object graph).
+    """
+    import gc
+
+    from repro.fleet import DiurnalTraffic, FleetEngine, FleetTopology
+
+    topo = FleetTopology.build(rows=2, racks_per_row=4, nodes_per_rack=32)
+    ticks, block = 10_000, 250
+
+    def make(health: bool) -> "FleetEngine":
+        return FleetEngine(
+            topo,
+            DiurnalTraffic(),
+            budget_w=0.8 * float(topo.max_cap_w.sum()),
+            seed=5,
+            telemetry=False,
+            health=health,
+        )
+
+    eng_bare, eng_health = make(False), make(True)
+    eng_health._health.begin_run(ticks)
+    bare_s = health_s = 0.0
+    gc.collect()
+    gc.disable()
+    try:
+        for start in range(0, ticks, block):
+            warmup = start == 0  # first block pair warms caches/memos
+            t0 = time.perf_counter()
+            for _ in range(block):
+                eng_bare.step()
+            t1 = time.perf_counter()
+            for _ in range(block):
+                eng_health.step()
+            t2 = time.perf_counter()
+            if not warmup:
+                bare_s += t1 - t0
+                health_s += t2 - t1
+    finally:
+        gc.enable()
+    node_ticks = (ticks - block) * topo.n_nodes
+    bare = round(node_ticks / bare_s)
+    with_health = round(node_ticks / health_s)
+    retained = bare_s / health_s
+    benchmark.extra_info["bare_node_steps_per_s"] = round(bare)
+    benchmark.extra_info["health_node_steps_per_s"] = round(with_health)
+    benchmark.extra_info["retained_frac"] = round(retained, 4)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert retained >= 0.90, (
+        f"health rollups retain only {retained:.1%} of fleet "
+        f"throughput ({with_health:.0f} vs {bare:.0f} node-steps/s)"
+    )
+
+
 def test_bench_telemetry_off_is_bit_identical(benchmark):
     """Samplers off ⇒ every engine output matches the sampled run.
 

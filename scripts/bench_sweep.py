@@ -244,7 +244,11 @@ def check(doc, baseline, args):
         print(
             "SKIP: single-core host "
             f"(effective_jobs={doc['sweep']['jobs4']['effective_jobs']}) "
-            "— parallel speedup guard not applicable"
+            "— parallel speedup guard not applicable; the "
+            f">={args.min_parallel_speedup:.1f}x jobs=4 floor "
+            "introduced with the warm-worker sweep engine has still "
+            "only ever been asserted on multi-core CI, never verified "
+            "on this class of host"
         )
     return failures
 

@@ -16,11 +16,15 @@ instrumentation products are well-formed:
   and ``repro-powercap inspect`` renders it;
 - **the service timeline API**: a tiny job driven to DONE over HTTP
   serves ``GET /jobs/<id>/timeseries`` with non-empty, monotonic
-  timestamps and both power and frequency channels.
+  timestamps and both power and frequency channels;
+- **the SSE stream**: ``GET /jobs/<id>/stream`` subscribed to during a
+  live sweep delivers at least one telemetry ``sample`` event with
+  strictly increasing event ids and closes cleanly on a terminal
+  job-lifecycle event.
 
-The trace and the served timeline JSON are copied into
-``$REPRO_SMOKE_ARTIFACT_DIR`` (when set) so CI can upload them as
-workflow artifacts.  Exits non-zero on any failure; prints a one-line
+The trace, the served timeline JSON, and the captured SSE stream are
+copied into ``$REPRO_SMOKE_ARTIFACT_DIR`` (when set) so CI can upload
+them as workflow artifacts.  Exits non-zero on any failure; prints a one-line
 summary per step so CI logs read as a transcript.
 
 Usage::
@@ -112,9 +116,66 @@ def check_timeline_api(tmp: Path) -> Path:
         )
         timeline_path = tmp / "timeline.json"
         timeline_path.write_bytes(raw)
-        return timeline_path
+
+        stream_path = check_sse_stream(service, tmp)
+        return timeline_path, stream_path
     finally:
         service.shutdown(drain=False)
+
+
+def parse_sse(text: str) -> list[dict]:
+    """``[{'id': .., 'event': .., 'data': ..}, ...]`` from a raw stream."""
+    frames = []
+    for block in text.split("\n\n"):
+        frame: dict = {}
+        for line in block.splitlines():
+            if line.startswith(":"):  # comment / keepalive
+                continue
+            if ": " in line:
+                key, value = line.split(": ", 1)
+                frame[key] = value
+        if frame:
+            frames.append(frame)
+    return frames
+
+
+def check_sse_stream(service, tmp: Path) -> Path:
+    """Subscribe to ``/jobs/<id>/stream`` during a live sweep.
+
+    The subscription is opened immediately after the POST, so the
+    stream is consumed while the sweep runs; ``Last-Event-ID`` replay
+    covers the race where the tiny job finishes first.  Asserts at
+    least one telemetry ``sample`` event, strictly increasing event
+    ids, and a clean terminal close.
+    """
+    spec = {
+        "workload": "sire",
+        "caps_w": [150.0],
+        "repetitions": 1,
+        "scale": 0.001,
+    }
+    job = json.loads(http("POST", service.url + "/jobs", spec))
+    # Blocks until the server closes the stream on the terminal event.
+    raw = http("GET", f"{service.url}/jobs/{job['id']}/stream").decode()
+    frames = parse_sse(raw)
+    assert frames, "empty SSE stream"
+    kinds = [f.get("event") for f in frames]
+    assert "job_started" in kinds, kinds
+    assert kinds.count("sample") >= 1, f"no telemetry samples: {kinds}"
+    assert kinds[-1] in ("job_done", "end"), f"unclean close: {kinds[-1]}"
+    ids = [int(f["id"]) for f in frames if "id" in f]
+    assert ids == sorted(set(ids)), f"event ids not increasing: {ids}"
+    for frame in frames:
+        if "data" in frame:
+            json.loads(frame["data"])  # raises on malformed payloads
+    print(
+        f"[obs-smoke] /jobs/<id>/stream delivered {len(frames)} SSE "
+        f"events ({kinds.count('sample')} samples), closed on "
+        f"{kinds[-1]!r}"
+    )
+    stream_path = tmp / "stream.txt"
+    stream_path.write_text(raw)
+    return stream_path
 
 
 def export_artifacts(paths: list[Path]) -> None:
@@ -210,8 +271,8 @@ def main() -> int:
     assert "power_w |" in proc.stdout, proc.stdout
     print("[obs-smoke] timeline --ascii renders the stored timeline")
 
-    timeline_path = check_timeline_api(tmp)
-    export_artifacts([trace_path, timeline_path])
+    timeline_path, stream_path = check_timeline_api(tmp)
+    export_artifacts([trace_path, timeline_path, stream_path])
 
     print("[obs-smoke] PASS")
     return 0

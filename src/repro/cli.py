@@ -14,9 +14,14 @@ Subcommands map one-to-one onto the paper's experiments:
 - ``serve``       — the long-lived experiment service (HTTP API, job
   queue, persistent SQLite result store, ``/metrics``);
 - ``inspect``     — show the provenance manifest of a result file or a
-  stored service job (``--format json`` for machine-readable output);
+  stored service job (``--format json`` for machine-readable output;
+  fleet run documents get a dedicated provenance/health block);
 - ``timeline``    — render the telemetry timelines recorded during a
-  sweep (summaries, ``--ascii`` sparklines, or ``--csv``).
+  sweep or a saved fleet run (summaries, ``--ascii`` sparklines, or
+  ``--csv``);
+- ``top``         — live ASCII dashboard over a running service's
+  ``/metrics`` + ``/healthz`` (queue, workers, rate cache, stream
+  bus, fleet health, detections).
 
 All subcommands accept ``--scale`` to shrink the instruction budgets
 (the shape is scale-invariant; see DESIGN.md §5) and ``--seed`` for
@@ -30,7 +35,10 @@ and ``--log-json`` configure structured logging on stderr (overriding
 every engine span — plus telemetry counter tracks — and writes a Chrome
 ``trace_event`` profile on exit; ``--telemetry-period`` /
 ``--no-telemetry`` control in-run telemetry sampling (overriding
-``REPRO_TELEMETRY_PERIOD`` / ``REPRO_TELEMETRY``).
+``REPRO_TELEMETRY_PERIOD`` / ``REPRO_TELEMETRY``); ``--profile``
+samples the process with the background profiler (overriding
+``REPRO_PROFILE``; ``--profile-hz`` tunes the rate and
+``--profile-out`` writes the JSON report).
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ from .core.serialize import experiment_to_dict, extract_timelines
 from .errors import ReproError
 from .mem.reconfig import GatingState
 from .obs.logging import configure_logging, get_logger
+from .obs.profile import ProfileConfig, SamplingProfiler, profiling_enabled
 from .obs.provenance import render_provenance
 from .obs.timeseries import TelemetryConfig, timeline_from_dict
 from .obs.tracing import span, start_tracing, stop_tracing
@@ -153,6 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
         "marching stable segments of many runs as one numpy batch "
         "(overrides REPRO_BATCH; results are bit-identical either "
         "way — see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample the process with the background profiler and log "
+        "the phase/function report on exit (overrides REPRO_PROFILE; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="profiler sampling rate (overrides REPRO_PROFILE_HZ; "
+        "default 97)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the profiler's JSON report to PATH (implies "
+        "--profile)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -410,6 +441,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--ascii",
         action="store_true",
         help="render ASCII sparkline charts instead of summaries",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live ASCII dashboard over a running service's /metrics",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the experiment service",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no repaint escapes)",
     )
     return parser
 
@@ -723,17 +783,30 @@ def _cmd_serve(args) -> str:
     return "service stopped (queue drained)"
 
 
+def _is_fleet_doc(doc) -> bool:
+    """Whether ``doc`` is a ``fleet --format json`` run document."""
+    return (
+        isinstance(doc, dict)
+        and isinstance(doc.get("provenance"), dict)
+        and doc["provenance"].get("engine") == "repro.fleet"
+    )
+
+
 def _result_docs(data: dict) -> dict:
-    """``{workload: experiment doc}`` from either result-file layout.
+    """``{workload: experiment doc}`` from any result-file layout.
 
     ``sweep --format json`` writes a single experiment document (it has
     a ``format_version`` key); ``baseline --format json`` writes a map
-    of workload name to document.
+    of workload name to document; ``fleet --format json`` writes a
+    fleet run document (``provenance.engine == "repro.fleet"``), mapped
+    here under the ``"fleet"`` key.
     """
     if not isinstance(data, dict):
         raise ReproError("not a result file: expected a JSON object")
     if "format_version" in data:
         return {data.get("workload", "?"): data}
+    if _is_fleet_doc(data):
+        return {"fleet": data}
     docs = {
         name: doc
         for name, doc in data.items()
@@ -742,7 +815,7 @@ def _result_docs(data: dict) -> dict:
     if not docs:
         raise ReproError(
             "not a result file: no experiment documents found "
-            "(expected output of sweep/baseline --format json)"
+            "(expected output of sweep/baseline/fleet --format json)"
         )
     return docs
 
@@ -785,11 +858,92 @@ def _load_target_docs(target: str, db: str):
     return header, store.get_result_dict(job.spec_digest)
 
 
+def _render_fleet_doc(doc: dict, title: str) -> str:
+    """Provenance/summary block for a fleet run document.
+
+    Fleet provenance is engine-shaped (topology, strategy, traffic)
+    rather than experiment-shaped, so :func:`render_provenance` does
+    not apply.
+    """
+    prov = doc.get("provenance") or {}
+    topo = doc.get("topology") or {}
+    summary = doc.get("summary") or {}
+    reb = doc.get("rebalances") or {}
+    lines = [title]
+    lines.append(
+        f"  engine      {prov.get('engine', '?')} "
+        f"(package {prov.get('package_version', '?')}, "
+        f"git {prov.get('git', '?')})"
+    )
+    lines.append(
+        f"  topology    {topo.get('n_nodes', '?')} nodes / "
+        f"{topo.get('n_racks', '?')} racks / {topo.get('n_rows', '?')} rows"
+    )
+    traffic = prov.get("traffic")
+    lines.append(
+        f"  params      strategy={prov.get('strategy', '?')} "
+        f"budget_w={prov.get('budget_w', '?')} dt_s={prov.get('dt_s', '?')} "
+        f"seed={prov.get('seed', '?')}"
+    )
+    if traffic:
+        lines.append(f"  traffic     {json.dumps(traffic, sort_keys=True)}")
+    lines.append(
+        f"  run         {doc.get('ticks', '?')} ticks; rebalances "
+        f"applied {reb.get('applied', '?')}/{reb.get('evaluated', '?')} "
+        f"(forced {reb.get('forced_by_escalation', 0)})"
+    )
+    for key in sorted(k for k in summary if not isinstance(summary[k], dict)):
+        lines.append(f"  {key:<24} {summary[key]}")
+    health = summary.get("health")
+    if isinstance(health, dict):
+        lines.append(
+            "  health      headroom "
+            f"{health.get('mean_headroom_w', '?')} W, cap-floor "
+            f"{health.get('mean_capfloor_frac', '?')}, SLO debt "
+            f"{health.get('mean_slo_debt_rate_w', '?')} W/s, max esc "
+            f"L{health.get('max_escalation_level', '?')}"
+        )
+    phenomena = doc.get("phenomena") or []
+    if phenomena:
+        lines.append("  phenomena:")
+        for det in phenomena:
+            lines.append(
+                f"    - {det.get('phenomenon', '?')}: "
+                f"{json.dumps(det.get('detail') or {}, sort_keys=True)}"
+            )
+    else:
+        lines.append("  phenomena:  none detected")
+    return "\n".join(lines)
+
+
+def _fleet_run_timeline(name: str, doc: dict):
+    """A :class:`RunTimeline` rebuilt from a fleet doc's channels."""
+    from .obs.timeseries import RunTimeline, SeriesChannel
+
+    timeline = RunTimeline(
+        workload=name, cap_w=None, period_s=float(doc.get("dt_s") or 1.0)
+    )
+    for ch_name, ch_doc in sorted(
+        (doc.get("timeline_channels") or {}).items()
+    ):
+        timeline.channels[ch_name] = SeriesChannel.from_dict(ch_name, ch_doc)
+    return timeline
+
+
 def _cmd_inspect(args) -> str:
     header, docs = _load_target_docs(args.target, args.db)
     if args.format == "json":
         out = {}
         for name, doc in sorted((docs or {}).items()):
+            if _is_fleet_doc(doc):
+                out[name] = {
+                    "provenance": doc.get("provenance"),
+                    "summary": doc.get("summary"),
+                    "rebalances": doc.get("rebalances"),
+                    "phenomena": doc.get("phenomena"),
+                    "timelines": doc.get("timelines"),
+                }
+                continue
             timelines = {}
             rows = {"baseline": doc.get("baseline") or {}}
             rows.update(doc.get("by_cap") or {})
@@ -807,9 +961,12 @@ def _cmd_inspect(args) -> str:
         lines.append("  (no stored result for this job yet)")
         return "\n".join(lines)
     for name, doc in sorted(docs.items()):
-        lines.append(
-            render_provenance(doc.get("provenance"), title=f"{name}:")
-        )
+        if _is_fleet_doc(doc):
+            lines.append(_render_fleet_doc(doc, title=f"{name}:"))
+        else:
+            lines.append(
+                render_provenance(doc.get("provenance"), title=f"{name}:")
+            )
     return "\n".join(lines)
 
 
@@ -821,7 +978,26 @@ def _cmd_timeline(args) -> str:
         raise ReproError(
             f"job {args.target!r} has no stored result yet"
         )
-    timelines = extract_timelines(docs, args.channel)
+    fleet_docs = {n: d for n, d in docs.items() if _is_fleet_doc(d)}
+    exp_docs = {n: d for n, d in docs.items() if n not in fleet_docs}
+    timelines = extract_timelines(exp_docs, args.channel) if exp_docs else []
+    for name, doc in sorted(fleet_docs.items()):
+        timeline = _fleet_run_timeline(name, doc)
+        if args.channel:
+            wanted = set(args.channel)
+            missing = wanted - set(timeline.names())
+            if missing:
+                raise ReproError(
+                    f"fleet run has no channel(s) {sorted(missing)}; "
+                    f"available: {timeline.names()}"
+                )
+            timeline.channels = {
+                n: ch
+                for n, ch in timeline.channels.items()
+                if n in wanted
+            }
+        if timeline.channels:
+            timelines.append(timeline)
     if args.cap is not None:
         if args.cap == "baseline":
             timelines = [t for t in timelines if t.cap_w is None]
@@ -870,6 +1046,21 @@ def _cmd_timeline(args) -> str:
     return "\n".join(lines).rstrip()
 
 
+def _cmd_top(args) -> None:
+    """Live dashboard; writes frames itself (repaints in place)."""
+    from .obs.top import run_top
+
+    code = run_top(
+        args.url,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+    )
+    if code != 0:  # pragma: no cover — run_top currently always returns 0
+        raise ReproError(f"top exited with status {code}")
+    return None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -899,6 +1090,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     # experiment resolves REPRO_BATCH (default on).
     args.batch = False if args.no_batch else None
     collector = start_tracing() if args.trace_out else None
+    # --profile / --profile-out force the sampler on; otherwise defer
+    # to REPRO_PROFILE.  --profile-hz beats REPRO_PROFILE_HZ.
+    profiler = None
+    if profiling_enabled(
+        True if (args.profile or args.profile_out) else None
+    ):
+        config = (
+            ProfileConfig(hz=args.profile_hz)
+            if args.profile_hz is not None
+            else ProfileConfig.from_env()
+        )
+        profiler = SamplingProfiler(config).start()
     handler = {
         "baseline": _cmd_baseline,
         "sweep": _cmd_sweep,
@@ -912,15 +1115,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "inspect": _cmd_inspect,
         "timeline": _cmd_timeline,
+        "top": _cmd_top,
     }[args.command]
     try:
         with span("cli", command=args.command):
-            print(handler(args))
+            out = handler(args)
+        if out is not None:
+            print(out)
     except ReproError as exc:
         _log.error("command_failed", command=args.command, error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        # Stop the profiler before dumping the trace so its counter
+        # track lands in the Chrome profile.
+        if profiler is not None:
+            report = profiler.stop()
+            if args.profile_out:
+                try:
+                    with open(args.profile_out, "w") as fh:
+                        json.dump(report.to_dict(), fh, indent=2)
+                except OSError as exc:
+                    print(
+                        f"error: cannot write {args.profile_out}: {exc}",
+                        file=sys.stderr,
+                    )
         if collector is not None:
             stop_tracing()
             collector.dump(args.trace_out)

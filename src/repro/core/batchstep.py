@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,7 +54,7 @@ from ..obs.timeseries import SeriesPoint
 from ..obs.tracing import span
 from ..workloads.base import Workload
 from .metrics import RunResult
-from .runner import NodeRunner, RunState
+from .runner import NodeRunner, RunState, export_counter_tracks
 
 __all__ = ["march", "run_sweep", "batch_enabled"]
 
@@ -339,7 +340,7 @@ def march(
             )
             for ch, p in zip(kern._channels, pts):
                 ch.add_block(p)
-            st.sampler.commit_block(n, float(BT0[slot]), 0.0, {})
+            st.sampler.commit_block(n, float(BT0[slot]), 0.0, {}, pts)
         if st.record_series:
             fmv = float(FREQ[slot] / 1e6)
             dv = float(DUTY[slot])
@@ -540,6 +541,9 @@ def march(
 def _finish_run(st: RunState) -> RunResult:
     """``RunState.finish`` plus the per-run metrics/logging bookkeeping."""
     result, quanta, ffed, bsteps, bquanta = st.finish()
+    export_counter_tracks(
+        result, st.wall0, time.perf_counter() - st.wall0
+    )
     metrics = engine_metrics()
     metrics.runs.inc()
     metrics.quanta.inc(quanta)

@@ -913,7 +913,7 @@ class BlockStepKernel:
                 }
             else:
                 acc_new = {}
-            sampler.commit_block(n, bt0, el, acc_new)
+            sampler.commit_block(n, bt0, el, acc_new, flushed)
         return (
             n, power, t, done, freq_time, cycles, stable,
             pfi, psi, pra, duty_c, seg,

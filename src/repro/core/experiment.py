@@ -296,6 +296,7 @@ class PowerCapExperiment:
         def _record_execution(worker_reuse: int) -> None:
             # With jobs > 1 the batch counters accumulate inside the
             # workers; the parent-side deltas then read 0 by design.
+            metrics.effective_jobs.set(float(jobs))
             self.last_execution = {
                 "requested_jobs": requested,
                 "effective_jobs": jobs,

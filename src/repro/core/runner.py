@@ -52,9 +52,34 @@ from .blockstep import BlockStepKernel
 from .metrics import RunResult
 from .ratecache import RateCache, rate_key
 
-__all__ = ["NodeRunner", "RunState"]
+__all__ = ["NodeRunner", "RunState", "export_counter_tracks"]
 
 _log = get_logger("core.runner")
+
+
+def export_counter_tracks(
+    result: RunResult, wall0: float, wall_s: float
+) -> None:
+    """Ride a run's telemetry channels into the active trace collector.
+
+    Each sample's *simulated* time maps proportionally onto the run's
+    wall-clock interval, so counter curves line up with the run's span
+    in chrome://tracing / Perfetto.  No-op without a collector or a
+    timeline.  Shared by the scalar run loop and the batch sweep
+    engine's per-run finish path.
+    """
+    collector = current_collector()
+    if collector is None or result.timeline is None:
+        return
+    scale = wall_s / result.execution_s if result.execution_s else 0.0
+    for channel, t_s, value in result.timeline.counter_samples(
+        max_points=48
+    ):
+        collector.add_counter(
+            f"telemetry:{channel}",
+            wall0 + t_s * scale,
+            {channel: value},
+        )
 
 #: Consecutive identical commands before the long-step / fast-forward
 #: machinery may engage (matches the historical adaptive threshold).
@@ -227,21 +252,7 @@ class NodeRunner:
         if self._rate_cache is not None:
             self._rate_cache.save()
         wall_s = time.perf_counter() - wall0
-        collector = current_collector()
-        if collector is not None and result.timeline is not None:
-            # Telemetry channels ride the trace as counter tracks: each
-            # sample's *simulated* time maps proportionally onto the
-            # run's wall-clock interval, so counter curves line up with
-            # the run's span in chrome://tracing / Perfetto.
-            scale = wall_s / result.execution_s if result.execution_s else 0.0
-            for channel, t_s, value in result.timeline.counter_samples(
-                max_points=48
-            ):
-                collector.add_counter(
-                    f"telemetry:{channel}",
-                    wall0 + t_s * scale,
-                    {channel: value},
-                )
+        export_counter_tracks(result, wall0, wall_s)
         metrics = engine_metrics()
         metrics.runs.inc()
         metrics.quanta.inc(quanta)
@@ -305,6 +316,9 @@ class RunState:
         self.workload = workload
         self.cap_w = cap_w
         self.rep = rep
+        #: Wall-clock start, so external drivers (the batch engine) can
+        #: anchor this run's telemetry counter tracks in the trace.
+        self.wall0 = time.perf_counter()
         cfg = runner._config
         self.cfg = cfg
         tag = f"{workload.name}:cap={cap_w}:rep={rep}"

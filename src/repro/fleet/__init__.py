@@ -14,6 +14,12 @@ so the two paths cannot drift.  See docs/FLEET.md.
 
 from .division import divide_groups, group_reduce
 from .engine import EscalationConfig, FleetEngine, FleetRebalance, FleetResult
+from .health import (
+    FleetHealth,
+    detect_budget_thrash,
+    detect_slo_debt_runaway,
+    detect_waterfill_starvation,
+)
 from .parity import CAP_TOLERANCE_W, ParityResult, parity_topology, run_parity
 from .report import format_fleet_summary, format_parity_table
 from .topology import DEFAULT_NODE_CLASS, FleetTopology, NodeClass
@@ -34,6 +40,7 @@ __all__ = [
     "EscalationConfig",
     "FlatTraffic",
     "FleetEngine",
+    "FleetHealth",
     "FleetRebalance",
     "FleetResult",
     "FleetTopology",
@@ -41,6 +48,9 @@ __all__ = [
     "ParityResult",
     "ReplayTraffic",
     "TrafficModel",
+    "detect_budget_thrash",
+    "detect_slo_debt_runaway",
+    "detect_waterfill_starvation",
     "divide_groups",
     "format_fleet_summary",
     "format_parity_table",

@@ -47,11 +47,15 @@ import numpy as np
 
 from ..dcm.group import DivisionStrategy
 from ..errors import ConfigError, PolicyError
-from ..obs.metrics import fleet_metrics
+from ..obs.detect import Detection
+from ..obs.logging import get_logger
+from ..obs.metrics import fleet_metrics, telemetry_metrics
 from ..obs.provenance import git_describe
+from ..obs.stream import FLEET_TOPIC, event_bus
 from ..obs.timeseries import SeriesChannel
 from ..rng import DEFAULT_SEED, RngStreams
 from .division import divide_groups, group_reduce, priority_fill_order
+from .health import FleetHealth
 from .topology import FleetTopology
 from .traffic import TrafficModel
 
@@ -61,6 +65,8 @@ __all__ = [
     "FleetResult",
     "FleetEngine",
 ]
+
+_log = get_logger("fleet.engine")
 
 
 @dataclass(frozen=True)
@@ -174,9 +180,18 @@ class FleetResult:
     #: Per-tick (targets, applied caps, readings, powers) — recorded
     #: only when the engine ran with ``record_trajectory=True``.
     trajectory: Optional[dict] = None
+    #: Fleet-level detections (budget thrash, waterfill starvation,
+    #: SLO-debt runaway) — populated when health rollups ran.
+    phenomena: List[Detection] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """JSON-ready document (timeline summaries, not raw points)."""
+        """JSON-ready document: summaries plus full channel points.
+
+        ``timelines`` carries per-channel summaries (cheap to scan);
+        ``timeline_channels`` carries the full
+        :meth:`~repro.obs.timeseries.SeriesChannel.to_dict` dumps so
+        ``repro-powercap timeline`` can chart a saved fleet run.
+        """
         return {
             "topology": self.topology,
             "params": self.params,
@@ -194,6 +209,10 @@ class FleetResult:
             "timelines": {
                 name: ch.summary() for name, ch in self.timelines.items()
             },
+            "timeline_channels": {
+                name: ch.to_dict() for name, ch in self.timelines.items()
+            },
+            "phenomena": [d.to_dict() for d in self.phenomena],
         }
 
 
@@ -216,6 +235,7 @@ class FleetEngine:
         telemetry: bool = True,
         telemetry_capacity: int = 512,
         record_trajectory: bool = False,
+        health: Optional[bool] = None,
     ) -> None:
         topology.validate()
         if budget_w <= 0:
@@ -239,6 +259,11 @@ class FleetEngine:
         self._telemetry = bool(telemetry)
         self._telemetry_capacity = int(telemetry_capacity)
         self._record_trajectory = bool(record_trajectory)
+        # Health rollups follow the telemetry switch unless pinned, so
+        # the telemetry=False benchmark configuration stays untouched.
+        self._health_enabled = (
+            self._telemetry if health is None else bool(health)
+        )
 
         streams = RngStreams(seed=self._seed)
         traffic.bind(topology, streams.stream("fleet-traffic"))
@@ -286,6 +311,16 @@ class FleetEngine:
             "row": _GroupLevel(t.n_rows),
             "dc": _GroupLevel(1),
         }
+        # Levels move only when an observe() reports a change, so the
+        # per-tick health rollup reads this cache instead of scanning
+        # three arrays every tick.
+        self._esc_max_level = 0
+        # The live-stream gate takes the bus lock, so probe for
+        # subscribers every few ticks instead of every rebalance; a
+        # fresh subscriber waits at most 16 ticks for its first frame.
+        self._bus = event_bus()
+        self._fleet_subscribed = False
+        self._sub_probe_left = 0
         self._channels: Dict[str, SeriesChannel] = {}
         if self._telemetry:
             cap = self._telemetry_capacity
@@ -302,6 +337,12 @@ class FleetEngine:
                 self._channels[f"row{w}_power_w"] = SeriesChannel(
                     f"row{w}_power_w", "W", capacity=cap
                 )
+        self._health: Optional[FleetHealth] = None
+        if self._health_enabled:
+            self._health = FleetHealth(t, self._telemetry_capacity)
+            # Health channels ride in the same timeline dict, so the
+            # result/CLI/stream surfaces treat them like any channel.
+            self._channels.update(self._health.channels)
         self._traj: Optional[Dict[str, list]] = (
             {"target_w": [], "applied_w": [], "reading_w": [], "power_w": []}
             if self._record_trajectory
@@ -421,8 +462,13 @@ class FleetEngine:
             esc_changed |= self._levels["dc"].observe(
                 np.array([power_sum]), cfg
             )
+            if esc_changed:
+                self._esc_max_level = max(
+                    int(lv.level.max()) for lv in self._levels.values()
+                )
 
         due = self._step_index % self._rebalance_every == 0
+        caps_changed = False
         if due or esc_changed:
             readings = np.rint(self._total_wq / self._quanta)
             target = self._divide_tree(readings)
@@ -436,6 +482,7 @@ class FleetEngine:
             if applied:
                 self._applied_cap_w = np.rint(target)
                 self._last_target_w = target
+                caps_changed = True
             self._rebalances.append(
                 FleetRebalance(
                     time_s=time_s,
@@ -446,6 +493,7 @@ class FleetEngine:
             )
 
         if self._telemetry:
+            rack_power = group_reduce(power, t.rack_ptr)
             ch = self._channels
             ch["fleet_power_w"].add(time_s, dt, power_sum)
             ch["fleet_demand_w"].add(time_s, dt, demand_sum)
@@ -459,10 +507,43 @@ class FleetEngine:
             ch["latency_inflation"].add(
                 time_s, dt, self._latency_inflation(demand)
             )
-            rack_power = group_reduce(power, t.rack_ptr)
             row_power = group_reduce(rack_power, t.row_ptr)
             for w in range(t.n_rows):
                 ch[f"row{w}_power_w"].add(time_s, dt, float(row_power[w]))
+
+        if self._health is not None:
+            # Live fleet stream, on the rebalance cadence: gated on an
+            # actual subscriber so unwatched runs skip the bus.
+            if due:
+                if self._sub_probe_left <= 0:
+                    self._fleet_subscribed = self._bus.has_subscribers(
+                        FLEET_TOPIC
+                    )
+                    self._sub_probe_left = 16
+                self._sub_probe_left -= 1
+            streaming = due and self._fleet_subscribed
+            rollup = self._health.observe_tick(
+                time_s,
+                dt,
+                power_sum,
+                power,
+                self._applied_cap_w,
+                t.min_cap_w,
+                shortfall,
+                shortfall_sum,
+                self._slo_slack_w,
+                self._levels["rack"].allocated_w,
+                self.budget_w,
+                self._esc_max_level,
+                caps_changed=caps_changed,
+                want_rollup=streaming,
+            )
+            if streaming:
+                self._bus.publish(
+                    FLEET_TOPIC,
+                    "fleet_health",
+                    {"t_s": time_s, **rollup},
+                )
 
         if self._traj is not None:
             self._traj["target_w"].append(
@@ -501,10 +582,14 @@ class FleetEngine:
         if duration_s <= 0:
             raise ConfigError("duration_s must be positive")
         ticks = max(1, int(round(duration_s / self.dt_s)))
+        if self._health is not None:
+            self._health.begin_run(ticks)
         wall0 = time.perf_counter()
         for _ in range(ticks):
             self.step()
         wall = time.perf_counter() - wall0
+        if self._health is not None:
+            self._health.finish()
         metrics = fleet_metrics()
         metrics.runs.inc()
         metrics.steps.inc(ticks)
@@ -516,13 +601,46 @@ class FleetEngine:
             sum(lv.escalations for lv in self._levels.values())
         )
         metrics.nodes.set(self._topo.n_nodes)
-        return self._result(ticks, wall)
+        phenomena: List[Detection] = []
+        if self._health is not None:
+            health_summary = self._health.summary()
+            metrics.observe_health(
+                headroom_w=health_summary["mean_headroom_w"],
+                capfloor_frac=health_summary["mean_capfloor_frac"],
+                slo_debt_rate_w=health_summary["mean_slo_debt_rate_w"],
+                escalation_level=health_summary["max_escalation_level"],
+                rack_headroom_w=self._health.rack_headroom_means().tolist(),
+            )
+            phenomena = self._health.detect(
+                self._rebalances, self.budget_w, ticks, self.dt_s
+            )
+            for det in phenomena:
+                _log.info(
+                    "phenomenon_detected",
+                    phenomenon=det.phenomenon,
+                    workload=det.workload,
+                    cap_w=det.cap_w,
+                    **det.detail,
+                )
+                event_bus().publish(
+                    FLEET_TOPIC, "detection", det.to_dict()
+                )
+            if phenomena:
+                telemetry_metrics().observe_detections(
+                    [d.phenomenon for d in phenomena]
+                )
+        return self._result(ticks, wall, phenomena)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 
-    def _result(self, ticks: int, wall_s: float) -> FleetResult:
+    def _result(
+        self,
+        ticks: int,
+        wall_s: float,
+        phenomena: Optional[List[Detection]] = None,
+    ) -> FleetResult:
         t = self._topo
         node_ticks = ticks * t.n_nodes
         applied = [r for r in self._rebalances if r.applied]
@@ -564,6 +682,18 @@ class FleetEngine:
                 for name, lv in self._levels.items()
             },
         }
+        if self._health is not None:
+            hs = self._health.summary()
+            summary["health"] = {
+                "mean_headroom_w": round(hs["mean_headroom_w"], 3),
+                "mean_capfloor_frac": round(
+                    hs["mean_capfloor_frac"], 6
+                ),
+                "mean_slo_debt_rate_w": round(
+                    hs["mean_slo_debt_rate_w"], 3
+                ),
+                "max_escalation_level": hs["max_escalation_level"],
+            }
         params = {
             "strategy": self._strategy.value,
             "budget_w": self.budget_w,
@@ -606,4 +736,5 @@ class FleetEngine:
             summary=summary,
             provenance=provenance,
             trajectory=trajectory,
+            phenomena=list(phenomena or []),
         )

@@ -23,7 +23,15 @@ subsystem threads through (see ``docs/OBSERVABILITY.md``):
   (``--telemetry-period`` / ``REPRO_TELEMETRY_*``);
 - :mod:`.detect` — phenomenon detectors scanning timelines for the
   paper's frequency-floor pinning, cap overshoot/settling, and
-  energy-knee onset.
+  energy-knee onset;
+- :mod:`.stream` — the bounded pub/sub event bus behind the HTTP
+  API's Server-Sent Events endpoints: telemetry samples, detections,
+  job lifecycle, and fleet health, live, with drop-oldest
+  backpressure and ``Last-Event-ID`` replay;
+- :mod:`.profile` — a stdlib sampling profiler
+  (``sys._current_frames`` on a background thread) attributing wall
+  time to open spans and hot functions, with per-quantum cost
+  attribution (``--profile`` / ``REPRO_PROFILE``).
 """
 
 from .detect import (
@@ -46,14 +54,27 @@ from .logging import (
 from .metrics import (
     Counter,
     EngineMetrics,
+    FleetMetrics,
     Gauge,
     Histogram,
     Metric,
     MetricsRegistry,
+    ProfileMetrics,
     ServiceMetrics,
+    StreamMetrics,
     TelemetryMetrics,
     engine_metrics,
+    fleet_metrics,
+    profile_metrics,
+    stream_metrics,
     telemetry_metrics,
+)
+from .profile import (
+    ProfileConfig,
+    ProfileReport,
+    SamplingProfiler,
+    profile_from_env,
+    profiling_enabled,
 )
 from .provenance import (
     PROVENANCE_SCHEMA_VERSION,
@@ -61,6 +82,19 @@ from .provenance import (
     config_digest,
     git_describe,
     render_provenance,
+)
+from .stream import (
+    FLEET_TOPIC,
+    JOB_TOPIC_PREFIX,
+    TERMINAL_EVENT_KINDS,
+    EventBus,
+    StreamEvent,
+    Subscription,
+    current_stream,
+    event_bus,
+    reset_event_bus,
+    stream_context,
+    stream_publish,
 )
 from .timeseries import (
     TIMELINE_SCHEMA_VERSION,
@@ -80,6 +114,7 @@ from .tracing import (
     reset_phase_totals,
     set_enabled,
     span,
+    span_stacks_by_thread,
     start_tracing,
     stop_tracing,
     tracing_enabled,
@@ -98,6 +133,7 @@ __all__ = [
     "stop_tracing",
     "current_collector",
     "current_span_stack",
+    "span_stacks_by_thread",
     "phase_totals",
     "reset_phase_totals",
     "set_enabled",
@@ -112,6 +148,28 @@ __all__ = [
     "engine_metrics",
     "TelemetryMetrics",
     "telemetry_metrics",
+    "FleetMetrics",
+    "fleet_metrics",
+    "StreamMetrics",
+    "stream_metrics",
+    "ProfileMetrics",
+    "profile_metrics",
+    "StreamEvent",
+    "Subscription",
+    "EventBus",
+    "event_bus",
+    "reset_event_bus",
+    "stream_context",
+    "current_stream",
+    "stream_publish",
+    "JOB_TOPIC_PREFIX",
+    "FLEET_TOPIC",
+    "TERMINAL_EVENT_KINDS",
+    "ProfileConfig",
+    "ProfileReport",
+    "SamplingProfiler",
+    "profiling_enabled",
+    "profile_from_env",
     "TIMELINE_SCHEMA_VERSION",
     "SeriesPoint",
     "SeriesChannel",

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .logging import get_logger
 from .metrics import telemetry_metrics
+from .stream import stream_publish
 
 __all__ = [
     "Detection",
@@ -226,6 +227,7 @@ def scan_experiment(result, floor_mhz: float) -> List[Detection]:
             cap_w=det.cap_w,
             **det.detail,
         )
+        stream_publish("detection", det.to_dict())
     if detections:
         telemetry_metrics().observe_detections(
             [d.phenomenon for d in detections]

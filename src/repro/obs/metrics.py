@@ -37,6 +37,10 @@ __all__ = [
     "telemetry_metrics",
     "FleetMetrics",
     "fleet_metrics",
+    "StreamMetrics",
+    "stream_metrics",
+    "ProfileMetrics",
+    "profile_metrics",
 ]
 
 #: (metric name, labels, value)
@@ -249,7 +253,10 @@ class EngineMetrics:
       lookups, process-wide across every :class:`RateCache` instance;
     - ``repro_engine_run_seconds`` — wall-clock histogram per run;
     - ``repro_engine_phase_seconds`` — cumulative seconds per span
-      name, scraped live from the tracing phase accumulator.
+      name, scraped live from the tracing phase accumulator;
+    - ``repro_engine_effective_jobs`` — worker count the most recent
+      sweep actually used (previously visible only in the provenance
+      ``execution`` block).
 
     Worker *processes* (``jobs > 1`` sweeps) keep their own panels;
     the exposed values cover the scraped process, which for the
@@ -336,6 +343,13 @@ class EngineMetrics:
                 "Cumulative wall-clock seconds per instrumented span",
                 callback=self._phase_seconds,
                 label_name="phase",
+            )
+        )
+        self.effective_jobs = reg(
+            Gauge(
+                "repro_engine_effective_jobs",
+                "Worker count the most recent sweep actually used after "
+                "the single-core / tiny-chunk fallbacks",
             )
         )
 
@@ -467,6 +481,157 @@ def telemetry_metrics() -> TelemetryMetrics:
     return _telemetry_metrics
 
 
+class StreamMetrics:
+    """Live-streaming instrument panel (one per process).
+
+    Every series is callback-backed from the process-wide
+    :class:`~repro.obs.stream.EventBus`, so scrapes always see current
+    values and publishing pays no metric bookkeeping at all:
+
+    - ``repro_stream_events_total`` — events published across all
+      topics (telemetry samples, detections, lifecycle, fleet health);
+    - ``repro_stream_dropped_total`` — events dropped by slow
+      subscribers under drop-oldest backpressure;
+    - ``repro_stream_subscribers`` — live subscriptions bus-wide.
+    """
+
+    def __init__(self) -> None:
+        # Local import: repro.obs.stream imports nothing from here, but
+        # keeping the edge one-way at module load avoids a cycle if it
+        # ever does.
+        from .stream import event_bus
+
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.events = reg(
+            Gauge(
+                "repro_stream_events_total",
+                "Events published to the live stream bus",
+                callback=lambda: float(event_bus().published_total()),
+            )
+        )
+        self.dropped = reg(
+            Gauge(
+                "repro_stream_dropped_total",
+                "Stream events dropped by slow subscribers "
+                "(drop-oldest backpressure)",
+                callback=lambda: float(event_bus().dropped_total()),
+            )
+        )
+        self.subscribers = reg(
+            Gauge(
+                "repro_stream_subscribers",
+                "Live stream subscriptions across all topics",
+                callback=lambda: float(event_bus().subscriber_count()),
+            )
+        )
+
+    def render(self) -> str:
+        """Text exposition of the stream panel."""
+        return self.registry.render()
+
+
+_stream_metrics_lock = threading.Lock()
+_stream_metrics: "StreamMetrics | None" = None
+
+
+def stream_metrics() -> StreamMetrics:
+    """The process-wide :class:`StreamMetrics` singleton."""
+    global _stream_metrics
+    if _stream_metrics is None:
+        with _stream_metrics_lock:
+            if _stream_metrics is None:
+                _stream_metrics = StreamMetrics()
+    return _stream_metrics
+
+
+class ProfileMetrics:
+    """Sampling-profiler instrument panel (one per process).
+
+    The profiler batches into these once per :meth:`stop` — nothing is
+    recorded per sample tick beyond its own in-memory tallies:
+
+    - ``repro_profile_samples_total`` — stack samples taken;
+    - ``repro_profile_runs_total`` — profiler start/stop sessions;
+    - ``repro_profile_quantum_cost_seconds`` — histogram of attributed
+      wall seconds per engine control quantum (phase seconds divided
+      by the quanta retired while profiling), one observation per
+      profiled phase;
+    - ``repro_profile_phase_samples`` — samples attributed to each
+      span phase in the most recent session.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.samples = reg(
+            Counter(
+                "repro_profile_samples_total",
+                "Sampling-profiler stack samples taken",
+            )
+        )
+        self.runs = reg(
+            Counter(
+                "repro_profile_runs_total",
+                "Sampling-profiler sessions completed",
+            )
+        )
+        self.quantum_cost = reg(
+            Histogram(
+                "repro_profile_quantum_cost_seconds",
+                "Attributed wall seconds per engine control quantum",
+                buckets=(1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4,
+                         5e-4, 1e-3, 1e-2),
+            )
+        )
+        self._phases_lock = threading.Lock()
+        self._phases: Dict[str, float] = {}
+        self.phase_samples = reg(
+            Gauge(
+                "repro_profile_phase_samples",
+                "Stack samples per span phase in the latest session",
+                callback=self._phase_counts,
+                label_name="phase",
+            )
+        )
+
+    def _phase_counts(self) -> Dict[str, float]:
+        with self._phases_lock:
+            return dict(self._phases)
+
+    def observe_session(
+        self,
+        samples: int,
+        phases: Dict[str, int],
+        per_quantum_s: "Dict[str, float]",
+    ) -> None:
+        """Batch-record one finished profiling session."""
+        self.samples.inc(samples)
+        self.runs.inc()
+        with self._phases_lock:
+            self._phases = {k: float(v) for k, v in phases.items()}
+        for cost in per_quantum_s.values():
+            self.quantum_cost.observe(cost)
+
+    def render(self) -> str:
+        """Text exposition of the profiler panel."""
+        return self.registry.render()
+
+
+_profile_metrics_lock = threading.Lock()
+_profile_metrics: "ProfileMetrics | None" = None
+
+
+def profile_metrics() -> ProfileMetrics:
+    """The process-wide :class:`ProfileMetrics` singleton."""
+    global _profile_metrics
+    if _profile_metrics is None:
+        with _profile_metrics_lock:
+            if _profile_metrics is None:
+                _profile_metrics = ProfileMetrics()
+    return _profile_metrics
+
+
 class FleetMetrics:
     """Fleet-simulation instrument panel (one per process).
 
@@ -483,6 +648,13 @@ class FleetMetrics:
     - ``repro_fleet_escalations_total`` — cascading cap escalations
       across all tree levels;
     - ``repro_fleet_nodes`` — node count of the most recent run.
+
+    When health rollups are enabled (:mod:`repro.fleet.health`), the
+    run-end :meth:`observe_health` batch adds the
+    ``repro_fleet_health_*`` series: fleet headroom (allocation minus
+    drawn power), the fraction of nodes pinned at their cap floor,
+    the SLO-debt accrual rate, the deepest escalation level reached,
+    and a per-rack headroom histogram.
     """
 
     def __init__(self) -> None:
@@ -517,6 +689,57 @@ class FleetMetrics:
         self.nodes = reg(
             Gauge("repro_fleet_nodes", "Node count of the most recent run")
         )
+        self.health_headroom = reg(
+            Gauge(
+                "repro_fleet_health_headroom_w",
+                "Mean fleet headroom (allocation - power, W) over the "
+                "most recent run",
+            )
+        )
+        self.health_capfloor = reg(
+            Gauge(
+                "repro_fleet_health_capfloor_frac",
+                "Mean fraction of nodes pinned at their cap floor over "
+                "the most recent run",
+            )
+        )
+        self.health_slo_debt_rate = reg(
+            Gauge(
+                "repro_fleet_health_slo_debt_rate_w",
+                "Mean SLO-debt accrual rate (W) over the most recent run",
+            )
+        )
+        self.health_escalation = reg(
+            Gauge(
+                "repro_fleet_health_escalation_level",
+                "Deepest budget-tree escalation level reached in the "
+                "most recent run",
+            )
+        )
+        self.health_rack_headroom = reg(
+            Histogram(
+                "repro_fleet_health_rack_headroom_w",
+                "Per-rack mean headroom (W) at the end of each run",
+                buckets=(-1000.0, -100.0, -10.0, 0.0, 10.0, 100.0,
+                         1000.0, 10000.0),
+            )
+        )
+
+    def observe_health(
+        self,
+        headroom_w: float,
+        capfloor_frac: float,
+        slo_debt_rate_w: float,
+        escalation_level: float,
+        rack_headroom_w: "Sequence[float]",
+    ) -> None:
+        """Batch-record one run's health summary (run end, never per tick)."""
+        self.health_headroom.set(headroom_w)
+        self.health_capfloor.set(capfloor_frac)
+        self.health_slo_debt_rate.set(slo_debt_rate_w)
+        self.health_escalation.set(escalation_level)
+        for value in rack_headroom_w:
+            self.health_rack_headroom.observe(float(value))
 
     def render(self) -> str:
         """Text exposition of the fleet panel."""
@@ -620,10 +843,13 @@ class ServiceMetrics:
         self._cache_misses._callback = cache_misses
 
     def render(self) -> str:
-        """Text exposition: service + engine + telemetry + fleet panels."""
+        """Text exposition: service + engine + telemetry + fleet +
+        stream + profile panels."""
         return (
             self.registry.render()
             + engine_metrics().render()
             + telemetry_metrics().render()
             + fleet_metrics().render()
+            + stream_metrics().render()
+            + profile_metrics().render()
         )

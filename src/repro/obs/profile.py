@@ -1,0 +1,279 @@
+"""Stdlib sampling profiler with span-phase cost attribution.
+
+Span tracing (PR 3) answers *how long* each instrumented phase took;
+it cannot say *where inside the phase* the time went, and wrapping the
+hot kernels in more spans would cost exactly the overhead the <5%
+budget forbids.  This profiler takes the classic way out: a background
+daemon thread wakes ``hz`` times per second, grabs every thread's
+current frame via :func:`sys._current_frames`, and charges the sample
+
+- to the innermost *open span* on that thread (via the tracing
+  module's cross-thread stack registry) — phase attribution that works
+  even when the phase is one opaque numpy call, and
+- to the top-of-stack ``module:function`` — the conventional hot-spot
+  view.
+
+At :meth:`~SamplingProfiler.stop` the tallies become a
+:class:`ProfileReport`: per-phase sampled seconds, per-function
+counts, and — when the engine retired control quanta while profiling —
+an *attributed cost per quantum* (phase seconds / quanta), the number
+a capacity model actually wants.  The report feeds the
+``repro_profile_*`` metrics panel, the Chrome trace (as a counter
+track) when a collector is active, and the structured log.
+
+Sampling is pure observation: it reads frames and draws no RNG, so
+results are bit-identical with the profiler on or off.  Enable it with
+``--profile`` / ``REPRO_PROFILE=1``; tune the rate with
+``--profile-hz`` / ``REPRO_PROFILE_HZ`` (default 97 Hz — prime, so
+the sampler doesn't phase-lock to millisecond-periodic work).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .logging import get_logger
+from .metrics import engine_metrics, profile_metrics
+from .tracing import current_collector, span_stacks_by_thread
+
+__all__ = [
+    "DEFAULT_HZ",
+    "ProfileConfig",
+    "ProfileReport",
+    "SamplingProfiler",
+    "profiling_enabled",
+    "profile_from_env",
+]
+
+#: Default sampling rate.  Prime, so periodic workloads don't alias.
+DEFAULT_HZ = 97.0
+
+_log = get_logger("obs.profile")
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+
+def profiling_enabled(cli_flag: Optional[bool] = None) -> bool:
+    """Resolve the profiler switch: CLI flag beats ``REPRO_PROFILE``."""
+    if cli_flag is not None:
+        return bool(cli_flag)
+    raw = os.environ.get("REPRO_PROFILE", "").strip().lower()
+    if raw in _TRUTHY:
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """Sampling knobs."""
+
+    hz: float = DEFAULT_HZ
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hz <= 10_000:
+            raise ValueError("profile hz must be in (0, 10000]")
+
+    @classmethod
+    def from_env(cls) -> "ProfileConfig":
+        """Read ``REPRO_PROFILE_HZ`` (falls back to the default)."""
+        raw = os.environ.get("REPRO_PROFILE_HZ")
+        if not raw:
+            return cls()
+        try:
+            return cls(hz=float(raw))
+        except ValueError:
+            _log.warning("profile_bad_hz", value=raw)
+            return cls()
+
+
+def profile_from_env(
+    cli_flag: Optional[bool] = None,
+) -> Optional["SamplingProfiler"]:
+    """A started profiler when enabled, else None."""
+    if not profiling_enabled(cli_flag):
+        return None
+    profiler = SamplingProfiler(ProfileConfig.from_env())
+    profiler.start()
+    return profiler
+
+
+@dataclass
+class ProfileReport:
+    """What one profiling session measured."""
+
+    samples: int
+    wall_s: float
+    hz: float
+    #: Innermost-span name -> samples landing inside it.
+    phase_samples: Dict[str, int]
+    #: ``module:function`` -> top-of-stack samples.
+    function_samples: Dict[str, int]
+    #: Engine control quanta retired while the profiler ran.
+    quanta: int = 0
+    #: Phase -> attributed wall seconds per quantum (only phases that
+    #: sampled while quanta retired; empty when no quanta did).
+    per_quantum_s: Dict[str, float] = field(default_factory=dict)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase sampled wall seconds (samples / hz)."""
+        return {
+            name: count / self.hz
+            for name, count in self.phase_samples.items()
+        }
+
+    def top_functions(self, n: int = 10) -> list:
+        """The ``n`` hottest ``(module:function, samples)`` pairs."""
+        ranked = sorted(
+            self.function_samples.items(), key=lambda kv: -kv[1]
+        )
+        return ranked[:n]
+
+    def to_dict(self) -> dict:
+        """JSON-ready report."""
+        return {
+            "samples": self.samples,
+            "wall_s": round(self.wall_s, 6),
+            "hz": self.hz,
+            "quanta": self.quanta,
+            "phase_samples": dict(self.phase_samples),
+            "phase_seconds": {
+                k: round(v, 6) for k, v in self.phase_seconds().items()
+            },
+            "per_quantum_s": {
+                k: round(v, 12) for k, v in self.per_quantum_s.items()
+            },
+            "top_functions": [
+                {"function": name, "samples": count}
+                for name, count in self.top_functions()
+            ],
+        }
+
+
+class SamplingProfiler:
+    """Background-thread sampler over :func:`sys._current_frames`.
+
+    ``start()`` spawns a daemon thread; ``stop()`` joins it and
+    returns the :class:`ProfileReport` (also pushed to the metrics
+    panel, the active trace collector, and the structured log).  The
+    sampler thread excludes itself from its own samples.
+    """
+
+    def __init__(self, config: Optional[ProfileConfig] = None) -> None:
+        self.config = config or ProfileConfig()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._samples = 0
+        self._phase_samples: Dict[str, int] = {}
+        self._function_samples: Dict[str, int] = {}
+        self._t0 = 0.0
+        self._quanta0 = 0
+        self._report: Optional[ProfileReport] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampler thread is live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._samples = 0
+        self._phase_samples = {}
+        self._function_samples = {}
+        self._report = None
+        self._t0 = time.perf_counter()
+        self._quanta0 = int(engine_metrics().quanta.value)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        _log.info("profile_started", hz=self.config.hz)
+        return self
+
+    def _run(self) -> None:
+        period = 1.0 / self.config.hz
+        own_tid = threading.get_ident()
+        while not self._stop.wait(period):
+            self._sample(own_tid)
+
+    def _sample(self, own_tid: int) -> None:
+        frames = sys._current_frames()
+        stacks = span_stacks_by_thread()
+        for tid, frame in frames.items():
+            if tid == own_tid:
+                continue
+            self._samples += 1
+            names = stacks.get(tid)
+            phase = names[-1] if names else "(no span)"
+            self._phase_samples[phase] = (
+                self._phase_samples.get(phase, 0) + 1
+            )
+            code = frame.f_code
+            func = f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}"
+            self._function_samples[func] = (
+                self._function_samples.get(func, 0) + 1
+            )
+
+    def stop(self) -> ProfileReport:
+        """Stop sampling and assemble (and export) the report."""
+        if self._report is not None:
+            return self._report
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        wall = time.perf_counter() - self._t0
+        quanta = int(engine_metrics().quanta.value) - self._quanta0
+        hz = self.config.hz
+        per_quantum: Dict[str, float] = {}
+        if quanta > 0:
+            per_quantum = {
+                name: (count / hz) / quanta
+                for name, count in self._phase_samples.items()
+            }
+        report = ProfileReport(
+            samples=self._samples,
+            wall_s=wall,
+            hz=hz,
+            phase_samples=dict(self._phase_samples),
+            function_samples=dict(self._function_samples),
+            quanta=quanta,
+            per_quantum_s=per_quantum,
+        )
+        self._report = report
+        self._export(report)
+        return report
+
+    def _export(self, report: ProfileReport) -> None:
+        profile_metrics().observe_session(
+            report.samples, report.phase_samples, report.per_quantum_s
+        )
+        collector = current_collector()
+        if collector is not None and report.phase_samples:
+            # One counter event per phase renders as a bar track next
+            # to the span rows in the Chrome trace viewer.
+            collector.add_counter(
+                "profile_samples",
+                time.perf_counter(),
+                {
+                    name: float(count)
+                    for name, count in report.phase_samples.items()
+                },
+            )
+        _log.info(
+            "profile_report",
+            samples=report.samples,
+            wall_s=round(report.wall_s, 4),
+            hz=report.hz,
+            quanta=report.quanta,
+            phases=dict(report.phase_samples),
+            top=[name for name, _ in report.top_functions(5)],
+        )

@@ -11,6 +11,10 @@ and the SQLite store.  Endpoints:
 ``GET /jobs/{id}/result``  the stored sweep document once DONE
 ``GET /jobs/{id}/timeseries``  the sweep's telemetry timelines
                       (``?channel=...`` repeatable, ``?format=csv``)
+``GET /jobs/{id}/stream``  live Server-Sent Events for an in-flight
+                      run (telemetry samples, detections, lifecycle;
+                      ``Last-Event-ID`` replays missed events)
+``GET /fleet/stream``  live fleet health rollup events (SSE)
 ``DELETE /jobs/{id}`` cancel a still-queued job
 ``GET /healthz``      liveness + queue depth
 ``GET /metrics``      Prometheus text exposition (version 0.0.4)
@@ -33,6 +37,12 @@ import os
 from ..core.serialize import extract_timelines
 from ..errors import ConfigError, SimulationError
 from ..obs.logging import get_logger
+from ..obs.stream import (
+    FLEET_TOPIC,
+    JOB_TOPIC_PREFIX,
+    TERMINAL_EVENT_KINDS,
+    event_bus,
+)
 from ..obs.timeseries import timeline_to_dict
 from .jobs import JobSpec, JobState
 from .metrics import ServiceMetrics
@@ -153,6 +163,14 @@ class _Handler(BaseHTTPRequestHandler):
             and parts[2] == "timeseries"
         ):
             self._get_timeseries(parts[1])
+        elif (
+            len(parts) == 3
+            and parts[:1] == ("jobs",)
+            and parts[2] == "stream"
+        ):
+            self._get_job_stream(parts[1])
+        elif parts == ("fleet", "stream"):
+            self._get_fleet_stream()
         else:
             self._error(404, f"no such resource: {self.path}")
 
@@ -254,6 +272,130 @@ class _Handler(BaseHTTPRequestHandler):
                 "timeseries": by_workload,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Server-Sent Events
+    # ------------------------------------------------------------------
+
+    def _last_event_id(self) -> Optional[int]:
+        """The client's resume offset: header first, then query param."""
+        raw = self.headers.get("Last-Event-ID")
+        if raw is None:
+            query = parse_qs(urlparse(self.path).query)
+            values = query.get("last_event_id")
+            raw = values[0] if values else None
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
+    def _sse_headers(self) -> None:
+        # SSE responses have no Content-Length; closing the connection
+        # is how HTTP/1.1 delimits the (unbounded) body.
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+    def _sse_write(self, event) -> None:
+        frame = (
+            f"id: {event.seq}\n"
+            f"event: {event.kind}\n"
+            f"data: {json.dumps(event.data, sort_keys=True)}\n\n"
+        )
+        self.wfile.write(frame.encode())
+        self.wfile.flush()
+
+    def _get_job_stream(self, job_id: str) -> None:
+        """Stream one job's events as SSE until its terminal event.
+
+        Replays from ``Last-Event-ID`` (or ``?last_event_id=``) so a
+        reconnecting client misses nothing still in the topic's ring;
+        jobs that are already terminal when the ring has rotated past
+        their events get a synthetic ``end`` event and a clean close.
+        """
+        service = self.server.service
+        job = service.scheduler.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        bus = event_bus()
+        sub = bus.subscribe(
+            JOB_TOPIC_PREFIX + job_id, last_event_id=self._last_event_id()
+        )
+        try:
+            self._sse_headers()
+            while True:
+                event = sub.get(timeout=0.25)
+                if event is not None:
+                    self._sse_write(event)
+                    if event.kind in TERMINAL_EVENT_KINDS:
+                        return
+                    continue
+                # Queue idle: if the job is already terminal the run
+                # can never publish again (a dedup-answered or
+                # recovered job may never have published at all) —
+                # close with a synthetic end so clients don't hang.
+                job = service.scheduler.get(job_id)
+                if job is None or job.state in (
+                    JobState.DONE,
+                    JobState.FAILED,
+                    JobState.CANCELLED,
+                ):
+                    # The scheduler flips the state before publishing
+                    # the terminal event — give it one more beat to
+                    # land before concluding it will never arrive.
+                    event = sub.get(timeout=0.5)
+                    if event is not None:
+                        self._sse_write(event)
+                        if event.kind in TERMINAL_EVENT_KINDS:
+                            return
+                        continue
+                    state = job.state.value if job else "unknown"
+                    self.wfile.write(
+                        (
+                            "event: end\n"
+                            f"data: {json.dumps({'state': state})}\n\n"
+                        ).encode()
+                    )
+                    self.wfile.flush()
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # Client went away; nothing to clean up but the sub.
+        finally:
+            bus.unsubscribe(sub)
+
+    def _get_fleet_stream(self) -> None:
+        """Stream fleet health events as SSE until the client leaves.
+
+        The fleet topic has no terminal event; idle periods carry SSE
+        comment keepalives so a vanished client surfaces as a write
+        error instead of a leaked subscription.
+        """
+        bus = event_bus()
+        sub = bus.subscribe(FLEET_TOPIC, last_event_id=self._last_event_id())
+        try:
+            self._sse_headers()
+            idle = 0.0
+            while True:
+                event = sub.get(timeout=0.25)
+                if event is not None:
+                    idle = 0.0
+                    self._sse_write(event)
+                    continue
+                idle += 0.25
+                if idle >= 5.0:
+                    idle = 0.0
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            bus.unsubscribe(sub)
 
     def do_POST(self) -> None:  # noqa: N802
         service = self.server.service

@@ -28,6 +28,7 @@ from ..core.experiment import ExperimentResult, PowerCapExperiment
 from ..core.ratecache import RateCache
 from ..errors import ReproError
 from ..obs.logging import get_logger
+from ..obs.stream import JOB_TOPIC_PREFIX, event_bus, stream_context
 from ..obs.tracing import span
 from ..workloads import make_workload
 from .jobs import Job, JobQueue, JobSpec, JobState
@@ -176,6 +177,11 @@ class ExperimentScheduler:
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
         self._store.record_job(job)
+        event_bus().publish(
+            JOB_TOPIC_PREFIX + job.id,
+            "job_cancelled",
+            {"job_id": job.id},
+        )
         return True
 
     def recover(self) -> int:
@@ -281,6 +287,16 @@ class ExperimentScheduler:
             workload=job.spec.workload,
             attempt=job.attempts,
         )
+        topic = JOB_TOPIC_PREFIX + job.id
+        event_bus().publish(
+            topic,
+            "job_started",
+            {
+                "job_id": job.id,
+                "workload": job.spec.workload,
+                "attempt": job.attempts,
+            },
+        )
         t0 = time.perf_counter()
         try:
             # A duplicate that queued before its twin finished can be
@@ -290,7 +306,11 @@ class ExperimentScheduler:
                 self.metrics.dedup_hits.inc()
             else:
                 with span("job", job_id=job.id, workload=job.spec.workload):
-                    sweeps = self._run_spec(job.spec)
+                    # The stream context routes the sampler's bucket
+                    # flushes and the phenomenon detectors into this
+                    # job's topic for the SSE endpoint.
+                    with stream_context(topic):
+                        sweeps = self._run_spec(job.spec)
                 self._store.put_result(job.spec_digest, sweeps)
             job.state = JobState.DONE
             job.error = None
@@ -302,6 +322,15 @@ class ExperimentScheduler:
                 job_id=job.id,
                 deduplicated=job.deduplicated,
                 wall_s=round(time.perf_counter() - t0, 6),
+            )
+            event_bus().publish(
+                topic,
+                "job_done",
+                {
+                    "job_id": job.id,
+                    "deduplicated": job.deduplicated,
+                    "wall_s": round(time.perf_counter() - t0, 6),
+                },
             )
         except Exception as exc:  # noqa: BLE001 — worker crash containment
             job.error = f"{type(exc).__name__}: {exc}"
@@ -319,6 +348,16 @@ class ExperimentScheduler:
                     max_attempts=job.max_attempts,
                     error=job.error,
                 )
+                event_bus().publish(
+                    topic,
+                    "job_retry",
+                    {
+                        "job_id": job.id,
+                        "attempt": job.attempts,
+                        "max_attempts": job.max_attempts,
+                        "error": job.error,
+                    },
+                )
                 self._queue.push(
                     job,
                     delay_s=self._retry_backoff_s * 2 ** (job.attempts - 1),
@@ -332,5 +371,14 @@ class ExperimentScheduler:
                 job_id=job.id,
                 attempts=job.attempts,
                 error=job.error,
+            )
+            event_bus().publish(
+                topic,
+                "job_failed",
+                {
+                    "job_id": job.id,
+                    "attempts": job.attempts,
+                    "error": job.error,
+                },
             )
         self._store.record_job(job)

@@ -84,3 +84,83 @@ class TestCommand:
         code = main(["fleet", "--traffic", "lognormal", "--duration", "5"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+def fleet_doc_file(tmp_path, capsys):
+    """Run a tiny fleet through the CLI and save its JSON document."""
+    code = main(
+        ["fleet", "--rows", "1", "--racks-per-row", "2",
+         "--nodes-per-rack", "2", "--duration", "15",
+         "--traffic", "flat", "--format", "json"]
+    )
+    assert code == 0
+    path = tmp_path / "fleet_run.json"
+    path.write_text(capsys.readouterr().out)
+    return path
+
+
+class TestFleetDocInspect:
+    def test_table_renders_fleet_provenance(self, tmp_path, capsys):
+        path = fleet_doc_file(tmp_path, capsys)
+        code = main(["inspect", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine" in out and "repro.fleet" in out
+        assert "4 nodes / 2 racks / 1 rows" in out
+        assert "rebalances" in out
+        assert "health" in out
+        assert "phenomena" in out
+
+    def test_json_includes_fleet_sections(self, tmp_path, capsys):
+        path = fleet_doc_file(tmp_path, capsys)
+        code = main(["inspect", str(path), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)["fleet"]
+        assert doc["provenance"]["engine"] == "repro.fleet"
+        assert set(doc["rebalances"]) == {
+            "evaluated", "applied", "forced_by_escalation",
+        }
+        assert "health" in doc["summary"]
+        assert "fleet_power_w" in doc["timelines"]
+
+
+class TestFleetDocTimeline:
+    def test_summary_lists_fleet_channels(self, tmp_path, capsys):
+        path = fleet_doc_file(tmp_path, capsys)
+        code = main(["timeline", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet @" in out
+        assert "fleet_power_w" in out
+        assert "health_headroom_w" in out
+
+    def test_channel_filter_and_ascii(self, tmp_path, capsys):
+        path = fleet_doc_file(tmp_path, capsys)
+        code = main(
+            ["timeline", str(path),
+             "--channel", "health_headroom_w", "--ascii"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "health_headroom_w" in out
+        assert "fleet_power_w" not in out
+
+    def test_csv_rows(self, tmp_path, capsys):
+        path = fleet_doc_file(tmp_path, capsys)
+        code = main(
+            ["timeline", str(path), "--channel", "fleet_power_w", "--csv"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        header, *rows = out.splitlines()
+        assert header == "workload,cap,channel,t_s,dt_s,mean,min,max"
+        assert rows and all(r.split(",")[2] == "fleet_power_w" for r in rows)
+
+    def test_unknown_channel_lists_available(self, tmp_path, capsys):
+        path = fleet_doc_file(tmp_path, capsys)
+        code = main(["timeline", str(path), "--channel", "power_w"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no channel(s) ['power_w']" in err
+        assert "fleet_power_w" in err

@@ -1,0 +1,172 @@
+"""The sampling profiler: config resolution, attribution, reporting.
+
+The sampler is timing-dependent by nature, so assertions target what
+is deterministic — config precedence, report arithmetic, idempotent
+stop — and use generous busy loops where real samples are needed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import engine_metrics
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    ProfileConfig,
+    ProfileReport,
+    SamplingProfiler,
+    profile_from_env,
+    profiling_enabled,
+)
+from repro.obs.tracing import span
+
+
+def busy_ms(ms: float) -> None:
+    deadline = time.perf_counter() + ms / 1e3
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+class TestConfig:
+    def test_default_hz_is_prime(self):
+        assert ProfileConfig().hz == DEFAULT_HZ == 97.0
+
+    def test_hz_validation(self):
+        with pytest.raises(ValueError):
+            ProfileConfig(hz=0.0)
+        with pytest.raises(ValueError):
+            ProfileConfig(hz=-5.0)
+        with pytest.raises(ValueError):
+            ProfileConfig(hz=20_000.0)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_HZ", raising=False)
+        assert ProfileConfig.from_env().hz == DEFAULT_HZ
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "251")
+        assert ProfileConfig.from_env().hz == 251.0
+
+    def test_from_env_bad_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "not-a-number")
+        assert ProfileConfig.from_env().hz == DEFAULT_HZ
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "-3")
+        assert ProfileConfig.from_env().hz == DEFAULT_HZ
+
+
+class TestEnablement:
+    def test_cli_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert profiling_enabled(cli_flag=False) is False
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profiling_enabled(cli_flag=True) is True
+
+    def test_env_truthy_values(self, monkeypatch):
+        for raw, expected in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("off", False), ("", False), ("garbage", False),
+        ):
+            monkeypatch.setenv("REPRO_PROFILE", raw)
+            assert profiling_enabled() is expected
+
+    def test_profile_from_env_disabled_returns_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile_from_env() is None
+
+    def test_profile_from_env_enabled_returns_running(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "307")
+        profiler = profile_from_env()
+        try:
+            assert profiler is not None and profiler.running
+            assert profiler.config.hz == 307.0
+        finally:
+            profiler.stop()
+
+
+class TestSampling:
+    def test_samples_and_phase_attribution(self):
+        profiler = SamplingProfiler(ProfileConfig(hz=500.0)).start()
+        with span("profiled_phase"):
+            busy_ms(120)
+        report = profiler.stop()
+        assert report.samples > 0
+        assert report.wall_s > 0.1
+        assert "profiled_phase" in report.phase_samples
+        assert report.function_samples  # top-of-stack view populated
+        assert sum(report.phase_samples.values()) == report.samples
+
+    def test_attributes_spans_on_other_threads(self):
+        profiler = SamplingProfiler(ProfileConfig(hz=500.0)).start()
+
+        def worker():
+            with span("worker_phase"):
+                busy_ms(120)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        report = profiler.stop()
+        assert "worker_phase" in report.phase_samples
+
+    def test_per_quantum_attribution(self):
+        quanta = engine_metrics().quanta
+        profiler = SamplingProfiler(ProfileConfig(hz=500.0)).start()
+        with span("quantified"):
+            busy_ms(60)
+            quanta.inc(1000)
+        report = profiler.stop()
+        assert report.quanta >= 1000
+        per_q = report.per_quantum_s["quantified"]
+        assert per_q == pytest.approx(
+            (report.phase_samples["quantified"] / report.hz) / report.quanta
+        )
+
+    def test_stop_is_idempotent_and_start_restarts(self):
+        profiler = SamplingProfiler(ProfileConfig(hz=500.0)).start()
+        busy_ms(20)
+        first = profiler.stop()
+        assert profiler.stop() is first
+        assert not profiler.running
+        profiler.start()
+        assert profiler.running
+        second = profiler.stop()
+        assert second is not first
+
+    def test_profiler_excludes_its_own_thread(self):
+        profiler = SamplingProfiler(ProfileConfig(hz=1000.0)).start()
+        busy_ms(60)
+        report = profiler.stop()
+        assert not any(
+            "profile.py:" in name and "_run" in name
+            for name in report.function_samples
+        )
+
+
+class TestReport:
+    def make(self) -> ProfileReport:
+        return ProfileReport(
+            samples=10,
+            wall_s=0.5,
+            hz=100.0,
+            phase_samples={"a": 6, "b": 4},
+            function_samples={"m.py:f": 7, "m.py:g": 3},
+            quanta=200,
+            per_quantum_s={"a": 0.0003, "b": 0.0002},
+        )
+
+    def test_phase_seconds(self):
+        assert self.make().phase_seconds() == {"a": 0.06, "b": 0.04}
+
+    def test_top_functions_ranked(self):
+        assert self.make().top_functions(1) == [("m.py:f", 7)]
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        doc = self.make().to_dict()
+        json.dumps(doc)
+        assert doc["samples"] == 10
+        assert doc["quanta"] == 200
+        assert doc["top_functions"][0] == {"function": "m.py:f", "samples": 7}
