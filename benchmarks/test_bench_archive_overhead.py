@@ -1,0 +1,96 @@
+"""Archive overhead: recorder scrapes + run records under 2% of a sweep.
+
+The observability archive rides along with live work in two places:
+the :class:`~repro.obs.archive.MetricsRecorder` scraping ``/metrics``
+every ``DEFAULT_SNAPSHOT_PERIOD_S`` seconds while the service runs,
+and the scheduler's completion hook distilling each finished job into
+a run record.  Both are timed here against the unit of work they tax —
+a cap sweep's wall clock — and their combined budget is 2%.
+
+Comparing two whole sweeps head-to-head would drown the budget in
+machine noise, so the guard is built from stable measurements instead
+(the same construction as the telemetry-overhead guard): the
+per-scrape archive cost amortized over the scrape period, plus the
+one-time distill+record cost amortized over the sweep it records.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiment import PowerCapExperiment
+from repro.core.serialize import experiment_to_dict
+from repro.obs.archive import (
+    DEFAULT_SNAPSHOT_PERIOD_S,
+    MetricsRecorder,
+    ObsArchive,
+    distill_experiment_doc,
+)
+from repro.obs.metrics import ServiceMetrics
+from repro.workloads.stereo import StereoMatchingWorkload
+
+from .conftest import scaled
+
+#: Combined archive budget as a fraction of sweep wall clock.
+BUDGET = 0.02
+
+
+def best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_archive_overhead(benchmark, tmp_path):
+    """Recorder + run-record writes cost < 2% of a sweep's wall clock."""
+    # The taxed unit of work: one scaled single-workload cap sweep,
+    # cold (trace simulation + run loop), exactly what the scheduler
+    # wraps with the archive hook.
+    experiment = PowerCapExperiment(
+        [scaled(StereoMatchingWorkload())],
+        caps_w=[150.0, 120.0],
+        repetitions=1,
+        slice_accesses=300_000,
+    )
+    t0 = time.perf_counter()
+    sweeps = experiment.run_all()
+    sweep_wall_s = time.perf_counter() - t0
+
+    archive = ObsArchive(tmp_path / "bench.sqlite3")
+    metrics = ServiceMetrics()
+    recorder = MetricsRecorder(archive, metrics.sample_all)
+    recorder.snapshot_once()  # warm: schema exists, page cache primed
+
+    # Steady-state recorder cost: one scrape, amortized over the
+    # period between scrapes.  Best-of-7 to shed scheduler noise.
+    scrape_s = best_of(7, recorder.snapshot_once)
+    recorder_frac = scrape_s / DEFAULT_SNAPSHOT_PERIOD_S
+
+    # Completion-hook cost: distill the sweep's documents and land the
+    # run record, amortized over the sweep that produced them.
+    docs = {
+        name: experiment_to_dict(result) for name, result in sweeps.items()
+    }
+
+    def record():
+        series, meta = distill_experiment_doc(docs, wall_s=sweep_wall_s)
+        archive.record_run("bench-run", "job", series, meta=meta)
+
+    record_s = best_of(7, record)
+    record_frac = record_s / sweep_wall_s
+
+    overhead = recorder_frac + record_frac
+    benchmark.extra_info["sweep_wall_s"] = round(sweep_wall_s, 4)
+    benchmark.extra_info["scrape_s"] = round(scrape_s, 6)
+    benchmark.extra_info["record_s"] = round(record_s, 6)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 3)
+    # Keep the fixture satisfied without re-running the heavy path.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert overhead < BUDGET, (
+        f"archive overhead {overhead:.2%} exceeds the {BUDGET:.0%} budget "
+        f"(scrape {scrape_s * 1e3:.2f}ms / {DEFAULT_SNAPSHOT_PERIOD_S}s "
+        f"period, record {record_s * 1e3:.2f}ms / {sweep_wall_s:.2f}s sweep)"
+    )

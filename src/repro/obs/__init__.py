@@ -31,9 +31,26 @@ subsystem threads through (see ``docs/OBSERVABILITY.md``):
 - :mod:`.profile` — a stdlib sampling profiler
   (``sys._current_frames`` on a background thread) attributing wall
   time to open spans and hot functions, with per-quantum cost
-  attribution (``--profile`` / ``REPRO_PROFILE``).
+  attribution (``--profile`` / ``REPRO_PROFILE``);
+- :mod:`.archive` — the persistent observability warehouse: SQLite
+  metric-snapshot history (background :class:`MetricsRecorder` with
+  exact-integral retention), distilled per-run records, fleet-health
+  windows, bench-document ingestion, named baselines, and the
+  median-shift trend engine behind ``repro-powercap trends`` /
+  ``compare`` and ``GET /metrics/history`` / ``GET /runs/compare``.
 """
 
+from .archive import (
+    ARCHIVE_SCHEMA_VERSION,
+    MetricsRecorder,
+    ObsArchive,
+    Trend,
+    TrendRule,
+    detect_trends,
+    distill_experiment_doc,
+    distill_fleet_doc,
+    rule_for_series,
+)
 from .detect import (
     Detection,
     detect_cap_overshoot,
@@ -52,6 +69,8 @@ from .logging import (
     logging_configured,
 )
 from .metrics import (
+    BuildInfo,
+    BuildInfoMetrics,
     Counter,
     EngineMetrics,
     FleetMetrics,
@@ -63,6 +82,7 @@ from .metrics import (
     ServiceMetrics,
     StreamMetrics,
     TelemetryMetrics,
+    build_info_metrics,
     engine_metrics,
     fleet_metrics,
     profile_metrics,
@@ -154,6 +174,18 @@ __all__ = [
     "stream_metrics",
     "ProfileMetrics",
     "profile_metrics",
+    "BuildInfo",
+    "BuildInfoMetrics",
+    "build_info_metrics",
+    "ARCHIVE_SCHEMA_VERSION",
+    "ObsArchive",
+    "MetricsRecorder",
+    "Trend",
+    "TrendRule",
+    "detect_trends",
+    "rule_for_series",
+    "distill_experiment_doc",
+    "distill_fleet_doc",
     "StreamEvent",
     "Subscription",
     "EventBus",

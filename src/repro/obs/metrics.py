@@ -41,6 +41,9 @@ __all__ = [
     "stream_metrics",
     "ProfileMetrics",
     "profile_metrics",
+    "BuildInfo",
+    "BuildInfoMetrics",
+    "build_info_metrics",
 ]
 
 #: (metric name, labels, value)
@@ -196,6 +199,35 @@ class Histogram(Metric):
         return out
 
 
+class BuildInfo(Metric):
+    """Info-style gauge: one constant ``1`` sample carrying its labels.
+
+    The Prometheus ``*_info`` convention — the payload is the label
+    set (package version, git rev, schema versions), the value is
+    always 1, and joins against it correlate any other series with
+    the build that produced it.  :class:`Gauge`'s dict-callback form
+    emits one sample per key under a single label name, which cannot
+    express a multi-label constant — hence a dedicated metric.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Dict[str, str]
+    ) -> None:
+        super().__init__(name, help_text)
+        self._labels = {k: str(v) for k, v in labels.items()}
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        """The build identity this metric carries."""
+        return dict(self._labels)
+
+    def samples(self) -> List[Sample]:
+        """The single constant sample, labels attached."""
+        return [(self.name, dict(self._labels), 1.0)]
+
+
 class MetricsRegistry:
     """Ordered collection of metrics with a text-format renderer."""
 
@@ -210,6 +242,15 @@ class MetricsRegistry:
                 raise ValueError(f"duplicate metric name {metric.name!r}")
             self._metrics.append(metric)
         return metric
+
+    def samples(self) -> List[Sample]:
+        """Every registered metric's current samples, in order."""
+        with self._lock:
+            metrics = list(self._metrics)
+        out: List[Sample] = []
+        for metric in metrics:
+            out.extend(metric.samples())
+        return out
 
     def render(self) -> str:
         """The Prometheus text exposition of every registered metric."""
@@ -760,6 +801,60 @@ def fleet_metrics() -> FleetMetrics:
     return _fleet_metrics
 
 
+class BuildInfoMetrics:
+    """Build-identity panel: the ``repro_build_info`` constant gauge.
+
+    Archived metric snapshots (and plain scrapes) become correlatable
+    across commits: the label set carries the package version, the git
+    revision of the source tree (``unknown`` outside a checkout), and
+    the schema versions of every versioned persistence format —
+    provenance manifests, telemetry timelines, and the observability
+    archive.
+    """
+
+    def __init__(self) -> None:
+        # Local imports: provenance shells out to git, and the archive
+        # module imports from this package — resolving both lazily at
+        # first scrape keeps module load cheap and cycle-free.
+        from .. import __version__
+        from .archive import ARCHIVE_SCHEMA_VERSION
+        from .provenance import PROVENANCE_SCHEMA_VERSION, git_describe
+        from .timeseries import TIMELINE_SCHEMA_VERSION
+
+        self.registry = MetricsRegistry()
+        self.build_info = self.registry.register(
+            BuildInfo(
+                "repro_build_info",
+                "Build identity of this process (constant 1)",
+                {
+                    "version": __version__,
+                    "git": git_describe() or "unknown",
+                    "provenance_schema": str(PROVENANCE_SCHEMA_VERSION),
+                    "timeline_schema": str(TIMELINE_SCHEMA_VERSION),
+                    "archive_schema": str(ARCHIVE_SCHEMA_VERSION),
+                },
+            )
+        )
+
+    def render(self) -> str:
+        """Text exposition of the build-identity panel."""
+        return self.registry.render()
+
+
+_build_info_metrics_lock = threading.Lock()
+_build_info_metrics: "BuildInfoMetrics | None" = None
+
+
+def build_info_metrics() -> BuildInfoMetrics:
+    """The process-wide :class:`BuildInfoMetrics` singleton."""
+    global _build_info_metrics
+    if _build_info_metrics is None:
+        with _build_info_metrics_lock:
+            if _build_info_metrics is None:
+                _build_info_metrics = BuildInfoMetrics()
+    return _build_info_metrics
+
+
 class ServiceMetrics:
     """The experiment service's standard instrument panel.
 
@@ -842,14 +937,34 @@ class ServiceMetrics:
         self._cache_hits._callback = cache_hits
         self._cache_misses._callback = cache_misses
 
+    #: The panels one ``/metrics`` scrape covers, in exposition order.
+    @staticmethod
+    def _panels() -> "List[MetricsRegistry]":
+        return [
+            build_info_metrics().registry,
+            engine_metrics().registry,
+            telemetry_metrics().registry,
+            fleet_metrics().registry,
+            stream_metrics().registry,
+            profile_metrics().registry,
+        ]
+
     def render(self) -> str:
-        """Text exposition: service + engine + telemetry + fleet +
-        stream + profile panels."""
-        return (
-            self.registry.render()
-            + engine_metrics().render()
-            + telemetry_metrics().render()
-            + fleet_metrics().render()
-            + stream_metrics().render()
-            + profile_metrics().render()
+        """Text exposition: service + build-info + engine + telemetry
+        + fleet + stream + profile panels."""
+        return self.registry.render() + "".join(
+            panel.render() for panel in self._panels()
         )
+
+    def sample_all(self) -> List[Sample]:
+        """Every panel's current ``(name, labels, value)`` samples.
+
+        The same coverage as :meth:`render`, as structured samples —
+        this is what the archive's background recorder scrapes, so a
+        persisted snapshot carries exactly what ``GET /metrics``
+        would have shown at that instant.
+        """
+        out = self.registry.samples()
+        for panel in self._panels():
+            out.extend(panel.samples())
+        return out

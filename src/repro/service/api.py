@@ -18,6 +18,11 @@ and the SQLite store.  Endpoints:
 ``DELETE /jobs/{id}`` cancel a still-queued job
 ``GET /healthz``      liveness + queue depth
 ``GET /metrics``      Prometheus text exposition (version 0.0.4)
+``GET /metrics/history``  archived scrape snapshots for one series
+                      (``?series=...&since=...&limit=...``; 404 when
+                      the service runs without ``--archive``)
+``GET /runs/compare`` per-series deltas between two archived runs
+                      (``?a=<run_id>&b=<run_id>``)
 ====================  =====================================================
 
 See ``docs/SERVICE.md`` for payloads and the metric name reference.
@@ -36,6 +41,7 @@ import os
 
 from ..core.serialize import extract_timelines
 from ..errors import ConfigError, SimulationError
+from ..obs.archive import MetricsRecorder, ObsArchive
 from ..obs.logging import get_logger
 from ..obs.stream import (
     FLEET_TOPIC,
@@ -171,8 +177,80 @@ class _Handler(BaseHTTPRequestHandler):
             self._get_job_stream(parts[1])
         elif parts == ("fleet", "stream"):
             self._get_fleet_stream()
+        elif parts == ("metrics", "history"):
+            self._get_metrics_history()
+        elif parts == ("runs", "compare"):
+            self._get_runs_compare()
         else:
             self._error(404, f"no such resource: {self.path}")
+
+    def _archive_or_404(self) -> Optional[ObsArchive]:
+        archive = self.server.service.archive
+        if archive is None:
+            self._error(
+                404,
+                "no archive attached; start the service with --archive "
+                "to record metrics history and run records",
+            )
+        return archive
+
+    def _get_metrics_history(self) -> None:
+        """Archived scrape snapshots: the series index, or one series.
+
+        Without ``?series=`` the response lists every recorded series
+        name; with it, the series' interval samples (optionally
+        bounded by ``since`` — a UNIX timestamp — and ``limit`` — the
+        newest N points).
+        """
+        archive = self._archive_or_404()
+        if archive is None:
+            return
+        query = parse_qs(urlparse(self.path).query)
+        series = (query.get("series") or [None])[0]
+        if series is None:
+            self._json(200, {"series": archive.snapshot_series()})
+            return
+        try:
+            since_raw = (query.get("since") or [None])[0]
+            since = None if since_raw is None else float(since_raw)
+            limit_raw = (query.get("limit") or [None])[0]
+            limit = None if limit_raw is None else int(limit_raw)
+        except ValueError as exc:
+            self._error(400, f"bad query parameter: {exc}")
+            return
+        points = archive.metric_history(series, since=since, limit=limit)
+        self._json(
+            200,
+            {
+                "series": series,
+                "points": [
+                    {
+                        "t_s": p.t_s,
+                        "dt_s": p.dt_s,
+                        "mean": p.mean,
+                        "min": p.vmin,
+                        "max": p.vmax,
+                    }
+                    for p in points
+                ],
+            },
+        )
+
+    def _get_runs_compare(self) -> None:
+        """Per-series deltas between two archived runs (``?a=&b=``)."""
+        archive = self._archive_or_404()
+        if archive is None:
+            return
+        query = parse_qs(urlparse(self.path).query)
+        a = (query.get("a") or [None])[0]
+        b = (query.get("b") or [None])[0]
+        if not a or not b:
+            self._error(400, "compare needs both ?a=<run_id> and ?b=<run_id>")
+            return
+        try:
+            self._json(200, archive.compare_runs(a, b))
+        except SimulationError as exc:
+            self._error(404, str(exc))
 
     def _load_result(self, job_id: str):
         """The job + stored sweep doc, or None after sending an error."""
@@ -462,10 +540,24 @@ class ExperimentService:
         recover: bool = True,
         verbose: bool = False,
         batch: "bool | None" = None,
+        archive: "ObsArchive | str | os.PathLike | None" = None,
+        archive_period_s: float = 5.0,
     ) -> None:
         self.verbose = bool(verbose)
         self.store = ResultStore(db_path)
         self.metrics = ServiceMetrics()
+        if archive is not None and not isinstance(archive, ObsArchive):
+            archive = ObsArchive(archive)
+        self.archive: Optional[ObsArchive] = archive
+        # The recorder thread scrapes every panel straight into the
+        # archive (no HTTP round-trip) while the service runs.
+        self._recorder: Optional[MetricsRecorder] = (
+            None
+            if archive is None
+            else MetricsRecorder(
+                archive, self.metrics.sample_all, period_s=archive_period_s
+            )
+        )
         self.scheduler = ExperimentScheduler(
             self.store,
             workers=workers,
@@ -474,6 +566,7 @@ class ExperimentService:
             max_attempts=max_attempts,
             slice_accesses=slice_accesses,
             batch=batch,
+            archive=archive,
         )
         if recover:
             self.scheduler.recover()
@@ -505,6 +598,9 @@ class ExperimentService:
         """
         if start_workers:
             self.scheduler.start()
+        if self._recorder is not None:
+            self._recorder.snapshot_once()
+            self._recorder.start()
         if self._serve_thread is None:
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -521,6 +617,9 @@ class ExperimentService:
     def serve_forever(self) -> None:
         """Start workers and serve HTTP on the calling thread."""
         self.scheduler.start()
+        if self._recorder is not None:
+            self._recorder.snapshot_once()
+            self._recorder.start()
         self._httpd.serve_forever()
 
     def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
@@ -531,3 +630,7 @@ class ExperimentService:
             self._serve_thread.join(timeout=5.0)
             self._serve_thread = None
         self.scheduler.shutdown(drain=drain, timeout=timeout)
+        if self._recorder is not None:
+            # Final scrape after the drain so the archived history
+            # ends on the service's terminal state.
+            self._recorder.stop(final_snapshot=True)

@@ -26,7 +26,9 @@ import os
 
 from ..core.experiment import ExperimentResult, PowerCapExperiment
 from ..core.ratecache import RateCache
+from ..core.serialize import experiment_to_dict
 from ..errors import ReproError
+from ..obs.archive import ObsArchive, distill_experiment_doc
 from ..obs.logging import get_logger
 from ..obs.stream import JOB_TOPIC_PREFIX, event_bus, stream_context
 from ..obs.tracing import span
@@ -53,8 +55,10 @@ class ExperimentScheduler:
         retry_backoff_s: float = 0.5,
         slice_accesses: int = 320_000,
         batch: "bool | None" = None,
+        archive: Optional[ObsArchive] = None,
     ) -> None:
         self._store = store
+        self._archive = archive
         self._queue = JobQueue()
         self._workers = max(1, int(workers))
         if rate_cache is not None and not isinstance(rate_cache, RateCache):
@@ -276,6 +280,35 @@ class ExperimentScheduler:
         )
         return experiment.run_all(jobs=spec.jobs)
 
+    def _archive_run(
+        self,
+        job: Job,
+        sweeps: Dict[str, ExperimentResult],
+        wall_s: float,
+    ) -> None:
+        """Distill one freshly simulated job into the archive.
+
+        Dedup-answered jobs are skipped upstream — their twin already
+        landed a record, and re-recording would double-count.  Archive
+        faults must never fail a job that just finished simulating.
+        """
+        if self._archive is None:
+            return
+        try:
+            docs = {
+                name: experiment_to_dict(result)
+                for name, result in sweeps.items()
+            }
+            series, meta = distill_experiment_doc(docs, wall_s=wall_s)
+            meta["spec_digest"] = job.spec_digest
+            self._archive.record_run(
+                job.id, "job", series, meta=meta, source="service"
+            )
+        except Exception as exc:  # noqa: BLE001 — archive is best-effort
+            _log.warning(
+                "archive_record_failed", job_id=job.id, error=str(exc)
+            )
+
     def _run_job(self, job: Job) -> None:
         job.state = JobState.RUNNING
         job.started_at = time.time()
@@ -312,6 +345,7 @@ class ExperimentScheduler:
                     with stream_context(topic):
                         sweeps = self._run_spec(job.spec)
                 self._store.put_result(job.spec_digest, sweeps)
+                self._archive_run(job, sweeps, time.perf_counter() - t0)
             job.state = JobState.DONE
             job.error = None
             job.finished_at = time.time()

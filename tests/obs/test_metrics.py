@@ -57,3 +57,40 @@ class TestEngineMetrics:
     def test_service_module_re_exports(self):
         assert ReExportedServiceMetrics is ServiceMetrics
         assert re_exported_engine_metrics is engine_metrics
+
+
+class TestBuildInfo:
+    def test_singleton(self):
+        from repro.obs.metrics import build_info_metrics
+
+        assert build_info_metrics() is build_info_metrics()
+
+    def test_info_convention(self):
+        """``repro_build_info`` is a constant-1 gauge with id labels."""
+        from repro import __version__
+        from repro.obs.archive import ARCHIVE_SCHEMA_VERSION
+        from repro.obs.metrics import build_info_metrics
+
+        ((name, labels, value),) = build_info_metrics().build_info.samples()
+        assert name == "repro_build_info"
+        assert value == 1.0
+        assert labels["version"] == __version__
+        assert labels["archive_schema"] == str(ARCHIVE_SCHEMA_VERSION)
+        assert labels["git"]  # "unknown" outside a checkout, never empty
+        assert {"provenance_schema", "timeline_schema"} <= set(labels)
+
+    def test_rendered_on_service_metrics(self):
+        text = ServiceMetrics().render()
+        assert "# TYPE repro_build_info gauge" in text
+        assert 'repro_build_info{' in text
+
+    def test_sample_all_covers_every_panel(self):
+        metrics = ServiceMetrics()
+        names = {name for name, _, _ in metrics.sample_all()}
+        for expected in (
+            "repro_build_info",
+            "repro_jobs_submitted_total",
+            "repro_engine_runs_total",
+            "repro_fleet_runs_total",
+        ):
+            assert expected in names, sorted(names)

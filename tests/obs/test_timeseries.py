@@ -146,6 +146,73 @@ class TestSeriesChannel:
         assert ch.duration_s() == pytest.approx(t, rel=1e-9)
 
 
+class TestUnequalPeriodMerge:
+    """Rep-merge across channels sampled at different periods.
+
+    The archive's retention path replays stored rows through
+    :class:`SeriesChannel`, so the decimation contract has to hold when
+    the inputs were recorded at unequal sample periods — merge and
+    decimate must commute up to float tolerance on the time integral.
+    """
+
+    def channel(self, period, total_s=50.0, base=100.0, capacity=256):
+        ch = SeriesChannel("power_w", "W", capacity)
+        t = 0.0
+        i = 0
+        while t < total_s - 1e-9:
+            dt = min(period, total_s - t)
+            ch.add(t, dt, base + (i % 7))
+            t += dt
+            i += 1
+        return ch
+
+    def replayed(self, ch, capacity):
+        out = SeriesChannel(ch.name, ch.unit, capacity)
+        out.add_block(ch.points())
+        return out
+
+    def test_merge_unequal_periods_averages_integrals(self):
+        a = self.channel(period=0.1, base=100.0)
+        b = self.channel(period=0.25, base=200.0)
+        merged = SeriesChannel.merge([a, b])
+        expected = (a.integral() + b.integral()) / 2.0
+        assert merged.integral() == pytest.approx(expected, rel=1e-6)
+        assert merged.duration_s() == pytest.approx(50.0, rel=1e-9)
+
+    def test_merge_then_decimate_matches_decimate_then_merge(self):
+        a = self.channel(period=0.1, base=100.0, capacity=1024)
+        b = self.channel(period=0.25, base=150.0, capacity=1024)
+        exact = (a.integral() + b.integral()) / 2.0
+
+        merged_first = self.replayed(SeriesChannel.merge([a, b]), capacity=16)
+        decimated_first = SeriesChannel.merge(
+            [self.replayed(a, 16), self.replayed(b, 16)]
+        )
+
+        assert merged_first.integral() == pytest.approx(exact, rel=1e-6)
+        assert decimated_first.integral() == pytest.approx(exact, rel=1e-6)
+        assert merged_first.integral() == pytest.approx(
+            decimated_first.integral(), rel=1e-6
+        )
+        assert merged_first.duration_s() == pytest.approx(50.0, rel=1e-6)
+        assert decimated_first.duration_s() == pytest.approx(50.0, rel=1e-6)
+
+    def test_merged_coverage_stays_gap_free(self):
+        a = self.channel(period=0.1)
+        b = self.channel(period=0.3)
+        pts = SeriesChannel.merge([a, b]).points()
+        for prev, cur in zip(pts, pts[1:]):
+            assert cur.t_s == pytest.approx(prev.end_s, rel=1e-9)
+
+    def test_min_max_envelope_spans_both_reps(self):
+        a = self.channel(period=0.1, base=100.0)
+        b = self.channel(period=0.25, base=200.0)
+        merged = SeriesChannel.merge([a, b])
+        assert merged.vmin() >= 100.0
+        assert merged.vmax() <= 206.0 + 1e-9
+        assert merged.vmax() > merged.vmin()
+
+
 class TestRunTimeline:
     def make(self, cap=140.0) -> RunTimeline:
         tl = RunTimeline(workload="w", cap_w=cap, period_s=0.25)

@@ -1,0 +1,228 @@
+"""Archive wiring end-to-end: recorder, run records, history endpoints.
+
+Covers: the background recorder landing ``/metrics`` snapshots while
+the service runs; the scheduler's completion hook distilling finished
+jobs into run records; ``GET /metrics/history`` and
+``GET /runs/compare``; and the 404 contract when no archive is
+attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.obs.archive import ObsArchive
+from repro.service.api import ExperimentService
+
+SPEC = {
+    "workload": "stereo",
+    "caps_w": [150.0, 140.0],
+    "repetitions": 1,
+    "scale": 0.001,
+}
+POLL_S = 0.05
+POLL_TRIES = 1200  # 60 s ceiling
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("archive-service")
+    svc = ExperimentService(
+        db_path=tmp / "svc.sqlite3",
+        port=0,
+        workers=1,
+        rate_cache=tmp / "rates.json",
+        archive=tmp / "archive.sqlite3",
+        archive_period_s=0.1,
+    )
+    svc.start()
+    yield svc
+    svc.shutdown(drain=False)
+
+
+def request_json(service, method, path, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        service.url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def http_error(service, path):
+    try:
+        request_json(service, "GET", path)
+    except urllib.error.HTTPError as exc:
+        return exc.code
+    raise AssertionError(f"GET {path} unexpectedly succeeded")
+
+
+def poll_until_done(service, job_id):
+    for _ in range(POLL_TRIES):
+        _, job = request_json(service, "GET", f"/jobs/{job_id}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(POLL_S)
+    raise AssertionError(f"job {job_id} never finished: {job}")
+
+
+@pytest.fixture(scope="module")
+def finished_job(service):
+    status, job = request_json(service, "POST", "/jobs", SPEC)
+    assert status == 201
+    job = poll_until_done(service, job["id"])
+    assert job["state"] == "done"
+    return job
+
+
+class TestRecorder:
+    def test_snapshots_land_while_serving(self, service):
+        archive = service.archive
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and archive.snapshot_count() == 0:
+            time.sleep(0.05)
+        assert archive.snapshot_count() > 0
+        series = archive.snapshot_series()
+        assert any(s.startswith("repro_build_info") for s in series)
+        assert "repro_jobs_submitted_total" in series
+
+    def test_build_info_series_carries_identity_labels(self, service):
+        name = next(
+            s for s in service.archive.snapshot_series()
+            if s.startswith("repro_build_info")
+        )
+        assert "version=" in name and "archive_schema=1" in name
+        (point, *_) = service.archive.metric_history(name)
+        assert point.mean == 1.0  # the *_info convention: constant 1
+
+
+class TestMetricsHistoryEndpoint:
+    def test_series_index(self, service):
+        status, payload = request_json(service, "GET", "/metrics/history")
+        assert status == 200
+        assert payload["series"] == service.archive.snapshot_series()
+
+    def test_one_series_points(self, service):
+        # Force a deterministic scrape so the series has fresh points.
+        service._recorder.snapshot_once()
+        name = next(
+            s for s in service.archive.snapshot_series()
+            if s.startswith("repro_jobs_submitted_total")
+        )
+        path = "/metrics/history?series=" + urllib.parse.quote(name)
+        status, payload = request_json(service, "GET", path)
+        assert status == 200
+        assert payload["series"] == name
+        assert payload["points"]
+        point = payload["points"][-1]
+        assert {"t_s", "dt_s", "mean", "min", "max"} == set(point)
+        status, limited = request_json(service, "GET", path + "&limit=1")
+        assert len(limited["points"]) == 1
+        assert limited["points"][0] == payload["points"][-1]
+
+    def test_bad_query_parameter_is_400(self, service):
+        assert http_error(
+            service, "/metrics/history?series=x&limit=banana"
+        ) == 400
+
+
+class TestRunRecords:
+    def test_completed_job_is_archived(self, service, finished_job):
+        run = service.archive.get_run(finished_job["id"])
+        assert run is not None
+        assert run["kind"] == "job" and run["source"] == "service"
+        series = run["series"]
+        assert series["runs_per_s"] > 0.0
+        assert series["wall_s"] > 0.0
+        assert any(k.startswith("phase.") for k in series)
+        assert any(
+            k.startswith("StereoMatching.execution_s.") for k in series
+        )
+        assert run["meta"]["workloads"] == ["StereoMatching"]
+        assert run["meta"]["spec_digest"] == finished_job["spec_digest"]
+
+    def test_dedup_twin_not_double_counted(self, service, finished_job):
+        before = {r["run_id"] for r in service.archive.runs(kind="job")}
+        status, twin = request_json(service, "POST", "/jobs", SPEC)
+        assert status == 201 and twin["deduplicated"] is True
+        poll_until_done(service, twin["id"])
+        after = {r["run_id"] for r in service.archive.runs(kind="job")}
+        assert after == before  # the twin simulated nothing
+
+
+class TestRunsCompareEndpoint:
+    def test_compare_two_archived_runs(self, service, finished_job):
+        # A second, distinct spec gives a genuinely different run.
+        spec = dict(SPEC, caps_w=[150.0])
+        _, job = request_json(service, "POST", "/jobs", spec)
+        job = poll_until_done(service, job["id"])
+        assert job["state"] == "done"
+        status, payload = request_json(
+            service,
+            "GET",
+            f"/runs/compare?a={finished_job['id']}&b={job['id']}",
+        )
+        assert status == 200
+        assert payload["a"]["run_id"] == finished_job["id"]
+        assert payload["b"]["run_id"] == job["id"]
+        entry = payload["series"]["runs_per_s"]
+        assert entry["a"] > 0 and entry["b"] > 0
+        assert "delta" in entry and "rel" in entry
+        # Per-phase deltas: the acceptance criterion for `compare`.
+        assert any(k.startswith("phase.") for k in payload["series"])
+
+    def test_missing_params_is_400(self, service, finished_job):
+        assert http_error(service, "/runs/compare") == 400
+        assert http_error(
+            service, f"/runs/compare?a={finished_job['id']}"
+        ) == 400
+
+    def test_unknown_run_is_404(self, service, finished_job):
+        assert http_error(
+            service, f"/runs/compare?a={finished_job['id']}&b=ghost"
+        ) == 404
+
+
+class TestNoArchiveAttached:
+    def test_endpoints_404_without_archive(self, tmp_path):
+        svc = ExperimentService(
+            db_path=tmp_path / "svc.sqlite3",
+            port=0,
+            workers=1,
+            rate_cache=tmp_path / "rates.json",
+        )
+        svc.start()
+        try:
+            assert svc.archive is None
+            assert http_error(svc, "/metrics/history") == 404
+            assert http_error(svc, "/runs/compare?a=x&b=y") == 404
+        finally:
+            svc.shutdown(drain=False)
+
+
+class TestArchivePathCoercion:
+    def test_accepts_prebuilt_archive_instance(self, tmp_path):
+        archive = ObsArchive(tmp_path / "a.sqlite3")
+        svc = ExperimentService(
+            db_path=tmp_path / "svc.sqlite3",
+            port=0,
+            workers=1,
+            rate_cache=tmp_path / "rates.json",
+            archive=archive,
+        )
+        svc.start()
+        try:
+            assert svc.archive is archive
+            # start() takes an immediate first snapshot.
+            assert archive.snapshot_count() > 0
+        finally:
+            svc.shutdown(drain=False)
