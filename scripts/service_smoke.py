@@ -7,13 +7,18 @@ that ``/healthz`` answers and ``/metrics`` exposes the queue/state/
 cache counters.  Exits non-zero on any failure; prints a one-line
 summary per step so CI logs read as a transcript.
 
+The whole sequence runs once per front end (``--frontend both``, the
+default, covers the legacy threaded server and the asyncio server in
+one invocation), so a regression in either transport fails CI.
+
 Usage::
 
-    PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py [--frontend both]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import tempfile
@@ -62,20 +67,23 @@ def http(method: str, url: str, body: dict | None = None):
         return resp.read()
 
 
-def main() -> int:
-    tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+def run_smoke(frontend: str) -> None:
+    tmp = Path(tempfile.mkdtemp(prefix=f"repro-smoke-{frontend}-"))
     service = ExperimentService(
         db_path=tmp / "smoke.sqlite3",
         port=0,
         workers=2,
         rate_cache=tmp / "rates.json",
+        frontend=frontend,
     )
     service.start()
-    print(f"[smoke] service up at {service.url}")
+    print(f"[smoke] {frontend} front end up at {service.url}")
     try:
         health = json.loads(http("GET", service.url + "/healthz"))
         assert health["status"] == "ok", health
-        print(f"[smoke] /healthz ok (workers={health['workers']})")
+        assert health["frontend"] == frontend, health
+        print(f"[smoke] /healthz ok (workers={health['workers']}, "
+              f"frontend={health['frontend']})")
 
         job = json.loads(http("POST", service.url + "/jobs", SPEC))
         print(f"[smoke] submitted job {job['id']} state={job['state']}")
@@ -107,8 +115,24 @@ def main() -> int:
               "required series")
     finally:
         service.shutdown(drain=False)
-        print("[smoke] service stopped")
-    print("[smoke] PASS")
+        print(f"[smoke] {frontend} front end stopped")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--frontend",
+        choices=("thread", "async", "both"),
+        default="both",
+        help="which HTTP front end(s) to smoke-test (default: both)",
+    )
+    args = parser.parse_args(argv)
+    frontends = (
+        ("thread", "async") if args.frontend == "both" else (args.frontend,)
+    )
+    for frontend in frontends:
+        run_smoke(frontend)
+    print(f"[smoke] PASS ({', '.join(frontends)})")
     return 0
 
 

@@ -52,6 +52,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -383,7 +384,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--db",
         default="repro-service.sqlite3",
-        help="SQLite path for the persistent job/result store",
+        help="result store: a SQLite path (default), sqlite://PATH, or "
+        "memory:// for an ephemeral in-process store",
     )
     serve.add_argument(
         "--max-attempts",
@@ -408,6 +410,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         metavar="SECONDS",
         help="wall seconds between archived metric snapshots",
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=("thread", "async"),
+        default="thread",
+        help="HTTP front end: one thread per connection, or a single "
+        "asyncio event loop (scales to thousands of connections and "
+        "SSE streams)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partitioned worker shard processes (>= 2; jobs route by "
+        "consistent hashing over the spec digest, each shard owns a "
+        "rate-cache partition; 0 = simulate in-process; single-core "
+        "hosts fall back to in-process with a warning)",
+    )
+    serve.add_argument(
+        "--admission-rate",
+        type=float,
+        default=200.0,
+        metavar="JOBS_PER_S",
+        help="per-client sustained submission rate before 429",
+    )
+    serve.add_argument(
+        "--admission-burst",
+        type=float,
+        default=400.0,
+        metavar="N",
+        help="per-client submission burst allowance",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="queue depth beyond which submissions shed with 503",
     )
 
     inspect = sub.add_parser(
@@ -888,6 +929,9 @@ def _cmd_fleet(args) -> str:
 
 
 def _cmd_serve(args) -> str:
+    import signal
+    import threading
+
     from .service.api import ExperimentService
 
     service = ExperimentService(
@@ -901,23 +945,67 @@ def _cmd_serve(args) -> str:
         batch=args.batch,
         archive=args.archive,
         archive_period_s=args.archive_period,
+        frontend=args.frontend,
+        shards=args.shards,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+        max_queue_depth=args.max_queue_depth,
     )
+
+    # SIGTERM/SIGINT trigger one graceful shutdown: finish in-flight
+    # jobs, re-record still-queued ones for restart recovery, flush
+    # every rate-cache partition and the archive recorder, and close
+    # SSE streams with a terminal event.  The front end's blocking
+    # serve loop cannot shut *itself* down from a signal handler, so
+    # the work runs on a helper thread.
+    def _graceful(signum, frame):  # noqa: ARG001 — signal signature
+        threading.Thread(
+            target=service.shutdown,
+            kwargs={"drain": False, "timeout": 60.0},
+            name="repro-shutdown",
+            daemon=True,
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:
+        pass  # Not the main thread (embedded use); rely on the caller.
+
     # Printed (and flushed) before blocking so scripts can scrape the
     # resolved port when --port 0 asked for an ephemeral one.
-    print(f"repro experiment service listening on {service.url}", flush=True)
+    if service.frontend == "thread":
+        print(
+            f"repro experiment service listening on {service.url}",
+            flush=True,
+        )
+    else:
+        # The async front end binds inside serve_forever; start it on
+        # a background thread so the URL is printable first, then park
+        # the main thread on the stop event.
+        service.start()
+        print(
+            f"repro experiment service listening on {service.url}",
+            flush=True,
+        )
     print(
-        f"  workers={service.scheduler.workers} db={args.db} "
+        f"  frontend={service.frontend} workers={service.scheduler.workers} "
+        f"shards={service.scheduler.effective_shards} db={args.db} "
         f"rate_cache={args.rate_cache or 'off'} "
         f"archive={args.archive or 'off'}",
         flush=True,
     )
     try:
-        service.serve_forever()
+        if service.frontend == "thread":
+            service.serve_forever()
+        else:
+            while not service.stopping:
+                time.sleep(0.2)
     except KeyboardInterrupt:
         pass
     finally:
-        service.shutdown(drain=True)
-    return "service stopped (queue drained)"
+        service.shutdown(drain=False)
+    return "service stopped (in-flight jobs finished; queue re-recorded)"
 
 
 def _is_fleet_doc(doc) -> bool:

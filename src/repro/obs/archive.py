@@ -558,9 +558,9 @@ class ObsArchive:
 
         The document is identified by its ``benchmark`` key
         (``table2-sweep`` → ``bench_sweep``, ``fleet-scale`` →
-        ``bench_fleet``); each ingestion is a new run record, so the
-        bench trajectory finally accumulates instead of overwriting
-        itself.
+        ``bench_fleet``, ``service-load`` → ``bench_service``); each
+        ingestion is a new run record, so the bench trajectory finally
+        accumulates instead of overwriting itself.
         """
         if not isinstance(doc, dict):
             raise SimulationError("bench document must be a JSON object")
@@ -572,10 +572,13 @@ class ObsArchive:
         elif bench == "fleet-scale":
             kind = "bench_fleet"
             series = _distill_bench_fleet(doc)
+        elif bench == "service-load":
+            kind = "bench_service"
+            series = _distill_bench_service(doc)
         else:
             raise SimulationError(
                 f"unrecognised bench document (benchmark={bench!r}); "
-                "expected table2-sweep or fleet-scale"
+                "expected table2-sweep, fleet-scale, or service-load"
             )
         if run_id is None:
             run_id = f"{kind}-{now:.3f}"
@@ -642,6 +645,34 @@ def _distill_bench_fleet(doc: dict) -> Dict[str, float]:
         series["node_steps_per_s"] = series[f"node_steps_per_s.{largest}"]
     if not series:
         raise SimulationError("bench fleet document carries no series")
+    return series
+
+
+def _distill_bench_service(doc: dict) -> Dict[str, float]:
+    series: Dict[str, float] = {}
+    submit = doc.get("submit") or {}
+    for key in (
+        "throughput_per_s",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "submitted",
+        "shed",
+    ):
+        if isinstance(submit.get(key), (int, float)):
+            series[f"submit.{key}"] = float(submit[key])
+    drain = doc.get("drain") or {}
+    for key in ("jobs_per_s", "wall_s", "completed"):
+        if isinstance(drain.get(key), (int, float)):
+            series[f"drain.{key}"] = float(drain[key])
+    sse = doc.get("sse") or {}
+    for key in ("subscribers", "events_delivered", "dropped"):
+        if isinstance(sse.get(key), (int, float)):
+            series[f"sse.{key}"] = float(sse[key])
+    if isinstance(submit.get("throughput_per_s"), (int, float)):
+        series["throughput_per_s"] = float(submit["throughput_per_s"])
+    if not series:
+        raise SimulationError("bench service document carries no series")
     return series
 
 

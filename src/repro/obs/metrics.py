@@ -902,6 +902,16 @@ class ServiceMetrics:
                 "Wall-clock seconds per completed sweep job",
             )
         )
+        self.submit_seconds = reg(
+            Histogram(
+                "repro_submit_seconds",
+                "Server-side seconds spent handling one POST /jobs",
+                buckets=(
+                    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                    0.1, 0.25, 0.5, 1.0, 2.5,
+                ),
+            )
+        )
         self._queue_depth = Gauge(
             "repro_queue_depth", "Jobs queued and not yet running"
         )
@@ -916,11 +926,33 @@ class ServiceMetrics:
             "repro_rate_cache_misses_total",
             "Rate-cache lookups that required trace simulation",
         )
+        self._admission_shed = Gauge(
+            "repro_admission_shed_total",
+            "Submissions shed by admission control, by reason",
+            label_name="reason",
+        )
+        self._admission_queue_limit = Gauge(
+            "repro_admission_queue_limit",
+            "Queue depth beyond which submissions shed with 503",
+        )
+        self._admission_clients = Gauge(
+            "repro_admission_clients",
+            "Distinct clients currently tracked by the rate limiter",
+        )
+        self._shards = Gauge(
+            "repro_service_shards",
+            "Worker shard processes the scheduler dispatches to "
+            "(0 = in-process execution)",
+        )
         for g in (
             self._queue_depth,
             self._jobs_by_state,
             self._cache_hits,
             self._cache_misses,
+            self._admission_shed,
+            self._admission_queue_limit,
+            self._admission_clients,
+            self._shards,
         ):
             self.registry.register(g)
 
@@ -936,6 +968,24 @@ class ServiceMetrics:
         self._jobs_by_state._callback = jobs_by_state
         self._cache_hits._callback = cache_hits
         self._cache_misses._callback = cache_misses
+
+    def bind_admission(self, controller) -> None:
+        """Expose an :class:`~repro.service.admission.AdmissionController`.
+
+        Called once when the service wires its admission gate; scrapes
+        then read the live shed counters and client table size.
+        """
+        self._admission_shed._callback = controller.shed_counts
+        self._admission_queue_limit._callback = (
+            lambda: float(controller.max_queue_depth)
+        )
+        self._admission_clients._callback = (
+            lambda: float(controller.client_count())
+        )
+
+    def bind_shards(self, effective_shards: Callable[[], float]) -> None:
+        """Expose the scheduler's effective shard count."""
+        self._shards._callback = effective_shards
 
     #: The panels one ``/metrics`` scrape covers, in exposition order.
     @staticmethod

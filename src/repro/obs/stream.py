@@ -36,7 +36,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
 
 __all__ = [
     "StreamEvent",
@@ -83,6 +83,23 @@ class Subscription:
         self._queue: Deque[StreamEvent] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self._wakeup: Optional[Callable[[], None]] = None
+
+    def set_wakeup(self, callback: Optional[Callable[[], None]]) -> None:
+        """Attach a thread-safe wakeup hook fired on arrival and close.
+
+        The asyncio front end bridges subscriptions onto the event loop
+        with this: the hook is typically
+        ``loop.call_soon_threadsafe(event.set)``.  The callback must be
+        safe to invoke from any thread and must not block.  If events
+        are already queued (or the subscription is closed) the hook
+        fires immediately so no arrival is missed across attachment.
+        """
+        with self._cond:
+            self._wakeup = callback
+            pending = bool(self._queue) or self._closed
+        if pending and callback is not None:
+            callback()
 
     def _offer(self, event: StreamEvent) -> bool:
         """Enqueue one event, dropping the oldest when full (bus-side).
@@ -100,7 +117,10 @@ class Subscription:
                 self.dropped += 1
             self._queue.append(event)
             self._cond.notify_all()
-            return dropped
+            wakeup = self._wakeup
+        if wakeup is not None:
+            wakeup()
+        return dropped
 
     def get(self, timeout: Optional[float] = None) -> Optional[StreamEvent]:
         """Next event, or None on timeout / after :meth:`close`."""
@@ -110,6 +130,19 @@ class Subscription:
             if self._queue:
                 return self._queue.popleft()
             return None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until an event is queued or the subscription closes.
+
+        Unlike :meth:`get` this consumes nothing — poll-style callers
+        (the shared SSE stream sessions) drain separately and use this
+        only to sleep efficiently between polls.  Returns True when an
+        event is waiting.
+        """
+        with self._cond:
+            if not self._queue and not self._closed:
+                self._cond.wait(timeout)
+            return bool(self._queue)
 
     def pending(self) -> int:
         """Events currently queued."""
@@ -126,6 +159,9 @@ class Subscription:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+            wakeup = self._wakeup
+        if wakeup is not None:
+            wakeup()
 
 
 class _Topic:

@@ -4,7 +4,7 @@ PR 1 made sweeps cheap; this package makes them *operable*.  Instead
 of one-shot CLI invocations whose results live in ad-hoc JSON files,
 a long-lived service accepts sweep jobs over HTTP, schedules them on
 a worker pool (sharing one rate cache across all jobs), persists every
-result durably in SQLite keyed by the spec's content digest (identical
+result durably keyed by the spec's content digest (identical
 resubmissions are store hits, never re-simulated), and exposes its
 health and throughput as Prometheus metrics.
 
@@ -12,12 +12,20 @@ health and throughput as Prometheus metrics.
   and the priority queue with retry backoff;
 - :mod:`.scheduler` — the worker pool driving
   :class:`~repro.core.experiment.PowerCapExperiment`;
-- :mod:`.store` — SQLite persistence for jobs, sweep documents, and
-  per-cap rows;
+- :mod:`.shards` — partitioned worker processes routed by consistent
+  hashing over spec digests, each owning a rate-cache partition;
+- :mod:`.store` — the pluggable result store (SQLite default,
+  in-memory for tests; URL-selected via :func:`open_store`);
+- :mod:`.admission` — token-bucket rate limiting and bounded-queue
+  backpressure in front of every submission;
 - :mod:`.metrics` — dependency-free Prometheus exposition;
-- :mod:`.api` — the stdlib HTTP front end (``repro-powercap serve``).
+- :mod:`.routes` — the transport-neutral HTTP API;
+- :mod:`.api` — the threaded front end + :class:`ExperimentService`
+  composition root (``repro-powercap serve``);
+- :mod:`.asyncapi` — the asyncio front end (``serve --frontend async``).
 """
 
+from .admission import Admission, AdmissionController, TokenBucket
 from .jobs import Job, JobQueue, JobSpec, JobState, caps_from_range
 from .metrics import (
     Counter,
@@ -27,10 +35,20 @@ from .metrics import (
     ServiceMetrics,
 )
 from .scheduler import ExperimentScheduler
-from .store import ResultStore
-from .api import ExperimentService
+from .shards import ShardPool, ShardRing, effective_shard_count
+from .store import (
+    MemoryResultStore,
+    ResultStore,
+    ResultStoreBase,
+    SQLiteResultStore,
+    open_store,
+)
+from .api import ExperimentService, FRONTENDS
 
 __all__ = [
+    "Admission",
+    "AdmissionController",
+    "TokenBucket",
     "Job",
     "JobQueue",
     "JobSpec",
@@ -42,6 +60,14 @@ __all__ = [
     "MetricsRegistry",
     "ServiceMetrics",
     "ExperimentScheduler",
+    "ShardPool",
+    "ShardRing",
+    "effective_shard_count",
+    "MemoryResultStore",
     "ResultStore",
+    "ResultStoreBase",
+    "SQLiteResultStore",
+    "open_store",
     "ExperimentService",
+    "FRONTENDS",
 ]

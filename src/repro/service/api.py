@@ -1,518 +1,142 @@
-"""HTTP API + metrics exposition for the experiment service.
+"""The experiment service: store + scheduler + a pluggable front end.
 
-Stdlib only (:mod:`http.server`); each request runs on its own thread
-(`ThreadingHTTPServer`), with all state shared through the scheduler
-and the SQLite store.  Endpoints:
+The HTTP API itself lives in :mod:`repro.service.routes` (one
+:class:`~repro.service.routes.Router` shared by every transport).
+This module provides:
+
+- the **threaded front end** — stdlib :mod:`http.server`, one thread
+  per connection; simple, debuggable, the historical default;
+- :class:`ExperimentService` — the composition root wiring the result
+  store, scheduler, admission controller, optional shard pool,
+  optional archive recorder, and the selected front end
+  (``frontend="thread"`` or ``"async"``; the latter is
+  :class:`~repro.service.asyncapi.AsyncFrontEnd`).
+
+Endpoints (see ``docs/SERVICE.md`` for payloads):
 
 ====================  =====================================================
-``POST /jobs``        submit a sweep (JSON :class:`JobSpec` + ``priority``)
+``POST /jobs``        submit a sweep (JSON :class:`JobSpec` + ``priority``);
+                      passes admission control (429/503 + ``Retry-After``)
 ``GET /jobs``         recent jobs, newest first
 ``GET /jobs/{id}``    one job's lifecycle record
 ``GET /jobs/{id}/result``  the stored sweep document once DONE
 ``GET /jobs/{id}/timeseries``  the sweep's telemetry timelines
-                      (``?channel=...`` repeatable, ``?format=csv``)
-``GET /jobs/{id}/stream``  live Server-Sent Events for an in-flight
-                      run (telemetry samples, detections, lifecycle;
-                      ``Last-Event-ID`` replays missed events)
+``GET /jobs/{id}/stream``  live Server-Sent Events for an in-flight run
 ``GET /fleet/stream``  live fleet health rollup events (SSE)
 ``DELETE /jobs/{id}`` cancel a still-queued job
-``GET /healthz``      liveness + queue depth
+``GET /healthz``      liveness + queue depth + shard/front-end identity
 ``GET /metrics``      Prometheus text exposition (version 0.0.4)
 ``GET /metrics/history``  archived scrape snapshots for one series
-                      (``?series=...&since=...&limit=...``; 404 when
-                      the service runs without ``--archive``)
 ``GET /runs/compare`` per-series deltas between two archived runs
-                      (``?a=<run_id>&b=<run_id>``)
 ====================  =====================================================
-
-See ``docs/SERVICE.md`` for payloads and the metric name reference.
 """
 
 from __future__ import annotations
 
-import json
 import threading
-import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
-from urllib.parse import parse_qs, urlparse
+from typing import Optional
 
 import os
 
-from ..core.serialize import extract_timelines
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError
 from ..obs.archive import MetricsRecorder, ObsArchive
 from ..obs.logging import get_logger
-from ..obs.stream import (
-    FLEET_TOPIC,
-    JOB_TOPIC_PREFIX,
-    TERMINAL_EVENT_KINDS,
-    event_bus,
-)
-from ..obs.timeseries import timeline_to_dict
-from .jobs import JobSpec, JobState
+from .admission import AdmissionController
 from .metrics import ServiceMetrics
+from .routes import (
+    MAX_BODY_BYTES,
+    Request,
+    Response,
+    Router,
+    STREAM_POLL_S,
+    StreamStart,
+)
 from .scheduler import ExperimentScheduler
-from .store import ResultStore
+from .shards import ShardPool, effective_shard_count
+from .store import open_store
 
-__all__ = ["ExperimentService"]
+__all__ = ["ExperimentService", "FRONTENDS"]
 
-_MAX_BODY_BYTES = 1 << 20
+#: Selectable HTTP front ends.
+FRONTENDS = ("thread", "async")
 
 _log = get_logger("service.api")
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes requests to the owning :class:`ExperimentService`."""
+    """Thin adapter: parse with http.server, answer with the Router."""
 
     server: "_ServiceHTTPServer"
     protocol_version = "HTTP/1.1"
-
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if self.server.service.verbose:
             super().log_message(fmt, *args)
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _json(self, code: int, obj) -> None:
-        self._send(
-            code,
-            json.dumps(obj, sort_keys=True).encode() + b"\n",
-            "application/json",
-        )
-
-    def _error(self, code: int, message: str) -> None:
-        # Every error response carries a request id that is also
-        # logged, so a client-reported failure can be matched to the
-        # server-side record.
-        request_id = uuid.uuid4().hex[:12]
-        _log.warning(
-            "request_error",
-            request_id=request_id,
-            method=self.command,
-            path=self.path,
-            code=code,
-            error=message,
-        )
-        self._json(code, {"error": message, "request_id": request_id})
-
-    def _read_body(self) -> Optional[dict]:
+    def _handle(self) -> None:
+        service = self.server.service
         length = int(self.headers.get("Content-Length") or 0)
-        if length > _MAX_BODY_BYTES:
-            self._error(413, "request body too large")
-            return None
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            self._error(400, "empty request body; expected a JSON job spec")
-            return None
-        try:
-            data = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            self._error(400, f"invalid JSON: {exc}")
-            return None
-        if not isinstance(data, dict):
-            self._error(400, "request body must be a JSON object")
-            return None
-        return data
-
-    def _route(self) -> Tuple[str, ...]:
-        path = self.path.split("?", 1)[0]
-        return tuple(p for p in path.split("/") if p)
-
-    # ------------------------------------------------------------------
-    # Methods
-    # ------------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802
-        service = self.server.service
-        parts = self._route()
-        if parts == ("healthz",):
-            self._json(
-                200,
-                {
-                    "status": "ok",
-                    "workers": service.scheduler.workers,
-                    "queue_depth": service.scheduler.queue_depth(),
-                },
+        if length > MAX_BODY_BYTES:
+            self._write_response(
+                Response.json(413, {"error": "request body too large"})
             )
-        elif parts == ("metrics",):
-            self._send(
-                200,
-                service.metrics.render().encode(),
-                "text/plain; version=0.0.4; charset=utf-8",
-            )
-        elif parts == ("jobs",):
-            self._json(
-                200,
-                {"jobs": [j.to_dict() for j in service.scheduler.jobs()]},
-            )
-        elif len(parts) == 2 and parts[0] == "jobs":
-            job = service.scheduler.get(parts[1])
-            if job is None:
-                self._error(404, f"no such job: {parts[1]}")
-            else:
-                self._json(200, job.to_dict())
-        elif len(parts) == 3 and parts[:1] == ("jobs",) and parts[2] == "result":
-            self._get_result(parts[1])
-        elif (
-            len(parts) == 3
-            and parts[:1] == ("jobs",)
-            and parts[2] == "timeseries"
-        ):
-            self._get_timeseries(parts[1])
-        elif (
-            len(parts) == 3
-            and parts[:1] == ("jobs",)
-            and parts[2] == "stream"
-        ):
-            self._get_job_stream(parts[1])
-        elif parts == ("fleet", "stream"):
-            self._get_fleet_stream()
-        elif parts == ("metrics", "history"):
-            self._get_metrics_history()
-        elif parts == ("runs", "compare"):
-            self._get_runs_compare()
+            return
+        body = self.rfile.read(length) if length else b""
+        request = Request(
+            method=self.command,
+            target=self.path,
+            headers={k.lower(): v for k, v in self.headers.items()},
+            body=body,
+            client=self.client_address[0],
+        )
+        result = service.router.dispatch(request)
+        if isinstance(result, StreamStart):
+            self._serve_stream(result)
         else:
-            self._error(404, f"no such resource: {self.path}")
+            self._write_response(result)
 
-    def _archive_or_404(self) -> Optional[ObsArchive]:
-        archive = self.server.service.archive
-        if archive is None:
-            self._error(
-                404,
-                "no archive attached; start the service with --archive "
-                "to record metrics history and run records",
-            )
-        return archive
+    do_GET = _handle  # noqa: N815 — http.server dispatch names
+    do_POST = _handle  # noqa: N815
+    do_DELETE = _handle  # noqa: N815
 
-    def _get_metrics_history(self) -> None:
-        """Archived scrape snapshots: the series index, or one series.
+    def _write_response(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
 
-        Without ``?series=`` the response lists every recorded series
-        name; with it, the series' interval samples (optionally
-        bounded by ``since`` — a UNIX timestamp — and ``limit`` — the
-        newest N points).
+    def _serve_stream(self, start: StreamStart) -> None:
+        """Drive one SSE session on this connection's thread.
+
+        SSE responses have no Content-Length; closing the connection
+        is how HTTP/1.1 delimits the (unbounded) body.
         """
-        archive = self._archive_or_404()
-        if archive is None:
-            return
-        query = parse_qs(urlparse(self.path).query)
-        series = (query.get("series") or [None])[0]
-        if series is None:
-            self._json(200, {"series": archive.snapshot_series()})
-            return
-        try:
-            since_raw = (query.get("since") or [None])[0]
-            since = None if since_raw is None else float(since_raw)
-            limit_raw = (query.get("limit") or [None])[0]
-            limit = None if limit_raw is None else int(limit_raw)
-        except ValueError as exc:
-            self._error(400, f"bad query parameter: {exc}")
-            return
-        points = archive.metric_history(series, since=since, limit=limit)
-        self._json(
-            200,
-            {
-                "series": series,
-                "points": [
-                    {
-                        "t_s": p.t_s,
-                        "dt_s": p.dt_s,
-                        "mean": p.mean,
-                        "min": p.vmin,
-                        "max": p.vmax,
-                    }
-                    for p in points
-                ],
-            },
-        )
-
-    def _get_runs_compare(self) -> None:
-        """Per-series deltas between two archived runs (``?a=&b=``)."""
-        archive = self._archive_or_404()
-        if archive is None:
-            return
-        query = parse_qs(urlparse(self.path).query)
-        a = (query.get("a") or [None])[0]
-        b = (query.get("b") or [None])[0]
-        if not a or not b:
-            self._error(400, "compare needs both ?a=<run_id> and ?b=<run_id>")
-            return
-        try:
-            self._json(200, archive.compare_runs(a, b))
-        except SimulationError as exc:
-            self._error(404, str(exc))
-
-    def _load_result(self, job_id: str):
-        """The job + stored sweep doc, or None after sending an error."""
-        service = self.server.service
-        job = service.scheduler.get(job_id)
-        if job is None:
-            self._error(404, f"no such job: {job_id}")
-            return None
-        if job.state is JobState.FAILED:
-            self._error(410, f"job failed: {job.error}")
-            return None
-        if job.state is not JobState.DONE:
-            self._error(
-                409, f"job is {job.state.value}; result not available yet"
-            )
-            return None
-        doc = service.store.get_result_dict(job.spec_digest)
-        if doc is None:
-            self._error(500, "job is DONE but its result is missing")
-            return None
-        return job, doc
-
-    def _get_result(self, job_id: str) -> None:
-        loaded = self._load_result(job_id)
-        if loaded is None:
-            return
-        job, doc = loaded
-        self._json(
-            200,
-            {
-                "id": job.id,
-                "spec_digest": job.spec_digest,
-                "deduplicated": job.deduplicated,
-                "results": doc,
-            },
-        )
-
-    def _get_timeseries(self, job_id: str) -> None:
-        """The job's telemetry timelines: JSON by default, CSV on request.
-
-        Query parameters: ``channel`` (repeatable; restricts every
-        timeline to the named channels) and ``format`` (``json`` |
-        ``csv``).  The JSON document carries, per workload, the
-        baseline timeline plus one per cap, each with its summary.
-        """
-        loaded = self._load_result(job_id)
-        if loaded is None:
-            return
-        job, doc = loaded
-        query = parse_qs(urlparse(self.path).query)
-        channels = query.get("channel") or None
-        fmt = (query.get("format") or ["json"])[0].lower()
-        if fmt not in ("json", "csv"):
-            self._error(400, f"unknown format {fmt!r} (json or csv)")
-            return
-        try:
-            timelines = extract_timelines(doc, channels)
-        except SimulationError as exc:
-            self._error(400, str(exc))
-            return
-        if not timelines:
-            self._error(
-                404,
-                "result carries no telemetry timelines "
-                "(sweep ran with telemetry disabled)",
-            )
-            return
-        if fmt == "csv":
-            lines = ["workload,cap,channel,t_s,dt_s,mean,min,max"]
-            for timeline in timelines:
-                body = timeline.to_csv(
-                    channels if channels is not None else None
-                )
-                lines.extend(body.splitlines()[1:])
-            self._send(
-                200, ("\n".join(lines) + "\n").encode(), "text/csv"
-            )
-            return
-        by_workload: dict = {}
-        for timeline in timelines:
-            entry = by_workload.setdefault(
-                timeline.workload, {"baseline": None, "by_cap": {}}
-            )
-            payload = {
-                "timeline": timeline_to_dict(timeline),
-                "summary": timeline.summary(),
-            }
-            if timeline.cap_w is None:
-                entry["baseline"] = payload
-            else:
-                entry["by_cap"][f"{timeline.cap_w:g}"] = payload
-        self._json(
-            200,
-            {
-                "id": job.id,
-                "spec_digest": job.spec_digest,
-                "timeseries": by_workload,
-            },
-        )
-
-    # ------------------------------------------------------------------
-    # Server-Sent Events
-    # ------------------------------------------------------------------
-
-    def _last_event_id(self) -> Optional[int]:
-        """The client's resume offset: header first, then query param."""
-        raw = self.headers.get("Last-Event-ID")
-        if raw is None:
-            query = parse_qs(urlparse(self.path).query)
-            values = query.get("last_event_id")
-            raw = values[0] if values else None
-        if raw is None:
-            return None
-        try:
-            return int(raw)
-        except ValueError:
-            return None
-
-    def _sse_headers(self) -> None:
-        # SSE responses have no Content-Length; closing the connection
-        # is how HTTP/1.1 delimits the (unbounded) body.
-        self.send_response(200)
-        self.send_header("Content-Type", "text/event-stream")
-        self.send_header("Cache-Control", "no-cache")
+        session = start.session
+        self.send_response(start.status)
+        self.send_header("Content-Type", start.content_type)
+        for name, value in start.headers:
+            self.send_header(name, value)
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
-
-    def _sse_write(self, event) -> None:
-        frame = (
-            f"id: {event.seq}\n"
-            f"event: {event.kind}\n"
-            f"data: {json.dumps(event.data, sort_keys=True)}\n\n"
-        )
-        self.wfile.write(frame.encode())
-        self.wfile.flush()
-
-    def _get_job_stream(self, job_id: str) -> None:
-        """Stream one job's events as SSE until its terminal event.
-
-        Replays from ``Last-Event-ID`` (or ``?last_event_id=``) so a
-        reconnecting client misses nothing still in the topic's ring;
-        jobs that are already terminal when the ring has rotated past
-        their events get a synthetic ``end`` event and a clean close.
-        """
-        service = self.server.service
-        job = service.scheduler.get(job_id)
-        if job is None:
-            self._error(404, f"no such job: {job_id}")
-            return
-        bus = event_bus()
-        sub = bus.subscribe(
-            JOB_TOPIC_PREFIX + job_id, last_event_id=self._last_event_id()
-        )
         try:
-            self._sse_headers()
             while True:
-                event = sub.get(timeout=0.25)
-                if event is not None:
-                    self._sse_write(event)
-                    if event.kind in TERMINAL_EVENT_KINDS:
-                        return
-                    continue
-                # Queue idle: if the job is already terminal the run
-                # can never publish again (a dedup-answered or
-                # recovered job may never have published at all) —
-                # close with a synthetic end so clients don't hang.
-                job = service.scheduler.get(job_id)
-                if job is None or job.state in (
-                    JobState.DONE,
-                    JobState.FAILED,
-                    JobState.CANCELLED,
-                ):
-                    # The scheduler flips the state before publishing
-                    # the terminal event — give it one more beat to
-                    # land before concluding it will never arrive.
-                    event = sub.get(timeout=0.5)
-                    if event is not None:
-                        self._sse_write(event)
-                        if event.kind in TERMINAL_EVENT_KINDS:
-                            return
-                        continue
-                    state = job.state.value if job else "unknown"
-                    self.wfile.write(
-                        (
-                            "event: end\n"
-                            f"data: {json.dumps({'state': state})}\n\n"
-                        ).encode()
-                    )
+                frames, done = session.poll()
+                for frame in frames:
+                    self.wfile.write(frame)
+                if frames:
                     self.wfile.flush()
+                if done:
                     return
+                session.subscription.wait(STREAM_POLL_S)
         except (BrokenPipeError, ConnectionResetError):
             pass  # Client went away; nothing to clean up but the sub.
         finally:
-            bus.unsubscribe(sub)
-
-    def _get_fleet_stream(self) -> None:
-        """Stream fleet health events as SSE until the client leaves.
-
-        The fleet topic has no terminal event; idle periods carry SSE
-        comment keepalives so a vanished client surfaces as a write
-        error instead of a leaked subscription.
-        """
-        bus = event_bus()
-        sub = bus.subscribe(FLEET_TOPIC, last_event_id=self._last_event_id())
-        try:
-            self._sse_headers()
-            idle = 0.0
-            while True:
-                event = sub.get(timeout=0.25)
-                if event is not None:
-                    idle = 0.0
-                    self._sse_write(event)
-                    continue
-                idle += 0.25
-                if idle >= 5.0:
-                    idle = 0.0
-                    self.wfile.write(b": keepalive\n\n")
-                    self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError):
-            pass
-        finally:
-            bus.unsubscribe(sub)
-
-    def do_POST(self) -> None:  # noqa: N802
-        service = self.server.service
-        if self._route() != ("jobs",):
-            self._error(404, f"no such resource: {self.path}")
-            return
-        data = self._read_body()
-        if data is None:
-            return
-        try:
-            priority = int(data.pop("priority", 0))
-            spec = JobSpec.from_dict(data)
-        except ConfigError as exc:
-            self._error(400, str(exc))
-            return
-        except (TypeError, ValueError) as exc:
-            self._error(400, f"bad job spec: {exc}")
-            return
-        job = service.scheduler.submit(spec, priority=priority)
-        self._json(201, job.to_dict())
-
-    def do_DELETE(self) -> None:  # noqa: N802
-        service = self.server.service
-        parts = self._route()
-        if len(parts) != 2 or parts[0] != "jobs":
-            self._error(404, f"no such resource: {self.path}")
-            return
-        job = service.scheduler.get(parts[1])
-        if job is None:
-            self._error(404, f"no such job: {parts[1]}")
-            return
-        if service.scheduler.cancel(parts[1]):
-            self._json(200, service.scheduler.get(parts[1]).to_dict())
-        else:
-            self._error(
-                409,
-                f"job is {job.state.value}; only queued jobs can be "
-                "cancelled",
-            )
+            session.close()
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -526,6 +150,9 @@ class ExperimentService:
 
     ``port=0`` binds an ephemeral port (read it back from
     :attr:`port`) — the tests and the CI smoke job rely on this.
+    ``shards >= 2`` moves simulation into partitioned worker processes
+    (with the usual single-core fallback to in-process execution);
+    ``frontend`` selects the transport.
     """
 
     def __init__(
@@ -542,10 +169,21 @@ class ExperimentService:
         batch: "bool | None" = None,
         archive: "ObsArchive | str | os.PathLike | None" = None,
         archive_period_s: float = 5.0,
+        frontend: str = "thread",
+        shards: int = 0,
+        admission_rate: float = 200.0,
+        admission_burst: float = 400.0,
+        max_queue_depth: int = 1024,
     ) -> None:
+        if frontend not in FRONTENDS:
+            raise ConfigError(
+                f"unknown frontend {frontend!r}; choose from {FRONTENDS}"
+            )
         self.verbose = bool(verbose)
-        self.store = ResultStore(db_path)
+        self.frontend = frontend
+        self.store = open_store(db_path)
         self.metrics = ServiceMetrics()
+        self._stopping = threading.Event()
         if archive is not None and not isinstance(archive, ObsArchive):
             archive = ObsArchive(archive)
         self.archive: Optional[ObsArchive] = archive
@@ -558,36 +196,98 @@ class ExperimentService:
                 archive, self.metrics.sample_all, period_s=archive_period_s
             )
         )
+        # Shard pool (with the single-core in-process fallback).  When
+        # sharded, each shard owns its own rate-cache partition and the
+        # scheduler's in-process cache stays unopened.
+        n_shards = effective_shard_count(shards)
+        self._shard_pool: Optional[ShardPool] = (
+            ShardPool(
+                n_shards,
+                rate_cache=rate_cache,
+                slice_accesses=slice_accesses,
+                batch=batch,
+            )
+            if n_shards >= 2
+            else None
+        )
         self.scheduler = ExperimentScheduler(
             self.store,
             workers=workers,
-            rate_cache=rate_cache,
+            rate_cache=None if self._shard_pool is not None else rate_cache,
             metrics=self.metrics,
             max_attempts=max_attempts,
             slice_accesses=slice_accesses,
             batch=batch,
             archive=archive,
+            shard_pool=self._shard_pool,
         )
+        self.admission = AdmissionController(
+            rate=admission_rate,
+            burst=admission_burst,
+            max_queue_depth=max_queue_depth,
+            queue_depth=self.scheduler.queue_depth,
+        )
+        self.admission.bind_drain_rate(self.scheduler.drain_rate)
+        self.metrics.bind_admission(self.admission)
         if recover:
             self.scheduler.recover()
-        self._httpd = _ServiceHTTPServer((host, int(port)), _Handler)
-        self._httpd.service = self
+        self.router = Router(self)
+        self._httpd: Optional[_ServiceHTTPServer] = None
+        self._async_frontend = None
+        if frontend == "thread":
+            self._httpd = _ServiceHTTPServer((host, int(port)), _Handler)
+            self._httpd.service = self
+        else:
+            from .asyncapi import AsyncFrontEnd
+
+            self._async_frontend = AsyncFrontEnd(self, host, int(port))
         self._serve_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stopping(self) -> bool:
+        """Whether a graceful shutdown has begun (SSE streams close)."""
+        return self._stopping.is_set()
+
+    @property
+    def shard_pool(self) -> Optional[ShardPool]:
+        """The partitioned worker pool (None when unsharded)."""
+        return self._shard_pool
 
     @property
     def host(self) -> str:
         """Bound interface."""
-        return self._httpd.server_address[0]
+        if self._httpd is not None:
+            return self._httpd.server_address[0]
+        return self._async_frontend.host
 
     @property
     def port(self) -> int:
         """Bound port (resolved when 0 was requested)."""
-        return self._httpd.server_address[1]
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._async_frontend.port
 
     @property
     def url(self) -> str:
         """Base URL of the running API."""
         return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _start_backends(self, start_workers: bool) -> None:
+        if self._shard_pool is not None:
+            self._shard_pool.start()
+        if start_workers:
+            self.scheduler.start()
+        if self._recorder is not None:
+            self._recorder.snapshot_once()
+            self._recorder.start()
 
     def start(self, start_workers: bool = True) -> None:
         """Start workers and serve HTTP on a background thread.
@@ -596,11 +296,17 @@ class ExperimentService:
         scheduler (jobs queue but never run) — useful for tests that
         need to observe pre-execution states deterministically.
         """
-        if start_workers:
-            self.scheduler.start()
-        if self._recorder is not None:
-            self._recorder.snapshot_once()
-            self._recorder.start()
+        self._start_backends(start_workers)
+        if self._async_frontend is not None:
+            self._async_frontend.start()
+            _log.info(
+                "service_started",
+                url=self.url,
+                frontend=self.frontend,
+                workers=self.scheduler.workers,
+                shards=self.scheduler.effective_shards,
+            )
+            return
         if self._serve_thread is None:
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -611,26 +317,52 @@ class ExperimentService:
             _log.info(
                 "service_started",
                 url=self.url,
+                frontend=self.frontend,
                 workers=self.scheduler.workers,
+                shards=self.scheduler.effective_shards,
             )
 
     def serve_forever(self) -> None:
         """Start workers and serve HTTP on the calling thread."""
-        self.scheduler.start()
-        if self._recorder is not None:
-            self._recorder.snapshot_once()
-            self._recorder.start()
-        self._httpd.serve_forever()
+        self._start_backends(start_workers=True)
+        if self._async_frontend is not None:
+            self._async_frontend.serve_forever()
+        else:
+            self._httpd.serve_forever()
 
     def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
-        """Stop HTTP, then the workers (optionally draining the queue)."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-            self._serve_thread = None
+        """Graceful stop: shed, close streams, drain, flush, exit.
+
+        Ordering matters and is part of the contract:
+
+        1. admission starts shedding (503 ``shutting_down``) and
+           :attr:`stopping` flips, so SSE sessions emit their terminal
+           ``end`` frame on the next poll;
+        2. the front end stops (the asyncio server wakes every stream
+           immediately; threaded streams notice within one poll);
+        3. the scheduler stops — with ``drain`` it finishes everything
+           queued, without it queued jobs are re-recorded for restart
+           recovery and only in-flight jobs are awaited — then flushes
+           the rate cache (or every shard partition, via the pool);
+        4. the archive recorder takes a final snapshot and stops.
+
+        Idempotent; safe to call from a signal-handler thread.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        self.admission.begin_shutdown()
+        if self._async_frontend is not None:
+            self._async_frontend.shutdown()
+        elif self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=5.0)
+                self._serve_thread = None
         self.scheduler.shutdown(drain=drain, timeout=timeout)
         if self._recorder is not None:
             # Final scrape after the drain so the archived history
             # ends on the service's terminal state.
             self._recorder.stop(final_snapshot=True)
+        self.store.close()

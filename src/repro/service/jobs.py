@@ -293,11 +293,31 @@ class JobQueue:
                     waits.append(deadline - now)
                 self._cond.wait(min(waits) if waits else None)
 
-    def close(self) -> None:
-        """Stop accepting work and wake every blocked :meth:`pop`."""
+    def close(self, discard: bool = False) -> List[Job]:
+        """Stop accepting work and wake every blocked :meth:`pop`.
+
+        With ``discard`` the queue also empties itself and returns the
+        jobs that were still waiting (ready or in backoff, still
+        QUEUED) — the graceful-shutdown path re-records them so a
+        restart recovers exactly what was abandoned.  Without it, the
+        default drain semantics hold: workers keep popping until the
+        ready heap is empty.
+        """
         with self._cond:
             self._closed = True
+            discarded: List[Job] = []
+            if discard:
+                discarded = [
+                    job
+                    for _, _, job in itertools.chain(
+                        self._ready, self._delayed
+                    )
+                    if job.state is JobState.QUEUED
+                ]
+                self._ready.clear()
+                self._delayed.clear()
             self._cond.notify_all()
+            return discarded
 
     @property
     def closed(self) -> bool:

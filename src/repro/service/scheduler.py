@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Callable, Dict, List, Optional
 
 import os
 
 from ..core.experiment import ExperimentResult, PowerCapExperiment
 from ..core.ratecache import RateCache
-from ..core.serialize import experiment_to_dict
+from ..core.serialize import experiment_from_dict, experiment_to_dict
 from ..errors import ReproError
 from ..obs.archive import ObsArchive, distill_experiment_doc
 from ..obs.logging import get_logger
@@ -35,7 +36,8 @@ from ..obs.tracing import span
 from ..workloads import make_workload
 from .jobs import Job, JobQueue, JobSpec, JobState
 from .metrics import ServiceMetrics
-from .store import ResultStore
+from .shards import ShardPool
+from .store import ResultStoreBase
 
 __all__ = ["ExperimentScheduler"]
 
@@ -47,7 +49,7 @@ class ExperimentScheduler:
 
     def __init__(
         self,
-        store: ResultStore,
+        store: ResultStoreBase,
         workers: int = 2,
         rate_cache: "RateCache | str | os.PathLike | None" = None,
         metrics: Optional[ServiceMetrics] = None,
@@ -56,6 +58,7 @@ class ExperimentScheduler:
         slice_accesses: int = 320_000,
         batch: "bool | None" = None,
         archive: Optional[ObsArchive] = None,
+        shard_pool: Optional[ShardPool] = None,
     ) -> None:
         self._store = store
         self._archive = archive
@@ -64,6 +67,7 @@ class ExperimentScheduler:
         if rate_cache is not None and not isinstance(rate_cache, RateCache):
             rate_cache = RateCache(rate_cache)
         self._rate_cache: Optional[RateCache] = rate_cache
+        self._shard_pool = shard_pool
         self.metrics = metrics or ServiceMetrics()
         self._max_attempts = max(1, int(max_attempts))
         self._retry_backoff_s = float(retry_backoff_s)
@@ -75,16 +79,28 @@ class ExperimentScheduler:
         self._running = 0
         self._idle = threading.Condition(self._lock)
         self._started = False
+        #: Recent completion stamps, for the admission gate's
+        #: drain-aware Retry-After estimate.
+        self._completions: "deque[float]" = deque(maxlen=256)
         self.metrics.bind(
             queue_depth=self._queue.depth,
             jobs_by_state=self._counts_by_state_float,
-            cache_hits=lambda: float(
-                self._rate_cache.hits if self._rate_cache else 0
-            ),
-            cache_misses=lambda: float(
-                self._rate_cache.misses if self._rate_cache else 0
-            ),
+            cache_hits=self._cache_hits_total,
+            cache_misses=self._cache_misses_total,
         )
+        self.metrics.bind_shards(lambda: float(self.effective_shards))
+
+    def _cache_hits_total(self) -> float:
+        hits = self._rate_cache.hits if self._rate_cache else 0
+        if self._shard_pool is not None:
+            hits += self._shard_pool.cache_hits
+        return float(hits)
+
+    def _cache_misses_total(self) -> float:
+        misses = self._rate_cache.misses if self._rate_cache else 0
+        if self._shard_pool is not None:
+            misses += self._shard_pool.cache_misses
+        return float(misses)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -99,6 +115,30 @@ class ExperimentScheduler:
     def workers(self) -> int:
         """Size of the worker pool."""
         return self._workers
+
+    @property
+    def effective_shards(self) -> int:
+        """Shard processes actually running (0 = in-process execution)."""
+        return self._shard_pool.shards if self._shard_pool is not None else 0
+
+    @property
+    def shard_pool(self) -> Optional[ShardPool]:
+        """The partitioned worker pool (None when unsharded)."""
+        return self._shard_pool
+
+    def drain_rate(self) -> float:
+        """Recent completion throughput (jobs/s) over a 30 s window.
+
+        Feeds the admission gate's queue-full ``Retry-After`` estimate;
+        0.0 until at least two completions land inside the window.
+        """
+        now = time.monotonic()
+        with self._lock:
+            recent = [t for t in self._completions if now - t <= 30.0]
+        if len(recent) < 2:
+            return 0.0
+        window = max(1e-6, recent[-1] - recent[0])
+        return (len(recent) - 1) / window
 
     def queue_depth(self) -> int:
         """Jobs queued (including retry backoff) and not yet running."""
@@ -238,14 +278,40 @@ class ExperimentScheduler:
     def shutdown(
         self, drain: bool = True, timeout: Optional[float] = 60.0
     ) -> None:
-        """Stop the pool; with ``drain`` finish all queued work first."""
+        """Stop the pool; with ``drain`` finish all queued work first.
+
+        Without ``drain``, queued jobs are discarded from the in-memory
+        queue but stay QUEUED in the store — :meth:`recover` picks them
+        up on the next start, so a fast shutdown loses no submissions.
+        In-flight jobs are always allowed to finish (a sweep is not
+        interruptible mid-simulation without corrupting its attempt
+        accounting).
+        """
         if drain:
             self.drain(timeout)
-        self._queue.close()
+            self._queue.close()
+        else:
+            discarded = self._queue.close(discard=True)
+            for job in discarded:
+                # Still QUEUED: persist that state so recover() re-runs
+                # them after restart.
+                self._store.record_job(job)
+            if discarded:
+                _log.info("jobs_deferred", count=len(discarded))
+            # Wait (bounded) for in-flight jobs to land.
+            deadline = time.monotonic() + (timeout or 0.0)
+            with self._idle:
+                while self._running > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._idle.wait(min(0.1, remaining))
         for t in self._threads:
             t.join(timeout=5.0)
         if self._rate_cache is not None:
             self._rate_cache.save()
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown()
 
     # ------------------------------------------------------------------
     # Worker internals
@@ -268,6 +334,17 @@ class ExperimentScheduler:
                     self._idle.notify_all()
 
     def _run_spec(self, spec: JobSpec) -> Dict[str, ExperimentResult]:
+        if self._shard_pool is not None:
+            # Sharded path: the owning shard returns the serialized
+            # sweep document; deserializing here keeps every consumer
+            # (store, archive, SSE) on the same object shapes as the
+            # in-process path.  The round-trip is exact by contract, so
+            # the stored bytes are identical either way.
+            doc = self._shard_pool.run(spec.digest(), spec.to_dict())
+            return {
+                name: experiment_from_dict(payload)
+                for name, payload in doc.items()
+            }
         workload = make_workload(spec.workload, spec.scale)
         experiment = PowerCapExperiment(
             [workload],
@@ -349,6 +426,8 @@ class ExperimentScheduler:
             job.state = JobState.DONE
             job.error = None
             job.finished_at = time.time()
+            with self._lock:
+                self._completions.append(time.monotonic())
             self.metrics.jobs_completed.inc()
             self.metrics.sweep_seconds.observe(time.perf_counter() - t0)
             _log.info(
@@ -399,6 +478,8 @@ class ExperimentScheduler:
                 return
             job.state = JobState.FAILED
             job.finished_at = time.time()
+            with self._lock:
+                self._completions.append(time.monotonic())
             self.metrics.jobs_failed.inc()
             _log.error(
                 "job_failed",

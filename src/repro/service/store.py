@@ -1,37 +1,55 @@
-"""Persistent job and result store backed by stdlib SQLite.
+"""Pluggable job + result persistence behind one store interface.
 
-Three tables:
+The service persists two kinds of state:
 
-- ``jobs`` — every submission's lifecycle record (spec JSON, state,
+- **jobs** — every submission's lifecycle record (spec JSON, state,
   attempts, timestamps), so a restarted service can recover queued
   work and answer status queries for past jobs;
-- ``results`` — one row per distinct :meth:`JobSpec.digest
+- **results** — one document per distinct :meth:`JobSpec.digest
   <repro.service.jobs.JobSpec.digest>`: the full sweep document
-  (``{workload name: experiment_to_dict(...)}``).  Because the digest
-  covers everything the deterministic engine depends on, resubmitting
-  an identical spec is answered from this table without re-simulation;
-- ``result_rows`` — the same sweeps exploded into per-(workload, cap)
-  rows for cheap tabular queries, keyed by the spec digest and the
-  paper's cap label (``baseline``, ``160`` ... ``120``).
+  (``{workload name: experiment_to_dict(...)}``), plus the same sweep
+  exploded into per-(workload, cap) rows for cheap tabular queries.
 
-Round-trips reuse :mod:`repro.core.serialize` verbatim — the stored
-JSON is the exact on-disk format ``save_experiment`` writes, so
-results loaded from the store compare equal (dataclass equality, PAPI
-counter dicts included) to the live objects.
+:class:`ResultStoreBase` is the backend contract.  All serialization
+lives in the base class — backends only move opaque JSON strings — so
+every backend round-trips results identically: the stored JSON is the
+exact on-disk format ``save_experiment`` writes, and results loaded
+from any store compare equal (dataclass equality, PAPI counter dicts
+included) to the live objects.  The conformance suite in
+``tests/service/test_store_conformance.py`` runs against every
+registered backend.
 
-Connections are opened per call with a busy timeout, which keeps the
-store safe to use from every scheduler worker and HTTP handler thread
-without a shared-connection lock.
+Backends:
+
+- :class:`SQLiteResultStore` (default; ``ResultStore`` is a
+  compatibility alias) — one SQLite file, connections opened per call
+  with a busy timeout, safe from every scheduler worker and HTTP
+  handler thread without a shared-connection lock;
+- :class:`MemoryResultStore` — process-local dicts under a lock; no
+  durability, no files.  Used by tests and by load benchmarks that
+  must not measure filesystem latency;
+- Postgres — not bundled (the container ships no driver), but the
+  interface is shaped for it: all backend methods are keyed reads /
+  upserts with JSON payloads, exactly what
+  ``INSERT ... ON CONFLICT DO UPDATE`` over ``jsonb`` columns needs.
+  :func:`open_store` rejects ``postgres://`` URLs with a pointed
+  message instead of failing at first use.
+
+:func:`open_store` picks the backend from a URL-ish spec:
+``memory://`` for the in-memory store, ``sqlite:///path`` or a bare
+filesystem path for SQLite.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import sqlite3
+import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.experiment import ExperimentResult
 from ..core.serialize import (
@@ -44,9 +62,215 @@ from ..obs.logging import get_logger
 from ..obs.tracing import span
 from .jobs import Job, JobSpec, JobState
 
-__all__ = ["ResultStore"]
+__all__ = [
+    "ResultStoreBase",
+    "SQLiteResultStore",
+    "MemoryResultStore",
+    "ResultStore",
+    "open_store",
+]
 
 _log = get_logger("service.store")
+
+
+class ResultStoreBase(abc.ABC):
+    """Backend contract for job + result persistence.
+
+    Concrete backends implement the raw keyed operations; everything
+    about *what* is stored — serialization, row explosion, dedup
+    semantics — is decided here, once, so two backends can never
+    drift in their on-disk document format.
+    """
+
+    #: Short backend tag for provenance / logs (``sqlite``, ``memory``).
+    backend: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Jobs (abstract)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def record_job(self, job: Job) -> None:
+        """Insert or update one job's lifecycle record (upsert by id)."""
+
+    @abc.abstractmethod
+    def get_job(self, job_id: str) -> Optional[Job]:
+        """One job by id, or None."""
+
+    @abc.abstractmethod
+    def list_jobs(self, limit: int = 200) -> List[Job]:
+        """Most recent jobs, newest first."""
+
+    @abc.abstractmethod
+    def counts_by_state(self) -> Dict[str, int]:
+        """``{state value: job count}`` over every recorded job."""
+
+    @abc.abstractmethod
+    def pending_jobs(self) -> List[Job]:
+        """QUEUED / RUNNING jobs (for crash recovery at startup)."""
+
+    # ------------------------------------------------------------------
+    # Results (abstract, JSON-string payloads)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _put_result_json(
+        self,
+        spec_digest: str,
+        created_at: float,
+        result_json: str,
+        rows: List[Tuple[str, str, str]],
+    ) -> None:
+        """Upsert one sweep document and replace its exploded rows.
+
+        ``rows`` is ``[(workload, cap_label, row_json), ...]``; any
+        previously stored rows for the digest must be dropped first.
+        """
+
+    @abc.abstractmethod
+    def _get_result_json(self, spec_digest: str) -> Optional[str]:
+        """The stored sweep document JSON, or None."""
+
+    @abc.abstractmethod
+    def has_result(self, spec_digest: str) -> bool:
+        """Whether a sweep for this digest is already stored."""
+
+    @abc.abstractmethod
+    def result_rows(self, spec_digest: str) -> List[dict]:
+        """The exploded per-(workload, cap) rows for one digest."""
+
+    @abc.abstractmethod
+    def result_count(self) -> int:
+        """Number of distinct stored sweep documents."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; default no-op)."""
+
+    # ------------------------------------------------------------------
+    # Shared serialization (concrete)
+    # ------------------------------------------------------------------
+
+    def put_result(
+        self, spec_digest: str, sweeps: Dict[str, ExperimentResult]
+    ) -> None:
+        """Persist one sweep document plus its exploded per-cap rows."""
+        with span("store_write", spec_digest=spec_digest):
+            doc = {
+                name: experiment_to_dict(result)
+                for name, result in sweeps.items()
+            }
+            rows: List[Tuple[str, str, str]] = []
+            for name, result in sweeps.items():
+                for row in result.rows():
+                    rows.append(
+                        (
+                            name,
+                            row.cap_label,
+                            json.dumps(averaged_to_dict(row), sort_keys=True),
+                        )
+                    )
+            self._put_result_json(
+                spec_digest,
+                time.time(),
+                json.dumps(doc, sort_keys=True),
+                rows,
+            )
+        _log.debug(
+            "result_stored",
+            spec_digest=spec_digest,
+            backend=self.backend,
+            workloads=sorted(sweeps),
+        )
+
+    def put_result_doc(self, spec_digest: str, doc: dict) -> None:
+        """Persist an already-serialized sweep document.
+
+        The sharded execution path moves serialized documents between
+        processes; this stores one without a serialize → deserialize →
+        re-serialize round-trip through live objects.  The rows are
+        re-exploded from the document, so the tabular view stays in
+        lockstep with :meth:`put_result`.
+        """
+        sweeps = {
+            name: experiment_from_dict(data) for name, data in doc.items()
+        }
+        rows: List[Tuple[str, str, str]] = []
+        for name, result in sweeps.items():
+            for row in result.rows():
+                rows.append(
+                    (
+                        name,
+                        row.cap_label,
+                        json.dumps(averaged_to_dict(row), sort_keys=True),
+                    )
+                )
+        with span("store_write", spec_digest=spec_digest):
+            self._put_result_json(
+                spec_digest,
+                time.time(),
+                json.dumps(doc, sort_keys=True),
+                rows,
+            )
+
+    def get_result_dict(self, spec_digest: str) -> Optional[dict]:
+        """The raw sweep document (JSON-decoded), or None."""
+        raw = self._get_result_json(spec_digest)
+        return json.loads(raw) if raw is not None else None
+
+    def get_result(
+        self, spec_digest: str
+    ) -> Optional[Dict[str, ExperimentResult]]:
+        """The stored sweeps as live objects, or None."""
+        doc = self.get_result_dict(spec_digest)
+        if doc is None:
+            return None
+        return {
+            name: experiment_from_dict(data) for name, data in doc.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Shared job (de)serialization helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _job_to_record(job: Job) -> dict:
+        """A job as the flat record every backend persists."""
+        return {
+            "id": job.id,
+            "spec_digest": job.spec_digest,
+            "spec_json": json.dumps(job.spec.to_dict(), sort_keys=True),
+            "priority": job.priority,
+            "state": job.state.value,
+            "attempts": job.attempts,
+            "max_attempts": job.max_attempts,
+            "error": job.error,
+            "created_at": job.created_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+            "deduplicated": int(job.deduplicated),
+        }
+
+    @staticmethod
+    def _job_from_record(row) -> Job:
+        """Rebuild a :class:`Job` from a flat record (dict or sqlite Row)."""
+        return Job(
+            spec=JobSpec.from_dict(json.loads(row["spec_json"])),
+            id=row["id"],
+            priority=row["priority"],
+            state=JobState(row["state"]),
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            error=row["error"],
+            created_at=row["created_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            deduplicated=bool(row["deduplicated"]),
+        )
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -82,8 +306,10 @@ CREATE TABLE IF NOT EXISTS result_rows (
 """
 
 
-class ResultStore:
+class SQLiteResultStore(ResultStoreBase):
     """SQLite-backed persistence for jobs and sweep results."""
+
+    backend = "sqlite"
 
     def __init__(self, path: "str | os.PathLike") -> None:
         self._path = str(path)
@@ -108,64 +334,34 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def record_job(self, job: Job) -> None:
-        """Insert or update one job's lifecycle record."""
+        rec = self._job_to_record(job)
         with self._connect() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO jobs (id, spec_digest, spec_json, "
                 "priority, state, attempts, max_attempts, error, created_at, "
                 "started_at, finished_at, deduplicated) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    job.id,
-                    job.spec_digest,
-                    json.dumps(job.spec.to_dict(), sort_keys=True),
-                    job.priority,
-                    job.state.value,
-                    job.attempts,
-                    job.max_attempts,
-                    job.error,
-                    job.created_at,
-                    job.started_at,
-                    job.finished_at,
-                    int(job.deduplicated),
-                ),
+                "VALUES (:id, :spec_digest, :spec_json, :priority, :state, "
+                ":attempts, :max_attempts, :error, :created_at, :started_at, "
+                ":finished_at, :deduplicated)",
+                rec,
             )
 
-    @staticmethod
-    def _job_from_row(row: sqlite3.Row) -> Job:
-        return Job(
-            spec=JobSpec.from_dict(json.loads(row["spec_json"])),
-            id=row["id"],
-            priority=row["priority"],
-            state=JobState(row["state"]),
-            attempts=row["attempts"],
-            max_attempts=row["max_attempts"],
-            error=row["error"],
-            created_at=row["created_at"],
-            started_at=row["started_at"],
-            finished_at=row["finished_at"],
-            deduplicated=bool(row["deduplicated"]),
-        )
-
     def get_job(self, job_id: str) -> Optional[Job]:
-        """One job by id, or None."""
         with self._connect() as conn:
             row = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
-        return self._job_from_row(row) if row else None
+        return self._job_from_record(row) if row else None
 
     def list_jobs(self, limit: int = 200) -> List[Job]:
-        """Most recent jobs, newest first."""
         with self._connect() as conn:
             rows = conn.execute(
                 "SELECT * FROM jobs ORDER BY created_at DESC LIMIT ?",
                 (int(limit),),
             ).fetchall()
-        return [self._job_from_row(r) for r in rows]
+        return [self._job_from_record(r) for r in rows]
 
     def counts_by_state(self) -> Dict[str, int]:
-        """``{state value: job count}`` over every recorded job."""
         counts = {state.value: 0 for state in JobState}
         with self._connect() as conn:
             rows = conn.execute(
@@ -176,90 +372,58 @@ class ResultStore:
         return counts
 
     def pending_jobs(self) -> List[Job]:
-        """QUEUED / RUNNING jobs (for crash recovery at startup)."""
         with self._connect() as conn:
             rows = conn.execute(
                 "SELECT * FROM jobs WHERE state IN (?, ?) "
                 "ORDER BY created_at",
                 (JobState.QUEUED.value, JobState.RUNNING.value),
             ).fetchall()
-        return [self._job_from_row(r) for r in rows]
+        return [self._job_from_record(r) for r in rows]
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 
-    def put_result(
-        self, spec_digest: str, sweeps: Dict[str, ExperimentResult]
+    def _put_result_json(
+        self,
+        spec_digest: str,
+        created_at: float,
+        result_json: str,
+        rows: List[Tuple[str, str, str]],
     ) -> None:
-        """Persist one sweep document plus its exploded per-cap rows."""
-        with span("store_write", spec_digest=spec_digest):
-            self._put_result(spec_digest, sweeps)
-        _log.debug(
-            "result_stored",
-            spec_digest=spec_digest,
-            workloads=sorted(sweeps),
-        )
-
-    def _put_result(
-        self, spec_digest: str, sweeps: Dict[str, ExperimentResult]
-    ) -> None:
-        doc = {
-            name: experiment_to_dict(result) for name, result in sweeps.items()
-        }
         with self._connect() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO results "
                 "(spec_digest, created_at, result_json) VALUES (?, ?, ?)",
-                (spec_digest, time.time(), json.dumps(doc, sort_keys=True)),
+                (spec_digest, created_at, result_json),
             )
             conn.execute(
                 "DELETE FROM result_rows WHERE spec_digest = ?", (spec_digest,)
             )
-            for name, result in sweeps.items():
-                for row in result.rows():
-                    conn.execute(
-                        "INSERT OR REPLACE INTO result_rows "
-                        "(spec_digest, workload, cap_label, row_json) "
-                        "VALUES (?, ?, ?, ?)",
-                        (
-                            spec_digest,
-                            name,
-                            row.cap_label,
-                            json.dumps(averaged_to_dict(row), sort_keys=True),
-                        ),
-                    )
+            for workload, cap_label, row_json in rows:
+                conn.execute(
+                    "INSERT OR REPLACE INTO result_rows "
+                    "(spec_digest, workload, cap_label, row_json) "
+                    "VALUES (?, ?, ?, ?)",
+                    (spec_digest, workload, cap_label, row_json),
+                )
+
+    def _get_result_json(self, spec_digest: str) -> Optional[str]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT result_json FROM results WHERE spec_digest = ?",
+                (spec_digest,),
+            ).fetchone()
+        return row["result_json"] if row else None
 
     def has_result(self, spec_digest: str) -> bool:
-        """Whether a sweep for this digest is already stored."""
         with self._connect() as conn:
             row = conn.execute(
                 "SELECT 1 FROM results WHERE spec_digest = ?", (spec_digest,)
             ).fetchone()
         return row is not None
 
-    def get_result_dict(self, spec_digest: str) -> Optional[dict]:
-        """The raw sweep document (JSON-decoded), or None."""
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT result_json FROM results WHERE spec_digest = ?",
-                (spec_digest,),
-            ).fetchone()
-        return json.loads(row["result_json"]) if row else None
-
-    def get_result(
-        self, spec_digest: str
-    ) -> Optional[Dict[str, ExperimentResult]]:
-        """The stored sweeps as live objects, or None."""
-        doc = self.get_result_dict(spec_digest)
-        if doc is None:
-            return None
-        return {
-            name: experiment_from_dict(data) for name, data in doc.items()
-        }
-
     def result_rows(self, spec_digest: str) -> List[dict]:
-        """The exploded per-(workload, cap) rows for one digest."""
         with self._connect() as conn:
             rows = conn.execute(
                 "SELECT workload, cap_label, row_json FROM result_rows "
@@ -276,6 +440,128 @@ class ResultStore:
         ]
 
     def result_count(self) -> int:
-        """Number of distinct stored sweep documents."""
         with self._connect() as conn:
             return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+
+class MemoryResultStore(ResultStoreBase):
+    """In-process store: dicts under a lock, no durability.
+
+    Holds exactly the JSON strings the SQLite backend would, so the
+    two backends are byte-for-byte interchangeable for everything but
+    persistence across restarts.
+    """
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, dict] = {}
+        self._results: Dict[str, Tuple[float, str]] = {}
+        self._rows: Dict[str, List[Tuple[str, str, str]]] = {}
+
+    # Jobs ---------------------------------------------------------------
+
+    def record_job(self, job: Job) -> None:
+        rec = self._job_to_record(job)
+        with self._lock:
+            self._jobs[job.id] = rec
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            rec = self._jobs.get(job_id)
+        return self._job_from_record(rec) if rec else None
+
+    def list_jobs(self, limit: int = 200) -> List[Job]:
+        with self._lock:
+            recs = sorted(
+                self._jobs.values(),
+                key=lambda r: r["created_at"],
+                reverse=True,
+            )[: int(limit)]
+        return [self._job_from_record(r) for r in recs]
+
+    def counts_by_state(self) -> Dict[str, int]:
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for rec in self._jobs.values():
+                counts[rec["state"]] += 1
+        return counts
+
+    def pending_jobs(self) -> List[Job]:
+        pending = (JobState.QUEUED.value, JobState.RUNNING.value)
+        with self._lock:
+            recs = sorted(
+                (r for r in self._jobs.values() if r["state"] in pending),
+                key=lambda r: r["created_at"],
+            )
+        return [self._job_from_record(r) for r in recs]
+
+    # Results ------------------------------------------------------------
+
+    def _put_result_json(
+        self,
+        spec_digest: str,
+        created_at: float,
+        result_json: str,
+        rows: List[Tuple[str, str, str]],
+    ) -> None:
+        with self._lock:
+            self._results[spec_digest] = (created_at, result_json)
+            self._rows[spec_digest] = list(rows)
+
+    def _get_result_json(self, spec_digest: str) -> Optional[str]:
+        with self._lock:
+            entry = self._results.get(spec_digest)
+        return entry[1] if entry else None
+
+    def has_result(self, spec_digest: str) -> bool:
+        with self._lock:
+            return spec_digest in self._results
+
+    def result_rows(self, spec_digest: str) -> List[dict]:
+        with self._lock:
+            rows = list(self._rows.get(spec_digest, ()))
+        return [
+            {
+                "workload": workload,
+                "cap_label": cap_label,
+                "row": json.loads(row_json),
+            }
+            for workload, cap_label, row_json in sorted(rows)
+        ]
+
+    def result_count(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+
+#: Compatibility alias — the historical concrete class name.  Existing
+#: code (and the tier-1 tests) construct ``ResultStore(path)``; that
+#: keeps working and now yields the SQLite backend explicitly.
+ResultStore = SQLiteResultStore
+
+
+def open_store(spec: "str | os.PathLike | ResultStoreBase") -> ResultStoreBase:
+    """Build a store from a URL-ish spec (or pass an instance through).
+
+    - ``memory://`` → :class:`MemoryResultStore`
+    - ``sqlite:///path/to.db`` or ``sqlite:path`` → SQLite at that path
+    - ``postgres://…`` → rejected with a pointer (no bundled driver)
+    - anything else → treated as a SQLite file path
+    """
+    if isinstance(spec, ResultStoreBase):
+        return spec
+    text = str(spec)
+    if text == "memory://":
+        return MemoryResultStore()
+    if text.startswith(("postgres://", "postgresql://")):
+        raise ConfigError(
+            "no Postgres driver is bundled with this build; the "
+            "ResultStore interface supports it — implement "
+            "ResultStoreBase over your driver and pass the instance in"
+        )
+    if text.startswith("sqlite://"):
+        # sqlite:///abs/path → /abs/path; sqlite://rel/path → rel/path
+        text = text[len("sqlite://"):]
+    return SQLiteResultStore(text)
